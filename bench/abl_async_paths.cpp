@@ -1,0 +1,96 @@
+// Ablation: when does fine-grained asynchronous communication WIN?
+//
+// The paper's Section IV, after advocating bulk-synchronous batching,
+// notes the counter-example from its matching work [12]: "traversing a
+// small number of long paths in a bipartite graph matching algorithm
+// benefits from fine-grained asynchronous communication". This bench
+// reproduces that tradeoff directly: chase k vertex-disjoint paths of
+// length L across the locale grid,
+//
+//   - asynchronously: each path is a chain of fine-grained remote hops
+//     (one round trip per hop, k chains progress independently);
+//   - bulk-synchronously: one coforall + barrier per *level*, all paths
+//     advancing in lockstep (the BSP fork/barrier burden is paid L
+//     times, however few paths remain).
+//
+// For few long paths the async traversal wins by an order of magnitude;
+// for many short frontiers (BFS-like) BSP wins — both regimes printed.
+#include "bench_common.hpp"
+
+#include "runtime/locale_grid.hpp"
+
+using namespace pgb;
+
+namespace {
+
+/// k independent chains of `length` hops; each hop lands on the next
+/// locale (round-robin), so every hop is remote.
+double async_chase(LocaleGrid& grid, int k, Index length) {
+  grid.reset();
+  // Chains run concurrently: charge each chain's hops to the clock of
+  // its starting locale; the makespan is the max (chains overlap).
+  for (int chain = 0; chain < k; ++chain) {
+    LocaleCtx ctx(grid, chain % grid.num_locales());
+    const int peer = (chain + 1) % grid.num_locales();
+    if (peer != ctx.locale()) {
+      ctx.remote_chain(peer, length, /*rts_per_elem=*/1.0,
+                       /*bytes_each=*/16);
+    }
+  }
+  return grid.barrier_all();
+}
+
+/// The same traversal as L bulk-synchronous levels: per level, a
+/// coforall over all locales moves every live chain one hop (bulk
+/// messages), then a barrier.
+double bsp_chase(LocaleGrid& grid, int k, Index length) {
+  grid.reset();
+  for (Index level = 0; level < length; ++level) {
+    grid.coforall_locales([&](LocaleCtx& ctx) {
+      // Each locale forwards its share of the k live chains.
+      const int share =
+          (k + grid.num_locales() - 1) / grid.num_locales();
+      const int peer = (ctx.locale() + 1) % grid.num_locales();
+      if (share > 0 && peer != ctx.locale()) {
+        ctx.remote_bulk(peer, 16 * share);
+      }
+    });
+  }
+  return grid.time();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const bool csv = cli.get_bool("csv", false, "emit CSV instead of tables");
+  const int nodes = static_cast<int>(cli.get_int("nodes", 16, "locales"));
+  cli.finish();
+
+  bench::print_preamble(
+      "Ablation", "fine-grained async vs bulk-synchronous path traversal",
+      1.0);
+
+  Table t({"paths k", "length L", "async (fine-grained)", "BSP (bulk)",
+           "winner"});
+  struct Case {
+    int k;
+    Index len;
+  };
+  const Case cases[] = {
+      {4, 10000}, {16, 2000}, {64, 500},      // few long paths
+      {10000, 16}, {100000, 8}, {1000000, 4}  // wide shallow frontiers
+  };
+  for (const auto& c : cases) {
+    auto g1 = LocaleGrid::square(nodes, 24);
+    const double ta = async_chase(g1, c.k, c.len);
+    auto g2 = LocaleGrid::square(nodes, 24);
+    const double tb = bsp_chase(g2, c.k, c.len);
+    t.row({Table::count(c.k), Table::count(c.len), Table::time(ta),
+           Table::time(tb), ta < tb ? "async" : "BSP"});
+  }
+  csv ? t.print_csv()
+      : t.print("k vertex-disjoint chains of L remote hops, " +
+                std::to_string(nodes) + " locales");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: fine-grained vs bulk-synchronous communication in the
+// distributed SpMSpV. The paper's Listing 8 moves vector elements one at
+// a time; its discussion (Section IV) argues that "bulk-synchronous
+// execution and batched communication" would mitigate the cost. This
+// bench runs all four gather/scatter combinations.
+#include "bench_common.hpp"
+
+#include "core/ops.hpp"
+#include "core/spmspv.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_vec.hpp"
+
+using namespace pgb;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0, "fraction of paper size");
+  const bool csv = cli.get_bool("csv", false, "emit CSV instead of tables");
+  cli.finish();
+
+  const Index n = bench::scaled(1000000, scale);
+  bench::print_preamble(
+      "Ablation", "SpMSpV: fine-grained vs bulk gather/scatter", scale);
+
+  const auto sr = arithmetic_semiring<std::int64_t>();
+  Table t({"nodes", "fine/fine (paper)", "bulk gather", "bulk scatter",
+           "bulk/bulk", "paper vs bulk"});
+  for (int nodes : bench::node_sweep()) {
+    auto grid = LocaleGrid::square(nodes, 24);
+    auto a = erdos_renyi_dist<std::int64_t>(grid, n, 16.0, 5);
+    auto x = random_dist_sparse_vec<std::int64_t>(grid, n, n / 50, 6);
+    double times[4];
+    int i = 0;
+    for (bool bulk_gather : {false, true}) {
+      for (bool bulk_scatter : {false, true}) {
+        SpmspvOptions opt;
+        opt.bulk_gather = bulk_gather;
+        opt.bulk_scatter = bulk_scatter;
+        grid.reset();
+        spmspv_dist(a, x, sr, opt);
+        times[i++] = grid.time();
+      }
+    }
+    // order: fine/fine, fine-g+bulk-s, bulk-g+fine-s, bulk/bulk
+    t.row({Table::count(nodes), Table::time(times[0]),
+           Table::time(times[2]), Table::time(times[1]),
+           Table::time(times[3]), Table::num(times[0] / times[3])});
+  }
+  csv ? t.print_csv() : t.print("ER matrix (n=1M, d=16, f=2%)");
+  return 0;
+}

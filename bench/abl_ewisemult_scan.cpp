@@ -1,0 +1,50 @@
+// Ablation: eWiseMult output collection via the paper's atomic counter
+// (Listing 6) vs the thread-private + prefix-sum merge the paper suggests
+// ("In practice, we can avoid the atomic variable ... via a prefix sum").
+#include "bench_common.hpp"
+
+#include "core/ewise_mult.hpp"
+#include "core/ops.hpp"
+#include "gen/random_vec.hpp"
+
+using namespace pgb;
+
+namespace {
+struct KeepTrue {
+  bool operator()(std::uint8_t b) const { return b != 0; }
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0, "fraction of paper size");
+  const bool csv = cli.get_bool("csv", false, "emit CSV instead of tables");
+  cli.finish();
+
+  bench::print_preamble("Ablation", "eWiseMult: atomic counter vs prefix sum",
+                        scale);
+
+  for (Index base : {Index{1000000}, Index{100000000}}) {
+    const Index nnz = bench::scaled(base, scale);
+    auto grid = LocaleGrid::single(1);
+    auto x = random_dist_sparse_vec<double>(grid, 2 * nnz, nnz, 1);
+    auto y = random_dist_bool_vec(grid, 2 * nnz, 0.5, 2);
+    Table t({"threads", "atomic", "prefix-sum", "speedup"});
+    for (int threads : bench::thread_sweep()) {
+      grid.set_threads(threads);
+      grid.reset();
+      ewise_mult_sd(x, y, FirstOp{}, KeepTrue{}, EwiseVariant::kAtomic);
+      const double ta = grid.time();
+      grid.reset();
+      ewise_mult_sd(x, y, FirstOp{}, KeepTrue{}, EwiseVariant::kScan);
+      const double ts = grid.time();
+      t.row({Table::count(threads), Table::time(ta), Table::time(ts),
+             Table::num(ta / ts)});
+    }
+    char title[64];
+    std::snprintf(title, sizeof title, "nnz=%lld",
+                  static_cast<long long>(nnz));
+    csv ? t.print_csv() : t.print(title);
+  }
+  return 0;
+}

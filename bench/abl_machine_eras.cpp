@@ -1,0 +1,102 @@
+// Ablation: do the paper's findings survive a hardware generation?
+// Re-runs the core comparisons on MachineModel::modern() (2020s node +
+// Slingshot-class network) next to the paper's Edison. Compute grew much
+// faster than network latency, so the fine-grained-vs-SPMD gap *widens*;
+// task spawns got cheaper, so the small-input scaling cliffs soften.
+#include "bench_common.hpp"
+
+#include "core/apply.hpp"
+#include "core/ops.hpp"
+#include "core/spmspv.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_vec.hpp"
+
+using namespace pgb;
+
+namespace {
+
+struct Era {
+  const char* name;
+  MachineModel model;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0, "fraction of paper size");
+  const bool csv = cli.get_bool("csv", false, "emit CSV instead of tables");
+  cli.finish();
+
+  bench::print_preamble("Ablation", "Edison (2013) vs modern (2020s) node",
+                        scale);
+  const Era eras[2] = {{"edison", MachineModel::edison()},
+                       {"modern", MachineModel::modern()}};
+
+  // --- Apply1 vs Apply2 across nodes: the SPMD-vs-forall verdict ---
+  {
+    const Index nnz = bench::scaled(10000000, scale);
+    Table t({"nodes", "edison v1/v2", "modern v1/v2"});
+    for (int nodes : {2, 16, 64}) {
+      std::vector<std::string> row{Table::count(nodes)};
+      for (const auto& era : eras) {
+        auto grid = LocaleGrid::square(nodes, era.model.node.cores, 1,
+                                       era.model);
+        auto x = random_dist_sparse_vec<double>(grid, 2 * nnz, nnz, 1);
+        grid.reset();
+        apply_v1(x, NegateOp{});
+        const double t1 = grid.time();
+        grid.reset();
+        apply_v2(x, NegateOp{});
+        row.push_back(Table::num(t1 / grid.time()));
+      }
+      t.row(row);
+    }
+    csv ? t.print_csv()
+        : t.print("Apply fine-grained penalty (v1 time / v2 time)");
+  }
+
+  // --- distributed SpMSpV: does gather still dominate? ---
+  {
+    const Index n = bench::scaled(1000000, scale);
+    Table t({"nodes", "edison gather%", "modern gather%", "edison total",
+             "modern total"});
+    for (int nodes : {4, 16, 64}) {
+      std::vector<std::string> frac, total;
+      for (const auto& era : eras) {
+        auto grid = LocaleGrid::square(nodes, era.model.node.cores, 1,
+                                       era.model);
+        auto a = erdos_renyi_dist<std::int64_t>(grid, n, 16.0, 5);
+        auto x = random_dist_sparse_vec<std::int64_t>(grid, n, n / 50, 6);
+        grid.reset();
+        spmspv_dist(a, x, arithmetic_semiring<std::int64_t>());
+        frac.push_back(
+            Table::num(100.0 * grid.trace().get("gather") / grid.time()));
+        total.push_back(Table::time(grid.time()));
+      }
+      t.row({Table::count(nodes), frac[0], frac[1], total[0], total[1]});
+    }
+    csv ? t.print_csv() : t.print("SpMSpV gather share of total time");
+  }
+
+  // --- small-input eWise-style scaling: spawn-cost cliffs ---
+  {
+    const Index nnz = bench::scaled(10000, scale);
+    Table t({"era", "1 thread", "max threads", "speedup"});
+    for (const auto& era : eras) {
+      auto grid = LocaleGrid::single(1, era.model);
+      auto x = random_dist_sparse_vec<double>(grid, 2 * nnz, nnz, 1);
+      grid.reset();
+      apply_v2(x, NegateOp{});
+      const double t1 = grid.time();
+      grid.set_threads(era.model.node.cores);
+      grid.reset();
+      apply_v2(x, NegateOp{});
+      const double tp = grid.time();
+      t.row({era.name, Table::time(t1), Table::time(tp),
+             Table::num(t1 / tp)});
+    }
+    csv ? t.print_csv() : t.print("10K-nonzero Apply on one node");
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation: the sorting bottleneck in shared-memory SpMSpV.
+//
+// The paper finds Chapel's merge sort dominating (Fig 7) and expects "a
+// less expensive integer sorting algorithm (e.g., radix sort)" to cut
+// the cost, citing its own work-efficient SpMSpV [9]. Three strategies:
+//   - SPA + merge sort  (the paper's Listing 7),
+//   - SPA + radix sort  (the paper's suggested fix),
+//   - bucket algorithm  (reference [9]: no global sort at all).
+#include "bench_common.hpp"
+
+#include "core/ops.hpp"
+#include "core/spmspv.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_vec.hpp"
+
+using namespace pgb;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0, "fraction of paper size");
+  const bool csv = cli.get_bool("csv", false, "emit CSV instead of tables");
+  cli.finish();
+
+  const Index n = bench::scaled(1000000, scale);
+  bench::print_preamble(
+      "Ablation", "SpMSpV: merge sort vs radix sort vs bucket [9]", scale);
+
+  auto a = erdos_renyi_csr<std::int64_t>(n, 16.0, 5);
+  auto x = random_sparse_vec<std::int64_t>(n, n / 50, 6);
+  const auto sr = arithmetic_semiring<std::int64_t>();
+
+  Table t({"threads", "merge total", "merge sort-step", "radix total",
+           "radix sort-step", "bucket total", "best vs paper"});
+  auto grid = LocaleGrid::single(1);
+  for (int threads : bench::thread_sweep()) {
+    grid.set_threads(threads);
+    double totals[3], sorts[3];
+    SpmspvOptions opts[3];
+    opts[0].sort = SortAlgo::kMerge;
+    opts[1].sort = SortAlgo::kRadix;
+    opts[2].algo = SpmspvAlgo::kBucket;
+    for (int i = 0; i < 3; ++i) {
+      grid.reset();
+      Trace trace;
+      LocaleCtx ctx(grid, 0);
+      spmspv_shm(ctx, a, 0, x, 0, n, sr, opts[i], &trace);
+      totals[i] = grid.time();
+      sorts[i] = trace.get("sort");
+    }
+    const double best = std::min(totals[1], totals[2]);
+    t.row({Table::count(threads), Table::time(totals[0]),
+           Table::time(sorts[0]), Table::time(totals[1]),
+           Table::time(sorts[1]), Table::time(totals[2]),
+           Table::num(totals[0] / best)});
+  }
+  csv ? t.print_csv() : t.print("ER matrix (n=1M, d=16, f=2%)");
+  return 0;
+}

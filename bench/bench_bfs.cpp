@@ -1,0 +1,59 @@
+// End-to-end BFS bench: the "hello world" the paper's operations were
+// chosen to compose into. Runs BFS on an R-MAT graph across node counts,
+// with the paper's fine-grained communication and with bulk transfers.
+#include "bench_common.hpp"
+
+#include "algo/bfs.hpp"
+#include "algo/bfs_hybrid.hpp"
+#include "gen/rmat.hpp"
+
+using namespace pgb;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int sc =
+      static_cast<int>(cli.get_int("rmat-scale", 18, "R-MAT scale (2^s vertices)"));
+  const bool csv = cli.get_bool("csv", false, "emit CSV instead of tables");
+  cli.finish();
+
+  RmatParams p;
+  p.scale = sc;
+  p.edge_factor = 8;
+  bench::print_preamble("BFS", "R-MAT graph, GraphBLAS-composed BFS", 1.0);
+  std::printf("graph: 2^%d vertices, edge factor %lld (symmetrized)\n",
+              p.scale, static_cast<long long>(p.edge_factor));
+
+  Table t({"nodes", "fine-grained (paper)", "bulk comm",
+           "hybrid dir-opt", "levels", "reached"});
+  for (int nodes : {1, 4, 16, 64}) {
+    auto grid = LocaleGrid::square(nodes, 24);
+    auto a = rmat_dist(grid, p);
+
+    grid.reset();
+    auto fine = bfs(a, /*source=*/0);
+    const double t_fine = grid.time();
+
+    SpmspvOptions bulk;
+    bulk.bulk_gather = true;
+    bulk.bulk_scatter = true;
+    grid.reset();
+    auto fast = bfs(a, /*source=*/0, bulk);
+    const double t_bulk = grid.time();
+
+    HybridBfsOptions hopt;
+    hopt.spmspv = bulk;
+    grid.reset();
+    auto hybrid = bfs_hybrid(a, /*source=*/0, hopt);
+    const double t_hybrid = grid.time();
+    (void)hybrid;
+
+    Index reached = 0;
+    for (Index s : fine.level_sizes) reached += s;
+    t.row({Table::count(nodes), Table::time(t_fine), Table::time(t_bulk),
+           Table::time(t_hybrid),
+           Table::count(static_cast<std::int64_t>(fine.level_sizes.size())),
+           Table::count(reached)});
+  }
+  csv ? t.print_csv() : t.print("BFS, 24 threads/node");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared helpers for the figure benches: standard sweeps, headers, and
+// the scale flag that shrinks paper-sized workloads for quick runs.
+//
+// Every fig*_ binary regenerates one figure of the paper: it prints the
+// same series (one column per curve / stacked component) over the same
+// x-axis (threads, nodes, or locales), in modeled seconds on the Edison
+// machine model. EXPERIMENTS.md records the comparison against the paper.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runtime/dist.hpp"
+#include "runtime/locale_grid.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace pgb::bench {
+
+/// The paper's shared-memory x-axis: threads on one node.
+inline std::vector<int> thread_sweep() { return {1, 2, 4, 8, 16, 32}; }
+
+/// The paper's distributed x-axis: nodes with 24 threads each.
+inline std::vector<int> node_sweep(int max_nodes = 64) {
+  std::vector<int> s;
+  for (int n = 1; n <= max_nodes; n *= 2) s.push_back(n);
+  return s;
+}
+
+/// Applies --scale to a paper-sized count (rounding to at least 1).
+inline Index scaled(Index paper_size, double scale) {
+  const double v = static_cast<double>(paper_size) * scale;
+  return v < 1.0 ? 1 : static_cast<Index>(v);
+}
+
+inline void print_preamble(const std::string& figure,
+                           const std::string& what, double scale) {
+  std::printf("%s — %s\n", figure.c_str(), what.c_str());
+  std::printf(
+      "modeled machine: Edison (Cray XC30), 24-core IvB nodes, Aries\n");
+  if (scale != 1.0) {
+    std::printf("NOTE: workload scaled by %.3g of the paper's size "
+                "(use --scale=1 for full size)\n",
+                scale);
+  }
+}
+
+}  // namespace pgb::bench

@@ -1,0 +1,57 @@
+// Figure 1: shared-memory (left) and distributed-memory (right)
+// performance of the two Apply implementations. Input: random sparse
+// vector with 10M nonzeros.
+#include "bench_common.hpp"
+
+#include "core/apply.hpp"
+#include "core/ops.hpp"
+#include "gen/random_vec.hpp"
+
+using namespace pgb;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0, "fraction of paper size");
+  const bool csv = cli.get_bool("csv", false, "emit CSV instead of tables");
+  cli.finish();
+
+  const Index nnz = bench::scaled(10000000, scale);  // paper: 10M
+  bench::print_preamble("Figure 1", "Apply1 vs Apply2, 10M-nonzero vector",
+                        scale);
+
+  // ---- left subfigure: single node, thread sweep ----
+  {
+    auto grid = LocaleGrid::single(1);
+    auto x = random_dist_sparse_vec<double>(grid, 2 * nnz, nnz, 1);
+    Table t({"threads", "Apply1", "Apply2"});
+    for (int threads : bench::thread_sweep()) {
+      grid.set_threads(threads);
+      grid.reset();
+      apply_v1(x, NegateOp{});
+      const double t1 = grid.time();
+      grid.reset();
+      apply_v2(x, NegateOp{});
+      const double t2 = grid.time();
+      t.row({Table::count(threads), Table::time(t1), Table::time(t2)});
+    }
+    csv ? t.print_csv() : t.print("shared memory (single node)");
+  }
+
+  // ---- right subfigure: node sweep, 24 threads per node ----
+  {
+    Table t({"nodes", "Apply1", "Apply2"});
+    for (int nodes : bench::node_sweep()) {
+      auto grid = LocaleGrid::square(nodes, 24);
+      auto x = random_dist_sparse_vec<double>(grid, 2 * nnz, nnz, 1);
+      grid.reset();
+      apply_v1(x, NegateOp{});
+      const double t1 = grid.time();
+      grid.reset();
+      apply_v2(x, NegateOp{});
+      const double t2 = grid.time();
+      t.row({Table::count(nodes), Table::time(t1), Table::time(t2)});
+    }
+    csv ? t.print_csv() : t.print("distributed memory (24 threads/node)");
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 2: shared-memory (left) and distributed-memory (right)
+// performance of the two Assign implementations. Input: random sparse
+// vector with 1M nonzeros.
+#include "bench_common.hpp"
+
+#include "core/assign.hpp"
+#include "gen/random_vec.hpp"
+
+using namespace pgb;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0, "fraction of paper size");
+  const bool csv = cli.get_bool("csv", false, "emit CSV instead of tables");
+  cli.finish();
+
+  const Index nnz = bench::scaled(1000000, scale);  // paper: 1M
+  bench::print_preamble("Figure 2", "Assign1 vs Assign2, 1M-nonzero vector",
+                        scale);
+
+  {
+    auto grid = LocaleGrid::single(1);
+    auto b = random_dist_sparse_vec<double>(grid, 2 * nnz, nnz, 1);
+    DistSparseVec<double> a(grid, 2 * nnz);
+    Table t({"threads", "Assign1", "Assign2"});
+    for (int threads : bench::thread_sweep()) {
+      grid.set_threads(threads);
+      grid.reset();
+      assign_v1(a, b);
+      const double t1 = grid.time();
+      grid.reset();
+      assign_v2(a, b);
+      const double t2 = grid.time();
+      t.row({Table::count(threads), Table::time(t1), Table::time(t2)});
+    }
+    csv ? t.print_csv() : t.print("shared memory (single node)");
+  }
+
+  {
+    Table t({"nodes", "Assign1", "Assign2"});
+    for (int nodes : bench::node_sweep()) {
+      auto grid = LocaleGrid::square(nodes, 24);
+      auto b = random_dist_sparse_vec<double>(grid, 2 * nnz, nnz, 1);
+      DistSparseVec<double> a(grid, 2 * nnz);
+      grid.reset();
+      assign_v1(a, b);
+      const double t1 = grid.time();
+      grid.reset();
+      assign_v2(a, b);
+      const double t2 = grid.time();
+      t.row({Table::count(nodes), Table::time(t1), Table::time(t2)});
+    }
+    csv ? t.print_csv() : t.print("distributed memory (24 threads/node)");
+  }
+  return 0;
+}

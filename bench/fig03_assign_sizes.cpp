@@ -1,0 +1,40 @@
+// Figure 3: distributed-memory Assign2 at two input sizes (1M and 100M
+// nonzeros), 24 threads per node — small inputs stop scaling once the
+// coforall fork overhead rivals the per-locale work.
+#include "bench_common.hpp"
+
+#include "core/assign.hpp"
+#include "gen/random_vec.hpp"
+
+using namespace pgb;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0, "fraction of paper size");
+  const bool csv = cli.get_bool("csv", false, "emit CSV instead of tables");
+  cli.finish();
+
+  const Index small_nnz = bench::scaled(1000000, scale);    // paper: 1M
+  const Index large_nnz = bench::scaled(100000000, scale);  // paper: 100M
+  bench::print_preamble("Figure 3", "Assign2 distributed, 1M vs 100M",
+                        scale);
+
+  Table t({"nodes", "nnz=1M", "nnz=100M"});
+  for (int nodes : bench::node_sweep()) {
+    auto grid = LocaleGrid::square(nodes, 24);
+    double times[2];
+    const Index sizes[2] = {small_nnz, large_nnz};
+    for (int i = 0; i < 2; ++i) {
+      auto b = random_dist_sparse_vec<double>(grid, 2 * sizes[i], sizes[i],
+                                              1);
+      DistSparseVec<double> a(grid, 2 * sizes[i]);
+      grid.reset();
+      assign_v2(a, b);
+      times[i] = grid.time();
+    }
+    t.row({Table::count(nodes), Table::time(times[0]),
+           Table::time(times[1])});
+  }
+  csv ? t.print_csv() : t.print("Assign2, 24 threads/node");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 4: shared-memory eWiseMult (sparse x dense Boolean vector) on
+// one node, for 10K / 1M / 100M nonzeros. About half the entries survive.
+#include "bench_common.hpp"
+
+#include "core/ewise_mult.hpp"
+#include "core/ops.hpp"
+#include "gen/random_vec.hpp"
+
+using namespace pgb;
+
+namespace {
+struct KeepTrue {
+  bool operator()(std::uint8_t b) const { return b != 0; }
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0, "fraction of paper size");
+  const bool csv = cli.get_bool("csv", false, "emit CSV instead of tables");
+  cli.finish();
+
+  bench::print_preamble("Figure 4", "eWiseMult shared memory, 3 sizes",
+                        scale);
+
+  const Index sizes[3] = {bench::scaled(10000, scale),
+                          bench::scaled(1000000, scale),
+                          bench::scaled(100000000, scale)};
+  std::vector<std::vector<double>> times(
+      3, std::vector<double>(bench::thread_sweep().size()));
+
+  for (int i = 0; i < 3; ++i) {
+    auto grid = LocaleGrid::single(1);
+    auto x = random_dist_sparse_vec<double>(grid, 2 * sizes[i], sizes[i], 1);
+    auto y = random_dist_bool_vec(grid, 2 * sizes[i], 0.5, 2);
+    int col = 0;
+    for (int threads : bench::thread_sweep()) {
+      grid.set_threads(threads);
+      grid.reset();
+      ewise_mult_sd(x, y, FirstOp{}, KeepTrue{});
+      times[i][col++] = grid.time();
+    }
+  }
+
+  Table t({"threads", "nnz=10K", "nnz=1M", "nnz=100M"});
+  int col = 0;
+  for (int threads : bench::thread_sweep()) {
+    t.row({Table::count(threads), Table::time(times[0][col]),
+           Table::time(times[1][col]), Table::time(times[2][col])});
+    ++col;
+  }
+  csv ? t.print_csv() : t.print("eWiseMult, single node (atomic variant)");
+  return 0;
+}

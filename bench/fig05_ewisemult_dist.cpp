@@ -1,0 +1,61 @@
+// Figure 5: distributed-memory eWiseMult with (a) 1 thread per node and
+// (b) 24 threads per node, for 1M and 100M nonzeros.
+#include "bench_common.hpp"
+
+#include "core/ewise_mult.hpp"
+#include "core/ops.hpp"
+#include "gen/random_vec.hpp"
+
+using namespace pgb;
+
+namespace {
+struct KeepTrue {
+  bool operator()(std::uint8_t b) const { return b != 0; }
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0, "fraction of paper size");
+  const bool csv = cli.get_bool("csv", false, "emit CSV instead of tables");
+  cli.finish();
+
+  bench::print_preamble("Figure 5", "eWiseMult distributed, 1M vs 100M",
+                        scale);
+  const Index sizes[2] = {bench::scaled(1000000, scale),
+                          bench::scaled(100000000, scale)};
+  const int thread_cfgs[2] = {1, 24};
+
+  // times[threads_cfg][size][node_cfg]
+  const auto nodes_sweep = bench::node_sweep();
+  double times[2][2][8] = {};
+
+  int ncol = 0;
+  for (int nodes : nodes_sweep) {
+    auto grid = LocaleGrid::square(nodes, 1);
+    for (int i = 0; i < 2; ++i) {
+      auto x =
+          random_dist_sparse_vec<double>(grid, 2 * sizes[i], sizes[i], 1);
+      auto y = random_dist_bool_vec(grid, 2 * sizes[i], 0.5, 2);
+      for (int tc = 0; tc < 2; ++tc) {
+        grid.set_threads(thread_cfgs[tc]);
+        grid.reset();
+        ewise_mult_sd(x, y, FirstOp{}, KeepTrue{});
+        times[tc][i][ncol] = grid.time();
+      }
+    }
+    ++ncol;
+  }
+
+  for (int tc = 0; tc < 2; ++tc) {
+    Table t({"nodes", "nnz=1M", "nnz=100M"});
+    for (std::size_t c = 0; c < nodes_sweep.size(); ++c) {
+      t.row({Table::count(nodes_sweep[c]), Table::time(times[tc][0][c]),
+             Table::time(times[tc][1][c])});
+    }
+    const std::string title =
+        std::to_string(thread_cfgs[tc]) + " thread(s) per node";
+    csv ? t.print_csv() : t.print(title);
+  }
+  return 0;
+}

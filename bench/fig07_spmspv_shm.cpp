@@ -1,0 +1,62 @@
+// Figure 7: shared-memory SpMSpV component breakdown (SPA / Sort /
+// Output) on one node, for three Erdős–Rényi configurations:
+//   (n=1M, d=16, f=2%), (n=1M, d=4, f=2%), (n=1M, d=16, f=20%).
+#include "bench_common.hpp"
+
+#include "core/ops.hpp"
+#include "core/spmspv.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_vec.hpp"
+
+using namespace pgb;
+
+namespace {
+
+struct Config {
+  double d;
+  double f;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0, "fraction of paper size");
+  const bool csv = cli.get_bool("csv", false, "emit CSV instead of tables");
+  const bool radix =
+      cli.get_bool("radix", false, "use radix sort instead of merge sort");
+  cli.finish();
+
+  const Index n = bench::scaled(1000000, scale);  // paper: 1M rows/cols
+  bench::print_preamble("Figure 7", "SpMSpV shared-memory components",
+                        scale);
+
+  const Config configs[3] = {{16.0, 0.02}, {4.0, 0.02}, {16.0, 0.20}};
+  const auto sr = arithmetic_semiring<std::int64_t>();
+  SpmspvOptions opt;
+  opt.sort = radix ? SortAlgo::kRadix : SortAlgo::kMerge;
+
+  for (const auto& cfg : configs) {
+    auto a = erdos_renyi_csr<std::int64_t>(n, cfg.d, 5);
+    auto x = random_sparse_vec<std::int64_t>(
+        n, static_cast<Index>(cfg.f * static_cast<double>(n)), 6);
+
+    Table t({"threads", "SPA", "Sorting", "Output", "total"});
+    auto grid = LocaleGrid::single(1);
+    for (int threads : bench::thread_sweep()) {
+      grid.set_threads(threads);
+      grid.reset();
+      Trace trace;
+      LocaleCtx ctx(grid, 0);
+      spmspv_shm(ctx, a, 0, x, 0, n, sr, opt, &trace);
+      t.row({Table::count(threads), Table::time(trace.get("spa")),
+             Table::time(trace.get("sort")),
+             Table::time(trace.get("output")), Table::time(grid.time())});
+    }
+    char title[128];
+    std::snprintf(title, sizeof title, "ER matrix (n=%lldM-ish, d=%g, f=%g%%)",
+                  static_cast<long long>(n / 1000000), cfg.d, cfg.f * 100);
+    csv ? t.print_csv() : t.print(title);
+  }
+  return 0;
+}

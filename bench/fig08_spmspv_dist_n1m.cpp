@@ -1,0 +1,18 @@
+// Figure 8: distributed SpMSpV component breakdown (Gather input / Local
+// multiply / Scatter output) for n=1M Erdős–Rényi matrices, 24 threads
+// per node, three configurations.
+#include "bench_common.hpp"
+#include "spmspv_dist_fig.hpp"
+
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  pgb::Cli cli(argc, argv);
+  const double scale =
+      cli.get_double("scale", 1.0, "fraction of the paper's n=1M");
+  const bool csv = cli.get_bool("csv", false, "emit CSV instead of tables");
+  cli.finish();
+  pgb::bench::run_spmspv_dist_fig(pgb::bench::scaled(1000000, scale), scale,
+                                  csv, "Figure 8");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 9: distributed SpMSpV component breakdown for n=10M Erdős–Rényi
+// matrices, 24 threads per node, three configurations.
+//
+// Default runs at 1/5 of the paper's n (2M) to keep the suite quick on a
+// laptop; --scale=1 reproduces the full 10M-row instance (~3 GB, minutes
+// of generation). Modeled times depend on the charged work, so the
+// scaled run shows the same component shapes at proportionally smaller
+// absolute values.
+#include "bench_common.hpp"
+#include "spmspv_dist_fig.hpp"
+
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  pgb::Cli cli(argc, argv);
+  const double scale =
+      cli.get_double("scale", 0.2, "fraction of the paper's n=10M");
+  const bool csv = cli.get_bool("csv", false, "emit CSV instead of tables");
+  cli.finish();
+  pgb::bench::run_spmspv_dist_fig(pgb::bench::scaled(10000000, scale),
+                                  scale, csv, "Figure 9");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 10: both Assign implementations with 1-32 locales co-located on
+// a single node, 1 thread per locale, 10K-nonzero input — the experiment
+// behind the paper's finding that placing multiple locales on one node
+// performs poorly.
+#include "bench_common.hpp"
+
+#include "core/assign.hpp"
+#include "gen/random_vec.hpp"
+
+using namespace pgb;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0, "fraction of paper size");
+  const bool csv = cli.get_bool("csv", false, "emit CSV instead of tables");
+  cli.finish();
+
+  const Index nnz = bench::scaled(10000, scale);  // paper: 10,000
+  bench::print_preamble("Figure 10",
+                        "Assign with multiple locales on one node", scale);
+
+  Table t({"locales", "Assign1", "Assign2"});
+  for (int nloc : {1, 2, 4, 8, 16, 32}) {
+    auto grid = LocaleGrid::square(nloc, /*threads=*/1,
+                                   /*locales_per_node=*/nloc);
+    auto b = random_dist_sparse_vec<double>(grid, 2 * nnz, nnz, 1);
+    DistSparseVec<double> a(grid, 2 * nnz);
+    grid.reset();
+    assign_v1(a, b);
+    const double t1 = grid.time();
+    grid.reset();
+    assign_v2(a, b);
+    const double t2 = grid.time();
+    t.row({Table::count(nloc), Table::time(t1), Table::time(t2)});
+  }
+  csv ? t.print_csv()
+      : t.print("single node, 1 thread per locale, nnz=10K");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Host-side microbenchmarks (google-benchmark) of the *real* kernels the
+// simulator executes: sorting, SPA accumulation, sparse-domain search and
+// merge. These measure actual wall time on the machine running the
+// bench — they validate that the library's real data structures are
+// sound, independent of the Edison cost model.
+#include <benchmark/benchmark.h>
+
+#include "sparse/spa.hpp"
+#include "sparse/sparse_domain.hpp"
+#include "util/rng.hpp"
+#include "util/sorting.hpp"
+
+namespace pgb {
+namespace {
+
+std::vector<Index> random_keys(std::int64_t n, std::uint64_t bound) {
+  Xoshiro256 rng(42);
+  std::vector<Index> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<Index>(rng.next_below(bound));
+  return v;
+}
+
+void BM_MergeSort(benchmark::State& state) {
+  const auto base = random_keys(state.range(0), 1 << 20);
+  for (auto _ : state) {
+    auto v = base;
+    merge_sort(v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MergeSort)->Range(1 << 10, 1 << 20);
+
+void BM_RadixSort(benchmark::State& state) {
+  const auto base = random_keys(state.range(0), 1 << 20);
+  for (auto _ : state) {
+    auto v = base;
+    radix_sort(v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RadixSort)->Range(1 << 10, 1 << 20);
+
+void BM_SpaAccumulate(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const auto keys = random_keys(n, static_cast<std::uint64_t>(n));
+  Spa<double> spa(0, n);
+  const auto add = [](double a, double b) { return a + b; };
+  for (auto _ : state) {
+    for (Index k : keys) spa.accumulate(k, 1.0, add);
+    benchmark::DoNotOptimize(spa.nzinds().data());
+    spa.reset();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SpaAccumulate)->Range(1 << 10, 1 << 20);
+
+void BM_DomainFind(benchmark::State& state) {
+  auto keys = random_keys(state.range(0), 1 << 24);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  const auto dom = SparseDomain::from_sorted(keys);
+  Xoshiro256 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dom.find(static_cast<Index>(rng.next_below(1 << 24))));
+  }
+}
+BENCHMARK(BM_DomainFind)->Range(1 << 10, 1 << 20);
+
+void BM_DomainBulkAdd(benchmark::State& state) {
+  auto a = random_keys(state.range(0), 1 << 24);
+  auto b = random_keys(state.range(0), 1 << 24);
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+  for (auto _ : state) {
+    auto dom = SparseDomain::from_sorted(a);
+    dom.add_sorted(b);
+    benchmark::DoNotOptimize(dom.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DomainBulkAdd)->Range(1 << 10, 1 << 18);
+
+}  // namespace
+}  // namespace pgb
+
+BENCHMARK_MAIN();

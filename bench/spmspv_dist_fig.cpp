@@ -1,0 +1,47 @@
+#include "spmspv_dist_fig.hpp"
+
+#include "bench_common.hpp"
+
+#include "core/ops.hpp"
+#include "core/spmspv.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_vec.hpp"
+
+namespace pgb::bench {
+
+namespace {
+struct Config {
+  double d;
+  double f;
+};
+}  // namespace
+
+void run_spmspv_dist_fig(Index n, double scale, bool csv,
+                         const char* figure) {
+  print_preamble(figure, "SpMSpV distributed components", scale);
+  const Config configs[3] = {{16.0, 0.02}, {4.0, 0.02}, {16.0, 0.20}};
+  const auto sr = arithmetic_semiring<std::int64_t>();
+
+  for (const auto& cfg : configs) {
+    Table t({"nodes", "Gather input", "Local multiply", "Scatter output",
+             "total"});
+    for (int nodes : node_sweep()) {
+      auto grid = LocaleGrid::square(nodes, 24);
+      auto a = erdos_renyi_dist<std::int64_t>(grid, n, cfg.d, 5);
+      auto x = random_dist_sparse_vec<std::int64_t>(
+          grid, n, static_cast<Index>(cfg.f * static_cast<double>(n)), 6);
+      grid.reset();
+      spmspv_dist(a, x, sr);
+      t.row({Table::count(nodes), Table::time(grid.trace().get("gather")),
+             Table::time(grid.trace().get("local")),
+             Table::time(grid.trace().get("scatter")),
+             Table::time(grid.time())});
+    }
+    char title[128];
+    std::snprintf(title, sizeof title, "ER matrix (n=%lld, d=%g, f=%g%%)",
+                  static_cast<long long>(n), cfg.d, cfg.f * 100);
+    csv ? t.print_csv() : t.print(title);
+  }
+}
+
+}  // namespace pgb::bench

@@ -1,0 +1,14 @@
+// Shared driver for Figures 8 and 9 (distributed SpMSpV component
+// breakdown at n=1M and n=10M).
+#pragma once
+
+#include "runtime/dist.hpp"
+
+namespace pgb::bench {
+
+/// Prints the three-configuration component tables for matrices with n
+/// rows/columns. `scale` is only echoed in the preamble.
+void run_spmspv_dist_fig(Index n, double scale, bool csv,
+                         const char* figure);
+
+}  // namespace pgb::bench

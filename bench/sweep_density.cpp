@@ -1,0 +1,56 @@
+// Analysis bench (no direct paper figure): how shared-memory SpMSpV
+// behaves across input-vector density f, from the sparse BFS-frontier
+// regime (f << 1 %) to nearly-dense frontiers. Shows where each
+// algorithm wins and where SpMSpV should hand over to SpMV — the kind of
+// crossover a GraphBLAS runtime's MXV dispatcher (paper Section III)
+// must know about.
+#include "bench_common.hpp"
+
+#include "core/ops.hpp"
+#include "core/spmspv.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_vec.hpp"
+
+using namespace pgb;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0, "fraction of paper size");
+  const bool csv = cli.get_bool("csv", false, "emit CSV instead of tables");
+  cli.finish();
+
+  const Index n = bench::scaled(1000000, scale);
+  bench::print_preamble("Density sweep",
+                        "SpMSpV across input densities (24 threads)", scale);
+
+  auto a = erdos_renyi_csr<std::int64_t>(n, 16.0, 5);
+  const auto sr = arithmetic_semiring<std::int64_t>();
+
+  Table t({"f", "nnz(x)", "SPA+merge", "SPA+radix", "bucket",
+           "out density"});
+  auto grid = LocaleGrid::single(24);
+  for (double f : {0.0001, 0.001, 0.01, 0.05, 0.2, 0.5, 0.9}) {
+    const Index fnnz =
+        std::max<Index>(1, static_cast<Index>(f * static_cast<double>(n)));
+    auto x = random_sparse_vec<std::int64_t>(n, fnnz, 6);
+    double times[3];
+    Index out_nnz = 0;
+    SpmspvOptions opts[3];
+    opts[0].sort = SortAlgo::kMerge;
+    opts[1].sort = SortAlgo::kRadix;
+    opts[2].algo = SpmspvAlgo::kBucket;
+    for (int i = 0; i < 3; ++i) {
+      grid.reset();
+      LocaleCtx ctx(grid, 0);
+      auto y = spmspv_shm(ctx, a, 0, x, 0, n, sr, opts[i]);
+      times[i] = grid.time();
+      out_nnz = y.nnz();
+    }
+    t.row({Table::num(f), Table::count(fnnz), Table::time(times[0]),
+           Table::time(times[1]), Table::time(times[2]),
+           Table::num(static_cast<double>(out_nnz) /
+                      static_cast<double>(n))});
+  }
+  csv ? t.print_csv() : t.print("ER matrix (n=1M, d=16)");
+  return 0;
+}

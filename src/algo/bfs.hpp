@@ -1,0 +1,97 @@
+// Breadth-first search in the language of linear algebra — "often the
+// 'hello world' example of GraphBLAS" (paper Section III). The paper's
+// four operations were chosen precisely so they compose into this:
+//
+//   per level:
+//     frontier values <- their own vertex ids        (Apply-style pass)
+//     y  <- frontier . A  on the (min, select1st) semiring   (SpMSpV)
+//     y  <- y filtered by NOT visited                (mask / eWiseMult)
+//     parents[y's indices] <- y's values             (Assign-style pass)
+//     visited |= y's pattern; frontier <- y
+#pragma once
+
+#include <vector>
+
+#include "core/descriptor.hpp"
+#include "core/kernel_costs.hpp"
+#include "core/mask.hpp"
+#include "core/ops.hpp"
+#include "core/spmspv.hpp"
+#include "sparse/dist_csr.hpp"
+#include "sparse/dist_dense_vec.hpp"
+#include "sparse/dist_sparse_vec.hpp"
+
+namespace pgb {
+
+struct BfsResult {
+  /// parent[v] = BFS-tree parent of v (source's parent is itself);
+  /// -1 for unreached vertices.
+  std::vector<Index> parent;
+  /// Number of vertices discovered at each level (level 0 = source).
+  std::vector<Index> level_sizes;
+};
+
+/// Direction note: edges are matrix entries A[r, c] = edge r -> c; BFS
+/// explores along edge direction (use a symmetric matrix for undirected
+/// graphs).
+template <typename T>
+BfsResult bfs(const DistCsr<T>& a, Index source,
+              const SpmspvOptions& opt = {}) {
+  PGB_REQUIRE_SHAPE(a.nrows() == a.ncols(), "bfs: matrix must be square");
+  PGB_REQUIRE(source >= 0 && source < a.nrows(), "bfs: bad source vertex");
+  auto& grid = a.grid();
+  const Index n = a.nrows();
+
+  DistDenseVec<std::uint8_t> visited(grid, n, 0);
+  BfsResult res;
+  res.parent.assign(static_cast<std::size_t>(n), Index{-1});
+  res.parent[static_cast<std::size_t>(source)] = source;
+  visited.at(source) = 1;
+
+  DistSparseVec<T> frontier = DistSparseVec<T>::from_sorted(
+      grid, n, {source}, {static_cast<T>(source)});
+  res.level_sizes.push_back(1);
+
+  const auto sr = min_first_semiring<T>();
+  while (frontier.nnz() > 0) {
+    // Frontier values carry the discovering vertex: x[r] = r.
+    grid.coforall_locales([&](LocaleCtx& ctx) {
+      auto& lf = frontier.local(ctx.locale());
+      for (Index p = 0; p < lf.nnz(); ++p) {
+        lf.value_at(p) = static_cast<T>(lf.index_at(p));
+      }
+      CostVector c;
+      c.add(CostKind::kStreamBytes, 16.0 * static_cast<double>(lf.nnz()));
+      c.add(CostKind::kCpuOps,
+            kApplyOpsPerElem * static_cast<double>(lf.nnz()));
+      ctx.parallel_region(c);
+    });
+
+    // Fused masked vxm: unvisited-only outputs are built directly at
+    // their owners (the paper's future-work "masks in distributed
+    // memory").
+    DistSparseVec<T> fresh = spmspv_dist_masked(
+        a, frontier, visited, MaskMode::kComplement, sr, opt);
+    if (fresh.nnz() == 0) break;
+
+    // Record parents and extend the visited set.
+    grid.coforall_locales([&](LocaleCtx& ctx) {
+      const auto& lf = fresh.local(ctx.locale());
+      for (Index p = 0; p < lf.nnz(); ++p) {
+        res.parent[static_cast<std::size_t>(lf.index_at(p))] =
+            static_cast<Index>(lf.value_at(p));
+      }
+      CostVector c;
+      c.add(CostKind::kRandAccess, static_cast<double>(lf.nnz()));
+      c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(lf.nnz()));
+      ctx.parallel_region(c);
+    });
+    mask_union(visited, fresh);
+
+    res.level_sizes.push_back(fresh.nnz());
+    frontier = std::move(fresh);
+  }
+  return res;
+}
+
+}  // namespace pgb

@@ -1,0 +1,189 @@
+// Direction-optimizing BFS (Beamer-style hybrid; cf. the paper's
+// reference [11], Buluç & Madduri's distributed BFS).
+//
+// Top-down levels are the standard masked SpMSpV (bfs.hpp). When the
+// frontier grows past a threshold fraction of the graph, the level
+// switches to *bottom-up*: every unvisited vertex scans its own
+// adjacency row for any frontier member and claims it as parent —
+// short-circuiting on the first hit, which makes huge frontiers cheap.
+// Bottom-up needs the frontier as a dense bitmap available along each
+// locale's *column* range, gathered in bulk along processor columns.
+//
+// Requires a symmetric adjacency matrix (row scan == in-neighbor scan).
+#pragma once
+
+#include <vector>
+#include <limits>
+
+#include "algo/bfs.hpp"
+#include "sparse/dist_csr.hpp"
+#include "sparse/dist_dense_vec.hpp"
+#include "util/bitvector.hpp"
+
+namespace pgb {
+
+struct HybridBfsResult {
+  std::vector<Index> parent;
+  std::vector<Index> level_sizes;
+  std::vector<bool> level_was_bottom_up;
+};
+
+struct HybridBfsOptions {
+  /// Switch to bottom-up when frontier nnz exceeds n / alpha.
+  double alpha = 20.0;
+  SpmspvOptions spmspv;
+};
+
+template <typename T>
+HybridBfsResult bfs_hybrid(const DistCsr<T>& a, Index source,
+                           const HybridBfsOptions& hopt = {}) {
+  PGB_REQUIRE_SHAPE(a.nrows() == a.ncols(),
+                    "bfs_hybrid: matrix must be square");
+  PGB_REQUIRE(source >= 0 && source < a.nrows(), "bfs_hybrid: bad source");
+  auto& grid = a.grid();
+  const Index n = a.nrows();
+  const int pc = grid.cols();
+
+  HybridBfsResult res;
+  res.parent.assign(static_cast<std::size_t>(n), Index{-1});
+  res.parent[static_cast<std::size_t>(source)] = source;
+  res.level_sizes.push_back(1);
+  res.level_was_bottom_up.push_back(false);
+
+  DistDenseVec<std::uint8_t> visited(grid, n, 0);
+  visited.at(source) = 1;
+
+  DistSparseVec<T> frontier = DistSparseVec<T>::from_sorted(
+      grid, n, {source}, {static_cast<T>(source)});
+  const auto sr = min_first_semiring<T>();
+
+  while (frontier.nnz() > 0) {
+    const bool bottom_up =
+        static_cast<double>(frontier.nnz()) >
+        static_cast<double>(n) / hopt.alpha;
+
+    DistSparseVec<T> fresh(grid, n);
+    if (!bottom_up) {
+      // ---- top-down: masked SpMSpV, frontier values = vertex ids ----
+      grid.coforall_locales([&](LocaleCtx& ctx) {
+        auto& lf = frontier.local(ctx.locale());
+        for (Index p = 0; p < lf.nnz(); ++p) {
+          lf.value_at(p) = static_cast<T>(lf.index_at(p));
+        }
+        CostVector c;
+        c.add(CostKind::kStreamBytes, 16.0 * static_cast<double>(lf.nnz()));
+        c.add(CostKind::kCpuOps,
+              kApplyOpsPerElem * static_cast<double>(lf.nnz()));
+        ctx.parallel_region(c);
+      });
+      fresh = spmspv_dist_masked(a, frontier, visited,
+                                 MaskMode::kComplement, sr, hopt.spmspv);
+    } else {
+      // ---- bottom-up ----
+      // Frontier bitmap over [0, n), gathered per locale for its column
+      // range in bulk along the processor column.
+      BitVector fbits(n);
+      for (int l = 0; l < grid.num_locales(); ++l) {
+        const auto& lf = frontier.local(l);
+        for (Index p = 0; p < lf.nnz(); ++p) fbits.set(lf.index_at(p));
+      }
+      // Each locale claims parents for its unvisited local rows.
+      std::vector<std::vector<Index>> claim_idx(grid.num_locales());
+      std::vector<std::vector<T>> claim_val(grid.num_locales());
+      grid.coforall_locales([&](LocaleCtx& ctx) {
+        const int l = ctx.locale();
+        const auto& blk = a.block(l);
+        // Bulk gather of the frontier bitmap slice [clo, chi) from its
+        // 1-D owners (bitmap bytes).
+        const Index slice_bytes = (blk.chi - blk.clo) / 8 + 1;
+        for (int piece = 0; piece < grid.num_locales() / pc; ++piece) {
+          ctx.remote_bulk((piece + l) % grid.num_locales(),
+                          slice_bytes / std::max(1, grid.num_locales() / pc));
+        }
+        double scanned = 0.0;
+        Index checked_rows = 0;
+        for (Index lr = 0; lr < blk.csr.nrows(); ++lr) {
+          const Index v = blk.rlo + lr;
+          if (visited.at(v)) continue;
+          ++checked_rows;
+          auto cols = blk.csr.row_colids(lr);
+          for (Index c : cols) {
+            scanned += 1.0;
+            if (fbits.get(c)) {
+              claim_idx[l].push_back(v);
+              claim_val[l].push_back(static_cast<T>(c));
+              break;  // first frontier neighbor wins in this block
+            }
+          }
+        }
+        CostVector cost;
+        cost.add(CostKind::kCpuOps,
+                 20.0 * static_cast<double>(checked_rows) + 12.0 * scanned);
+        cost.add(CostKind::kStreamBytes, 8.0 * scanned);
+        cost.add(CostKind::kRandAccess, 0.25 * scanned);
+        ctx.parallel_region(cost);
+      });
+      // Merge block claims: vertex v may be claimed by up to pc blocks;
+      // keep the smallest parent (matches the min_first semiring).
+      // Claims travel to v's 1-D owner in one bulk message per block.
+      std::vector<std::vector<Index>> out_idx(grid.num_locales());
+      std::vector<std::vector<T>> out_val(grid.num_locales());
+      DistDenseVec<T> best(grid, n, std::numeric_limits<T>::max());
+      grid.coforall_locales([&](LocaleCtx& ctx) {
+        const int l = ctx.locale();
+        if (!claim_idx[l].empty()) {
+          const int owner0 = frontier.owner(claim_idx[l].front());
+          ctx.remote_bulk(owner0, 16 * static_cast<Index>(
+                                           claim_idx[l].size()));
+        }
+        for (std::size_t k = 0; k < claim_idx[l].size(); ++k) {
+          const Index v = claim_idx[l][k];
+          auto& slot = best.local(best.owner(v))[v];
+          slot = std::min(slot, claim_val[l][k]);
+        }
+      });
+      grid.coforall_locales([&](LocaleCtx& ctx) {
+        const int o = ctx.locale();
+        const auto& lb = best.local(o);
+        for (Index v = lb.lo(); v < lb.hi(); ++v) {
+          if (lb[v] != std::numeric_limits<T>::max()) {
+            out_idx[o].push_back(v);
+            out_val[o].push_back(lb[v]);
+          }
+        }
+        CostVector c;
+        c.add(CostKind::kStreamBytes,
+              9.0 * static_cast<double>(lb.size()));
+        ctx.parallel_region(c);
+      });
+      for (int l = 0; l < grid.num_locales(); ++l) {
+        fresh.local(l) = SparseVec<T>::from_sorted(
+            fresh.dist().local_size(l), std::move(out_idx[l]),
+            std::move(out_val[l]));
+      }
+    }
+
+    if (fresh.nnz() == 0) break;
+    grid.coforall_locales([&](LocaleCtx& ctx) {
+      const int l = ctx.locale();
+      const auto& lf = fresh.local(l);
+      auto& lv = visited.local(l);
+      for (Index p = 0; p < lf.nnz(); ++p) {
+        const Index v = lf.index_at(p);
+        res.parent[static_cast<std::size_t>(v)] =
+            static_cast<Index>(lf.value_at(p));
+        lv[v] = 1;
+      }
+      CostVector c;
+      c.add(CostKind::kRandAccess, static_cast<double>(lf.nnz()));
+      c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(lf.nnz()));
+      ctx.parallel_region(c);
+    });
+    res.level_sizes.push_back(fresh.nnz());
+    res.level_was_bottom_up.push_back(bottom_up);
+    frontier = std::move(fresh);
+  }
+  return res;
+}
+
+}  // namespace pgb

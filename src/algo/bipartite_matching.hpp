@@ -1,0 +1,110 @@
+// Greedy maximal bipartite matching in GraphBLAS form.
+//
+// The paper's Section IV closes its bulk-synchronous advocacy with a
+// counter-example from its own reference [12] (Azad & Buluç, distributed
+// maximum-cardinality matching): "traversing a small number of long
+// paths in a bipartite graph matching algorithm benefits from
+// fine-grained asynchronous communication". This module provides the
+// GraphBLAS piece — a maximal matching via rounds of propose/accept on
+// the (min, select1st) semiring — and bench/abl_async_paths probes the
+// path-traversal tradeoff the paper describes.
+//
+// Matrix convention: A[r, c] != 0 is an edge between row-vertex r and
+// column-vertex c of the bipartite graph.
+#pragma once
+
+#include <vector>
+
+#include "core/mask.hpp"
+#include "core/ops.hpp"
+#include "core/spmspv.hpp"
+#include "sparse/dist_csr.hpp"
+#include "sparse/dist_dense_vec.hpp"
+#include "sparse/dist_sparse_vec.hpp"
+
+namespace pgb {
+
+struct MatchingResult {
+  /// match_col[c] = matched row for column c, or -1.
+  std::vector<Index> match_col;
+  /// match_row[r] = matched column for row r, or -1.
+  std::vector<Index> match_row;
+  Index size = 0;
+  int rounds = 0;
+};
+
+template <typename T>
+MatchingResult bipartite_matching(const DistCsr<T>& a,
+                                  const SpmspvOptions& opt = {}) {
+  auto& grid = a.grid();
+  const Index nr = a.nrows();
+  const Index nc = a.ncols();
+
+  MatchingResult res;
+  res.match_row.assign(static_cast<std::size_t>(nr), Index{-1});
+  res.match_col.assign(static_cast<std::size_t>(nc), Index{-1});
+
+  // Unmatched rows, carrying their own ids as proposal values.
+  std::vector<Index> ridx(static_cast<std::size_t>(nr));
+  std::vector<T> rval(static_cast<std::size_t>(nr));
+  for (Index r = 0; r < nr; ++r) {
+    ridx[static_cast<std::size_t>(r)] = r;
+    rval[static_cast<std::size_t>(r)] = static_cast<T>(r);
+  }
+  auto proposers = DistSparseVec<T>::from_sorted(grid, nr, ridx, rval);
+  DistDenseVec<std::uint8_t> col_matched(grid, nc, 0);
+
+  const auto sr = min_first_semiring<T>();
+  while (proposers.nnz() > 0) {
+    ++res.rounds;
+    // Each unmatched column hears the smallest proposing row id.
+    DistSparseVec<T> offers = spmspv_dist_masked(
+        a, proposers, col_matched, MaskMode::kComplement, sr, opt);
+    if (offers.nnz() == 0) break;
+
+    // Accept: every offered column takes its min proposer; a row may win
+    // several columns in one round, so keep only its smallest column.
+    std::vector<Index> winner_row;
+    for (int l = 0; l < grid.num_locales(); ++l) {
+      const auto& lo = offers.local(l);
+      for (Index p = 0; p < lo.nnz(); ++p) {
+        const Index c = lo.index_at(p);
+        const Index r = static_cast<Index>(lo.value_at(p));
+        if (res.match_row[static_cast<std::size_t>(r)] < 0) {
+          res.match_row[static_cast<std::size_t>(r)] = c;
+          res.match_col[static_cast<std::size_t>(c)] = r;
+          col_matched.at(c) = 1;
+          winner_row.push_back(r);
+          ++res.size;
+        }
+      }
+    }
+    // Charge the accept pass (streaming scan of the offers + updates).
+    grid.coforall_locales([&](LocaleCtx& ctx) {
+      const auto& lo = offers.local(ctx.locale());
+      CostVector c;
+      c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(lo.nnz()));
+      c.add(CostKind::kRandAccess, 2.0 * static_cast<double>(lo.nnz()));
+      c.add(CostKind::kStreamBytes, 24.0 * static_cast<double>(lo.nnz()));
+      ctx.parallel_region(c);
+    });
+
+    // Remaining proposers: previously unmatched rows that did not win.
+    std::vector<Index> nidx;
+    std::vector<T> nval;
+    auto lp = proposers.to_local();
+    for (Index p = 0; p < lp.nnz(); ++p) {
+      const Index r = lp.index_at(p);
+      if (res.match_row[static_cast<std::size_t>(r)] < 0) {
+        nidx.push_back(r);
+        nval.push_back(static_cast<T>(r));
+      }
+    }
+    auto next = DistSparseVec<T>::from_sorted(grid, nr, nidx, nval);
+    if (next.nnz() == proposers.nnz()) break;  // no progress: maximal
+    proposers = std::move(next);
+  }
+  return res;
+}
+
+}  // namespace pgb

@@ -1,0 +1,131 @@
+// Maximal independent set via Luby's algorithm in linear algebra: each
+// round, every candidate vertex draws a random score; vertices whose
+// score beats all candidate neighbors' scores (a neighbor-min SpMV on
+// the (min, select1st) semiring) join the set, and they and their
+// neighbors leave the candidate pool. Expected O(log n) rounds.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "core/ops.hpp"
+#include "core/spmv.hpp"
+#include "sparse/dist_csr.hpp"
+#include "sparse/dist_dense_vec.hpp"
+#include "util/rng.hpp"
+
+namespace pgb {
+
+struct MisResult {
+  std::vector<bool> in_set;
+  int rounds = 0;
+  Index set_size = 0;
+};
+
+/// Requires a symmetric adjacency matrix (undirected graph).
+template <typename T>
+MisResult mis(const DistCsr<T>& a, std::uint64_t seed = 1,
+              int max_rounds = 200) {
+  PGB_REQUIRE_SHAPE(a.nrows() == a.ncols(), "mis: matrix must be square");
+  auto& grid = a.grid();
+  const Index n = a.nrows();
+  constexpr double kOut = std::numeric_limits<double>::max();
+
+  // 0 = candidate, 1 = in set, 2 = excluded (neighbor of the set).
+  DistDenseVec<std::uint8_t> state(grid, n, 0);
+  MisResult res;
+
+  Index candidates = n;
+  while (candidates > 0 && res.rounds < max_rounds) {
+    ++res.rounds;
+    // Candidates draw scores; settled vertices sit at +inf.
+    DistDenseVec<double> score(grid, n, kOut);
+    grid.coforall_locales([&](LocaleCtx& ctx) {
+      const int l = ctx.locale();
+      auto& ls = score.local(l);
+      const auto& lst = state.local(l);
+      for (Index v = ls.lo(); v < ls.hi(); ++v) {
+        if (lst[v] == 0) {
+          Xoshiro256 rng(Xoshiro256::mix(
+              seed, static_cast<std::uint64_t>(v) * 1000003u +
+                        static_cast<std::uint64_t>(res.rounds)));
+          // Tie-break by vertex id: strictly distinct scores.
+          ls[v] = rng.next_double() + 1e-12 * static_cast<double>(v);
+        }
+      }
+      CostVector c;
+      c.add(CostKind::kCpuOps, 40.0 * static_cast<double>(ls.size()));
+      c.add(CostKind::kStreamBytes, 16.0 * static_cast<double>(ls.size()));
+      ctx.parallel_region(c);
+    });
+
+    // Minimum candidate-neighbor score per vertex.
+    DistDenseVec<double> nbr_min = spmv(a, score, min_first_semiring<double>());
+
+    // Winners join the set; their neighbors will see a settled vertex
+    // next round (we mark neighbors via a second pass over rows — in
+    // GraphBLAS terms a Boolean SpMV with the winner indicator).
+    DistDenseVec<std::uint8_t> winner(grid, n, 0);
+    grid.coforall_locales([&](LocaleCtx& ctx) {
+      const int l = ctx.locale();
+      const auto& ls = score.local(l);
+      const auto& lm = nbr_min.local(l);
+      auto& lst = state.local(l);
+      auto& lw = winner.local(l);
+      for (Index v = ls.lo(); v < ls.hi(); ++v) {
+        if (lst[v] == 0 && ls[v] < lm[v]) {
+          lst[v] = 1;
+          lw[v] = 1;
+        }
+      }
+      CostVector c;
+      c.add(CostKind::kCpuOps, 12.0 * static_cast<double>(ls.size()));
+      c.add(CostKind::kStreamBytes, 24.0 * static_cast<double>(ls.size()));
+      ctx.parallel_region(c);
+    });
+
+    // Exclude neighbors of winners: reach[v] = OR over winner rows.
+    DistDenseVec<double> win_d(grid, n, 0.0);
+    grid.coforall_locales([&](LocaleCtx& ctx) {
+      const int l = ctx.locale();
+      const auto& lw = winner.local(l);
+      auto& ld = win_d.local(l);
+      for (Index v = ld.lo(); v < ld.hi(); ++v) {
+        ld[v] = lw[v] ? 1.0 : 0.0;
+      }
+      CostVector c;
+      c.add(CostKind::kStreamBytes, 9.0 * static_cast<double>(ld.size()));
+      ctx.parallel_region(c);
+    });
+    DistDenseVec<double> reach = spmv(a, win_d, boolean_semiring<double>());
+
+    candidates = 0;
+    Index tally = 0;
+    grid.coforall_locales([&](LocaleCtx& ctx) {
+      const int l = ctx.locale();
+      const auto& lr = reach.local(l);
+      auto& lst = state.local(l);
+      for (Index v = lr.lo(); v < lr.hi(); ++v) {
+        if (lst[v] == 0 && lr[v] != 0.0) lst[v] = 2;
+        if (lst[v] == 0) ++candidates;
+        if (lst[v] == 1) ++tally;
+      }
+      CostVector c;
+      c.add(CostKind::kCpuOps, 10.0 * static_cast<double>(lr.size()));
+      c.add(CostKind::kStreamBytes, 10.0 * static_cast<double>(lr.size()));
+      ctx.parallel_region(c);
+    });
+    res.set_size = tally;
+  }
+
+  res.in_set.assign(static_cast<std::size_t>(n), false);
+  for (int l = 0; l < grid.num_locales(); ++l) {
+    const auto& lst = state.local(l);
+    for (Index v = lst.lo(); v < lst.hi(); ++v) {
+      res.in_set[static_cast<std::size_t>(v)] = lst[v] == 1;
+    }
+  }
+  return res;
+}
+
+}  // namespace pgb

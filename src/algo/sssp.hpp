@@ -1,0 +1,98 @@
+// Single-source shortest paths via Bellman-Ford iterations on the
+// (min, +) semiring — the classic non-Boolean semiring showcase of
+// GraphBLAS: each round relaxes the edges leaving the vertices whose
+// distance improved, exactly a masked SpMSpV on min-plus.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "core/ops.hpp"
+#include "core/spmspv.hpp"
+#include "sparse/dist_csr.hpp"
+#include "sparse/dist_dense_vec.hpp"
+#include "sparse/dist_sparse_vec.hpp"
+
+namespace pgb {
+
+struct SsspResult {
+  /// dist[v] = shortest distance from the source; "unreachable" marker
+  /// (max double) if no path exists.
+  std::vector<double> dist;
+  int rounds = 0;
+
+  static constexpr double kUnreachable =
+      std::numeric_limits<double>::max();
+};
+
+/// Edge weights are the matrix values (must be non-negative for the
+/// result to be meaningful in bounded rounds; negative cycles are not
+/// detected — rounds are capped at n).
+template <typename T>
+SsspResult sssp(const DistCsr<T>& a, Index source,
+                const SpmspvOptions& opt = {}) {
+  PGB_REQUIRE_SHAPE(a.nrows() == a.ncols(), "sssp: matrix must be square");
+  PGB_REQUIRE(source >= 0 && source < a.nrows(), "sssp: bad source");
+  auto& grid = a.grid();
+  const Index n = a.nrows();
+
+  DistDenseVec<double> dist(grid, n, SsspResult::kUnreachable);
+  dist.at(source) = 0.0;
+
+  // Frontier: vertices whose distance improved last round.
+  auto frontier = DistSparseVec<double>::from_sorted(grid, n, {source}, {0.0});
+  const auto sr = min_plus_semiring<double>();
+
+  SsspResult res;
+  while (frontier.nnz() > 0 && res.rounds < n) {
+    ++res.rounds;
+    // candidate[c] = min over frontier rows r of (dist-candidate of r +
+    // weight(r, c)).
+    DistSparseVec<double> cand = [&] {
+      // Cast matrix values to double lazily through the semiring: build
+      // a double view by multiplying with the frontier values.
+      return spmspv_dist(a, frontier, sr, opt);
+    }();
+
+    // Keep the candidates that actually improve; update dist.
+    std::vector<std::vector<Index>> imp_idx(grid.num_locales());
+    std::vector<std::vector<double>> imp_val(grid.num_locales());
+    grid.coforall_locales([&](LocaleCtx& ctx) {
+      const int l = ctx.locale();
+      const auto& lc = cand.local(l);
+      auto& ld = dist.local(l);
+      for (Index p = 0; p < lc.nnz(); ++p) {
+        const Index v = lc.index_at(p);
+        if (lc.value_at(p) < ld[v]) {
+          ld[v] = lc.value_at(p);
+          imp_idx[l].push_back(v);
+          imp_val[l].push_back(lc.value_at(p));
+        }
+      }
+      CostVector c;
+      c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(lc.nnz()));
+      c.add(CostKind::kRandAccess, static_cast<double>(lc.nnz()));
+      c.add(CostKind::kStreamBytes, 24.0 * static_cast<double>(lc.nnz()));
+      ctx.parallel_region(c);
+    });
+
+    DistSparseVec<double> next(grid, n);
+    for (int l = 0; l < grid.num_locales(); ++l) {
+      next.local(l) = SparseVec<double>::from_sorted(
+          next.dist().local_size(l), std::move(imp_idx[l]),
+          std::move(imp_val[l]));
+    }
+    frontier = std::move(next);
+  }
+
+  res.dist.resize(static_cast<std::size_t>(n));
+  for (int l = 0; l < grid.num_locales(); ++l) {
+    const auto& ld = dist.local(l);
+    for (Index i = ld.lo(); i < ld.hi(); ++i) {
+      res.dist[static_cast<std::size_t>(i)] = ld[i];
+    }
+  }
+  return res;
+}
+
+}  // namespace pgb

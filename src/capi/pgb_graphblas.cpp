@@ -1,0 +1,382 @@
+// Implementation of the C bindings. Exceptions are caught at the
+// boundary and mapped to GrB_Info codes; object handles own their C++
+// counterparts.
+#include "capi/pgb_graphblas.h"
+
+#include <memory>
+#include <vector>
+
+#include "core/graphblas.hpp"
+#include "runtime/locale_grid.hpp"
+#include "util/error.hpp"
+
+struct pgb_matrix_opaque {
+  pgb::DistCsr<double> m;
+};
+
+struct pgb_vector_opaque {
+  pgb::DistSparseVec<double> v;
+};
+
+namespace {
+
+std::unique_ptr<pgb::LocaleGrid> g_grid;
+
+GrB_Info map_exception() {
+  try {
+    throw;
+  } catch (const pgb::DimensionMismatch&) {
+    return GrB_DIMENSION_MISMATCH;
+  } catch (const pgb::InvalidArgument&) {
+    return GrB_INVALID_VALUE;
+  } catch (const std::bad_alloc&) {
+    return GrB_PANIC;
+  } catch (...) {
+    return GrB_PANIC;
+  }
+}
+
+#define PGB_C_GUARD(body)            \
+  if (g_grid == nullptr) {           \
+    return GrB_UNINITIALIZED_OBJECT; \
+  }                                  \
+  try {                              \
+    body;                            \
+    return GrB_SUCCESS;              \
+  } catch (...) {                    \
+    return map_exception();          \
+  }
+
+pgb::MaskMode to_mask_mode(pgb_mask_t m) {
+  switch (m) {
+    case PGB_MASK:
+      return pgb::MaskMode::kMask;
+    case PGB_MASK_COMPLEMENT:
+      return pgb::MaskMode::kComplement;
+    default:
+      return pgb::MaskMode::kNone;
+  }
+}
+
+/// Applies the selected built-in binary op.
+double apply_binop(pgb_binary_op_t op, double a, double b) {
+  switch (op) {
+    case PGB_PLUS:
+      return a + b;
+    case PGB_TIMES:
+      return a * b;
+    case PGB_MIN:
+      return a < b ? a : b;
+    case PGB_MAX:
+      return a > b ? a : b;
+    case PGB_FIRST:
+      return a;
+    case PGB_SECOND:
+      return b;
+  }
+  return a;
+}
+
+}  // namespace
+
+extern "C" {
+
+GrB_Info pgb_init(int nlocales, int threads_per_locale) {
+  try {
+    g_grid = std::make_unique<pgb::LocaleGrid>(
+        pgb::LocaleGrid::square(nlocales, threads_per_locale));
+    return GrB_SUCCESS;
+  } catch (...) {
+    return map_exception();
+  }
+}
+
+GrB_Info pgb_finalize(void) {
+  g_grid.reset();
+  return GrB_SUCCESS;
+}
+
+double pgb_elapsed_seconds(void) {
+  return g_grid ? g_grid->time() : 0.0;
+}
+
+void pgb_reset_clock(void) {
+  if (g_grid) g_grid->reset();
+}
+
+// ---- matrices ----
+
+GrB_Info GrB_Matrix_new(GrB_Matrix* m, GrB_Index nrows, GrB_Index ncols) {
+  if (m == nullptr) return GrB_NULL_POINTER;
+  PGB_C_GUARD(*m = new pgb_matrix_opaque{
+                  pgb::DistCsr<double>(*g_grid, static_cast<pgb::Index>(nrows),
+                                       static_cast<pgb::Index>(ncols))});
+}
+
+GrB_Info GrB_Matrix_free(GrB_Matrix* m) {
+  if (m == nullptr) return GrB_NULL_POINTER;
+  delete *m;
+  *m = nullptr;
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Matrix_nrows(GrB_Index* out, GrB_Matrix m) {
+  if (out == nullptr || m == nullptr) return GrB_NULL_POINTER;
+  *out = static_cast<GrB_Index>(m->m.nrows());
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Matrix_ncols(GrB_Index* out, GrB_Matrix m) {
+  if (out == nullptr || m == nullptr) return GrB_NULL_POINTER;
+  *out = static_cast<GrB_Index>(m->m.ncols());
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Matrix_nvals(GrB_Index* out, GrB_Matrix m) {
+  if (out == nullptr || m == nullptr) return GrB_NULL_POINTER;
+  *out = static_cast<GrB_Index>(m->m.nnz());
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Matrix_build(GrB_Matrix m, const GrB_Index* rows,
+                          const GrB_Index* cols, const double* vals,
+                          GrB_Index nvals) {
+  if (m == nullptr || (nvals > 0 && (rows == nullptr || cols == nullptr ||
+                                     vals == nullptr))) {
+    return GrB_NULL_POINTER;
+  }
+  PGB_C_GUARD({
+    pgb::Coo<double> coo(m->m.nrows(), m->m.ncols());
+    coo.reserve(static_cast<std::size_t>(nvals));
+    for (GrB_Index k = 0; k < nvals; ++k) {
+      if (rows[k] >= static_cast<GrB_Index>(m->m.nrows()) ||
+          cols[k] >= static_cast<GrB_Index>(m->m.ncols())) {
+        return GrB_INDEX_OUT_OF_BOUNDS;
+      }
+      coo.add(static_cast<pgb::Index>(rows[k]),
+              static_cast<pgb::Index>(cols[k]), vals[k]);
+    }
+    m->m = pgb::DistCsr<double>::from_coo(
+        *g_grid, coo, [](double a, double b) { return a + b; });
+  });
+}
+
+GrB_Info GrB_Matrix_extractElement(double* out, GrB_Matrix m, GrB_Index r,
+                                   GrB_Index c) {
+  if (out == nullptr || m == nullptr) return GrB_NULL_POINTER;
+  if (r >= static_cast<GrB_Index>(m->m.nrows()) ||
+      c >= static_cast<GrB_Index>(m->m.ncols())) {
+    return GrB_INDEX_OUT_OF_BOUNDS;
+  }
+  const int l = m->m.dist().locale_of(static_cast<pgb::Index>(r),
+                                      static_cast<pgb::Index>(c));
+  const auto& blk = m->m.block(l);
+  const double* v = blk.csr.find(static_cast<pgb::Index>(r) - blk.rlo,
+                                 static_cast<pgb::Index>(c));
+  if (v == nullptr) return GrB_INVALID_VALUE;  // no entry stored
+  *out = *v;
+  return GrB_SUCCESS;
+}
+
+// ---- vectors ----
+
+GrB_Info GrB_Vector_new(GrB_Vector* v, GrB_Index size) {
+  if (v == nullptr) return GrB_NULL_POINTER;
+  PGB_C_GUARD(*v = new pgb_vector_opaque{pgb::DistSparseVec<double>(
+                  *g_grid, static_cast<pgb::Index>(size))});
+}
+
+GrB_Info GrB_Vector_free(GrB_Vector* v) {
+  if (v == nullptr) return GrB_NULL_POINTER;
+  delete *v;
+  *v = nullptr;
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Vector_size(GrB_Index* out, GrB_Vector v) {
+  if (out == nullptr || v == nullptr) return GrB_NULL_POINTER;
+  *out = static_cast<GrB_Index>(v->v.capacity());
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Vector_nvals(GrB_Index* out, GrB_Vector v) {
+  if (out == nullptr || v == nullptr) return GrB_NULL_POINTER;
+  *out = static_cast<GrB_Index>(v->v.nnz());
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Vector_build(GrB_Vector v, const GrB_Index* idx,
+                          const double* vals, GrB_Index nvals) {
+  if (v == nullptr || (nvals > 0 && (idx == nullptr || vals == nullptr))) {
+    return GrB_NULL_POINTER;
+  }
+  PGB_C_GUARD({
+    std::vector<pgb::Index> is;
+    std::vector<double> vs;
+    is.reserve(static_cast<std::size_t>(nvals));
+    vs.reserve(static_cast<std::size_t>(nvals));
+    for (GrB_Index k = 0; k < nvals; ++k) {
+      if (idx[k] >= static_cast<GrB_Index>(v->v.capacity())) {
+        return GrB_INDEX_OUT_OF_BOUNDS;
+      }
+      is.push_back(static_cast<pgb::Index>(idx[k]));
+      vs.push_back(vals[k]);
+    }
+    pgb::sort_pairs_by_index(is, vs);
+    for (std::size_t k = 1; k < is.size(); ++k) {
+      if (is[k - 1] == is[k]) return GrB_INVALID_VALUE;  // duplicates
+    }
+    v->v = pgb::DistSparseVec<double>::from_sorted(*g_grid, v->v.capacity(),
+                                                   is, vs);
+  });
+}
+
+GrB_Info GrB_Vector_setElement(GrB_Vector v, double val, GrB_Index i) {
+  if (v == nullptr) return GrB_NULL_POINTER;
+  if (i >= static_cast<GrB_Index>(v->v.capacity())) {
+    return GrB_INDEX_OUT_OF_BOUNDS;
+  }
+  PGB_C_GUARD({
+    // Merge one element (rebuilds the owner's local block).
+    auto local = v->v.to_local();
+    std::vector<pgb::Index> is(local.domain().indices().begin(),
+                               local.domain().indices().end());
+    std::vector<double> vs(local.values().begin(), local.values().end());
+    const auto pos = local.domain().find(static_cast<pgb::Index>(i));
+    if (pos >= 0) {
+      vs[static_cast<std::size_t>(pos)] = val;
+    } else {
+      is.push_back(static_cast<pgb::Index>(i));
+      vs.push_back(val);
+      pgb::sort_pairs_by_index(is, vs);
+    }
+    v->v = pgb::DistSparseVec<double>::from_sorted(*g_grid, v->v.capacity(),
+                                                   is, vs);
+  });
+}
+
+GrB_Info GrB_Vector_extractElement(double* out, GrB_Vector v, GrB_Index i) {
+  if (out == nullptr || v == nullptr) return GrB_NULL_POINTER;
+  if (i >= static_cast<GrB_Index>(v->v.capacity())) {
+    return GrB_INDEX_OUT_OF_BOUNDS;
+  }
+  const int owner = v->v.owner(static_cast<pgb::Index>(i));
+  const double* p = v->v.local(owner).find(static_cast<pgb::Index>(i));
+  if (p == nullptr) return GrB_INVALID_VALUE;
+  *out = *p;
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Vector_extractTuples(GrB_Index* idx, double* vals,
+                                  GrB_Index* nvals, GrB_Vector v) {
+  if (idx == nullptr || vals == nullptr || nvals == nullptr || v == nullptr) {
+    return GrB_NULL_POINTER;
+  }
+  const GrB_Index have = static_cast<GrB_Index>(v->v.nnz());
+  if (*nvals < have) return GrB_INVALID_VALUE;
+  auto local = v->v.to_local();
+  for (pgb::Index p = 0; p < local.nnz(); ++p) {
+    idx[p] = static_cast<GrB_Index>(local.index_at(p));
+    vals[p] = local.value_at(p);
+  }
+  *nvals = have;
+  return GrB_SUCCESS;
+}
+
+// ---- operations ----
+
+GrB_Info GrB_vxm(GrB_Vector w, GrB_Vector mask, pgb_mask_t mask_mode,
+                 pgb_semiring_t semiring, GrB_Vector u, GrB_Matrix a) {
+  if (w == nullptr || u == nullptr || a == nullptr) return GrB_NULL_POINTER;
+  PGB_C_GUARD({
+    auto run = [&](const auto& sr) {
+      if (mask != nullptr && mask_mode != PGB_MASK_NONE) {
+        // Densify the mask's pattern.
+        pgb::DistDenseVec<std::uint8_t> dm(*g_grid, mask->v.capacity(), 0);
+        for (int l = 0; l < g_grid->num_locales(); ++l) {
+          const auto& lm = mask->v.local(l);
+          for (pgb::Index p = 0; p < lm.nnz(); ++p) {
+            dm.local(l)[lm.index_at(p)] = 1;
+          }
+        }
+        return pgb::spmspv_dist_masked(a->m, u->v, dm,
+                                       to_mask_mode(mask_mode), sr);
+      }
+      return pgb::spmspv_dist(a->m, u->v, sr);
+    };
+    switch (semiring) {
+      case PGB_PLUS_TIMES:
+        w->v = run(pgb::arithmetic_semiring<double>());
+        break;
+      case PGB_MIN_PLUS:
+        w->v = run(pgb::min_plus_semiring<double>());
+        break;
+      case PGB_MIN_FIRST:
+        w->v = run(pgb::min_first_semiring<double>());
+        break;
+      case PGB_LOR_LAND:
+        w->v = run(pgb::boolean_semiring<double>());
+        break;
+      default:
+        return GrB_INVALID_VALUE;
+    }
+  });
+}
+
+GrB_Info GrB_eWiseMult(GrB_Vector w, pgb_binary_op_t op, GrB_Vector u,
+                       GrB_Vector v) {
+  if (w == nullptr || u == nullptr || v == nullptr) return GrB_NULL_POINTER;
+  PGB_C_GUARD(w->v = pgb::ewise_mult_ss(
+                  u->v, v->v,
+                  [op](double a, double b) { return apply_binop(op, a, b); }));
+}
+
+GrB_Info GrB_eWiseAdd(GrB_Vector w, pgb_binary_op_t op, GrB_Vector u,
+                      GrB_Vector v) {
+  if (w == nullptr || u == nullptr || v == nullptr) return GrB_NULL_POINTER;
+  PGB_C_GUARD(w->v = pgb::ewise_add(
+                  u->v, v->v,
+                  [op](double a, double b) { return apply_binop(op, a, b); }));
+}
+
+GrB_Info GrB_apply(GrB_Vector w, pgb_unary_op_t op, GrB_Vector u) {
+  if (w == nullptr || u == nullptr) return GrB_NULL_POINTER;
+  PGB_C_GUARD({
+    pgb::assign_v2(w->v, u->v);
+    switch (op) {
+      case PGB_IDENTITY:
+        break;
+      case PGB_NEGATE:
+        pgb::apply_v2(w->v, pgb::NegateOp{});
+        break;
+      default:
+        return GrB_INVALID_VALUE;
+    }
+  });
+}
+
+GrB_Info GrB_assign(GrB_Vector w, GrB_Vector u) {
+  if (w == nullptr || u == nullptr) return GrB_NULL_POINTER;
+  PGB_C_GUARD(pgb::assign_v2(w->v, u->v));
+}
+
+GrB_Info GrB_reduce(double* out, pgb_binary_op_t op, GrB_Vector u) {
+  if (out == nullptr || u == nullptr) return GrB_NULL_POINTER;
+  PGB_C_GUARD({
+    switch (op) {
+      case PGB_PLUS:
+        *out = pgb::reduce(u->v, pgb::plus_monoid<double>());
+        break;
+      case PGB_MIN:
+        *out = pgb::reduce(u->v, pgb::min_monoid<double>());
+        break;
+      case PGB_MAX:
+        *out = pgb::reduce(u->v, pgb::max_monoid<double>());
+        break;
+      default:
+        return GrB_INVALID_VALUE;
+    }
+  });
+}
+
+}  // extern "C"

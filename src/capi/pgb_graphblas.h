@@ -1,0 +1,129 @@
+/* pgb_graphblas.h — C bindings for pgas-graphblas.
+ *
+ * A pragmatic subset of the GraphBLAS C API design the paper cites
+ * (Buluç, Mattson, McMillan, Moreira, Yang: "Design of the GraphBLAS
+ * API for C", IPDPSW 2017): opaque matrix/vector objects over double
+ * values, build/extract, the core operations (vxm with optional
+ * structural mask, eWiseMult/eWiseAdd, apply, assign, reduce), and a
+ * handful of built-in semirings/operators selected by enum. Every call
+ * returns a GrB_Info status; C++ exceptions never cross this boundary.
+ *
+ * The simulated machine is configured once with pgb_init(); modeled
+ * elapsed time is read with pgb_elapsed_seconds().
+ */
+#ifndef PGB_GRAPHBLAS_H_
+#define PGB_GRAPHBLAS_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef uint64_t GrB_Index;
+
+typedef enum {
+  GrB_SUCCESS = 0,
+  GrB_NULL_POINTER,
+  GrB_UNINITIALIZED_OBJECT,
+  GrB_INVALID_VALUE,
+  GrB_INDEX_OUT_OF_BOUNDS,
+  GrB_DIMENSION_MISMATCH,
+  GrB_PANIC
+} GrB_Info;
+
+/* Built-in algebra selectors (all over double). */
+typedef enum {
+  PGB_PLUS_TIMES = 0, /* arithmetic semiring */
+  PGB_MIN_PLUS,       /* tropical: shortest paths */
+  PGB_MIN_FIRST,      /* BFS parent propagation */
+  PGB_LOR_LAND        /* Boolean reachability */
+} pgb_semiring_t;
+
+typedef enum {
+  PGB_PLUS = 0,
+  PGB_TIMES,
+  PGB_MIN,
+  PGB_MAX,
+  PGB_FIRST,
+  PGB_SECOND
+} pgb_binary_op_t;
+
+typedef enum {
+  PGB_IDENTITY = 0,
+  PGB_NEGATE,
+  PGB_AINV = PGB_NEGATE
+} pgb_unary_op_t;
+
+typedef enum { PGB_MASK_NONE = 0, PGB_MASK, PGB_MASK_COMPLEMENT } pgb_mask_t;
+
+typedef struct pgb_matrix_opaque* GrB_Matrix;
+typedef struct pgb_vector_opaque* GrB_Vector;
+
+/* ---- context ---- */
+
+/* Initializes the simulated locale grid (nlocales near-square, threads
+ * per locale). Must be called before any other function. */
+GrB_Info pgb_init(int nlocales, int threads_per_locale);
+GrB_Info pgb_finalize(void);
+/* Modeled seconds elapsed on the simulated machine since pgb_init /
+ * the last pgb_reset_clock. */
+double pgb_elapsed_seconds(void);
+void pgb_reset_clock(void);
+
+/* ---- matrices ---- */
+
+GrB_Info GrB_Matrix_new(GrB_Matrix* m, GrB_Index nrows, GrB_Index ncols);
+GrB_Info GrB_Matrix_free(GrB_Matrix* m);
+GrB_Info GrB_Matrix_nrows(GrB_Index* out, GrB_Matrix m);
+GrB_Info GrB_Matrix_ncols(GrB_Index* out, GrB_Matrix m);
+GrB_Info GrB_Matrix_nvals(GrB_Index* out, GrB_Matrix m);
+/* Builds from COO triples; duplicates are summed. Replaces content. */
+GrB_Info GrB_Matrix_build(GrB_Matrix m, const GrB_Index* rows,
+                          const GrB_Index* cols, const double* vals,
+                          GrB_Index nvals);
+GrB_Info GrB_Matrix_extractElement(double* out, GrB_Matrix m, GrB_Index r,
+                                   GrB_Index c);
+
+/* ---- vectors ---- */
+
+GrB_Info GrB_Vector_new(GrB_Vector* v, GrB_Index size);
+GrB_Info GrB_Vector_free(GrB_Vector* v);
+GrB_Info GrB_Vector_size(GrB_Index* out, GrB_Vector v);
+GrB_Info GrB_Vector_nvals(GrB_Index* out, GrB_Vector v);
+GrB_Info GrB_Vector_build(GrB_Vector v, const GrB_Index* idx,
+                          const double* vals, GrB_Index nvals);
+GrB_Info GrB_Vector_setElement(GrB_Vector v, double val, GrB_Index i);
+GrB_Info GrB_Vector_extractElement(double* out, GrB_Vector v, GrB_Index i);
+/* Copies up to *nvals tuples into idx/vals; *nvals updated to the count. */
+GrB_Info GrB_Vector_extractTuples(GrB_Index* idx, double* vals,
+                                  GrB_Index* nvals, GrB_Vector v);
+
+/* ---- operations ---- */
+
+/* w = u A on the selected semiring. mask (nullable) filters the output
+ * by the *pattern* of the mask vector, per mask_mode. */
+GrB_Info GrB_vxm(GrB_Vector w, GrB_Vector mask, pgb_mask_t mask_mode,
+                 pgb_semiring_t semiring, GrB_Vector u, GrB_Matrix a);
+
+/* w = u (.op) v on the pattern intersection / union. */
+GrB_Info GrB_eWiseMult(GrB_Vector w, pgb_binary_op_t op, GrB_Vector u,
+                       GrB_Vector v);
+GrB_Info GrB_eWiseAdd(GrB_Vector w, pgb_binary_op_t op, GrB_Vector u,
+                      GrB_Vector v);
+
+/* w = f(u) element-wise on the nonzeros. */
+GrB_Info GrB_apply(GrB_Vector w, pgb_unary_op_t op, GrB_Vector u);
+
+/* w = u (the paper's restricted assign: same size, bulk copy). */
+GrB_Info GrB_assign(GrB_Vector w, GrB_Vector u);
+
+/* out = reduction of u's nonzeros with the binary op (PLUS/MIN/MAX). */
+GrB_Info GrB_reduce(double* out, pgb_binary_op_t op, GrB_Vector u);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* PGB_GRAPHBLAS_H_ */

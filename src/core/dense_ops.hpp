@@ -1,0 +1,116 @@
+// Element-wise operations on distributed dense vectors: the BLAS-1 style
+// helpers the iterative algorithms (PageRank, CC, MIS) are built from.
+// Each is one SPMD streaming pass with the obvious charge.
+#pragma once
+
+#include <cmath>
+
+#include "machine/cost.hpp"
+#include "runtime/locale_grid.hpp"
+#include "sparse/dist_dense_vec.hpp"
+
+namespace pgb {
+
+namespace detail {
+
+template <typename T>
+CostVector stream_pass_cost(Index n, double vectors_touched) {
+  CostVector c;
+  c.add(CostKind::kStreamBytes, vectors_touched *
+                                    static_cast<double>(sizeof(T)) *
+                                    static_cast<double>(n));
+  c.add(CostKind::kCpuOps, 8.0 * static_cast<double>(n));
+  return c;
+}
+
+}  // namespace detail
+
+/// y[i] <- f(y[i]) for every element.
+template <typename T, typename F>
+void transform(DistDenseVec<T>& y, F f) {
+  y.grid().coforall_locales([&](LocaleCtx& ctx) {
+    auto& ly = y.local(ctx.locale());
+    for (Index i = ly.lo(); i < ly.hi(); ++i) ly[i] = f(ly[i]);
+    ctx.parallel_region(detail::stream_pass_cost<T>(ly.size(), 2.0));
+  });
+}
+
+/// y <- alpha * x + y.
+template <typename T>
+void axpy(T alpha, const DistDenseVec<T>& x, DistDenseVec<T>& y) {
+  PGB_REQUIRE_SHAPE(x.size() == y.size(), "axpy: size mismatch");
+  y.grid().coforall_locales([&](LocaleCtx& ctx) {
+    const auto& lx = x.local(ctx.locale());
+    auto& ly = y.local(ctx.locale());
+    for (Index i = ly.lo(); i < ly.hi(); ++i) ly[i] += alpha * lx[i];
+    ctx.parallel_region(detail::stream_pass_cost<T>(ly.size(), 3.0));
+  });
+}
+
+/// Dot product with a cross-locale combine.
+template <typename T>
+T dot(const DistDenseVec<T>& x, const DistDenseVec<T>& y) {
+  PGB_REQUIRE_SHAPE(x.size() == y.size(), "dot: size mismatch");
+  auto& grid = x.grid();
+  T acc{};
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const auto& lx = x.local(ctx.locale());
+    const auto& ly = y.local(ctx.locale());
+    T local{};
+    for (Index i = lx.lo(); i < lx.hi(); ++i) local += lx[i] * ly[i];
+    acc += local;
+    ctx.parallel_region(detail::stream_pass_cost<T>(lx.size(), 2.0));
+  });
+  if (grid.num_locales() > 1) {
+    LocaleCtx master(grid, 0);
+    for (int l = 1; l < grid.num_locales(); l *= 2) master.remote_rt(1, 8);
+    grid.barrier_all();
+  }
+  return acc;
+}
+
+/// L1 norm of the element-wise difference (convergence checks).
+template <typename T>
+double diff_norm1(const DistDenseVec<T>& x, const DistDenseVec<T>& y) {
+  PGB_REQUIRE_SHAPE(x.size() == y.size(), "diff_norm1: size mismatch");
+  auto& grid = x.grid();
+  double acc = 0.0;
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const auto& lx = x.local(ctx.locale());
+    const auto& ly = y.local(ctx.locale());
+    double local = 0.0;
+    for (Index i = lx.lo(); i < lx.hi(); ++i) {
+      local += std::abs(static_cast<double>(lx[i] - ly[i]));
+    }
+    acc += local;
+    ctx.parallel_region(detail::stream_pass_cost<T>(lx.size(), 2.0));
+  });
+  if (grid.num_locales() > 1) {
+    LocaleCtx master(grid, 0);
+    for (int l = 1; l < grid.num_locales(); l *= 2) master.remote_rt(1, 8);
+    grid.barrier_all();
+  }
+  return acc;
+}
+
+/// Sum of all elements.
+template <typename T>
+T sum(const DistDenseVec<T>& x) {
+  auto& grid = x.grid();
+  T acc{};
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const auto& lx = x.local(ctx.locale());
+    T local{};
+    for (Index i = lx.lo(); i < lx.hi(); ++i) local += lx[i];
+    acc += local;
+    ctx.parallel_region(detail::stream_pass_cost<T>(lx.size(), 1.0));
+  });
+  if (grid.num_locales() > 1) {
+    LocaleCtx master(grid, 0);
+    for (int l = 1; l < grid.num_locales(); l *= 2) master.remote_rt(1, 8);
+    grid.barrier_all();
+  }
+  return acc;
+}
+
+}  // namespace pgb

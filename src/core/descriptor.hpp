@@ -1,0 +1,34 @@
+// Operation descriptors and masks, following the 2017 GraphBLAS C API
+// design the paper cites [7]. Masks in distributed memory are called out
+// as novel future work in the paper's conclusions; pgas-graphblas
+// implements them for vector operations (apply, assign, vxm).
+#pragma once
+
+namespace pgb {
+
+/// What to do with output entries not written by a masked operation.
+enum class OutputMode {
+  kMerge,    ///< keep previous output entries outside the written set
+  kReplace,  ///< clear the output first (GrB_REPLACE)
+};
+
+/// Mask interpretation.
+enum class MaskMode {
+  kNone,        ///< no mask: write everything
+  kMask,        ///< keep result entries where the mask is set
+  kComplement,  ///< keep result entries where the mask is NOT set
+};
+
+struct Descriptor {
+  OutputMode output = OutputMode::kReplace;
+  MaskMode mask = MaskMode::kNone;
+};
+
+inline Descriptor default_desc() { return {}; }
+
+inline Descriptor masked_desc(bool complement = false) {
+  return {OutputMode::kReplace,
+          complement ? MaskMode::kComplement : MaskMode::kMask};
+}
+
+}  // namespace pgb

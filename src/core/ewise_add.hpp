@@ -1,0 +1,60 @@
+// GraphBLAS eWiseAdd: element-wise "addition" over the *union* of the
+// operands' index sets. Where only one operand has a nonzero, that value
+// passes through unchanged; where both do, they are combined with the
+// monoid. (Part of the full GraphBLAS surface the paper lists as future
+// work beyond its benchmarked subset.)
+#pragma once
+
+#include "core/kernel_costs.hpp"
+#include "machine/cost.hpp"
+#include "runtime/locale_grid.hpp"
+#include "sparse/dist_sparse_vec.hpp"
+
+namespace pgb {
+
+template <typename T, typename Add>
+DistSparseVec<T> ewise_add(const DistSparseVec<T>& x,
+                           const DistSparseVec<T>& w, Add add) {
+  PGB_REQUIRE_SHAPE(x.capacity() == w.capacity(),
+                    "ewise_add: capacity mismatch");
+  PGB_REQUIRE_SHAPE(&x.grid() == &w.grid(),
+                    "ewise_add: operands live on different grids");
+  auto& grid = x.grid();
+  DistSparseVec<T> z(grid, x.capacity());
+
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const int l = ctx.locale();
+    const auto& lx = x.local(l);
+    const auto& lw = w.local(l);
+    std::vector<Index> idx;
+    std::vector<T> val;
+    idx.reserve(static_cast<std::size_t>(lx.nnz() + lw.nnz()));
+    Index p = 0, q = 0;
+    while (p < lx.nnz() || q < lw.nnz()) {
+      if (q >= lw.nnz() || (p < lx.nnz() && lx.index_at(p) < lw.index_at(q))) {
+        idx.push_back(lx.index_at(p));
+        val.push_back(lx.value_at(p));
+        ++p;
+      } else if (p >= lx.nnz() || lw.index_at(q) < lx.index_at(p)) {
+        idx.push_back(lw.index_at(q));
+        val.push_back(lw.value_at(q));
+        ++q;
+      } else {
+        idx.push_back(lx.index_at(p));
+        val.push_back(add(lx.value_at(p), lw.value_at(q)));
+        ++p;
+        ++q;
+      }
+    }
+    CostVector c;
+    const double work = static_cast<double>(lx.nnz() + lw.nnz());
+    c.add(CostKind::kCpuOps, kEwiseOpsPerElem * work);
+    c.add(CostKind::kStreamBytes, 16.0 * work + 24.0 * idx.size());
+    ctx.parallel_region(c);
+    z.local(l) = SparseVec<T>::from_sorted(lx.capacity(), std::move(idx),
+                                           std::move(val));
+  });
+  return z;
+}
+
+}  // namespace pgb

@@ -1,0 +1,45 @@
+// GraphBLAS Extract (restricted like the paper's Assign): pull out the
+// sub-vector of x whose indices fall in [lo, hi), preserving global
+// indices, into a vector with the same capacity and distribution.
+#pragma once
+
+#include "core/kernel_costs.hpp"
+#include "machine/cost.hpp"
+#include "runtime/locale_grid.hpp"
+#include "sparse/dist_sparse_vec.hpp"
+
+namespace pgb {
+
+template <typename T>
+DistSparseVec<T> extract_range(const DistSparseVec<T>& x, Index lo,
+                               Index hi) {
+  PGB_REQUIRE(lo >= 0 && hi <= x.capacity() && lo <= hi,
+              "extract: bad range");
+  auto& grid = x.grid();
+  DistSparseVec<T> z(grid, x.capacity());
+
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const int l = ctx.locale();
+    const auto& lx = x.local(l);
+    std::vector<Index> idx;
+    std::vector<T> val;
+    for (Index p = 0; p < lx.nnz(); ++p) {
+      const Index i = lx.index_at(p);
+      if (i >= lo && i < hi) {
+        idx.push_back(i);
+        val.push_back(lx.value_at(p));
+      }
+    }
+    CostVector c;
+    c.add(CostKind::kCpuOps,
+          kApplyOpsPerElem * static_cast<double>(lx.nnz()));
+    c.add(CostKind::kStreamBytes, 16.0 * static_cast<double>(lx.nnz()) +
+                                      24.0 * static_cast<double>(idx.size()));
+    ctx.parallel_region(c);
+    z.local(l) = SparseVec<T>::from_sorted(lx.capacity(), std::move(idx),
+                                           std::move(val));
+  });
+  return z;
+}
+
+}  // namespace pgb

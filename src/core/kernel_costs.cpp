@@ -1,0 +1,14 @@
+#include "core/kernel_costs.hpp"
+
+#include <cmath>
+
+namespace pgb {
+
+double remote_search_rts(double local_nnz) {
+  const double probes =
+      local_nnz > 1.0 ? std::ceil(std::log2(local_nnz)) : 1.0;
+  // binary-search probes + descriptor fetch + final element access
+  return probes + 2.0;
+}
+
+}  // namespace pgb

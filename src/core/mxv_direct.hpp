@@ -1,0 +1,190 @@
+// Transpose-free distributed mxv using per-block CSC mirrors.
+//
+// vxm.hpp's mxv materializes A^T — simple but it moves the whole matrix.
+// Real GraphBLAS backends keep both orientations of each block instead
+// (CSR for vxm, CSC for mxv) and dispatch; this header provides that:
+// build the mirror once with make_csc_mirror (paying the conversion),
+// then every mxv_direct call runs the column-wise kernel per block with
+// the mirrored communication pattern of spmspv_dist:
+//
+//   gather  x for the block's *column* range,
+//   multiply with spmspv_columnwise into the block's *row* range,
+//   scatter partial y along processor rows.
+#pragma once
+
+#include <vector>
+
+#include "core/spmspv.hpp"
+#include "core/spmspv_cw.hpp"
+#include "runtime/locale_grid.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/dist_csr.hpp"
+
+namespace pgb {
+
+/// Per-locale CSC copies of a DistCsr's blocks (column ids local to the
+/// block's column range so the CSC is compact).
+template <typename T>
+struct DistCscMirror {
+  std::vector<Csc<T>> blocks;
+};
+
+/// Builds (and charges) the CSC mirror: one counting-sort pass per block.
+template <typename T>
+DistCscMirror<T> make_csc_mirror(const DistCsr<T>& a) {
+  auto& grid = a.grid();
+  DistCscMirror<T> mirror;
+  mirror.blocks.resize(static_cast<std::size_t>(grid.num_locales()));
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const int l = ctx.locale();
+    const auto& blk = a.block(l);
+    // Rebase column ids to the block range so the CSC has chi-clo
+    // columns rather than ncols.
+    std::vector<Index> rowptr(blk.csr.rowptr().begin(),
+                              blk.csr.rowptr().end());
+    std::vector<Index> colids(blk.csr.colids().begin(),
+                              blk.csr.colids().end());
+    for (Index& c : colids) c -= blk.clo;
+    std::vector<T> vals(blk.csr.values().begin(), blk.csr.values().end());
+    auto rebased = Csr<T>::from_parts(blk.csr.nrows(), blk.chi - blk.clo,
+                                      std::move(rowptr), std::move(colids),
+                                      std::move(vals));
+    mirror.blocks[static_cast<std::size_t>(l)] = Csc<T>::from_csr(rebased);
+    CostVector c;
+    c.add(CostKind::kStreamBytes, 48.0 * static_cast<double>(blk.csr.nnz()));
+    c.add(CostKind::kRandAccess, static_cast<double>(blk.csr.nnz()));
+    c.add(CostKind::kCpuOps, 16.0 * static_cast<double>(blk.csr.nnz()));
+    ctx.parallel_region(c);
+  });
+  return mirror;
+}
+
+/// y = A x without materializing A^T. TA and T as in spmspv_dist.
+template <typename TA, typename T, typename SR>
+DistSparseVec<T> mxv_direct(const DistCsr<TA>& a,
+                            const DistCscMirror<TA>& mirror,
+                            const DistSparseVec<T>& x, const SR& sr,
+                            const SpmspvOptions& opt = {}) {
+  PGB_REQUIRE_SHAPE(x.capacity() == a.ncols(),
+                    "mxv: x capacity must equal matrix columns");
+  PGB_REQUIRE_SHAPE(&x.grid() == &a.grid(),
+                    "mxv: operands live on different grids");
+  auto& grid = a.grid();
+  const int pr = grid.rows();
+  const int pc = grid.cols();
+  const int nloc = grid.num_locales();
+  PGB_REQUIRE(static_cast<int>(mirror.blocks.size()) == nloc,
+              "mxv: mirror does not match the grid");
+
+  // ---- gather x for each block's column range ----
+  double t0 = grid.time();
+  std::vector<SparseVec<T>> xc(static_cast<std::size_t>(nloc));
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const int l = ctx.locale();
+    const auto& blk = a.block(l);
+    std::vector<Index> idx;
+    std::vector<T> val;
+    // Owners of [clo, chi) under x's 1-D distribution.
+    const int first = blk.chi > blk.clo ? x.owner(blk.clo) : 0;
+    const int last = blk.chi > blk.clo ? x.owner(blk.chi - 1) : -1;
+    for (int src = first; src <= last; ++src) {
+      const auto& piece = x.local(src);
+      Index piece_cnt = 0;
+      for (Index p = 0; p < piece.nnz(); ++p) {
+        const Index i = piece.index_at(p);
+        if (i >= blk.clo && i < blk.chi) {
+          idx.push_back(i);
+          val.push_back(piece.value_at(p));
+          ++piece_cnt;
+        }
+      }
+      if (src != l) {
+        ctx.remote_rt(src, 8);
+        if (opt.bulk_gather) {
+          // Each x owner serves all pr locales of one processor column.
+          ctx.remote_bulk(src, 16 * piece_cnt * pr);
+        } else {
+          ctx.remote_chain(src, piece_cnt, kRemoteElemRts + 1.0, 16,
+                           /*contention=*/static_cast<double>(pr));
+        }
+      }
+    }
+    xc[static_cast<std::size_t>(l)] = SparseVec<T>::from_sorted(
+        blk.chi - blk.clo, std::move(idx), std::move(val));
+  });
+  grid.trace().add("gather", grid.time() - t0);
+
+  // ---- local column-wise multiply into the block's row range ----
+  t0 = grid.time();
+  std::vector<SparseVec<T>> ly(static_cast<std::size_t>(nloc));
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const int l = ctx.locale();
+    const auto& blk = a.block(l);
+    ly[static_cast<std::size_t>(l)] = spmspv_columnwise(
+        ctx, mirror.blocks[static_cast<std::size_t>(l)], blk.clo,
+        xc[static_cast<std::size_t>(l)], blk.rlo, sr, opt);
+  });
+  grid.trace().add("local", grid.time() - t0);
+
+  // ---- scatter/accumulate into the 1-D result over [0, nrows) ----
+  t0 = grid.time();
+  DistSparseVec<T> y(grid, a.nrows());
+  std::vector<Spa<T>> yspa;
+  yspa.reserve(static_cast<std::size_t>(nloc));
+  for (int o = 0; o < nloc; ++o) {
+    yspa.emplace_back(y.dist().lo(o), y.dist().hi(o));
+  }
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const int l = ctx.locale();
+    const auto& part = ly[static_cast<std::size_t>(l)];
+    std::vector<std::int64_t> count_to(static_cast<std::size_t>(nloc), 0);
+    for (Index p = 0; p < part.nnz(); ++p) {
+      const Index r = part.index_at(p);
+      const int o = y.dist().owner(r);
+      yspa[static_cast<std::size_t>(o)].accumulate(r, part.value_at(p),
+                                                   sr.add);
+      ++count_to[static_cast<std::size_t>(o)];
+    }
+    for (int o = 0; o < nloc; ++o) {
+      const auto cnt = count_to[static_cast<std::size_t>(o)];
+      if (cnt == 0) continue;
+      if (o == l) {
+        CostVector c;
+        c.add(CostKind::kRandAccess, static_cast<double>(cnt));
+        c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(cnt));
+        ctx.parallel_region(c);
+      } else if (opt.bulk_scatter) {
+        CostVector c;
+        c.add(CostKind::kCpuOps, 10.0 * static_cast<double>(cnt));
+        c.add(CostKind::kStreamBytes, 16.0 * static_cast<double>(cnt));
+        ctx.parallel_region(c);
+        // Destinations drain batches from the pc locales of one row.
+        ctx.remote_bulk(o, 16 * cnt * pc);
+      } else {
+        ctx.remote_msgs(o, cnt, 16, /*contention=*/static_cast<double>(pc));
+      }
+    }
+  });
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const int o = ctx.locale();
+    auto& spa = yspa[static_cast<std::size_t>(o)];
+    std::vector<Index>& nz = spa.nzinds();
+    merge_sort(nz);
+    std::vector<Index> idx(nz.begin(), nz.end());
+    std::vector<T> val;
+    val.reserve(idx.size());
+    for (Index j : idx) val.push_back(spa.value(j));
+    CostVector c;
+    c.add(CostKind::kStreamBytes,
+          1.0 * static_cast<double>(y.dist().local_size(o)) +
+              24.0 * static_cast<double>(idx.size()));
+    c.add(CostKind::kCpuOps, 8.0 * static_cast<double>(idx.size()));
+    ctx.parallel_region(c);
+    y.local(o) = SparseVec<T>::from_sorted(y.dist().local_size(o),
+                                           std::move(idx), std::move(val));
+  });
+  grid.trace().add("scatter", grid.time() - t0);
+  return y;
+}
+
+}  // namespace pgb

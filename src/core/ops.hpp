@@ -1,0 +1,181 @@
+// GraphBLAS function objects: unary operators, binary operators, monoids
+// and semirings.
+//
+// "A powerful aspect of GraphBLAS is its ability to work on arbitrary
+// semirings, monoids, and functions" (paper Section III). Operations in
+// pgas-graphblas take these as template parameters, so user-defined
+// operators compile to the same code as the standard ones below.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+namespace pgb {
+
+// ---- unary operators (for apply) ----
+
+struct IdentityOp {
+  template <typename T>
+  T operator()(const T& a) const {
+    return a;
+  }
+};
+
+struct NegateOp {
+  template <typename T>
+  T operator()(const T& a) const {
+    return -a;
+  }
+};
+
+/// Multiply by a fixed scalar.
+template <typename T>
+struct ScaleOp {
+  T factor;
+  T operator()(const T& a) const { return a * factor; }
+};
+
+/// Add a fixed scalar.
+template <typename T>
+struct IncrementOp {
+  T delta;
+  T operator()(const T& a) const { return a + delta; }
+};
+
+// ---- binary operators (for eWise*, monoids, semiring multiply) ----
+
+struct PlusOp {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return a + b;
+  }
+};
+
+struct TimesOp {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return a * b;
+  }
+};
+
+struct MinOp {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return std::min(a, b);
+  }
+};
+
+struct MaxOp {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return std::max(a, b);
+  }
+};
+
+/// Returns the first (left) operand: the select1st of the GraphBLAS
+/// C API design. With vxm this propagates the x value, which is how BFS
+/// carries parent ids through the matrix.
+struct FirstOp {
+  template <typename T>
+  T operator()(const T& a, const T&) const {
+    return a;
+  }
+};
+
+/// Returns the second (right) operand (select2nd).
+struct SecondOp {
+  template <typename T>
+  T operator()(const T&, const T& b) const {
+    return b;
+  }
+};
+
+struct LogicalOrOp {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return (a != T{} || b != T{}) ? T{1} : T{};
+  }
+};
+
+struct LogicalAndOp {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return (a != T{} && b != T{}) ? T{1} : T{};
+  }
+};
+
+// ---- monoids: a binary operator plus its identity ----
+
+template <typename T, typename Op>
+struct Monoid {
+  using value_type = T;
+  Op op{};
+  T identity{};
+
+  T operator()(const T& a, const T& b) const { return op(a, b); }
+};
+
+template <typename T>
+Monoid<T, PlusOp> plus_monoid() {
+  return {PlusOp{}, T{0}};
+}
+
+template <typename T>
+Monoid<T, TimesOp> times_monoid() {
+  return {TimesOp{}, T{1}};
+}
+
+template <typename T>
+Monoid<T, MinOp> min_monoid() {
+  return {MinOp{}, std::numeric_limits<T>::max()};
+}
+
+template <typename T>
+Monoid<T, MaxOp> max_monoid() {
+  return {MaxOp{}, std::numeric_limits<T>::lowest()};
+}
+
+template <typename T>
+Monoid<T, LogicalOrOp> lor_monoid() {
+  return {LogicalOrOp{}, T{0}};
+}
+
+// ---- semirings: (add monoid, multiply op) ----
+
+template <typename T, typename AddOp, typename MulOp>
+struct Semiring {
+  using value_type = T;
+  Monoid<T, AddOp> add;
+  MulOp mul{};
+
+  T zero() const { return add.identity; }
+  T multiply(const T& a, const T& b) const { return mul(a, b); }
+  T combine(const T& a, const T& b) const { return add(a, b); }
+};
+
+/// Ordinary (+, *) arithmetic.
+template <typename T>
+Semiring<T, PlusOp, TimesOp> arithmetic_semiring() {
+  return {plus_monoid<T>(), TimesOp{}};
+}
+
+/// Tropical (min, +): shortest paths.
+template <typename T>
+Semiring<T, MinOp, PlusOp> min_plus_semiring() {
+  return {min_monoid<T>(), PlusOp{}};
+}
+
+/// (min, select1st): BFS parent propagation — y[c] = min over visiting
+/// rows of x[r]; with x[r] = r the result is the smallest parent id.
+template <typename T>
+Semiring<T, MinOp, FirstOp> min_first_semiring() {
+  return {min_monoid<T>(), FirstOp{}};
+}
+
+/// Boolean (|, &): reachability.
+template <typename T>
+Semiring<T, LogicalOrOp, LogicalAndOp> boolean_semiring() {
+  return {lor_monoid<T>(), LogicalAndOp{}};
+}
+
+}  // namespace pgb

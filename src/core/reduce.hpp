@@ -1,0 +1,88 @@
+// GraphBLAS Reduce: fold a vector's nonzeros (or a matrix's rows) into a
+// scalar (or vector) with a monoid.
+#pragma once
+
+#include "core/kernel_costs.hpp"
+#include "machine/cost.hpp"
+#include "runtime/locale_grid.hpp"
+#include "sparse/dist_csr.hpp"
+#include "sparse/dist_dense_vec.hpp"
+#include "sparse/dist_sparse_vec.hpp"
+
+namespace pgb {
+
+/// Reduce all nonzeros of a distributed sparse vector to one scalar.
+/// Local tree-reduce per locale, then a log-depth combine across locales.
+template <typename T, typename M>
+T reduce(const DistSparseVec<T>& x, const M& monoid) {
+  auto& grid = x.grid();
+  T acc = monoid.identity;
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const auto& lx = x.local(ctx.locale());
+    T local = monoid.identity;
+    for (const T& v : lx.values()) local = monoid(local, v);
+    acc = monoid(acc, local);
+    CostVector c;
+    c.add(CostKind::kCpuOps, 12.0 * static_cast<double>(lx.nnz()));
+    c.add(CostKind::kStreamBytes, 8.0 * static_cast<double>(lx.nnz()));
+    ctx.parallel_region(c);
+  });
+  // Cross-locale combine: log2(L) round-trip stages charged to locale 0.
+  if (grid.num_locales() > 1) {
+    LocaleCtx master(grid, 0);
+    int stages = 0;
+    for (int l = 1; l < grid.num_locales(); l *= 2) ++stages;
+    for (int s = 0; s < stages; ++s) master.remote_rt(1, 8);
+    grid.barrier_all();
+  }
+  return acc;
+}
+
+/// Row-reduce of a 2-D distributed matrix into a distributed dense vector:
+/// out[r] = monoid over row r's values (e.g. out-degree with plus).
+/// Partial reduction per block, then combine along each processor row.
+template <typename T, typename M>
+DistDenseVec<T> reduce_rows(const DistCsr<T>& a, const M& monoid) {
+  auto& grid = a.grid();
+  DistDenseVec<T> out(grid, a.nrows(), monoid.identity);
+
+  // Per-block partials.
+  std::vector<std::vector<T>> partial(grid.num_locales());
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const auto& b = a.block(ctx.locale());
+    auto& p = partial[ctx.locale()];
+    p.assign(static_cast<std::size_t>(b.rhi - b.rlo), monoid.identity);
+    for (Index lr = 0; lr < b.csr.nrows(); ++lr) {
+      for (const T& v : b.csr.row_values(lr)) {
+        p[static_cast<std::size_t>(lr)] = monoid(p[static_cast<std::size_t>(lr)], v);
+      }
+    }
+    CostVector c;
+    c.add(CostKind::kCpuOps, 12.0 * static_cast<double>(b.csr.nnz()));
+    c.add(CostKind::kStreamBytes,
+          8.0 * static_cast<double>(b.csr.nnz() + (b.rhi - b.rlo)));
+    ctx.parallel_region(c);
+  });
+
+  // Combine partials into the 1-D distributed output; each contributing
+  // block sends one bulk message to each overlapping output owner.
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const int l = ctx.locale();
+    const auto& b = a.block(l);
+    const auto& p = partial[l];
+    for (Index r = b.rlo; r < b.rhi; ++r) {
+      const int owner = out.dist().owner(r);
+      auto& ov = out.local(owner)[r];
+      ov = monoid(ov, p[static_cast<std::size_t>(r - b.rlo)]);
+    }
+    // Bulk sends to each distinct owner locale of this row range.
+    const int first = out.dist().owner(b.rlo);
+    const int last = b.rhi > b.rlo ? out.dist().owner(b.rhi - 1) : first;
+    for (int o = first; o <= last; ++o) {
+      if (o != l) ctx.remote_bulk(o, 8 * (b.rhi - b.rlo) / (last - first + 1));
+    }
+  });
+  return out;
+}
+
+}  // namespace pgb

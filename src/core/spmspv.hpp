@@ -1,0 +1,457 @@
+// Sparse matrix - sparse vector multiplication, y <- x A, on a semiring
+// (paper Section III-D, Listings 7 and 8).
+//
+// Shared memory (spmspv_shm): the SPA algorithm of Gilbert-Moler-Schreiber:
+//   1. SPA:    for every nonzero x[r], merge row A[r,:] into the sparse
+//              accumulator (dense values + isthere flags + nzinds list);
+//   2. Sort:   sort the accumulated output indices (Chapel merge sort by
+//              default — the step the paper finds dominant — or the radix
+//              sort it suggests as future work);
+//   3. Output: build the sorted output vector from the SPA.
+//
+// Distributed memory (spmspv_dist), on the 2-D block distribution:
+//   1. Gather:  every locale (R, C) assembles the x entries for row-block
+//               R from the pc owners along its processor row. The paper's
+//               Listing 8 copies these *element by element* — the
+//               fine-grained traffic that ends up dominating (Figs 8-9).
+//               opts.bulk_gather switches to one bulk get per piece
+//               (the paper's suggested bulk-synchronous remedy).
+//   2. Local:   spmspv_shm on the local block.
+//   3. Scatter: partial outputs are accumulated into the 1-D distributed
+//               result; the paper writes one element at a time into a
+//               global atomic "isthere" array. opts.bulk_scatter batches
+//               per destination instead.
+#pragma once
+
+#include <vector>
+
+#include "core/descriptor.hpp"
+#include "core/kernel_costs.hpp"
+#include "machine/cost.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/locale_grid.hpp"
+#include "sparse/dist_csr.hpp"
+#include "sparse/dist_dense_vec.hpp"
+#include "sparse/dist_sparse_vec.hpp"
+#include "sparse/spa.hpp"
+#include "util/sorting.hpp"
+
+namespace pgb {
+
+enum class SortAlgo {
+  kMerge,  ///< Chapel's parallel merge sort (paper default)
+  kRadix,  ///< LSD radix sort (paper's suggested improvement [9])
+};
+
+enum class SpmspvAlgo {
+  /// The paper's Listing 7: one SPA over the whole column range, then
+  /// sort the touched indices.
+  kSpaSort,
+  /// The work-efficient algorithm of the paper's reference [9] (Azad &
+  /// Buluç, IPDPS 2017): route nonzeros into cache-resident column
+  /// buckets, accumulate per bucket, and emit bucket-by-bucket — output
+  /// comes out sorted with *no* global sort step.
+  kBucket,
+};
+
+struct SpmspvOptions {
+  SpmspvAlgo algo = SpmspvAlgo::kSpaSort;
+  SortAlgo sort = SortAlgo::kMerge;  ///< sort used by kSpaSort
+  bool bulk_gather = false;   ///< batch the input-vector gather
+  bool bulk_scatter = false;  ///< batch the output-vector scatter
+  /// Use tree collectives (allgather along processor rows for the input,
+  /// reduce-scatter along processor columns for the output) instead of
+  /// point-to-point transfers — the facility the paper's Section IV asks
+  /// Chapel to provide. Overrides bulk_gather/bulk_scatter.
+  bool use_collectives = false;
+};
+
+
+namespace detail {
+
+/// Bucket SpMSpV (SpmspvAlgo::kBucket). Buckets are sized to stay
+/// cache-resident (~4K columns each); routing is a streaming pass and
+/// per-bucket accumulation is a dense scan of a small slice, so the
+/// global sort of the SPA algorithm disappears entirely.
+template <typename TA, typename T, typename SR>
+SparseVec<T> spmspv_shm_bucket(LocaleCtx& ctx, const Csr<TA>& a,
+                               Index row_lo, const SparseVec<T>& x,
+                               Index col_lo, Index col_hi, const SR& sr,
+                               Trace* trace) {
+  constexpr Index kBucketWidth = 4096;
+  const Index ncols = col_hi - col_lo;
+  const Index nbuckets = std::max<Index>(1, (ncols + kBucketWidth - 1) /
+                                                kBucketWidth);
+
+  // ---- Step 1: route (column, value) pairs into buckets ----
+  double t0 = ctx.clock().now();
+  std::vector<std::vector<std::pair<Index, T>>> buckets(
+      static_cast<std::size_t>(nbuckets));
+  Index visited = 0;
+  for (Index p = 0; p < x.nnz(); ++p) {
+    const Index r = x.index_at(p) - row_lo;
+    PGB_ASSERT(r >= 0 && r < a.nrows(), "spmspv: x index out of row range");
+    const T& xv = x.value_at(p);
+    auto cols = a.row_colids(r);
+    auto vals = a.row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const Index b = (cols[k] - col_lo) / kBucketWidth;
+      buckets[static_cast<std::size_t>(b)].emplace_back(
+          cols[k], sr.multiply(xv, static_cast<T>(vals[k])));
+    }
+    visited += static_cast<Index>(cols.size());
+  }
+  {
+    CostVector c;
+    // Streaming read of the selected rows plus a mostly-sequential append
+    // per nonzero (per-thread sub-buckets: no atomics). Routing touches
+    // nbuckets append cursors — cache-resident.
+    c.add(CostKind::kRandAccess, 2.0 * static_cast<double>(x.nnz()));
+    c.add(CostKind::kCpuOps, kSpaOpsPerRow * static_cast<double>(x.nnz()));
+    c.add(CostKind::kStreamBytes, 32.0 * static_cast<double>(visited));
+    c.add(CostKind::kCpuOps, 25.0 * static_cast<double>(visited));
+    ctx.parallel_region(c);
+  }
+  if (trace) trace->add("spa", ctx.clock().now() - t0);
+  if (trace) trace->add("sort", 0.0);  // there is no sort step
+
+  // ---- Step 2: per-bucket dense accumulation, emitted in order ----
+  t0 = ctx.clock().now();
+  std::vector<Index> idx;
+  std::vector<T> val;
+  std::vector<T> slot(static_cast<std::size_t>(
+      std::min<Index>(kBucketWidth, ncols)));
+  BitVector there(std::min<Index>(kBucketWidth, ncols));
+  double scanned_bytes = 0.0;
+  for (Index b = 0; b < nbuckets; ++b) {
+    auto& bucket = buckets[static_cast<std::size_t>(b)];
+    if (bucket.empty()) continue;
+    const Index blo = col_lo + b * kBucketWidth;
+    const Index bhi = std::min(col_hi, blo + kBucketWidth);
+    for (const auto& [j, v] : bucket) {
+      const Index off = j - blo;
+      if (there.test_and_set(off)) {
+        slot[static_cast<std::size_t>(off)] = v;
+      } else {
+        slot[static_cast<std::size_t>(off)] =
+            sr.combine(slot[static_cast<std::size_t>(off)], v);
+      }
+    }
+    for (Index j = blo; j < bhi; ++j) {
+      if (there.get(j - blo)) {
+        idx.push_back(j);
+        val.push_back(slot[static_cast<std::size_t>(j - blo)]);
+        there.clear(j - blo);
+      }
+    }
+    scanned_bytes += static_cast<double>(bhi - blo);
+  }
+  {
+    CostVector c;
+    // Accumulation hits a cache-resident slice (cheap "random" access)
+    // and the emit pass streams each touched bucket's range once.
+    c.add(CostKind::kCpuOps, 14.0 * static_cast<double>(visited));
+    c.add(CostKind::kStreamBytes, 16.0 * static_cast<double>(visited) +
+                                      scanned_bytes +
+                                      24.0 * static_cast<double>(idx.size()));
+    c.add(CostKind::kCpuOps, 6.0 * static_cast<double>(idx.size()));
+    ctx.parallel_region(c);
+  }
+  if (trace) trace->add("output", ctx.clock().now() - t0);
+
+  return SparseVec<T>::from_sorted(col_hi - col_lo, std::move(idx),
+                                   std::move(val));
+}
+
+}  // namespace detail
+
+/// Shared-memory SpMSpV over one CSR block.
+///
+/// x's indices are global row ids in [row_lo, row_lo + a.nrows()); a's
+/// column ids are global within [col_lo, col_hi). The result's indices
+/// are global column ids; its capacity is col_hi - col_lo.
+///
+/// If `trace` is given, phase times are recorded under "spa", "sort",
+/// "output" (Fig 7's components).
+template <typename TA, typename T, typename SR>
+SparseVec<T> spmspv_shm(LocaleCtx& ctx, const Csr<TA>& a, Index row_lo,
+                        const SparseVec<T>& x, Index col_lo, Index col_hi,
+                        const SR& sr, const SpmspvOptions& opt = {},
+                        Trace* trace = nullptr) {
+  PGB_REQUIRE_SHAPE(x.capacity() >= a.nrows(),
+                    "spmspv: x capacity must cover the matrix rows");
+  if (opt.algo == SpmspvAlgo::kBucket) {
+    return detail::spmspv_shm_bucket(ctx, a, row_lo, x, col_lo, col_hi, sr,
+                                     trace);
+  }
+  // ---- Step 1: SPA merge of the selected rows ----
+  double t0 = ctx.clock().now();
+  Spa<T> spa(col_lo, col_hi);
+  Index visited = 0;
+  for (Index p = 0; p < x.nnz(); ++p) {
+    const Index r = x.index_at(p) - row_lo;
+    PGB_ASSERT(r >= 0 && r < a.nrows(), "spmspv: x index out of row range");
+    const T& xv = x.value_at(p);
+    auto cols = a.row_colids(r);
+    auto vals = a.row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      spa.accumulate(cols[k], sr.multiply(xv, static_cast<T>(vals[k])),
+                     sr.add);
+    }
+    visited += static_cast<Index>(cols.size());
+  }
+  const Index out_nnz = spa.nnz();
+  {
+    CostVector c;
+    // SPA allocation/first touch (Chapel allocates isthere/localy per
+    // call), row-pointer fetches, then per visited nonzero: colid+value
+    // stream, isthere test-and-set, k.fetchAdd per fresh index.
+    c.add(CostKind::kStreamBytes,
+          9.0 * static_cast<double>(col_hi - col_lo));
+    c.add(CostKind::kRandAccess, 2.0 * static_cast<double>(x.nnz()));
+    c.add(CostKind::kCpuOps, kSpaOpsPerRow * static_cast<double>(x.nnz()));
+    c.add(CostKind::kStreamBytes, 16.0 * static_cast<double>(visited));
+    c.add(CostKind::kCpuOps, kSpaOpsPerNnz * static_cast<double>(visited));
+    c.add(CostKind::kAtomicDistinct, static_cast<double>(visited));
+    c.add(CostKind::kAtomicContended, static_cast<double>(out_nnz));
+    c.add(CostKind::kStreamBytes, 8.0 * static_cast<double>(out_nnz));
+    ctx.parallel_region(c);
+  }
+  if (trace) trace->add("spa", ctx.clock().now() - t0);
+
+  // ---- Step 2: sort the output indices ----
+  t0 = ctx.clock().now();
+  std::vector<Index>& nzinds = spa.nzinds();
+  const CostVector sc = opt.sort == SortAlgo::kMerge
+                            ? merge_sort_cost(out_nnz)
+                            : radix_sort_cost(out_nnz, col_hi);
+  if (opt.sort == SortAlgo::kMerge) {
+    merge_sort(nzinds);
+  } else {
+    radix_sort(nzinds);
+  }
+  // Final merge passes limit parallelism: ~8% of the sort is serial.
+  ctx.parallel_region(sc.scaled(0.92));
+  ctx.serial_region(sc.scaled(0.08));
+  if (trace) trace->add("sort", ctx.clock().now() - t0);
+
+  // ---- Step 3: populate the output vector ----
+  t0 = ctx.clock().now();
+  std::vector<Index> idx(nzinds.begin(), nzinds.end());
+  std::vector<T> val;
+  val.reserve(idx.size());
+  for (Index j : idx) val.push_back(spa.value(j));
+  {
+    CostVector c;
+    c.add(CostKind::kCpuOps, kSpmspvOutputOps * static_cast<double>(out_nnz));
+    c.add(CostKind::kRandAccess, static_cast<double>(out_nnz));
+    c.add(CostKind::kStreamBytes, 24.0 * static_cast<double>(out_nnz));
+    ctx.parallel_region(c);
+  }
+  if (trace) trace->add("output", ctx.clock().now() - t0);
+
+  return SparseVec<T>::from_sorted(col_hi - col_lo, std::move(idx),
+                                   std::move(val));
+}
+
+/// Distributed SpMSpV: y <- x A over the 2-D block distribution.
+/// Phase times are recorded in the grid's trace under "gather", "local",
+/// "scatter" (Figs 8-9's components).
+/// TA (matrix) and T (vector) may differ; matrix values are cast to T
+/// before the semiring multiply.
+///
+/// `mask` (optional) filters the output *inside* the owner-side finalize
+/// step — the fused masked vxm of the GraphBLAS spec, which the paper's
+/// conclusion singles out as unexplored in distributed memory. Fusing
+/// saves materializing the unmasked result and a full extra pass
+/// (compare apply_mask).
+namespace detail {
+
+template <typename TA, typename T, typename SR>
+DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
+                                  const DistSparseVec<T>& x, const SR& sr,
+                                  const SpmspvOptions& opt,
+                                  const DistDenseVec<std::uint8_t>* mask,
+                                  MaskMode mask_mode) {
+  PGB_REQUIRE_SHAPE(x.capacity() == a.nrows(),
+                    "spmspv: x capacity must equal matrix rows");
+  PGB_REQUIRE_SHAPE(&x.grid() == &a.grid(),
+                    "spmspv: operands live on different grids");
+  auto& grid = a.grid();
+  const int pc = grid.cols();
+  const int pr = grid.rows();
+  const int nloc = grid.num_locales();
+
+  // ---- Step 1: gather x along each processor row ----
+  double t0 = grid.time();
+  std::vector<SparseVec<T>> xr(nloc);
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const int l = ctx.locale();
+    const auto& blk = a.block(l);
+    const int prow = grid.locale(l).row;
+    std::vector<Index> idx;
+    std::vector<T> val;
+    for (int i = 0; i < pc; ++i) {
+      const int src = prow * pc + i;
+      const auto& piece = x.local(src);
+      idx.insert(idx.end(), piece.domain().indices().begin(),
+                 piece.domain().indices().end());
+      val.insert(val.end(), piece.values().begin(), piece.values().end());
+      if (src != l && !opt.use_collectives) {
+        // Domain-size query, then the element copies. Every locale in
+        // this processor row pulls from the same pc sources at once, so
+        // each source's AM handler serves pc requesters (contention).
+        ctx.remote_rt(src, 8);
+        if (opt.bulk_gather) {
+          // The source serves one bulk copy to each of the pc locales in
+          // this processor row, serially (no broadcast tree in the
+          // paper's runtime): receiver-side contention scales the
+          // effective transfer.
+          ctx.remote_bulk(src, 16 * piece.nnz() * pc);
+        } else {
+          ctx.remote_chain(src, piece.nnz(), kRemoteElemRts + 1.0, 16,
+                           /*contention=*/static_cast<double>(pc));
+        }
+      }
+    }
+    xr[l] = SparseVec<T>::from_sorted(blk.rhi - blk.rlo, std::move(idx),
+                                      std::move(val));
+  });
+  if (opt.use_collectives) {
+    for (int r = 0; r < pr; ++r) {
+      std::int64_t max_piece = 0;
+      for (int m : row_members(grid, r)) {
+        max_piece = std::max(max_piece, 16 * x.local(m).nnz());
+      }
+      allgather(grid, row_members(grid, r), max_piece,
+                CollectiveAlgo::kTree);
+    }
+    grid.barrier_all();
+  }
+  grid.trace().add("gather", grid.time() - t0);
+
+  // ---- Step 2: local multiply ----
+  t0 = grid.time();
+  std::vector<SparseVec<T>> ly(nloc);
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const int l = ctx.locale();
+    const auto& blk = a.block(l);
+    ly[l] = spmspv_shm(ctx, blk.csr, blk.rlo, xr[l], blk.clo, blk.chi, sr,
+                       opt);
+  });
+  grid.trace().add("local", grid.time() - t0);
+
+  // ---- Step 3: scatter/accumulate into the 1-D distributed output ----
+  t0 = grid.time();
+  DistSparseVec<T> y(grid, a.ncols());
+  std::vector<Spa<T>> yspa;
+  yspa.reserve(nloc);
+  for (int o = 0; o < nloc; ++o) {
+    yspa.emplace_back(y.dist().lo(o), y.dist().hi(o));
+  }
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const int l = ctx.locale();
+    const auto& part = ly[l];
+    std::vector<std::int64_t> count_to(static_cast<std::size_t>(nloc), 0);
+    for (Index p = 0; p < part.nnz(); ++p) {
+      const Index j = part.index_at(p);
+      const int o = y.dist().owner(j);
+      yspa[o].accumulate(j, part.value_at(p), sr.add);
+      ++count_to[o];
+    }
+    for (int o = 0; o < nloc; ++o) {
+      if (count_to[o] == 0) continue;
+      if (opt.use_collectives && o != l) {
+        continue;  // charged below as a reduce-scatter per column
+      }
+      if (o == l) {
+        CostVector c;
+        c.add(CostKind::kRandAccess, static_cast<double>(count_to[o]));
+        c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(count_to[o]));
+        ctx.parallel_region(c);
+      } else if (opt.bulk_scatter) {
+        CostVector c;  // pack the destination's batch
+        c.add(CostKind::kCpuOps, 10.0 * static_cast<double>(count_to[o]));
+        c.add(CostKind::kStreamBytes, 16.0 * static_cast<double>(count_to[o]));
+        ctx.parallel_region(c);
+        // Every destination drains batches from the pr locales of one
+        // processor column, serially: receiver-side contention.
+        ctx.remote_bulk(o, 16 * count_to[o] * pr);
+      } else {
+        // One remote atomic write per element (paper Listing 8 step 3);
+        // each destination is hammered by the pr locales of one
+        // processor column at once.
+        ctx.remote_msgs(o, count_to[o], 16,
+                        /*contention=*/static_cast<double>(pr));
+      }
+    }
+  });
+  if (opt.use_collectives) {
+    for (int c = 0; c < pc; ++c) {
+      std::int64_t volume = 0;
+      for (int m : col_members(grid, c)) volume += 16 * ly[m].nnz();
+      reduce_scatter(grid, col_members(grid, c), volume,
+                     CollectiveAlgo::kTree);
+    }
+    grid.barrier_all();
+  }
+  // Finalize: every output owner converts its dense accumulator to the
+  // sparse result (the paper's denseToSparse scan).
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const int o = ctx.locale();
+    auto& spa = yspa[o];
+    std::vector<Index>& nz = spa.nzinds();
+    merge_sort(nz);
+    std::vector<Index> idx;
+    std::vector<T> val;
+    idx.reserve(nz.size());
+    val.reserve(nz.size());
+    for (Index j : nz) {
+      if (mask != nullptr && mask_mode != MaskMode::kNone) {
+        const bool set = mask->local(o)[j] != 0;
+        if (mask_mode == MaskMode::kMask ? !set : set) continue;
+      }
+      idx.push_back(j);
+      val.push_back(spa.value(j));
+    }
+    CostVector c;
+    if (mask != nullptr) {
+      c.add(CostKind::kRandAccess, 0.25 * static_cast<double>(nz.size()));
+    }
+    c.add(CostKind::kStreamBytes,
+          1.0 * static_cast<double>(y.dist().local_size(o)));
+    c.add(CostKind::kStreamBytes, 24.0 * static_cast<double>(idx.size()));
+    c.add(CostKind::kCpuOps, 8.0 * static_cast<double>(idx.size()));
+    ctx.parallel_region(c);
+    y.local(o) = SparseVec<T>::from_sorted(y.dist().local_size(o),
+                                           std::move(idx), std::move(val));
+  });
+  grid.trace().add("scatter", grid.time() - t0);
+  return y;
+}
+
+}  // namespace detail
+
+/// Distributed SpMSpV, unmasked.
+template <typename TA, typename T, typename SR>
+DistSparseVec<T> spmspv_dist(const DistCsr<TA>& a,
+                             const DistSparseVec<T>& x, const SR& sr,
+                             const SpmspvOptions& opt = {}) {
+  return detail::spmspv_dist_impl(a, x, sr, opt, nullptr, MaskMode::kNone);
+}
+
+/// Distributed SpMSpV with a fused dense Boolean mask (optionally
+/// complemented): output entries failing the mask are dropped at their
+/// owner before the result vector is built.
+template <typename TA, typename T, typename SR>
+DistSparseVec<T> spmspv_dist_masked(const DistCsr<TA>& a,
+                                    const DistSparseVec<T>& x,
+                                    const DistDenseVec<std::uint8_t>& mask,
+                                    MaskMode mode, const SR& sr,
+                                    const SpmspvOptions& opt = {}) {
+  PGB_REQUIRE_SHAPE(mask.size() == a.ncols(),
+                    "spmspv: mask size must equal matrix columns");
+  return detail::spmspv_dist_impl(a, x, sr, opt, &mask, mode);
+}
+
+}  // namespace pgb

@@ -1,0 +1,76 @@
+// Matrix transpose. Local CSR transpose is a counting sort over columns;
+// the distributed version transposes each block locally and exchanges
+// blocks across the grid diagonal in bulk messages.
+#pragma once
+
+#include <vector>
+
+#include "machine/cost.hpp"
+#include "runtime/locale_grid.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dist_csr.hpp"
+
+namespace pgb {
+
+/// Local CSR transpose (counting sort; output columns sorted per row).
+template <typename T>
+Csr<T> transpose_local(const Csr<T>& a) {
+  const Index nr = a.nrows();
+  const Index nc = a.ncols();
+  std::vector<Index> rowptr(static_cast<std::size_t>(nc) + 1, 0);
+  for (Index c : a.colids()) ++rowptr[static_cast<std::size_t>(c) + 1];
+  for (Index c = 0; c < nc; ++c) {
+    rowptr[static_cast<std::size_t>(c) + 1] +=
+        rowptr[static_cast<std::size_t>(c)];
+  }
+  std::vector<Index> colids(static_cast<std::size_t>(a.nnz()));
+  std::vector<T> vals(static_cast<std::size_t>(a.nnz()));
+  std::vector<Index> cursor(rowptr.begin(), rowptr.end() - 1);
+  for (Index r = 0; r < nr; ++r) {
+    auto cols = a.row_colids(r);
+    auto rvals = a.row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const Index pos = cursor[static_cast<std::size_t>(cols[k])]++;
+      colids[static_cast<std::size_t>(pos)] = r;
+      vals[static_cast<std::size_t>(pos)] = rvals[k];
+    }
+  }
+  return Csr<T>::from_parts(nc, nr, std::move(rowptr), std::move(colids),
+                            std::move(vals));
+}
+
+/// Distributed transpose: block (R, C) becomes block (C, R) of the result.
+template <typename T>
+DistCsr<T> transpose_dist(const DistCsr<T>& a) {
+  auto& grid = a.grid();
+  Coo<T> coo(a.ncols(), a.nrows());
+  coo.reserve(static_cast<std::size_t>(a.nnz()));
+
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const int l = ctx.locale();
+    const auto& blk = a.block(l);
+    for (Index lr = 0; lr < blk.csr.nrows(); ++lr) {
+      auto cols = blk.csr.row_colids(lr);
+      auto vals = blk.csr.row_values(lr);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        coo.add(cols[k], blk.rlo + lr, vals[k]);
+      }
+    }
+    // Local block transpose (counting sort) ...
+    CostVector c;
+    c.add(CostKind::kStreamBytes, 32.0 * static_cast<double>(blk.csr.nnz()));
+    c.add(CostKind::kRandAccess, static_cast<double>(blk.csr.nnz()));
+    c.add(CostKind::kCpuOps, 16.0 * static_cast<double>(blk.csr.nnz()));
+    ctx.parallel_region(c);
+    // ... then one bulk exchange with the diagonal partner.
+    const int partner =
+        grid.locale(l).col * grid.cols() + grid.locale(l).row;
+    if (partner != l && partner < grid.num_locales()) {
+      ctx.remote_bulk(partner, 16 * blk.csr.nnz());
+    }
+  });
+  return DistCsr<T>::from_coo(grid, coo);
+}
+
+}  // namespace pgb

@@ -1,0 +1,43 @@
+#include "gen/random_vec.hpp"
+
+#include "util/error.hpp"
+
+namespace pgb {
+
+std::vector<Index> sample_sorted_indices(Index capacity, Index nnz,
+                                         std::uint64_t seed) {
+  PGB_REQUIRE(nnz >= 0 && nnz <= capacity,
+              "nnz must be within [0, capacity]");
+  std::vector<Index> idx;
+  idx.reserve(static_cast<std::size_t>(nnz));
+  Xoshiro256 rng(seed);
+  // Selection sampling: include i with probability (needed / remaining).
+  Index needed = nnz;
+  for (Index i = 0; i < capacity && needed > 0; ++i) {
+    const Index remaining = capacity - i;
+    if (rng.next_below(static_cast<std::uint64_t>(remaining)) <
+        static_cast<std::uint64_t>(needed)) {
+      idx.push_back(i);
+      --needed;
+    }
+  }
+  PGB_ASSERT(static_cast<Index>(idx.size()) == nnz,
+             "selection sampling must produce exactly nnz indices");
+  return idx;
+}
+
+DistDenseVec<std::uint8_t> random_dist_bool_vec(LocaleGrid& grid, Index n,
+                                                double p_true,
+                                                std::uint64_t seed) {
+  DistDenseVec<std::uint8_t> y(grid, n, 0);
+  for (int l = 0; l < grid.num_locales(); ++l) {
+    Xoshiro256 rng(seed, static_cast<std::uint64_t>(l) + 100);
+    auto& lv = y.local(l);
+    for (Index i = lv.lo(); i < lv.hi(); ++i) {
+      lv[i] = rng.next_bernoulli(p_true) ? 1 : 0;
+    }
+  }
+  return y;
+}
+
+}  // namespace pgb

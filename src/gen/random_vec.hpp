@@ -1,0 +1,57 @@
+// Random sparse/dense vector generators.
+//
+// The paper's vector experiments use "randomly generated" sparse vectors
+// with a given nonzero count (Figs 1-5) or a given density f = nnz/capacity
+// (the SpMSpV figures). random_sparse_vec draws an *exact* number of
+// distinct indices with selection sampling (Knuth's Algorithm S), which
+// emits them already sorted — matching Chapel's sorted sparse domains —
+// and is fully deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/locale_grid.hpp"
+#include "sparse/dist_dense_vec.hpp"
+#include "sparse/dist_sparse_vec.hpp"
+#include "sparse/sparse_vec.hpp"
+#include "util/rng.hpp"
+
+namespace pgb {
+
+/// Exactly nnz distinct sorted indices drawn uniformly from [0, capacity).
+std::vector<Index> sample_sorted_indices(Index capacity, Index nnz,
+                                         std::uint64_t seed);
+
+/// Local sparse vector with exactly nnz nonzeros; values are small
+/// integers derived from the value seed (deterministic).
+template <typename T>
+SparseVec<T> random_sparse_vec(Index capacity, Index nnz,
+                               std::uint64_t seed) {
+  auto idx = sample_sorted_indices(capacity, nnz, seed);
+  Xoshiro256 rng(seed, /*shard=*/1);
+  std::vector<T> vals(idx.size());
+  for (auto& v : vals) v = static_cast<T>(rng.next_below(1 << 20));
+  return SparseVec<T>::from_sorted(capacity, std::move(idx),
+                                   std::move(vals));
+}
+
+/// Distributed sparse vector with exactly nnz nonzeros over all locales.
+template <typename T>
+DistSparseVec<T> random_dist_sparse_vec(LocaleGrid& grid, Index capacity,
+                                        Index nnz, std::uint64_t seed) {
+  auto idx = sample_sorted_indices(capacity, nnz, seed);
+  Xoshiro256 rng(seed, /*shard=*/1);
+  std::vector<T> vals(idx.size());
+  for (auto& v : vals) v = static_cast<T>(rng.next_below(1 << 20));
+  return DistSparseVec<T>::from_sorted(grid, capacity, idx, vals);
+}
+
+/// Distributed dense Boolean vector; each entry true with probability p.
+/// (The paper's eWiseMult experiment uses a Boolean y that keeps about
+/// half of x's entries.)
+DistDenseVec<std::uint8_t> random_dist_bool_vec(LocaleGrid& grid, Index n,
+                                                double p_true,
+                                                std::uint64_t seed);
+
+}  // namespace pgb

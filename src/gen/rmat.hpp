@@ -1,0 +1,33 @@
+// R-MAT (recursive matrix) power-law graph generator, used by the example
+// applications (BFS, connected components) for more realistic skewed-degree
+// graphs than Erdős–Rényi.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/locale_grid.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dist_csr.hpp"
+
+namespace pgb {
+
+struct RmatParams {
+  int scale = 14;          ///< n = 2^scale vertices
+  Index edge_factor = 16;  ///< ~edge_factor * n directed edges (pre-dedup)
+  double a = 0.57, b = 0.19, c = 0.19;  ///< corner probabilities (d = 1-a-b-c)
+  bool symmetric = true;   ///< also add the reverse of every edge
+  std::uint64_t seed = 1;
+};
+
+/// Edge list as COO with unit values; duplicates removed, self-loops kept
+/// out.
+Coo<std::int64_t> rmat_coo(const RmatParams& p);
+
+/// Local CSR adjacency matrix.
+Csr<std::int64_t> rmat_csr(const RmatParams& p);
+
+/// 2-D distributed adjacency matrix.
+DistCsr<std::int64_t> rmat_dist(LocaleGrid& grid, const RmatParams& p);
+
+}  // namespace pgb

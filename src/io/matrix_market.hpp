@@ -1,0 +1,45 @@
+// Matrix Market (.mtx) I/O — the lingua franca of sparse-matrix
+// exchange (SuiteSparse collection etc.), so the library can run on real
+// graphs, not only generated ones.
+//
+// Supported on read: `matrix coordinate` with field real / integer /
+// pattern (pattern entries get value 1) and symmetry general / symmetric
+// (symmetric entries are mirrored; diagonal kept once). Comments (%) and
+// blank lines are skipped. 1-based indices per the format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dist_csr.hpp"
+
+namespace pgb {
+
+struct MatrixMarketInfo {
+  Index nrows = 0;
+  Index ncols = 0;
+  Index entries = 0;     ///< entries as stored in the file
+  bool symmetric = false;
+  bool pattern = false;
+};
+
+/// Reads a Matrix Market stream into COO (values as double).
+Coo<double> read_matrix_market(std::istream& in,
+                               MatrixMarketInfo* info = nullptr);
+
+/// Reads a Matrix Market file into a local CSR.
+Csr<double> read_matrix_market_csr(const std::string& path,
+                                   MatrixMarketInfo* info = nullptr);
+
+/// Reads a Matrix Market file directly into a 2-D distributed CSR.
+DistCsr<double> read_matrix_market_dist(LocaleGrid& grid,
+                                        const std::string& path,
+                                        MatrixMarketInfo* info = nullptr);
+
+/// Writes a local CSR as `matrix coordinate real general`.
+void write_matrix_market(std::ostream& out, const Csr<double>& m);
+void write_matrix_market(const std::string& path, const Csr<double>& m);
+
+}  // namespace pgb

@@ -1,0 +1,91 @@
+// Abstract cost accounting for node-local work.
+//
+// Kernels in pgas-graphblas execute their algorithm for real (so results
+// are correct and testable) and simultaneously *charge* the work they do
+// to a CostVector. The parallel model (parallel_model.hpp) converts a
+// CostVector plus a thread count and placement into modeled seconds on the
+// target machine. Keeping charges abstract (bytes streamed, random
+// accesses, ...) rather than measuring host wall-clock makes the simulated
+// times deterministic and independent of the (1-core) host.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace pgb {
+
+enum class CostKind : int {
+  /// Scalar ALU/branch work, scales ~linearly with threads.
+  kCpuOps = 0,
+  /// Bytes moved sequentially through the memory system; scales with
+  /// threads until the node's memory bandwidth saturates.
+  kStreamBytes,
+  /// Cache-unfriendly but *independent* accesses (SPA scatter, gather of
+  /// values by sorted index list); overlapped up to the node's
+  /// memory-level parallelism.
+  kRandAccess,
+  /// *Dependent* uncached accesses: each probe must finish before the
+  /// next issues (binary-search chains into sorted sparse domains — the
+  /// paper's "accessing A[i] requires logarithmic time"). One chain per
+  /// element; chains of different elements overlap only across threads,
+  /// capped by NodeParams::dep_chain_cap.
+  kDependentAccess,
+  /// Read-modify-writes on a single shared cache line (e.g. the shared
+  /// output counter in eWiseMult). Serialized: does not scale.
+  kAtomicContended,
+  /// Read-modify-writes on distinct lines (SPA isthere flags); behaves
+  /// like random access with an RMW surcharge.
+  kAtomicDistinct,
+  /// Tasks spawned by a parallel construct; charged serially at the
+  /// spawning task ("burdened parallelism", He et al. [4] in the paper).
+  kTaskSpawn,
+  kNumKinds,
+};
+
+inline constexpr int kNumCostKinds = static_cast<int>(CostKind::kNumKinds);
+
+/// Accumulated abstract work of one parallel (or serial) region.
+class CostVector {
+ public:
+  constexpr CostVector() : v_{} {}
+
+  void add(CostKind k, double amount) { v_[static_cast<int>(k)] += amount; }
+  double get(CostKind k) const { return v_[static_cast<int>(k)]; }
+
+  CostVector& operator+=(const CostVector& o) {
+    for (int i = 0; i < kNumCostKinds; ++i) v_[i] += o.v_[i];
+    return *this;
+  }
+
+  /// Scaled copy (used to split a cost into parallel/serial fractions).
+  CostVector scaled(double f) const {
+    CostVector c;
+    for (int i = 0; i < kNumCostKinds; ++i) c.v_[i] = v_[i] * f;
+    return c;
+  }
+
+  bool empty() const {
+    for (double x : v_) {
+      if (x != 0.0) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<double, kNumCostKinds> v_;
+};
+
+// ---- composite charge helpers for common kernels ----
+
+/// Cost of a bottom-up merge sort of n 8-byte keys (Chapel's mergeSort in
+/// the paper's Listing 7). ~log2(n) passes, each streaming the data and
+/// doing a compare/branch per element. `cmp_ops` is deliberately high
+/// (Chapel iterator overhead); see machine_model.cpp for calibration.
+CostVector merge_sort_cost(std::int64_t n);
+
+/// Cost of an LSD radix sort of n 8-byte keys with values < max_value.
+/// Fewer, cheaper passes than merge sort — the paper's suggested
+/// improvement (citing Azad & Buluç, IPDPS 2017 [9]).
+CostVector radix_sort_cost(std::int64_t n, std::int64_t max_value);
+
+}  // namespace pgb

@@ -1,0 +1,66 @@
+// Parameters of the simulated machine.
+//
+// The preset MachineModel::edison() models one Cray XC30 node (2x12-core
+// 2.4 GHz Ivy Bridge, ~90 GB/s stream bandwidth) and the Aries/Dragonfly
+// network, with software overheads calibrated to the magnitudes reported
+// in the paper (Chapel 1.14 + GASNet aries + qthreads). Constants are
+// deliberately exposed as plain fields: tests assert *relations* between
+// them (e.g. remote fork >> local task spawn) and ablation benches vary
+// them (e.g. abl_bulk_vs_fine).
+#pragma once
+
+namespace pgb {
+
+/// Node-local execution parameters.
+struct NodeParams {
+  int cores = 24;                  ///< physical cores per node
+  double ops_per_sec = 2.4e9;      ///< scalar op issue rate per core
+  double bw_core = 5.0e9;          ///< bytes/s streaming, single core
+  double bw_node = 90.0e9;         ///< bytes/s streaming, node aggregate
+  double mem_latency = 90e-9;      ///< seconds per uncached access
+  double mlp_core = 10.0;          ///< outstanding misses one core sustains
+  double mlp_node = 80.0;          ///< node-wide effective miss concurrency
+  double dep_chain_cap = 8.0;      ///< concurrent dependent-miss chains the
+                                   ///< memory system sustains (paper: Assign1
+                                   ///< speeds up only 5-8x on 24 cores)
+  double atomic_contended = 7e-9;  ///< seconds per same-line RMW (serial)
+  double atomic_distinct = 30e-9;  ///< extra seconds per distinct-line RMW
+  double tau_task = 20e-6;         ///< seconds to spawn+join one qthread task
+  double oversubscribe_gain = 0.1; ///< marginal value of threads > cores
+};
+
+/// Network / PGAS-communication parameters.
+struct NetParams {
+  double alpha = 1.5e-6;        ///< one-way small-message latency (software incl.)
+  double beta = 1.0 / 8.0e9;    ///< seconds per byte, inter-node
+  double alpha_intra = 0.8e-6;  ///< one-way latency between co-located locales
+  double beta_intra = 1.0 / 30.0e9;  ///< seconds per byte, intra-node
+  double tau_fork = 25e-6;      ///< spawning a task on a remote locale
+  double barrier_hop = 4e-6;    ///< per-log2(L) cost of a barrier
+  double fine_grain_overhead = 1.5e-6;  ///< extra per-element software cost of
+                                        ///< element-wise remote array access
+                                        ///< (wide-pointer deref, AM handler)
+  int max_outstanding = 16;     ///< overlap window for independent messages
+  /// AM-handler contention: effective latency multiplier grows by this
+  /// fraction per additional locale co-located on the same node. High:
+  /// co-located locales are separate processes whose progress threads
+  /// fight for the same cores (the paper's Fig 10 observes an order of
+  /// magnitude degradation at 32 locales/node).
+  double colocation_penalty = 0.30;
+};
+
+struct MachineModel {
+  NodeParams node;
+  NetParams net;
+
+  /// The paper's experimental platform (Edison, NERSC).
+  static MachineModel edison();
+
+  /// A 2020s HPC node/network (EPYC-class cores, Slingshot-class
+  /// interconnect, a leaner tasking runtime). Used by the era ablation
+  /// to ask which of the paper's bottlenecks are artifacts of 2017
+  /// hardware and which are inherent to the access patterns.
+  static MachineModel modern();
+};
+
+}  // namespace pgb

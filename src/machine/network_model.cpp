@@ -1,0 +1,70 @@
+#include "machine/network_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pgb {
+
+double NetworkModel::alpha(bool intra_node, int colocated) const {
+  const double base = intra_node ? p_.alpha_intra : p_.alpha;
+  // AM handlers of co-located locales contend for the same cores.
+  return base * (1.0 + p_.colocation_penalty * std::max(0, colocated - 1));
+}
+
+double NetworkModel::beta(bool intra_node) const {
+  return intra_node ? p_.beta_intra : p_.beta;
+}
+
+double NetworkModel::message(std::int64_t bytes, bool intra_node,
+                             int colocated) const {
+  return alpha(intra_node, colocated) +
+         static_cast<double>(bytes) * beta(intra_node);
+}
+
+double NetworkModel::round_trip(std::int64_t bytes, bool intra_node,
+                                int colocated) const {
+  return 2.0 * alpha(intra_node, colocated) +
+         static_cast<double>(bytes) * beta(intra_node);
+}
+
+double NetworkModel::overlapped_messages(std::int64_t count,
+                                         std::int64_t bytes_each,
+                                         bool intra_node,
+                                         int colocated) const {
+  if (count <= 0) return 0.0;
+  const double per_msg =
+      message(bytes_each, intra_node, colocated) + p_.fine_grain_overhead;
+  const double window = static_cast<double>(std::max(1, p_.max_outstanding));
+  // First message pays full latency; the rest stream through the window.
+  return per_msg + (static_cast<double>(count) - 1.0) * per_msg / window;
+}
+
+double NetworkModel::dependent_chain(std::int64_t count, double rts_per_elem,
+                                     std::int64_t bytes_each, bool intra_node,
+                                     int colocated) const {
+  if (count <= 0) return 0.0;
+  const double per_elem =
+      rts_per_elem * round_trip(0, intra_node, colocated) +
+      message(bytes_each, intra_node, colocated) + p_.fine_grain_overhead;
+  return static_cast<double>(count) * per_elem;
+}
+
+double NetworkModel::bulk(std::int64_t bytes, bool intra_node,
+                          int colocated) const {
+  return alpha(intra_node, colocated) +
+         static_cast<double>(bytes) * beta(intra_node);
+}
+
+double NetworkModel::fork(bool intra_node, int colocated) const {
+  // Remote forks ride active messages and pay the same contention.
+  const double contention =
+      1.0 + p_.colocation_penalty * std::max(0, colocated - 1);
+  return p_.tau_fork * (intra_node ? 0.6 : 1.0) * contention;
+}
+
+double NetworkModel::barrier(int locales) const {
+  if (locales <= 1) return 0.0;
+  return p_.barrier_hop * std::ceil(std::log2(static_cast<double>(locales)));
+}
+
+}  // namespace pgb

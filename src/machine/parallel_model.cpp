@@ -1,0 +1,56 @@
+#include "machine/parallel_model.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pgb {
+
+double effective_threads(const NodeParams& node, int threads, int colocated) {
+  PGB_REQUIRE(threads >= 1, "threads must be >= 1");
+  PGB_REQUIRE(colocated >= 1, "colocated must be >= 1");
+  const double cores_avail =
+      std::max(1.0, static_cast<double>(node.cores) / colocated);
+  const double t = static_cast<double>(threads);
+  if (t <= cores_avail) return t;
+  return cores_avail + node.oversubscribe_gain * (t - cores_avail);
+}
+
+double region_time(const NodeParams& node, const CostVector& cost,
+                   int threads, int colocated) {
+  const double pe = effective_threads(node, threads, colocated);
+
+  const double t_cpu =
+      cost.get(CostKind::kCpuOps) / (node.ops_per_sec * pe);
+
+  const double bw = std::min(pe * node.bw_core,
+                             node.bw_node / static_cast<double>(colocated));
+  const double t_stream = cost.get(CostKind::kStreamBytes) / bw;
+
+  const double miss_concurrency = std::min(
+      pe * node.mlp_core, node.mlp_node / static_cast<double>(colocated));
+  const double t_rand = cost.get(CostKind::kRandAccess) * node.mem_latency /
+                        std::max(1.0, miss_concurrency);
+
+  const double chain_concurrency =
+      std::min(pe, node.dep_chain_cap / static_cast<double>(colocated));
+  const double t_dep = cost.get(CostKind::kDependentAccess) *
+                       node.mem_latency / std::max(1.0, chain_concurrency);
+
+  const double t_atomic_c =
+      cost.get(CostKind::kAtomicContended) * node.atomic_contended;
+
+  // Distinct-line RMWs overlap like misses but at half the concurrency
+  // (the RMW holds the line longer).
+  const double t_atomic_d =
+      cost.get(CostKind::kAtomicDistinct) *
+      (node.mem_latency + node.atomic_distinct) /
+      std::max(1.0, 0.5 * miss_concurrency);
+
+  const double t_spawn = cost.get(CostKind::kTaskSpawn) * node.tau_task;
+
+  return t_cpu + t_stream + t_rand + t_dep + t_atomic_c + t_atomic_d +
+         t_spawn;
+}
+
+}  // namespace pgb

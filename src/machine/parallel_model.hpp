@@ -1,0 +1,34 @@
+// Converts abstract CostVectors into modeled seconds for a parallel
+// region executed by `threads` tasks on a node shared by `colocated`
+// locales. This is the node half of the simulator; the network half is
+// network_model.hpp.
+#pragma once
+
+#include "machine/cost.hpp"
+#include "machine/machine_model.hpp"
+
+namespace pgb {
+
+/// Modeled execution time of a region.
+///
+/// Terms (see CostKind docs):
+///  - cpu: scales with effective threads (diminishing past physical cores);
+///  - stream: bytes / min(threads * bw_core, bw_node / colocated) — the
+///    node's memory bandwidth is shared among co-located locales;
+///  - random access: latency-bound, overlapped up to min(threads * mlp_core,
+///    mlp_node) outstanding misses — this is why the paper's Assign1 only
+///    speeds up 5-8x on 24 cores;
+///  - contended atomics: serialized, never scale;
+///  - distinct-line atomics: random access with an RMW surcharge;
+///  - task spawn: charged serially at the master (burdened parallelism).
+///
+/// Terms are additive: these kernels are simple enough that phases do not
+/// overlap significantly.
+double region_time(const NodeParams& node, const CostVector& cost,
+                   int threads, int colocated = 1);
+
+/// Effective thread count: threads beyond the physical cores available to
+/// this locale contribute only marginally.
+double effective_threads(const NodeParams& node, int threads, int colocated);
+
+}  // namespace pgb

@@ -1,0 +1,62 @@
+// Per-locale simulated clocks and the phase trace that the figure
+// benchmarks read (e.g. SpMSpV's SPA / Sort / Output breakdown in Fig 7).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pgb {
+
+/// A locale's simulated time line. Monotonic.
+class SimClock {
+ public:
+  double now() const { return t_; }
+
+  void advance(double dt) {
+    PGB_ASSERT(dt >= 0.0, "clock can only move forward");
+    t_ += dt;
+  }
+
+  /// Jump forward to an absolute time (used by barriers).
+  void advance_to(double t) {
+    if (t > t_) t_ = t;
+  }
+
+  void reset() { t_ = 0.0; }
+
+ private:
+  double t_ = 0.0;
+};
+
+/// Named phase timings accumulated by operations. Benches snapshot the
+/// grid time around phases; ops record the deltas here so harnesses can
+/// print per-component series exactly like the paper's stacked figures.
+class Trace {
+ public:
+  void add(const std::string& phase, double seconds) {
+    auto [it, inserted] = phases_.try_emplace(phase, 0.0);
+    if (inserted) order_.push_back(phase);
+    it->second += seconds;
+  }
+
+  double get(const std::string& phase) const {
+    auto it = phases_.find(phase);
+    return it == phases_.end() ? 0.0 : it->second;
+  }
+
+  const std::vector<std::string>& phases() const { return order_; }
+
+  void clear() {
+    phases_.clear();
+    order_.clear();
+  }
+
+ private:
+  std::map<std::string, double> phases_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace pgb

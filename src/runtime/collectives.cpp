@@ -1,0 +1,134 @@
+#include "runtime/collectives.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pgb {
+
+namespace {
+
+/// Max clock among the members.
+double members_time(LocaleGrid& grid, const std::vector<int>& members) {
+  double t = 0.0;
+  for (int m : members) t = std::max(t, grid.clock(m).now());
+  return t;
+}
+
+void advance_members_to(LocaleGrid& grid, const std::vector<int>& members,
+                        double t) {
+  for (int m : members) grid.clock(m).advance_to(t);
+}
+
+/// Whether all members share one physical node (the intra-node path).
+bool all_same_node(const LocaleGrid& grid, const std::vector<int>& members) {
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    if (!grid.same_node(members[0], members[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<int> row_members(const LocaleGrid& grid, int prow) {
+  PGB_REQUIRE(prow >= 0 && prow < grid.rows(), "bad processor row");
+  std::vector<int> m(static_cast<std::size_t>(grid.cols()));
+  for (int c = 0; c < grid.cols(); ++c) m[static_cast<std::size_t>(c)] = prow * grid.cols() + c;
+  return m;
+}
+
+std::vector<int> col_members(const LocaleGrid& grid, int pcol) {
+  PGB_REQUIRE(pcol >= 0 && pcol < grid.cols(), "bad processor column");
+  std::vector<int> m(static_cast<std::size_t>(grid.rows()));
+  for (int r = 0; r < grid.rows(); ++r) m[static_cast<std::size_t>(r)] = r * grid.cols() + pcol;
+  return m;
+}
+
+void broadcast(LocaleGrid& grid, const std::vector<int>& members,
+               int root_index, std::int64_t bytes, CollectiveAlgo algo) {
+  PGB_REQUIRE(!members.empty(), "broadcast: no members");
+  PGB_REQUIRE(root_index >= 0 &&
+                  root_index < static_cast<int>(members.size()),
+              "broadcast: bad root index");
+  if (members.size() == 1) return;
+  const bool intra = all_same_node(grid, members);
+  const auto& net = grid.net();
+  const double start = members_time(grid, members);
+  const int n = static_cast<int>(members.size());
+
+  double finish;
+  if (algo == CollectiveAlgo::kSerialSends) {
+    // Root pushes one copy per peer, back to back.
+    finish = start + (n - 1) * net.bulk(bytes, intra, grid.colocated());
+  } else {
+    // Binomial tree: ceil(log2 n) rounds, one transfer per round on the
+    // critical path.
+    const double rounds = std::ceil(std::log2(static_cast<double>(n)));
+    finish = start + rounds * net.bulk(bytes, intra, grid.colocated());
+  }
+  advance_members_to(grid, members, finish);
+}
+
+void allgather(LocaleGrid& grid, const std::vector<int>& members,
+               std::int64_t bytes_each, CollectiveAlgo algo) {
+  PGB_REQUIRE(!members.empty(), "allgather: no members");
+  if (members.size() == 1) return;
+  const bool intra = all_same_node(grid, members);
+  const auto& net = grid.net();
+  const double start = members_time(grid, members);
+  const int n = static_cast<int>(members.size());
+
+  double finish;
+  if (algo == CollectiveAlgo::kSerialSends) {
+    // Hand-rolled schedule (Listing 8 in bulk form): every member pulls
+    // the pieces in the same source order, so at any moment all n-1
+    // requesters converge on one source, which serves them serially —
+    // quadratic in the member count.
+    finish = start + static_cast<double>(n - 1) * (n - 1) *
+                         net.bulk(bytes_each, intra, grid.colocated());
+  } else {
+    // Recursive doubling: log2(n) rounds; round r moves 2^r * bytes_each.
+    double t = 0.0;
+    std::int64_t chunk = bytes_each;
+    for (int covered = 1; covered < n; covered *= 2) {
+      t += net.bulk(chunk, intra, grid.colocated());
+      chunk *= 2;
+    }
+    finish = start + t;
+  }
+  advance_members_to(grid, members, finish);
+}
+
+void reduce_scatter(LocaleGrid& grid, const std::vector<int>& members,
+                    std::int64_t bytes_total, CollectiveAlgo algo) {
+  PGB_REQUIRE(!members.empty(), "reduce_scatter: no members");
+  if (members.size() == 1) return;
+  const bool intra = all_same_node(grid, members);
+  const auto& net = grid.net();
+  const double start = members_time(grid, members);
+  const int n = static_cast<int>(members.size());
+
+  double finish;
+  if (algo == CollectiveAlgo::kSerialSends) {
+    // Every member ships a bytes_total/n chunk to each slice owner in the
+    // same order; like the serial allgather, the aligned schedule
+    // serializes at each destination — quadratic.
+    finish = start + static_cast<double>(n - 1) * (n - 1) *
+                         net.bulk(std::max<std::int64_t>(bytes_total / n, 1),
+                                  intra, grid.colocated());
+  } else {
+    // Recursive halving: log2(n) rounds, halving volume each round.
+    double t = 0.0;
+    std::int64_t chunk = bytes_total / 2;
+    for (int parts = 1; parts < n; parts *= 2) {
+      t += net.bulk(std::max<std::int64_t>(chunk, 1), intra,
+                    grid.colocated());
+      chunk /= 2;
+    }
+    finish = start + t;
+  }
+  advance_members_to(grid, members, finish);
+}
+
+}  // namespace pgb

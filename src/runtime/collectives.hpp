@@ -1,0 +1,51 @@
+// Modeled collective-communication operations.
+//
+// The paper's Listing 8 hand-rolls its gathers and scatters from serial
+// point-to-point copies, and its discussion (Section IV) calls out MPI
+// team collectives as a missing Chapel facility that "is expected to
+// improve the productivity and performance of graph algorithms". This
+// module provides that facility for the simulated runtime: broadcast,
+// allgather and reduce-scatter over a set of locales, with either the
+// naive serial-send schedule (what hand-rolled Chapel code does) or the
+// logarithmic schedules MPI implementations use.
+//
+// These functions only advance clocks — data movement stays with the
+// caller (which already has shared-address-space access), exactly like
+// the LocaleCtx charging helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/locale_grid.hpp"
+
+namespace pgb {
+
+enum class CollectiveAlgo {
+  kSerialSends,  ///< root/members send one message at a time (hand-rolled)
+  kTree,         ///< binomial tree / recursive doubling (MPI-style)
+};
+
+/// One-to-all broadcast of `bytes` from members[root_index] to every
+/// other member. Advances all members' clocks to completion.
+void broadcast(LocaleGrid& grid, const std::vector<int>& members,
+               int root_index, std::int64_t bytes, CollectiveAlgo algo);
+
+/// All-to-all concatenation: every member contributes bytes_each and
+/// ends up with the full concatenation (the paper's "gather x along the
+/// processor row" is exactly an allgather over the row's locales).
+void allgather(LocaleGrid& grid, const std::vector<int>& members,
+               std::int64_t bytes_each, CollectiveAlgo algo);
+
+/// Each member starts with a full-length buffer of `bytes_total`; the
+/// element-wise reduction is computed and scattered so each member ends
+/// with bytes_total / |members| of the result (the distributed SpMSpV /
+/// SpMV output accumulation along a processor column).
+void reduce_scatter(LocaleGrid& grid, const std::vector<int>& members,
+                    std::int64_t bytes_total, CollectiveAlgo algo);
+
+/// Locale ids of processor row r / column c of the grid.
+std::vector<int> row_members(const LocaleGrid& grid, int prow);
+std::vector<int> col_members(const LocaleGrid& grid, int pcol);
+
+}  // namespace pgb

@@ -1,0 +1,82 @@
+// Block distributions: the analogue of Chapel's Block dmap.
+//
+// BlockDist1D partitions an index range [0, n) "evenly" across `parts`
+// (Chapel's formula: part p owns [n*p/parts, n*(p+1)/parts)). BlockDist2D
+// composes two 1-D distributions over a 2-D locale grid, which is the
+// layout the paper uses for sparse matrices (Section II-B).
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace pgb {
+
+using Index = std::int64_t;
+
+class BlockDist1D {
+ public:
+  BlockDist1D() = default;
+  BlockDist1D(Index n, int parts) : n_(n), parts_(parts) {
+    PGB_REQUIRE(n >= 0, "negative domain size");
+    PGB_REQUIRE(parts >= 1, "need at least one part");
+  }
+
+  Index n() const { return n_; }
+  int parts() const { return parts_; }
+
+  /// First index owned by part p (inclusive).
+  Index lo(int p) const { return n_ * p / parts_; }
+  /// One past the last index owned by part p.
+  Index hi(int p) const { return n_ * (p + 1) / parts_; }
+  Index local_size(int p) const { return hi(p) - lo(p); }
+
+  /// The part owning global index i.
+  int owner(Index i) const {
+    PGB_ASSERT(i >= 0 && i < n_, "index out of distributed range");
+    // Initial guess from the proportional formula, then fix up boundary
+    // rounding (the guess is off by at most one).
+    int p = static_cast<int>(
+        static_cast<__int128>(i) * parts_ / (n_ > 0 ? n_ : 1));
+    if (p >= parts_) p = parts_ - 1;
+    while (i < lo(p)) --p;
+    while (i >= hi(p)) ++p;
+    return p;
+  }
+
+  bool operator==(const BlockDist1D& o) const = default;
+
+ private:
+  Index n_ = 0;
+  int parts_ = 1;
+};
+
+/// 2-D block distribution over a rows x cols locale grid; locale ids are
+/// row-major (as the paper's Listing 8 indexes them: l(1)*pc + i).
+class BlockDist2D {
+ public:
+  BlockDist2D() = default;
+  BlockDist2D(Index nrows, Index ncols, int prows, int pcols)
+      : rowd_(nrows, prows), cold_(ncols, pcols) {}
+
+  const BlockDist1D& rowd() const { return rowd_; }
+  const BlockDist1D& cold() const { return cold_; }
+  int prows() const { return rowd_.parts(); }
+  int pcols() const { return cold_.parts(); }
+
+  int locale_of(Index r, Index c) const {
+    return rowd_.owner(r) * pcols() + cold_.owner(c);
+  }
+
+  /// Grid coordinates of locale id.
+  int prow_of(int locale) const { return locale / pcols(); }
+  int pcol_of(int locale) const { return locale % pcols(); }
+
+  bool operator==(const BlockDist2D& o) const = default;
+
+ private:
+  BlockDist1D rowd_;
+  BlockDist1D cold_;
+};
+
+}  // namespace pgb

@@ -1,0 +1,120 @@
+#include "runtime/locale_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pgb {
+
+LocaleCtx::LocaleCtx(LocaleGrid& grid, int locale)
+    : grid_(grid), locale_(locale) {
+  PGB_REQUIRE(locale >= 0 && locale < grid.num_locales(),
+              "locale id out of range");
+}
+
+SimClock& LocaleCtx::clock() { return grid_.clock(locale_); }
+
+void LocaleCtx::parallel_region(CostVector cost) {
+  cost.add(CostKind::kTaskSpawn, grid_.threads());
+  clock().advance(region_time(grid_.model().node, cost, grid_.threads(),
+                              grid_.colocated()));
+}
+
+void LocaleCtx::serial_region(const CostVector& cost) {
+  clock().advance(
+      region_time(grid_.model().node, cost, 1, grid_.colocated()));
+}
+
+void LocaleCtx::remote_chain(int peer, std::int64_t count,
+                             double rts_per_elem, std::int64_t bytes_each,
+                             double contention) {
+  if (peer == locale_) return;  // local access: caller charges node costs
+  clock().advance(contention *
+                  grid_.net().dependent_chain(
+                      count, rts_per_elem, bytes_each,
+                      grid_.same_node(locale_, peer), grid_.colocated()));
+}
+
+void LocaleCtx::remote_msgs(int peer, std::int64_t count,
+                            std::int64_t bytes_each, double contention) {
+  if (peer == locale_) return;
+  clock().advance(contention *
+                  grid_.net().overlapped_messages(
+                      count, bytes_each, grid_.same_node(locale_, peer),
+                      grid_.colocated()));
+}
+
+void LocaleCtx::remote_bulk(int peer, std::int64_t bytes) {
+  if (peer == locale_) return;
+  clock().advance(grid_.net().bulk(bytes, grid_.same_node(locale_, peer),
+                                   grid_.colocated()));
+}
+
+void LocaleCtx::remote_rt(int peer, std::int64_t bytes_back) {
+  if (peer == locale_) return;
+  clock().advance(grid_.net().round_trip(
+      bytes_back, grid_.same_node(locale_, peer), grid_.colocated()));
+}
+
+LocaleGrid::LocaleGrid(GridConfig cfg) : cfg_(cfg), net_(cfg.model.net) {
+  PGB_REQUIRE(cfg.rows >= 1 && cfg.cols >= 1, "grid must be at least 1x1");
+  PGB_REQUIRE(cfg.threads_per_locale >= 1, "need at least one thread");
+  PGB_REQUIRE(cfg.locales_per_node >= 1, "need at least one locale per node");
+  const int n = cfg.rows * cfg.cols;
+  locales_.reserve(n);
+  for (int id = 0; id < n; ++id) {
+    locales_.push_back(Locale{.id = id,
+                              .row = id / cfg.cols,
+                              .col = id % cfg.cols,
+                              .node = id / cfg.locales_per_node});
+  }
+  clocks_.resize(n);
+}
+
+LocaleGrid LocaleGrid::single(int threads, MachineModel model) {
+  return LocaleGrid(GridConfig{.rows = 1,
+                               .cols = 1,
+                               .threads_per_locale = threads,
+                               .locales_per_node = 1,
+                               .model = model});
+}
+
+LocaleGrid LocaleGrid::square(int nlocales, int threads_per_locale,
+                              int locales_per_node, MachineModel model) {
+  PGB_REQUIRE(nlocales >= 1, "need at least one locale");
+  int rows = static_cast<int>(std::sqrt(static_cast<double>(nlocales)));
+  while (rows > 1 && nlocales % rows != 0) --rows;
+  const int cols = nlocales / rows;
+  return LocaleGrid(GridConfig{.rows = rows,
+                               .cols = cols,
+                               .threads_per_locale = threads_per_locale,
+                               .locales_per_node = locales_per_node,
+                               .model = model});
+}
+
+double LocaleGrid::time() const {
+  double t = 0.0;
+  for (const auto& c : clocks_) t = std::max(t, c.now());
+  return t;
+}
+
+void LocaleGrid::coforall_locales(const std::function<void(LocaleCtx&)>& body) {
+  const double t0 = clocks_[0].now();
+  double spawn_accum = 0.0;
+  for (int l = 0; l < num_locales(); ++l) {
+    if (l != 0) {
+      spawn_accum += net_.fork(same_node(0, l), colocated());
+      clocks_[l].advance_to(t0 + spawn_accum);
+    }
+    LocaleCtx ctx(*this, l);
+    body(ctx);
+  }
+  barrier_all();
+}
+
+double LocaleGrid::barrier_all() {
+  const double t = time() + net_.barrier(num_locales());
+  for (auto& c : clocks_) c.advance_to(t);
+  return t;
+}
+
+}  // namespace pgb

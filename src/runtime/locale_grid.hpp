@@ -1,0 +1,148 @@
+// The locale grid: pgas-graphblas's stand-in for Chapel's locales on a
+// distributed machine.
+//
+// A LocaleGrid is a 2-D arrangement of simulated locales (the paper uses
+// 2-D block distributions throughout). Each locale has its own simulated
+// clock. Kernels execute for real in this process; parallel constructs
+// (`coforall_locales`, per-locale parallel regions) and the comm-charging
+// helpers advance the clocks according to the machine model, so
+// `grid.time()` after an operation is the modeled distributed-memory
+// runtime of that operation.
+//
+// Placement: `locales_per_node` co-locates several locales on one modeled
+// node (sharing memory bandwidth and paying AM-handler contention), which
+// reproduces the paper's Fig 10 experiment.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "machine/machine_model.hpp"
+#include "machine/network_model.hpp"
+#include "machine/parallel_model.hpp"
+#include "machine/sim_clock.hpp"
+#include "util/error.hpp"
+
+namespace pgb {
+
+struct Locale {
+  int id = 0;
+  int row = 0;
+  int col = 0;
+  int node = 0;  ///< physical node hosting this locale
+};
+
+struct GridConfig {
+  int rows = 1;
+  int cols = 1;
+  int threads_per_locale = 1;
+  int locales_per_node = 1;
+  MachineModel model = MachineModel::edison();
+};
+
+class LocaleGrid;
+
+/// Handle passed to per-locale bodies; provides cost-charging helpers.
+class LocaleCtx {
+ public:
+  LocaleCtx(LocaleGrid& grid, int locale);
+
+  int locale() const { return locale_; }
+  LocaleGrid& grid() { return grid_; }
+  SimClock& clock();
+
+  /// Charges a forall-style parallel region executed with the locale's
+  /// threads; includes the task-spawn burden.
+  void parallel_region(CostVector cost);
+
+  /// Charges single-task work (no spawn).
+  void serial_region(const CostVector& cost);
+
+  // -- communication charges (data itself is read/written directly by the
+  //    caller; these advance this locale's clock per the network model) --
+
+  /// Element-wise access to `count` remote elements, each needing
+  /// `rts_per_elem` dependent round trips (e.g. remote binary search).
+  /// `contention` multiplies the time when several locales hammer the
+  /// same source simultaneously (its AM handler serializes them).
+  void remote_chain(int peer, std::int64_t count, double rts_per_elem,
+                    std::int64_t bytes_each, double contention = 1.0);
+
+  /// `count` independent small messages to `peer` (overlapped).
+  void remote_msgs(int peer, std::int64_t count, std::int64_t bytes_each,
+                   double contention = 1.0);
+
+  /// One bulk transfer.
+  void remote_bulk(int peer, std::int64_t bytes);
+
+  /// One blocking round trip (e.g. reading a remote scalar such as a
+  /// domain's size).
+  void remote_rt(int peer, std::int64_t bytes_back);
+
+ private:
+  LocaleGrid& grid_;
+  int locale_;
+};
+
+class LocaleGrid {
+ public:
+  explicit LocaleGrid(GridConfig cfg);
+
+  /// Single-locale (shared-memory) grid with `threads` threads.
+  static LocaleGrid single(int threads,
+                           MachineModel model = MachineModel::edison());
+
+  /// A near-square prows x pcols grid over `nlocales` (prows <= pcols),
+  /// matching how the paper lays out locales for 2-D distributions.
+  static LocaleGrid square(int nlocales, int threads_per_locale,
+                           int locales_per_node = 1,
+                           MachineModel model = MachineModel::edison());
+
+  int num_locales() const { return static_cast<int>(locales_.size()); }
+  int rows() const { return cfg_.rows; }
+  int cols() const { return cfg_.cols; }
+  int threads() const { return cfg_.threads_per_locale; }
+
+  /// Change the per-locale thread count (benches sweep threads over one
+  /// generated workload; data placement is unaffected).
+  void set_threads(int threads) {
+    PGB_REQUIRE(threads >= 1, "need at least one thread");
+    cfg_.threads_per_locale = threads;
+  }
+  int colocated() const { return cfg_.locales_per_node; }
+  const Locale& locale(int id) const { return locales_[id]; }
+  bool same_node(int a, int b) const {
+    return locales_[a].node == locales_[b].node;
+  }
+
+  const MachineModel& model() const { return cfg_.model; }
+  const NetworkModel& net() const { return net_; }
+  SimClock& clock(int l) { return clocks_[l]; }
+  Trace& trace() { return trace_; }
+
+  /// Max over all locale clocks: the grid's current simulated time.
+  double time() const;
+
+  void reset() {
+    for (auto& c : clocks_) c.reset();
+    trace_.clear();
+  }
+
+  /// Chapel's `coforall loc in Locales do on loc { ... }`: the initiator
+  /// (locale 0) spawns a task on every locale — serialized fork charges —
+  /// then all join at a barrier. The body runs once per locale.
+  void coforall_locales(const std::function<void(LocaleCtx&)>& body);
+
+  /// Advance every clock to the common max plus barrier cost; returns the
+  /// synchronized time.
+  double barrier_all();
+
+ private:
+  GridConfig cfg_;
+  std::vector<Locale> locales_;
+  std::vector<SimClock> clocks_;
+  NetworkModel net_;
+  Trace trace_;
+};
+
+}  // namespace pgb

@@ -1,0 +1,81 @@
+// Coordinate-format triples and CSR construction. Generators emit COO;
+// Coo::to_csr sorts (row-major, columns ascending), combines duplicates
+// with a binary op, and builds the CSR.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace pgb {
+
+template <typename T>
+struct Triple {
+  Index row;
+  Index col;
+  T val;
+};
+
+template <typename T>
+class Coo {
+ public:
+  Coo(Index nrows, Index ncols) : nrows_(nrows), ncols_(ncols) {}
+
+  Index nrows() const { return nrows_; }
+  Index ncols() const { return ncols_; }
+  Index nnz() const { return static_cast<Index>(t_.size()); }
+
+  void add(Index r, Index c, T v) {
+    PGB_ASSERT(r >= 0 && r < nrows_ && c >= 0 && c < ncols_,
+               "triple out of range");
+    t_.push_back(Triple<T>{r, c, std::move(v)});
+  }
+
+  void reserve(std::size_t n) { t_.reserve(n); }
+  const std::vector<Triple<T>>& triples() const { return t_; }
+
+  /// Builds a CSR; duplicate coordinates are combined with `combine`
+  /// (defaults to keeping the last value).
+  template <typename Combine>
+  Csr<T> to_csr(Combine combine) const {
+    std::vector<Triple<T>> s = t_;
+    std::stable_sort(s.begin(), s.end(),
+                     [](const Triple<T>& a, const Triple<T>& b) {
+                       return a.row != b.row ? a.row < b.row : a.col < b.col;
+                     });
+    // Combine duplicates in place.
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (w > 0 && s[w - 1].row == s[i].row && s[w - 1].col == s[i].col) {
+        s[w - 1].val = combine(s[w - 1].val, s[i].val);
+      } else {
+        s[w++] = s[i];
+      }
+    }
+    s.resize(w);
+
+    std::vector<Index> rowptr(nrows_ + 1, 0);
+    for (const auto& tr : s) ++rowptr[tr.row + 1];
+    for (Index r = 0; r < nrows_; ++r) rowptr[r + 1] += rowptr[r];
+    std::vector<Index> colids(w);
+    std::vector<T> vals(w);
+    for (std::size_t i = 0; i < w; ++i) {
+      colids[i] = s[i].col;
+      vals[i] = s[i].val;
+    }
+    return Csr<T>::from_parts(nrows_, ncols_, std::move(rowptr),
+                              std::move(colids), std::move(vals));
+  }
+
+  Csr<T> to_csr() const {
+    return to_csr([](const T&, const T& b) { return b; });
+  }
+
+ private:
+  Index nrows_;
+  Index ncols_;
+  std::vector<Triple<T>> t_;
+};
+
+}  // namespace pgb

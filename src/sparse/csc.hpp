@@ -1,0 +1,144 @@
+// Compressed Sparse Columns. GraphBLAS implementations keep both
+// orientations so vxm and mxv each have a cheap kernel; Chapel (and the
+// paper) only support CSR, which is why this repo's distributed mxv pays
+// for an explicit transpose. The local CSC here provides the
+// transpose-free column-wise kernel for comparison (see
+// spmspv_columnwise in core/spmspv_cw.hpp).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace pgb {
+
+template <typename T>
+class Csc {
+ public:
+  Csc() : colptr_(1, 0) {}
+
+  Csc(Index nrows, Index ncols)
+      : nrows_(nrows), ncols_(ncols), colptr_(ncols + 1, 0) {
+    PGB_REQUIRE(nrows >= 0 && ncols >= 0, "negative matrix dimension");
+  }
+
+  static Csc from_parts(Index nrows, Index ncols, std::vector<Index> colptr,
+                        std::vector<Index> rowids, std::vector<T> vals) {
+    PGB_REQUIRE(colptr.size() == static_cast<std::size_t>(ncols) + 1,
+                "colptr length must be ncols+1");
+    PGB_REQUIRE(rowids.size() == vals.size(), "rowids/vals length mismatch");
+    PGB_REQUIRE(!colptr.empty() &&
+                    colptr.back() == static_cast<Index>(rowids.size()),
+                "colptr does not cover all nonzeros");
+    Csc m(nrows, ncols);
+    m.colptr_ = std::move(colptr);
+    m.rowids_ = std::move(rowids);
+    m.vals_ = std::move(vals);
+    PGB_ASSERT(m.check_invariants(), "CSC invariants violated");
+    return m;
+  }
+
+  /// Converts from CSR (counting sort over columns; row ids within each
+  /// column come out sorted because CSR rows are visited in order).
+  static Csc from_csr(const Csr<T>& a) {
+    std::vector<Index> colptr(static_cast<std::size_t>(a.ncols()) + 1, 0);
+    for (Index c : a.colids()) ++colptr[static_cast<std::size_t>(c) + 1];
+    for (Index c = 0; c < a.ncols(); ++c) {
+      colptr[static_cast<std::size_t>(c) + 1] +=
+          colptr[static_cast<std::size_t>(c)];
+    }
+    std::vector<Index> rowids(static_cast<std::size_t>(a.nnz()));
+    std::vector<T> vals(static_cast<std::size_t>(a.nnz()));
+    std::vector<Index> cursor(colptr.begin(), colptr.end() - 1);
+    for (Index r = 0; r < a.nrows(); ++r) {
+      auto cols = a.row_colids(r);
+      auto rvals = a.row_values(r);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        const Index pos = cursor[static_cast<std::size_t>(cols[k])]++;
+        rowids[static_cast<std::size_t>(pos)] = r;
+        vals[static_cast<std::size_t>(pos)] = rvals[k];
+      }
+    }
+    return from_parts(a.nrows(), a.ncols(), std::move(colptr),
+                      std::move(rowids), std::move(vals));
+  }
+
+  /// Converts back to CSR.
+  Csr<T> to_csr() const {
+    std::vector<Index> rowptr(static_cast<std::size_t>(nrows_) + 1, 0);
+    for (Index r : rowids_) ++rowptr[static_cast<std::size_t>(r) + 1];
+    for (Index r = 0; r < nrows_; ++r) {
+      rowptr[static_cast<std::size_t>(r) + 1] +=
+          rowptr[static_cast<std::size_t>(r)];
+    }
+    std::vector<Index> colids(rowids_.size());
+    std::vector<T> vals(rowids_.size());
+    std::vector<Index> cursor(rowptr.begin(), rowptr.end() - 1);
+    for (Index c = 0; c < ncols_; ++c) {
+      for (Index k = colptr_[static_cast<std::size_t>(c)];
+           k < colptr_[static_cast<std::size_t>(c) + 1]; ++k) {
+        const Index r = rowids_[static_cast<std::size_t>(k)];
+        const Index pos = cursor[static_cast<std::size_t>(r)]++;
+        colids[static_cast<std::size_t>(pos)] = c;
+        vals[static_cast<std::size_t>(pos)] = vals_[static_cast<std::size_t>(k)];
+      }
+    }
+    return Csr<T>::from_parts(nrows_, ncols_, std::move(rowptr),
+                              std::move(colids), std::move(vals));
+  }
+
+  Index nrows() const { return nrows_; }
+  Index ncols() const { return ncols_; }
+  Index nnz() const { return static_cast<Index>(rowids_.size()); }
+  Index col_nnz(Index c) const {
+    return colptr_[static_cast<std::size_t>(c) + 1] -
+           colptr_[static_cast<std::size_t>(c)];
+  }
+
+  std::span<const Index> col_rowids(Index c) const {
+    return std::span<const Index>(rowids_).subspan(
+        static_cast<std::size_t>(colptr_[static_cast<std::size_t>(c)]),
+        static_cast<std::size_t>(col_nnz(c)));
+  }
+  std::span<const T> col_values(Index c) const {
+    return std::span<const T>(vals_).subspan(
+        static_cast<std::size_t>(colptr_[static_cast<std::size_t>(c)]),
+        static_cast<std::size_t>(col_nnz(c)));
+  }
+
+  bool check_invariants() const {
+    if (colptr_.size() != static_cast<std::size_t>(ncols_) + 1) return false;
+    if (colptr_[0] != 0) return false;
+    for (Index c = 0; c < ncols_; ++c) {
+      if (colptr_[static_cast<std::size_t>(c) + 1] <
+          colptr_[static_cast<std::size_t>(c)]) {
+        return false;
+      }
+      for (Index k = colptr_[static_cast<std::size_t>(c)] + 1;
+           k < colptr_[static_cast<std::size_t>(c) + 1]; ++k) {
+        if (rowids_[static_cast<std::size_t>(k - 1)] >=
+            rowids_[static_cast<std::size_t>(k)]) {
+          return false;
+        }
+      }
+      for (Index k = colptr_[static_cast<std::size_t>(c)];
+           k < colptr_[static_cast<std::size_t>(c) + 1]; ++k) {
+        if (rowids_[static_cast<std::size_t>(k)] < 0 ||
+            rowids_[static_cast<std::size_t>(k)] >= nrows_) {
+          return false;
+        }
+      }
+    }
+    return colptr_[static_cast<std::size_t>(ncols_)] == nnz();
+  }
+
+ private:
+  Index nrows_ = 0;
+  Index ncols_ = 0;
+  std::vector<Index> colptr_;
+  std::vector<Index> rowids_;
+  std::vector<T> vals_;
+};
+
+}  // namespace pgb

@@ -1,0 +1,38 @@
+// A local dense vector over an index range [lo, hi).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "runtime/dist.hpp"
+#include "util/error.hpp"
+
+namespace pgb {
+
+template <typename T>
+class DenseVec {
+ public:
+  DenseVec() = default;
+  DenseVec(Index lo, Index hi, T init = T{})
+      : lo_(lo), data_(static_cast<std::size_t>(hi - lo), init) {
+    PGB_REQUIRE(hi >= lo, "invalid range");
+  }
+
+  Index lo() const { return lo_; }
+  Index hi() const { return lo_ + static_cast<Index>(data_.size()); }
+  Index size() const { return static_cast<Index>(data_.size()); }
+
+  const T& operator[](Index i) const { return data_[static_cast<std::size_t>(i - lo_)]; }
+  T& operator[](Index i) { return data_[static_cast<std::size_t>(i - lo_)]; }
+
+  std::span<const T> raw() const { return data_; }
+  std::span<T> raw() { return data_; }
+
+  void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  Index lo_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace pgb

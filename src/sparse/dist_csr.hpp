@@ -1,0 +1,111 @@
+// 2-D block-distributed sparse matrix in CSR format — the paper's matrix
+// representation (Section II-B): locales form a prows x pcols grid; locale
+// (r, c) owns the CSR block covering row-block r and column-block c. Rows
+// within a block are locally indexed; column ids stay global (the block
+// knows its column range).
+#pragma once
+
+#include <vector>
+
+#include "runtime/dist.hpp"
+#include "runtime/locale_grid.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace pgb {
+
+template <typename T>
+class DistCsr {
+ public:
+  struct Block {
+    Index rlo = 0, rhi = 0;  ///< global row range [rlo, rhi)
+    Index clo = 0, chi = 0;  ///< global column range [clo, chi)
+    Csr<T> csr;              ///< rows local (0-based), colids global
+  };
+
+  DistCsr(LocaleGrid& grid, Index nrows, Index ncols)
+      : grid_(&grid), dist_(nrows, ncols, grid.rows(), grid.cols()) {
+    blocks_.resize(grid.num_locales());
+    for (int l = 0; l < grid.num_locales(); ++l) {
+      auto& b = blocks_[l];
+      b.rlo = dist_.rowd().lo(dist_.prow_of(l));
+      b.rhi = dist_.rowd().hi(dist_.prow_of(l));
+      b.clo = dist_.cold().lo(dist_.pcol_of(l));
+      b.chi = dist_.cold().hi(dist_.pcol_of(l));
+      b.csr = Csr<T>(b.rhi - b.rlo, ncols);
+    }
+  }
+
+  /// Scatters a global COO into the per-locale blocks; duplicate
+  /// coordinates are combined with `combine` (default: keep the last).
+  template <typename Combine>
+  static DistCsr from_coo(LocaleGrid& grid, const Coo<T>& coo,
+                          Combine combine) {
+    DistCsr m(grid, coo.nrows(), coo.ncols());
+    std::vector<Coo<T>> parts;
+    parts.reserve(grid.num_locales());
+    for (int l = 0; l < grid.num_locales(); ++l) {
+      const auto& b = m.blocks_[l];
+      parts.emplace_back(b.rhi - b.rlo, coo.ncols());
+    }
+    for (const auto& t : coo.triples()) {
+      const int l = m.dist_.locale_of(t.row, t.col);
+      parts[l].add(t.row - m.blocks_[l].rlo, t.col, t.val);
+    }
+    for (int l = 0; l < grid.num_locales(); ++l) {
+      m.blocks_[l].csr = parts[l].to_csr(combine);
+    }
+    return m;
+  }
+
+  static DistCsr from_coo(LocaleGrid& grid, const Coo<T>& coo) {
+    return from_coo(grid, coo, [](const T&, const T& b) { return b; });
+  }
+
+  LocaleGrid& grid() const { return *grid_; }
+  const BlockDist2D& dist() const { return dist_; }
+  Index nrows() const { return dist_.rowd().n(); }
+  Index ncols() const { return dist_.cold().n(); }
+
+  Index nnz() const {
+    Index s = 0;
+    for (const auto& b : blocks_) s += b.csr.nnz();
+    return s;
+  }
+
+  Block& block(int l) { return blocks_[l]; }
+  const Block& block(int l) const { return blocks_[l]; }
+
+  /// Gathers into one local CSR (test/debug only).
+  Csr<T> to_local() const {
+    Coo<T> coo(nrows(), ncols());
+    coo.reserve(static_cast<std::size_t>(nnz()));
+    for (const auto& b : blocks_) {
+      for (Index lr = 0; lr < b.csr.nrows(); ++lr) {
+        auto cols = b.csr.row_colids(lr);
+        auto vals = b.csr.row_values(lr);
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+          coo.add(b.rlo + lr, cols[k], vals[k]);
+        }
+      }
+    }
+    return coo.to_csr();
+  }
+
+  bool check_invariants() const {
+    for (const auto& b : blocks_) {
+      if (!b.csr.check_invariants()) return false;
+      for (Index c : b.csr.colids()) {
+        if (c < b.clo || c >= b.chi) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  LocaleGrid* grid_;
+  BlockDist2D dist_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace pgb

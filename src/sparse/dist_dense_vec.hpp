@@ -1,0 +1,46 @@
+// Block-distributed dense vector (Chapel Block-dmapped dense array).
+#pragma once
+
+#include <vector>
+
+#include "runtime/dist.hpp"
+#include "runtime/locale_grid.hpp"
+#include "sparse/dense_vec.hpp"
+
+namespace pgb {
+
+template <typename T>
+class DistDenseVec {
+ public:
+  DistDenseVec(LocaleGrid& grid, Index n, T init = T{})
+      : grid_(&grid), dist_(n, grid.num_locales()) {
+    loc_.reserve(grid.num_locales());
+    for (int l = 0; l < grid.num_locales(); ++l) {
+      loc_.emplace_back(dist_.lo(l), dist_.hi(l), init);
+    }
+  }
+
+  LocaleGrid& grid() const { return *grid_; }
+  const BlockDist1D& dist() const { return dist_; }
+  Index size() const { return dist_.n(); }
+
+  DenseVec<T>& local(int l) { return loc_[l]; }
+  const DenseVec<T>& local(int l) const { return loc_[l]; }
+
+  int owner(Index i) const { return dist_.owner(i); }
+
+  /// Direct global element access (test/setup only; charges nothing).
+  const T& at(Index i) const { return loc_[owner(i)][i]; }
+  T& at(Index i) { return loc_[owner(i)][i]; }
+
+  void fill(const T& v) {
+    for (auto& lv : loc_) lv.fill(v);
+  }
+
+ private:
+  LocaleGrid* grid_;
+  BlockDist1D dist_;
+  std::vector<DenseVec<T>> loc_;
+};
+
+}  // namespace pgb

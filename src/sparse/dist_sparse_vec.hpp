@@ -1,0 +1,106 @@
+// Block-distributed sparse vector: the analogue of a Chapel sparse array
+// over a Block-dmapped 1-D domain (paper Listing 1). Each locale owns the
+// indices in its block range and stores them as a local SparseVec
+// (sorted indices + values), matching SparseBlockDom/SparseBlockArr's
+// locDoms/locArr split that the paper manipulates directly.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "runtime/dist.hpp"
+#include "runtime/locale_grid.hpp"
+#include "sparse/sparse_vec.hpp"
+
+namespace pgb {
+
+template <typename T>
+class DistSparseVec {
+ public:
+  /// An empty vector with capacity n distributed over all of grid's
+  /// locales.
+  DistSparseVec(LocaleGrid& grid, Index n)
+      : grid_(&grid), dist_(n, grid.num_locales()) {
+    loc_.resize(grid.num_locales());
+    for (int l = 0; l < grid.num_locales(); ++l) {
+      loc_[l] = SparseVec<T>(dist_.local_size(l));
+    }
+  }
+
+  /// Partitions globally sorted (idx, vals) across locales.
+  static DistSparseVec from_sorted(LocaleGrid& grid, Index n,
+                                   const std::vector<Index>& idx,
+                                   const std::vector<T>& vals) {
+    PGB_REQUIRE(idx.size() == vals.size(), "index/value length mismatch");
+    PGB_ASSERT(is_sorted_ascending(idx), "indices must be sorted");
+    DistSparseVec v(grid, n);
+    std::size_t k = 0;
+    for (int l = 0; l < grid.num_locales(); ++l) {
+      const Index hi = v.dist_.hi(l);
+      std::vector<Index> li;
+      std::vector<T> lv;
+      while (k < idx.size() && idx[k] < hi) {
+        li.push_back(idx[k]);
+        lv.push_back(vals[k]);
+        ++k;
+      }
+      v.loc_[l] = SparseVec<T>::from_sorted(v.dist_.local_size(l),
+                                            std::move(li), std::move(lv));
+    }
+    PGB_REQUIRE(k == idx.size(), "index out of range for capacity n");
+    return v;
+  }
+
+  LocaleGrid& grid() const { return *grid_; }
+  const BlockDist1D& dist() const { return dist_; }
+  Index capacity() const { return dist_.n(); }
+
+  Index nnz() const {
+    Index s = 0;
+    for (const auto& lv : loc_) s += lv.nnz();
+    return s;
+  }
+
+  SparseVec<T>& local(int l) { return loc_[l]; }
+  const SparseVec<T>& local(int l) const { return loc_[l]; }
+
+  /// Owner locale of global index i.
+  int owner(Index i) const { return dist_.owner(i); }
+
+  /// Gathers the whole vector into one local SparseVec (test/debug only;
+  /// charges nothing).
+  SparseVec<T> to_local() const {
+    std::vector<Index> idx;
+    std::vector<T> vals;
+    for (const auto& lv : loc_) {
+      idx.insert(idx.end(), lv.domain().indices().begin(),
+                 lv.domain().indices().end());
+      vals.insert(vals.end(), lv.values().begin(), lv.values().end());
+    }
+    return SparseVec<T>::from_sorted(capacity(), std::move(idx),
+                                     std::move(vals));
+  }
+
+  /// Structural + distribution invariants (used by property tests).
+  bool check_invariants() const {
+    for (int l = 0; l < static_cast<int>(loc_.size()); ++l) {
+      const auto& d = loc_[l].domain();
+      if (loc_[l].nnz() != static_cast<Index>(loc_[l].values().size())) {
+        return false;
+      }
+      for (Index p = 0; p < d.size(); ++p) {
+        const Index i = d[p];
+        if (i < dist_.lo(l) || i >= dist_.hi(l)) return false;
+        if (p > 0 && d[p - 1] >= i) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  LocaleGrid* grid_;
+  BlockDist1D dist_;
+  std::vector<SparseVec<T>> loc_;
+};
+
+}  // namespace pgb

@@ -1,0 +1,72 @@
+// SparseDomain: the analogue of a Chapel sparse subdomain — a sorted,
+// duplicate-free set of indices. Chapel stores sparse-domain indices
+// sorted in an array (paper Section II-A); membership/position queries are
+// binary searches, which is exactly the log-time cost the paper blames for
+// Assign1's slowness.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "runtime/dist.hpp"
+#include "util/error.hpp"
+#include "util/sorting.hpp"
+
+namespace pgb {
+
+class SparseDomain {
+ public:
+  SparseDomain() = default;
+
+  /// Builds from indices that are already sorted and unique.
+  static SparseDomain from_sorted(std::vector<Index> sorted) {
+    PGB_ASSERT(is_sorted_ascending(sorted), "indices must be sorted");
+    SparseDomain d;
+    d.idx_ = std::move(sorted);
+    return d;
+  }
+
+  /// Builds from arbitrary indices (sorts and deduplicates).
+  static SparseDomain from_unsorted(std::vector<Index> idx) {
+    std::sort(idx.begin(), idx.end());
+    idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+    return from_sorted(std::move(idx));
+  }
+
+  Index size() const { return static_cast<Index>(idx_.size()); }
+  bool empty() const { return idx_.empty(); }
+  void clear() { idx_.clear(); }
+
+  Index operator[](Index pos) const { return idx_[pos]; }
+  std::span<const Index> indices() const { return idx_; }
+
+  /// Position of global index i, or -1. Binary search: O(log nnz), the
+  /// cost Assign1 pays per element.
+  Index find(Index i) const {
+    auto it = std::lower_bound(idx_.begin(), idx_.end(), i);
+    if (it == idx_.end() || *it != i) return -1;
+    return static_cast<Index>(it - idx_.begin());
+  }
+
+  bool contains(Index i) const { return find(i) >= 0; }
+
+  /// Chapel's `dom += otherDom` for bulk index addition. Input must be
+  /// sorted & unique; merges into the existing set.
+  void add_sorted(std::span<const Index> sorted) {
+    PGB_ASSERT(is_sorted_ascending(sorted), "bulk add requires sorted input");
+    if (idx_.empty()) {
+      idx_.assign(sorted.begin(), sorted.end());
+      return;
+    }
+    idx_ = sorted_union(idx_, sorted);
+  }
+
+  bool operator==(const SparseDomain& o) const { return idx_ == o.idx_; }
+
+ private:
+  std::vector<Index> idx_;
+};
+
+}  // namespace pgb

@@ -1,0 +1,81 @@
+// A local (single-locale) sparse vector: a SparseDomain plus a value per
+// domain index, mirroring Chapel's sparse-domain/array split.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/sparse_domain.hpp"
+#include "util/error.hpp"
+
+namespace pgb {
+
+template <typename T>
+class SparseVec {
+ public:
+  SparseVec() = default;
+  explicit SparseVec(Index capacity) : capacity_(capacity) {}
+
+  /// Builds from parallel (sorted-unique index, value) arrays.
+  static SparseVec from_sorted(Index capacity, std::vector<Index> idx,
+                               std::vector<T> vals) {
+    PGB_REQUIRE(idx.size() == vals.size(), "index/value length mismatch");
+    SparseVec v(capacity);
+    v.dom_ = SparseDomain::from_sorted(std::move(idx));
+    v.vals_ = std::move(vals);
+    return v;
+  }
+
+  static SparseVec from_unsorted(Index capacity, std::vector<Index> idx,
+                                 std::vector<T> vals) {
+    PGB_REQUIRE(idx.size() == vals.size(), "index/value length mismatch");
+    sort_pairs_by_index(idx, vals);
+    SparseVec v(capacity);
+    v.dom_ = SparseDomain::from_sorted(std::move(idx));
+    v.vals_ = std::move(vals);
+    return v;
+  }
+
+  /// capacity(): the number of entries the vector can store (paper §II-A).
+  Index capacity() const { return capacity_; }
+  Index nnz() const { return dom_.size(); }
+
+  const SparseDomain& domain() const { return dom_; }
+  SparseDomain& domain() { return dom_; }
+
+  std::span<const T> values() const { return vals_; }
+  std::span<T> values() { return vals_; }
+
+  /// Replaces the value array; must match the domain size.
+  void set_values(std::vector<T> vals) {
+    PGB_REQUIRE(static_cast<Index>(vals.size()) == dom_.size(),
+                "value array must match domain size");
+    vals_ = std::move(vals);
+  }
+
+  Index index_at(Index pos) const { return dom_[pos]; }
+  const T& value_at(Index pos) const { return vals_[pos]; }
+  T& value_at(Index pos) { return vals_[pos]; }
+
+  /// Value at global index i via binary search; returns nullptr if absent.
+  const T* find(Index i) const {
+    const Index pos = dom_.find(i);
+    return pos < 0 ? nullptr : &vals_[pos];
+  }
+
+  void clear() {
+    dom_.clear();
+    vals_.clear();
+  }
+
+  bool operator==(const SparseVec& o) const {
+    return capacity_ == o.capacity_ && dom_ == o.dom_ && vals_ == o.vals_;
+  }
+
+ private:
+  Index capacity_ = 0;
+  SparseDomain dom_;
+  std::vector<T> vals_;
+};
+
+}  // namespace pgb

@@ -1,0 +1,94 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace pgb {
+
+Cli::Cli(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "prog";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    PGB_REQUIRE(arg.rfind("--", 0) == 0, "expected --flag, got: " + arg);
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+std::optional<std::string> Cli::raw(const std::string& name) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  consumed_[name] = true;
+  return it->second;
+}
+
+std::string Cli::get(const std::string& name, const std::string& def,
+                     const std::string& help) {
+  help_lines_.push_back("  --" + name + " (default: " + def + ")  " + help);
+  return raw(name).value_or(def);
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def,
+                          const std::string& help) {
+  help_lines_.push_back("  --" + name + " (default: " + std::to_string(def) +
+                        ")  " + help);
+  auto v = raw(name);
+  if (!v) return def;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw InvalidArgument("--" + name + " expects an integer, got: " + *v);
+  }
+}
+
+double Cli::get_double(const std::string& name, double def,
+                       const std::string& help) {
+  help_lines_.push_back("  --" + name + " (default: " + std::to_string(def) +
+                        ")  " + help);
+  auto v = raw(name);
+  if (!v) return def;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw InvalidArgument("--" + name + " expects a number, got: " + *v);
+  }
+}
+
+bool Cli::get_bool(const std::string& name, bool def,
+                   const std::string& help) {
+  help_lines_.push_back("  --" + name +
+                        " (default: " + (def ? "true" : "false") + ")  " +
+                        help);
+  auto v = raw(name);
+  if (!v) return def;
+  return *v == "true" || *v == "1" || *v == "yes";
+}
+
+void Cli::finish() {
+  if (help_requested_) {
+    std::printf("usage: %s [flags]\n", program_.c_str());
+    for (const auto& line : help_lines_) std::printf("%s\n", line.c_str());
+    std::exit(0);
+  }
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!consumed_[name]) {
+      throw InvalidArgument("unknown flag: --" + name);
+    }
+  }
+}
+
+}  // namespace pgb

@@ -1,0 +1,47 @@
+// Minimal command-line flag parser for benches and examples.
+//
+// Supports `--name=value`, `--name value`, and bare boolean `--name`.
+// Unknown flags are an error (catches typos in sweep scripts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pgb {
+
+class Cli {
+ public:
+  /// Parses argv. Throws pgb::InvalidArgument on malformed input.
+  Cli(int argc, char** argv);
+
+  /// Declares a flag (for --help and unknown-flag detection) and returns
+  /// its value or the default.
+  std::string get(const std::string& name, const std::string& def,
+                  const std::string& help = "");
+  std::int64_t get_int(const std::string& name, std::int64_t def,
+                       const std::string& help = "");
+  double get_double(const std::string& name, double def,
+                    const std::string& help = "");
+  bool get_bool(const std::string& name, bool def,
+                const std::string& help = "");
+
+  /// Call after all get()s: exits with usage on --help, throws on flags
+  /// that were passed but never declared.
+  void finish();
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::optional<std::string> raw(const std::string& name);
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+  std::vector<std::string> help_lines_;
+  bool help_requested_ = false;
+};
+
+}  // namespace pgb

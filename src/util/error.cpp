@@ -1,0 +1,12 @@
+#include "util/error.hpp"
+
+namespace pgb::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "PGB_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace pgb::detail

@@ -1,0 +1,64 @@
+// Error handling primitives for pgas-graphblas.
+//
+// The library throws pgb::Error for recoverable/user-facing failures
+// (dimension mismatch, bad arguments) and uses PGB_ASSERT for internal
+// invariants that indicate a library bug.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace pgb {
+
+/// Base exception for all pgas-graphblas errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when operand shapes/domains are incompatible
+/// (e.g. eWiseMult of vectors with different capacity).
+class DimensionMismatch : public Error {
+ public:
+  explicit DimensionMismatch(const std::string& what) : Error(what) {}
+};
+
+/// Thrown for invalid user-supplied arguments (bad grid shape, negative
+/// sizes, out-of-range indices in debug-checked paths).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+/// Internal invariant check: always on (cheap checks only in hot paths).
+#define PGB_ASSERT(expr, msg)                                        \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::pgb::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                \
+  } while (0)
+
+/// User-facing argument validation: throws pgb::InvalidArgument.
+#define PGB_REQUIRE(expr, msg)                        \
+  do {                                                \
+    if (!(expr)) {                                    \
+      throw ::pgb::InvalidArgument(std::string(msg)); \
+    }                                                 \
+  } while (0)
+
+/// Shape validation: throws pgb::DimensionMismatch.
+#define PGB_REQUIRE_SHAPE(expr, msg)                    \
+  do {                                                  \
+    if (!(expr)) {                                      \
+      throw ::pgb::DimensionMismatch(std::string(msg)); \
+    }                                                   \
+  } while (0)
+
+}  // namespace pgb

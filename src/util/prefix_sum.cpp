@@ -1,0 +1,28 @@
+#include "util/prefix_sum.hpp"
+
+#include "util/error.hpp"
+
+namespace pgb {
+
+std::int64_t exclusive_scan(std::span<const std::int64_t> v,
+                            std::span<std::int64_t> out) {
+  PGB_REQUIRE(out.size() >= v.size(), "exclusive_scan: output too small");
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const std::int64_t x = v[i];
+    out[i] = acc;
+    acc += x;
+  }
+  return acc;
+}
+
+std::int64_t inclusive_scan_inplace(std::span<std::int64_t> v) {
+  std::int64_t acc = 0;
+  for (auto& x : v) {
+    acc += x;
+    x = acc;
+  }
+  return acc;
+}
+
+}  // namespace pgb

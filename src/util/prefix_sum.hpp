@@ -1,0 +1,19 @@
+// Prefix sums (scans). The prefix-sum eWiseMult variant and CSR
+// construction use these.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pgb {
+
+/// Exclusive scan: out[i] = sum of v[0..i); returns total sum.
+/// `out` may alias `v`.
+std::int64_t exclusive_scan(std::span<const std::int64_t> v,
+                            std::span<std::int64_t> out);
+
+/// Inclusive scan in place; returns total.
+std::int64_t inclusive_scan_inplace(std::span<std::int64_t> v);
+
+}  // namespace pgb

@@ -1,0 +1,77 @@
+#include "util/table.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace pgb {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::row(std::vector<std::string> cells) {
+  PGB_REQUIRE(cells.size() == header_.size(),
+              "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::time(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", seconds * 1e3);
+  } else if (seconds >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.3f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+std::string Table::num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+
+std::string Table::count(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  return buf;
+}
+
+void Table::print(const std::string& title) const {
+  if (!title.empty()) std::printf("\n== %s ==\n", title.c_str());
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (r[c].size() > width[c]) width[c] = r[c].size();
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      std::printf("%-*s%s", static_cast<int>(width[c]), r[c].c_str(),
+                  c + 1 == r.size() ? "\n" : "  ");
+    }
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  for (std::size_t i = 0; i + 2 < total; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& r : rows_) print_row(r);
+}
+
+void Table::print_csv() const {
+  auto print_row = [](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      std::printf("%s%s", r[c].c_str(), c + 1 == r.size() ? "\n" : ",");
+    }
+  };
+  print_row(header_);
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace pgb

@@ -1,0 +1,35 @@
+// Aligned table printer used by the benchmark harnesses to emit the
+// rows/series corresponding to the paper's figures, plus a CSV mode for
+// downstream plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pgb {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row; cells are preformatted strings.
+  void row(std::vector<std::string> cells);
+
+  /// Formats a time in seconds with engineering-friendly units (as the
+  /// paper's axes do: ms below 1s, µs below 1ms).
+  static std::string time(double seconds);
+  static std::string num(double v);
+  static std::string count(std::int64_t v);
+
+  /// Prints an aligned human-readable table to stdout.
+  void print(const std::string& title = "") const;
+
+  /// Prints comma-separated values (header + rows) to stdout.
+  void print_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pgb

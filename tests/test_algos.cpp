@@ -1,0 +1,241 @@
+// Tests for the graph algorithms built from the GraphBLAS primitives:
+// BFS (against a sequential reference), connected components, PageRank,
+// and triangle counting.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "algo/bfs.hpp"
+#include "algo/connected_components.hpp"
+#include "algo/pagerank.hpp"
+#include "algo/triangle_count.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+
+namespace pgb {
+namespace {
+
+/// Sequential reference BFS returning levels (-1 = unreached).
+std::vector<Index> reference_levels(const Csr<std::int64_t>& a,
+                                    Index source) {
+  std::vector<Index> level(static_cast<std::size_t>(a.nrows()), -1);
+  std::queue<Index> q;
+  level[static_cast<std::size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const Index u = q.front();
+    q.pop();
+    for (Index v : a.row_colids(u)) {
+      if (level[static_cast<std::size_t>(v)] < 0) {
+        level[static_cast<std::size_t>(v)] =
+            level[static_cast<std::size_t>(u)] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return level;
+}
+
+/// Levels induced by a BFS parent tree.
+std::vector<Index> levels_from_parents(const std::vector<Index>& parent,
+                                       Index source) {
+  std::vector<Index> level(parent.size(), -1);
+  level[static_cast<std::size_t>(source)] = 0;
+  for (std::size_t v = 0; v < parent.size(); ++v) {
+    if (parent[v] < 0 || level[v] >= 0) continue;
+    // Walk up to a resolved ancestor.
+    std::vector<Index> path;
+    Index u = static_cast<Index>(v);
+    while (level[static_cast<std::size_t>(u)] < 0) {
+      path.push_back(u);
+      u = parent[static_cast<std::size_t>(u)];
+    }
+    Index d = level[static_cast<std::size_t>(u)];
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      level[static_cast<std::size_t>(*it)] = ++d;
+    }
+  }
+  return level;
+}
+
+class BfsGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(BfsGrids, LevelsMatchSequentialReference) {
+  const Index n = 400;
+  auto grid = LocaleGrid::square(GetParam(), 4);
+  auto a = erdos_renyi_dist<std::int64_t>(grid, n, 4.0, 41);
+  auto local = a.to_local();
+
+  auto res = bfs(a, /*source=*/0);
+  auto ref = reference_levels(local, 0);
+  auto got = levels_from_parents(res.parent, 0);
+
+  for (Index v = 0; v < n; ++v) {
+    EXPECT_EQ(got[static_cast<std::size_t>(v)],
+              ref[static_cast<std::size_t>(v)])
+        << "vertex " << v;
+  }
+  // Level sizes must agree with the reference histogram.
+  std::vector<Index> hist;
+  for (Index v = 0; v < n; ++v) {
+    const Index lv = ref[static_cast<std::size_t>(v)];
+    if (lv >= 0) {
+      if (static_cast<std::size_t>(lv) >= hist.size()) {
+        hist.resize(static_cast<std::size_t>(lv) + 1, 0);
+      }
+      ++hist[static_cast<std::size_t>(lv)];
+    }
+  }
+  ASSERT_EQ(res.level_sizes.size(), hist.size());
+  for (std::size_t i = 0; i < hist.size(); ++i) {
+    EXPECT_EQ(res.level_sizes[i], hist[i]) << "level " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, BfsGrids, ::testing::Values(1, 2, 4, 9));
+
+TEST(Bfs, ParentEdgesExistInGraph) {
+  const Index n = 300;
+  auto grid = LocaleGrid::square(4, 2);
+  auto a = erdos_renyi_dist<std::int64_t>(grid, n, 6.0, 43);
+  auto local = a.to_local();
+  auto res = bfs(a, 7);
+  for (Index v = 0; v < n; ++v) {
+    const Index p = res.parent[static_cast<std::size_t>(v)];
+    if (p < 0 || v == 7) continue;
+    EXPECT_NE(local.find(p, v), nullptr)
+        << "parent edge " << p << "->" << v << " missing";
+  }
+}
+
+TEST(Bfs, IsolatedSourceTerminatesImmediately) {
+  auto grid = LocaleGrid::square(2, 1);
+  Coo<std::int64_t> coo(10, 10);
+  coo.add(1, 2, 1);  // graph with no edges from vertex 0
+  auto a = DistCsr<std::int64_t>::from_coo(grid, coo);
+  auto res = bfs(a, 0);
+  EXPECT_EQ(res.level_sizes.size(), 1u);
+  EXPECT_EQ(res.parent[0], 0);
+  EXPECT_EQ(res.parent[5], -1);
+}
+
+TEST(Bfs, PathGraphHasOneVertexPerLevel) {
+  const Index n = 20;
+  auto grid = LocaleGrid::square(4, 1);
+  Coo<std::int64_t> coo(n, n);
+  for (Index i = 0; i + 1 < n; ++i) coo.add(i, i + 1, 1);
+  auto a = DistCsr<std::int64_t>::from_coo(grid, coo);
+  auto res = bfs(a, 0);
+  ASSERT_EQ(res.level_sizes.size(), static_cast<std::size_t>(n));
+  for (auto s : res.level_sizes) EXPECT_EQ(s, 1);
+  EXPECT_EQ(res.parent[19], 18);
+}
+
+TEST(ConnectedComponents, TwoCliques) {
+  const Index n = 10;
+  auto grid = LocaleGrid::square(2, 1);
+  Coo<std::int64_t> coo(n, n);
+  auto clique = [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) {
+      for (Index j = lo; j < hi; ++j) {
+        if (i != j) coo.add(i, j, 1);
+      }
+    }
+  };
+  clique(0, 5);
+  clique(5, 10);
+  auto a = DistCsr<std::int64_t>::from_coo(grid, coo);
+  auto res = connected_components(a);
+  EXPECT_EQ(res.num_components, 2);
+  for (Index v = 0; v < 5; ++v) EXPECT_EQ(res.label[static_cast<std::size_t>(v)], 0);
+  for (Index v = 5; v < 10; ++v) EXPECT_EQ(res.label[static_cast<std::size_t>(v)], 5);
+}
+
+TEST(ConnectedComponents, AgreesWithBfsReachability) {
+  RmatParams p;
+  p.scale = 9;
+  p.edge_factor = 3;
+  p.seed = 5;
+  auto grid = LocaleGrid::square(4, 2);
+  auto a = rmat_dist(grid, p);
+  auto res = connected_components(a);
+  // Vertices in the same BFS tree share a label.
+  auto local = a.to_local();
+  auto lv = reference_levels(local, res.label[0] >= 0 ? 0 : 0);
+  for (Index v = 0; v < local.nrows(); ++v) {
+    if (lv[static_cast<std::size_t>(v)] >= 0) {
+      EXPECT_EQ(res.label[static_cast<std::size_t>(v)], res.label[0]);
+    }
+  }
+}
+
+TEST(Pagerank, SumsToOneAndConverges) {
+  const Index n = 500;
+  auto grid = LocaleGrid::square(4, 2);
+  auto a = erdos_renyi_dist<std::int64_t>(grid, n, 8.0, 51);
+  auto res = pagerank(a, 0.85, 1e-10, 200);
+  double sum = 0;
+  for (double r : res.rank) {
+    EXPECT_GT(r, 0.0);
+    sum += r;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_LT(res.residual, 1e-8);
+  EXPECT_LT(res.iterations, 200);
+}
+
+TEST(Pagerank, StarGraphCenterRanksHighest) {
+  const Index n = 50;
+  auto grid = LocaleGrid::square(2, 1);
+  Coo<std::int64_t> coo(n, n);
+  for (Index v = 1; v < n; ++v) coo.add(v, 0, 1);  // all point to 0
+  auto a = DistCsr<std::int64_t>::from_coo(grid, coo);
+  auto res = pagerank(a);
+  for (Index v = 1; v < n; ++v) {
+    EXPECT_GT(res.rank[0], res.rank[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(TriangleCount, KnownSmallGraphs) {
+  auto grid = LocaleGrid::single(2);
+  LocaleCtx ctx(grid, 0);
+
+  // Triangle 0-1-2 plus a pendant edge 2-3: exactly 1 triangle.
+  Coo<std::int64_t> coo(4, 4);
+  auto edge = [&](Index u, Index v) {
+    coo.add(u, v, 1);
+    coo.add(v, u, 1);
+  };
+  edge(0, 1);
+  edge(1, 2);
+  edge(0, 2);
+  edge(2, 3);
+  EXPECT_EQ(triangle_count(ctx, coo.to_csr()), 1);
+
+  // K5: C(5,3) = 10 triangles.
+  Coo<std::int64_t> k5(5, 5);
+  for (Index i = 0; i < 5; ++i) {
+    for (Index j = 0; j < 5; ++j) {
+      if (i != j) k5.add(i, j, 1);
+    }
+  }
+  EXPECT_EQ(triangle_count(ctx, k5.to_csr()), 10);
+}
+
+TEST(TriangleCount, TriangleFreeGraphIsZero) {
+  auto grid = LocaleGrid::single(1);
+  LocaleCtx ctx(grid, 0);
+  // Bipartite (even->odd edges only) graphs have no triangles.
+  const Index n = 20;
+  Coo<std::int64_t> coo(n, n);
+  for (Index u = 0; u < n; u += 2) {
+    for (Index v = 1; v < n; v += 2) {
+      coo.add(u, v, 1);
+      coo.add(v, u, 1);
+    }
+  }
+  EXPECT_EQ(triangle_count(ctx, coo.to_csr()), 0);
+}
+
+}  // namespace
+}  // namespace pgb

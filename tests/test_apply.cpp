@@ -1,0 +1,124 @@
+// Tests for Apply (paper Listings 2-3): both versions must compute the
+// same result on any grid; their *modeled* performance must differ the
+// way Fig 1 shows.
+#include <gtest/gtest.h>
+
+#include "core/apply.hpp"
+#include "core/ops.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_vec.hpp"
+
+namespace pgb {
+namespace {
+
+class ApplyGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApplyGrids, V1AndV2ComputeSameResult) {
+  const int nloc = GetParam();
+  auto g1 = LocaleGrid::square(nloc, 4);
+  auto g2 = LocaleGrid::square(nloc, 4);
+  auto x1 = random_dist_sparse_vec<double>(g1, 5000, 777, 1);
+  auto x2 = random_dist_sparse_vec<double>(g2, 5000, 777, 1);
+
+  apply_v1(x1, [](double v) { return 2 * v + 1; });
+  apply_v2(x2, [](double v) { return 2 * v + 1; });
+
+  auto a = x1.to_local();
+  auto b = x2.to_local();
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (Index p = 0; p < a.nnz(); ++p) {
+    EXPECT_EQ(a.index_at(p), b.index_at(p));
+    EXPECT_DOUBLE_EQ(a.value_at(p), b.value_at(p));
+  }
+}
+
+TEST_P(ApplyGrids, ValuesActuallyTransformed) {
+  auto grid = LocaleGrid::square(GetParam(), 2);
+  auto x = random_dist_sparse_vec<double>(grid, 2000, 300, 5);
+  auto before = x.to_local();
+  apply_v2(x, NegateOp{});
+  auto after = x.to_local();
+  for (Index p = 0; p < before.nnz(); ++p) {
+    EXPECT_DOUBLE_EQ(after.value_at(p), -before.value_at(p));
+  }
+  EXPECT_TRUE(x.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, ApplyGrids, ::testing::Values(1, 2, 4, 9));
+
+TEST(Apply, PreservesPattern) {
+  auto grid = LocaleGrid::square(4, 2);
+  auto x = random_dist_sparse_vec<double>(grid, 1000, 100, 2);
+  const Index before = x.nnz();
+  apply_v1(x, ScaleOp<double>{3.0});
+  EXPECT_EQ(x.nnz(), before);
+}
+
+TEST(Apply, EmptyVectorIsFine) {
+  auto grid = LocaleGrid::square(4, 2);
+  DistSparseVec<double> x(grid, 100);
+  apply_v1(x, NegateOp{});
+  apply_v2(x, NegateOp{});
+  EXPECT_EQ(x.nnz(), 0);
+}
+
+TEST(Apply, MatrixApplyTransformsAllBlocks) {
+  auto grid = LocaleGrid::square(4, 2);
+  auto a = erdos_renyi_dist<double>(grid, 100, 4.0, 3);
+  apply_matrix(a, ScaleOp<double>{10.0});
+  auto local = a.to_local();
+  for (double v : local.values()) EXPECT_DOUBLE_EQ(v, 10.0);
+}
+
+// ---- modeled-performance shape (Fig 1) ----
+
+TEST(ApplyModel, SharedMemoryBothVersionsScale) {
+  // 1 locale: both implementations are local parallel loops. Paper size
+  // (10M nonzeros) so spawn overhead amortizes as in Fig 1 left.
+  const Index nnz = 10000000;
+  auto t = [&](int threads, auto fn) {
+    auto g = LocaleGrid::single(threads);
+    auto x = random_dist_sparse_vec<double>(g, 2 * nnz, nnz, 1);
+    g.reset();
+    fn(x);
+    return g.time();
+  };
+  auto v1 = [](auto& x) { apply_v1(x, NegateOp{}); };
+  auto v2 = [](auto& x) { apply_v2(x, NegateOp{}); };
+  const double s1 = t(1, v1) / t(24, v1);
+  const double s2 = t(1, v2) / t(24, v2);
+  EXPECT_GT(s1, 10.0);  // near-perfect scaling in the paper (~20x)
+  EXPECT_GT(s2, 10.0);
+}
+
+TEST(ApplyModel, DistributedV1OrdersOfMagnitudeSlower) {
+  auto g = LocaleGrid::square(16, 24);
+  const Index nnz = 100000;
+  auto x = random_dist_sparse_vec<double>(g, 2 * nnz, nnz, 1);
+
+  g.reset();
+  apply_v2(x, NegateOp{});
+  const double t2 = g.time();
+
+  g.reset();
+  apply_v1(x, NegateOp{});
+  const double t1 = g.time();
+
+  EXPECT_GT(t1 / t2, 100.0);  // Fig 1 right: ~3-4 orders of magnitude
+}
+
+TEST(ApplyModel, V2GetsFasterWithMoreLocales) {
+  const Index nnz = 10000000;
+  double prev = 1e30;
+  for (int nloc : {1, 4, 16}) {
+    auto g = LocaleGrid::square(nloc, 24);
+    auto x = random_dist_sparse_vec<double>(g, 2 * nnz, nnz, 1);
+    g.reset();
+    apply_v2(x, NegateOp{});
+    EXPECT_LT(g.time(), prev) << nloc << " locales";
+    prev = g.time();
+  }
+}
+
+}  // namespace
+}  // namespace pgb

@@ -1,0 +1,151 @@
+// Tests for Assign (paper Listings 4-5): correctness of both versions on
+// every grid shape, and the modeled performance relations of Fig 2.
+#include <gtest/gtest.h>
+
+#include "core/assign.hpp"
+#include "gen/random_vec.hpp"
+
+namespace pgb {
+namespace {
+
+class AssignGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssignGrids, V1CopiesDomainAndValues) {
+  auto grid = LocaleGrid::square(GetParam(), 4);
+  auto b = random_dist_sparse_vec<double>(grid, 3000, 400, 1);
+  DistSparseVec<double> a(grid, 3000);
+  assign_v1(a, b);
+  EXPECT_TRUE(a.check_invariants());
+  auto la = a.to_local();
+  auto lb = b.to_local();
+  ASSERT_EQ(la.nnz(), lb.nnz());
+  for (Index p = 0; p < la.nnz(); ++p) {
+    EXPECT_EQ(la.index_at(p), lb.index_at(p));
+    EXPECT_DOUBLE_EQ(la.value_at(p), lb.value_at(p));
+  }
+}
+
+TEST_P(AssignGrids, V2CopiesDomainAndValues) {
+  auto grid = LocaleGrid::square(GetParam(), 4);
+  auto b = random_dist_sparse_vec<double>(grid, 3000, 400, 2);
+  DistSparseVec<double> a(grid, 3000);
+  assign_v2(a, b);
+  EXPECT_TRUE(a.check_invariants());
+  auto la = a.to_local();
+  auto lb = b.to_local();
+  ASSERT_EQ(la.nnz(), lb.nnz());
+  for (Index p = 0; p < la.nnz(); ++p) {
+    EXPECT_EQ(la.index_at(p), lb.index_at(p));
+    EXPECT_DOUBLE_EQ(la.value_at(p), lb.value_at(p));
+  }
+}
+
+TEST_P(AssignGrids, AssignOverwritesPreviousContent) {
+  auto grid = LocaleGrid::square(GetParam(), 2);
+  auto a = random_dist_sparse_vec<double>(grid, 1000, 300, 7);
+  auto b = random_dist_sparse_vec<double>(grid, 1000, 50, 8);
+  assign_v2(a, b);
+  EXPECT_EQ(a.nnz(), 50);
+  assign_v1(a, b);
+  EXPECT_EQ(a.nnz(), 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, AssignGrids, ::testing::Values(1, 2, 4, 9));
+
+TEST(Assign, EmptySourceClearsDestination) {
+  auto grid = LocaleGrid::square(4, 2);
+  auto a = random_dist_sparse_vec<double>(grid, 1000, 100, 1);
+  DistSparseVec<double> empty(grid, 1000);
+  assign_v2(a, empty);
+  EXPECT_EQ(a.nnz(), 0);
+}
+
+TEST(Assign, CapacityMismatchThrows) {
+  auto grid = LocaleGrid::square(4, 2);
+  DistSparseVec<double> a(grid, 1000);
+  DistSparseVec<double> b(grid, 999);
+  EXPECT_THROW(assign_v1(a, b), DimensionMismatch);
+  EXPECT_THROW(assign_v2(a, b), DimensionMismatch);
+}
+
+// ---- modeled-performance shapes (Fig 2, Fig 10) ----
+
+TEST(AssignModel, SharedMemoryV1AboutTenTimesSlower) {
+  // Fig 2 left: the per-element log-time domain search makes Assign1 ~an
+  // order of magnitude slower than Assign2 at every thread count.
+  const Index nnz = 1000000;
+  for (int threads : {1, 24}) {
+    auto g = LocaleGrid::single(threads);
+    auto b = random_dist_sparse_vec<double>(g, 2 * nnz, nnz, 1);
+    DistSparseVec<double> a(g, 2 * nnz);
+    g.reset();
+    assign_v1(a, b);
+    const double t1 = g.time();
+    g.reset();
+    assign_v2(a, b);
+    const double t2 = g.time();
+    EXPECT_GT(t1 / t2, 4.0) << threads << " threads";
+    EXPECT_LT(t1 / t2, 40.0) << threads << " threads";
+  }
+}
+
+TEST(AssignModel, SharedMemorySpeedupModest) {
+  // Paper: 5-8x on 24 cores (random access / merge bound).
+  const Index nnz = 1000000;
+  auto run = [&](int threads, auto fn) {
+    auto g = LocaleGrid::single(threads);
+    auto b = random_dist_sparse_vec<double>(g, 2 * nnz, nnz, 1);
+    DistSparseVec<double> a(g, 2 * nnz);
+    g.reset();
+    fn(a, b);
+    return g.time();
+  };
+  auto v1 = [](auto& a, auto& b) { assign_v1(a, b); };
+  const double s1 = run(1, v1) / run(24, v1);
+  EXPECT_GT(s1, 4.0);
+  EXPECT_LT(s1, 16.0);
+}
+
+TEST(AssignModel, DistributedV1CollapsesV2Scales) {
+  const Index nnz = 1000000;  // paper size (Fig 2 right)
+  auto g1 = LocaleGrid::single(24);
+  auto b1 = random_dist_sparse_vec<double>(g1, 2 * nnz, nnz, 1);
+  DistSparseVec<double> a1(g1, 2 * nnz);
+  g1.reset();
+  assign_v2(a1, b1);
+  const double t2_single = g1.time();
+
+  auto g = LocaleGrid::square(16, 24);
+  auto b = random_dist_sparse_vec<double>(g, 2 * nnz, nnz, 1);
+  DistSparseVec<double> a(g, 2 * nnz);
+  g.reset();
+  assign_v2(a, b);
+  const double t2_dist = g.time();
+  g.reset();
+  assign_v1(a, b);
+  const double t1_dist = g.time();
+
+  EXPECT_GT(t1_dist / t2_dist, 100.0);   // Fig 2 right
+  EXPECT_LT(t2_dist, t2_single);         // Assign2 benefits from locales
+}
+
+TEST(AssignModel, MultiLocalePerNodeDegrades) {
+  // Fig 10: same tiny problem, 1 thread per locale, all locales on one
+  // node — more locales only add fork/contention overhead.
+  const Index nnz = 10000;
+  auto time_with = [&](int nloc, auto fn) {
+    auto g = LocaleGrid::square(nloc, 1, /*locales_per_node=*/nloc);
+    auto b = random_dist_sparse_vec<double>(g, 2 * nnz, nnz, 1);
+    DistSparseVec<double> a(g, 2 * nnz);
+    g.reset();
+    fn(a, b);
+    return g.time();
+  };
+  auto v1 = [](auto& a, auto& b) { assign_v1(a, b); };
+  auto v2 = [](auto& a, auto& b) { assign_v2(a, b); };
+  EXPECT_GT(time_with(32, v2), time_with(1, v2));
+  EXPECT_GT(time_with(32, v1), 10.0 * time_with(32, v2));
+}
+
+}  // namespace
+}  // namespace pgb

@@ -1,0 +1,170 @@
+// Tests for the general (index-vector) Assign and Extract — the
+// unrestricted primitive the paper's Section III-B leaves out.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "core/assign_general.hpp"
+#include "gen/random_vec.hpp"
+#include "util/rng.hpp"
+
+namespace pgb {
+namespace {
+
+/// A random permutation of [0, n) (an injective index map).
+std::vector<Index> random_permutation(Index n, std::uint64_t seed) {
+  std::vector<Index> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), Index{0});
+  Xoshiro256 rng(seed);
+  for (Index i = n - 1; i > 0; --i) {
+    const Index j = static_cast<Index>(
+        rng.next_below(static_cast<std::uint64_t>(i + 1)));
+    std::swap(p[static_cast<std::size_t>(i)],
+              p[static_cast<std::size_t>(j)]);
+  }
+  return p;
+}
+
+class GeneralAssignGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneralAssignGrids, ScatterThroughPermutation) {
+  const Index n = 500;
+  auto grid = LocaleGrid::square(GetParam(), 2);
+  auto b = random_dist_sparse_vec<double>(grid, n, 120, 1);
+  DistSparseVec<double> a(grid, n);
+  auto perm = random_permutation(n, 7);
+
+  assign_indexed(a, perm, b, OutputMode::kReplace);
+  EXPECT_TRUE(a.check_invariants());
+  EXPECT_EQ(a.nnz(), b.nnz());
+
+  auto la = a.to_local();
+  auto lb = b.to_local();
+  for (Index p = 0; p < lb.nnz(); ++p) {
+    const Index tgt = perm[static_cast<std::size_t>(lb.index_at(p))];
+    const double* v = la.find(tgt);
+    ASSERT_NE(v, nullptr) << "missing A[" << tgt << "]";
+    EXPECT_DOUBLE_EQ(*v, lb.value_at(p));
+  }
+}
+
+TEST_P(GeneralAssignGrids, MergeKeepsUntouchedEntries) {
+  const Index n = 400;
+  auto grid = LocaleGrid::square(GetParam(), 2);
+  auto a = random_dist_sparse_vec<double>(grid, n, 100, 2);
+  auto before = a.to_local();
+  // Shifted identity map touching only the low half of A.
+  const Index bcap = n / 2;
+  auto b = random_dist_sparse_vec<double>(grid, bcap, 50, 3);
+  std::vector<Index> map(static_cast<std::size_t>(bcap));
+  std::iota(map.begin(), map.end(), Index{0});
+
+  assign_indexed(a, map, b, OutputMode::kMerge);
+  auto la = a.to_local();
+  auto lb = b.to_local();
+  // Every assigned position carries B's value...
+  for (Index p = 0; p < lb.nnz(); ++p) {
+    const double* v = la.find(lb.index_at(p));
+    ASSERT_NE(v, nullptr);
+    EXPECT_DOUBLE_EQ(*v, lb.value_at(p));
+  }
+  // ...and untouched old entries survive.
+  for (Index p = 0; p < before.nnz(); ++p) {
+    const Index i = before.index_at(p);
+    if (i >= bcap || lb.find(i) != nullptr) continue;
+    const double* v = la.find(i);
+    ASSERT_NE(v, nullptr) << "lost A[" << i << "]";
+    EXPECT_DOUBLE_EQ(*v, before.value_at(p));
+  }
+}
+
+TEST_P(GeneralAssignGrids, ReplaceDropsUntouchedEntries) {
+  const Index n = 300;
+  auto grid = LocaleGrid::square(GetParam(), 2);
+  auto a = random_dist_sparse_vec<double>(grid, n, 80, 4);
+  auto b = random_dist_sparse_vec<double>(grid, 50, 20, 5);
+  std::vector<Index> map(50);
+  std::iota(map.begin(), map.end(), Index{100});  // targets [100, 150)
+
+  assign_indexed(a, map, b, OutputMode::kReplace);
+  EXPECT_EQ(a.nnz(), b.nnz());
+  auto la = a.to_local();
+  for (Index p = 0; p < la.nnz(); ++p) {
+    EXPECT_GE(la.index_at(p), 100);
+    EXPECT_LT(la.index_at(p), 150);
+  }
+}
+
+TEST_P(GeneralAssignGrids, ExtractGathersThroughMap) {
+  const Index n = 500;
+  auto grid = LocaleGrid::square(GetParam(), 2);
+  auto a = random_dist_sparse_vec<double>(grid, n, 200, 6);
+  auto perm = random_permutation(n, 11);
+
+  auto z = extract_indexed(a, perm);
+  EXPECT_TRUE(z.check_invariants());
+  auto la = a.to_local();
+  auto lz = z.to_local();
+  Index expected = 0;
+  for (Index k = 0; k < n; ++k) {
+    const double* src = la.find(perm[static_cast<std::size_t>(k)]);
+    const double* dst = lz.find(k);
+    if (src != nullptr) {
+      ++expected;
+      ASSERT_NE(dst, nullptr) << k;
+      EXPECT_DOUBLE_EQ(*dst, *src);
+    } else {
+      EXPECT_EQ(dst, nullptr) << k;
+    }
+  }
+  EXPECT_EQ(lz.nnz(), expected);
+}
+
+TEST_P(GeneralAssignGrids, AssignThenExtractRoundTrips) {
+  const Index n = 400;
+  auto grid = LocaleGrid::square(GetParam(), 2);
+  auto b = random_dist_sparse_vec<double>(grid, n, 90, 8);
+  DistSparseVec<double> a(grid, n);
+  auto perm = random_permutation(n, 13);
+  assign_indexed(a, perm, b, OutputMode::kReplace);
+  auto back = extract_indexed(a, perm);
+  EXPECT_TRUE(back.to_local() == b.to_local());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, GeneralAssignGrids,
+                         ::testing::Values(1, 2, 4, 9));
+
+TEST(GeneralAssign, BadMapThrows) {
+  auto grid = LocaleGrid::single(1);
+  auto b = DistSparseVec<double>::from_sorted(grid, 4, {0, 2}, {1.0, 2.0});
+  DistSparseVec<double> a(grid, 10);
+  std::vector<Index> bad{0, 1, 2, 99};  // out of range for A
+  EXPECT_THROW(assign_indexed(a, bad, b), InvalidArgument);
+  std::vector<Index> short_map{0, 1};
+  EXPECT_THROW(assign_indexed(a, short_map, b), InvalidArgument);
+  EXPECT_THROW(extract_indexed(a, bad), InvalidArgument);
+}
+
+TEST(GeneralAssignModel, CommunicationScalesWithRootP) {
+  // [8]: general assign moves O((nnz(A)+nnz(B))/sqrt(p)) per processor —
+  // so the per-run modeled time should drop as the grid grows, but
+  // slower than 1/p.
+  const Index n = 10000000;  // big enough to out-amortize fork overhead
+  auto run = [&](int nloc) {
+    auto grid = LocaleGrid::square(nloc, 24);
+    auto b = random_dist_sparse_vec<double>(grid, n, n / 10, 1);
+    DistSparseVec<double> a(grid, n);
+    auto perm = random_permutation(n, 3);
+    grid.reset();
+    assign_indexed(a, perm, b, OutputMode::kReplace);
+    return grid.time();
+  };
+  const double t4 = run(4);
+  const double t64 = run(64);
+  EXPECT_GT(t4 / t64, 1.5);   // it scales...
+  EXPECT_LT(t4 / t64, 16.0);  // ...but sublinearly in p
+}
+
+}  // namespace
+}  // namespace pgb

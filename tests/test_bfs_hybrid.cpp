@@ -1,0 +1,137 @@
+// Tests for the fused masked SpMSpV and the direction-optimizing
+// (hybrid top-down/bottom-up) BFS extension.
+#include <gtest/gtest.h>
+
+#include "algo/bfs.hpp"
+#include "algo/bfs_hybrid.hpp"
+#include "core/mask.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_vec.hpp"
+#include "gen/rmat.hpp"
+
+namespace pgb {
+namespace {
+
+class MaskedGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaskedGrids, FusedMaskEqualsSeparateMaskPass) {
+  const Index n = 500;
+  auto grid = LocaleGrid::square(GetParam(), 2);
+  auto a = erdos_renyi_dist<std::int64_t>(grid, n, 6.0, 3);
+  auto x = random_dist_sparse_vec<std::int64_t>(grid, n, 60, 4);
+  DistDenseVec<std::uint8_t> mask(grid, n, 0);
+  for (Index i = 0; i < n; i += 3) mask.at(i) = 1;
+  const auto sr = arithmetic_semiring<std::int64_t>();
+
+  for (MaskMode mode : {MaskMode::kMask, MaskMode::kComplement}) {
+    auto fused = spmspv_dist_masked(a, x, mask, mode, sr);
+    auto separate = apply_mask(spmspv_dist(a, x, sr), mask, mode);
+    auto f = fused.to_local();
+    auto s = separate.to_local();
+    ASSERT_EQ(f.nnz(), s.nnz());
+    for (Index p = 0; p < f.nnz(); ++p) {
+      EXPECT_EQ(f.index_at(p), s.index_at(p));
+      EXPECT_EQ(f.value_at(p), s.value_at(p));
+    }
+  }
+}
+
+TEST_P(MaskedGrids, FusedMaskIsCheaperThanSeparatePass) {
+  const Index n = 100000;
+  auto grid = LocaleGrid::square(GetParam(), 24);
+  auto a = erdos_renyi_dist<std::int64_t>(grid, n, 8.0, 3);
+  auto x = random_dist_sparse_vec<std::int64_t>(grid, n, n / 20, 4);
+  DistDenseVec<std::uint8_t> mask(grid, n, 0);
+  const auto sr = arithmetic_semiring<std::int64_t>();
+
+  grid.reset();
+  spmspv_dist_masked(a, x, mask, MaskMode::kMask, sr);
+  const double fused = grid.time();
+  grid.reset();
+  apply_mask(spmspv_dist(a, x, sr), mask, MaskMode::kMask);
+  const double separate = grid.time();
+  EXPECT_LT(fused, separate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, MaskedGrids, ::testing::Values(1, 4, 9));
+
+TEST(MaskedSpmspv, MaskSizeValidated) {
+  auto grid = LocaleGrid::single(1);
+  DistCsr<std::int64_t> a(grid, 10, 10);
+  DistSparseVec<std::int64_t> x(grid, 10);
+  DistDenseVec<std::uint8_t> mask(grid, 9);
+  EXPECT_THROW(spmspv_dist_masked(a, x, mask, MaskMode::kMask,
+                                  arithmetic_semiring<std::int64_t>()),
+               DimensionMismatch);
+}
+
+class HybridGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(HybridGrids, MatchesPlainBfsExactly) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  p.seed = 3;
+  auto grid = LocaleGrid::square(GetParam(), 4);
+  auto a = rmat_dist(grid, p);
+
+  auto plain = bfs(a, /*source=*/0);
+  auto hybrid = bfs_hybrid(a, /*source=*/0);
+
+  ASSERT_EQ(hybrid.level_sizes.size(), plain.level_sizes.size());
+  for (std::size_t i = 0; i < plain.level_sizes.size(); ++i) {
+    EXPECT_EQ(hybrid.level_sizes[i], plain.level_sizes[i]) << "level " << i;
+  }
+  ASSERT_EQ(hybrid.parent.size(), plain.parent.size());
+  for (std::size_t v = 0; v < plain.parent.size(); ++v) {
+    EXPECT_EQ(hybrid.parent[v], plain.parent[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(HybridGrids, BottomUpActuallyTriggers) {
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 16;  // dense frontier in the middle levels
+  p.seed = 9;
+  auto grid = LocaleGrid::square(GetParam(), 4);
+  auto a = rmat_dist(grid, p);
+  auto res = bfs_hybrid(a, 0);
+  bool any_bottom_up = false;
+  for (bool b : res.level_was_bottom_up) any_bottom_up |= b;
+  EXPECT_TRUE(any_bottom_up);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, HybridGrids, ::testing::Values(1, 4, 9));
+
+TEST(Hybrid, AlphaInfinityNeverGoesBottomUp) {
+  RmatParams p;
+  p.scale = 9;
+  auto grid = LocaleGrid::square(4, 2);
+  auto a = rmat_dist(grid, p);
+  HybridBfsOptions opt;
+  opt.alpha = 0.5;  // threshold = 2n: never reached
+  auto res = bfs_hybrid(a, 0, opt);
+  for (bool b : res.level_was_bottom_up) EXPECT_FALSE(b);
+}
+
+TEST(Hybrid, ModelFavorsBottomUpOnBigFrontiers) {
+  // On a graph whose middle levels cover most vertices, hybrid should be
+  // modeled faster than pure top-down.
+  RmatParams p;
+  p.scale = 14;
+  p.edge_factor = 16;
+  auto grid = LocaleGrid::square(16, 24);
+  auto a = rmat_dist(grid, p);
+
+  grid.reset();
+  bfs(a, 0);
+  const double topdown = grid.time();
+
+  grid.reset();
+  bfs_hybrid(a, 0);
+  const double hybrid = grid.time();
+  EXPECT_LT(hybrid, topdown);
+}
+
+}  // namespace
+}  // namespace pgb

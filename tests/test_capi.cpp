@@ -1,0 +1,205 @@
+// Tests for the GraphBLAS-style C bindings: object lifecycle, error
+// codes at the boundary, and operation semantics against the C++ core.
+#include <gtest/gtest.h>
+
+#include "capi/pgb_graphblas.h"
+
+namespace {
+
+class CapiTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_EQ(pgb_init(4, 4), GrB_SUCCESS); }
+  void TearDown() override { pgb_finalize(); }
+};
+
+TEST_F(CapiTest, MatrixLifecycleAndBuild) {
+  GrB_Matrix m = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&m, 10, 12), GrB_SUCCESS);
+  GrB_Index v = 0;
+  EXPECT_EQ(GrB_Matrix_nrows(&v, m), GrB_SUCCESS);
+  EXPECT_EQ(v, 10u);
+  EXPECT_EQ(GrB_Matrix_ncols(&v, m), GrB_SUCCESS);
+  EXPECT_EQ(v, 12u);
+
+  const GrB_Index rows[] = {0, 9, 0};
+  const GrB_Index cols[] = {0, 11, 0};
+  const double vals[] = {1.5, 2.0, 0.5};
+  ASSERT_EQ(GrB_Matrix_build(m, rows, cols, vals, 3), GrB_SUCCESS);
+  EXPECT_EQ(GrB_Matrix_nvals(&v, m), GrB_SUCCESS);
+  EXPECT_EQ(v, 2u);  // duplicate (0,0) summed
+  double x = 0;
+  EXPECT_EQ(GrB_Matrix_extractElement(&x, m, 0, 0), GrB_SUCCESS);
+  EXPECT_DOUBLE_EQ(x, 2.0);
+  EXPECT_EQ(GrB_Matrix_extractElement(&x, m, 5, 5), GrB_INVALID_VALUE);
+  EXPECT_EQ(GrB_Matrix_extractElement(&x, m, 50, 5),
+            GrB_INDEX_OUT_OF_BOUNDS);
+  EXPECT_EQ(GrB_Matrix_free(&m), GrB_SUCCESS);
+  EXPECT_EQ(m, nullptr);
+}
+
+TEST_F(CapiTest, VectorRoundTrip) {
+  GrB_Vector u = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&u, 20), GrB_SUCCESS);
+  const GrB_Index idx[] = {3, 17, 8};
+  const double vals[] = {3.0, 17.0, 8.0};
+  ASSERT_EQ(GrB_Vector_build(u, idx, vals, 3), GrB_SUCCESS);
+  GrB_Index n = 0;
+  EXPECT_EQ(GrB_Vector_nvals(&n, u), GrB_SUCCESS);
+  EXPECT_EQ(n, 3u);
+
+  double x = 0;
+  EXPECT_EQ(GrB_Vector_extractElement(&x, u, 17), GrB_SUCCESS);
+  EXPECT_DOUBLE_EQ(x, 17.0);
+  EXPECT_EQ(GrB_Vector_extractElement(&x, u, 4), GrB_INVALID_VALUE);
+
+  ASSERT_EQ(GrB_Vector_setElement(u, 99.0, 4), GrB_SUCCESS);
+  EXPECT_EQ(GrB_Vector_extractElement(&x, u, 4), GrB_SUCCESS);
+  EXPECT_DOUBLE_EQ(x, 99.0);
+  ASSERT_EQ(GrB_Vector_setElement(u, 1.0, 17), GrB_SUCCESS);  // overwrite
+  EXPECT_EQ(GrB_Vector_extractElement(&x, u, 17), GrB_SUCCESS);
+  EXPECT_DOUBLE_EQ(x, 1.0);
+
+  GrB_Index out_idx[8];
+  double out_vals[8];
+  GrB_Index out_n = 8;
+  ASSERT_EQ(GrB_Vector_extractTuples(out_idx, out_vals, &out_n, u),
+            GrB_SUCCESS);
+  EXPECT_EQ(out_n, 4u);
+  EXPECT_EQ(out_idx[0], 3u);
+  EXPECT_EQ(out_idx[3], 17u);
+  GrB_Vector_free(&u);
+}
+
+TEST_F(CapiTest, ErrorCodesAtTheBoundary) {
+  EXPECT_EQ(GrB_Matrix_new(nullptr, 3, 3), GrB_NULL_POINTER);
+  GrB_Vector u = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&u, 5), GrB_SUCCESS);
+  const GrB_Index bad_idx[] = {7};
+  const double v[] = {1.0};
+  EXPECT_EQ(GrB_Vector_build(u, bad_idx, v, 1), GrB_INDEX_OUT_OF_BOUNDS);
+  const GrB_Index dup_idx[] = {1, 1};
+  const double dup_v[] = {1.0, 2.0};
+  EXPECT_EQ(GrB_Vector_build(u, dup_idx, dup_v, 2), GrB_INVALID_VALUE);
+  EXPECT_EQ(GrB_Vector_setElement(u, 1.0, 10), GrB_INDEX_OUT_OF_BOUNDS);
+
+  // Dimension mismatch surfaces as the right code.
+  GrB_Vector w = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&w, 6), GrB_SUCCESS);
+  EXPECT_EQ(GrB_assign(w, u), GrB_DIMENSION_MISMATCH);
+  GrB_Vector_free(&u);
+  GrB_Vector_free(&w);
+}
+
+TEST_F(CapiTest, VxmComputesProduct) {
+  // 3x3: path 0->1->2, x = e0 with value 5 on plus-times.
+  GrB_Matrix a = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, 3, 3), GrB_SUCCESS);
+  const GrB_Index rows[] = {0, 1};
+  const GrB_Index cols[] = {1, 2};
+  const double vals[] = {2.0, 3.0};
+  ASSERT_EQ(GrB_Matrix_build(a, rows, cols, vals, 2), GrB_SUCCESS);
+
+  GrB_Vector u = nullptr, w = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&u, 3), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&w, 3), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_setElement(u, 5.0, 0), GrB_SUCCESS);
+  ASSERT_EQ(GrB_vxm(w, nullptr, PGB_MASK_NONE, PGB_PLUS_TIMES, u, a),
+            GrB_SUCCESS);
+  GrB_Index n = 0;
+  EXPECT_EQ(GrB_Vector_nvals(&n, w), GrB_SUCCESS);
+  EXPECT_EQ(n, 1u);
+  double x = 0;
+  EXPECT_EQ(GrB_Vector_extractElement(&x, w, 1), GrB_SUCCESS);
+  EXPECT_DOUBLE_EQ(x, 10.0);
+  GrB_Matrix_free(&a);
+  GrB_Vector_free(&u);
+  GrB_Vector_free(&w);
+}
+
+TEST_F(CapiTest, MaskedVxmFiltersOutput) {
+  GrB_Matrix a = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, 4, 4), GrB_SUCCESS);
+  const GrB_Index rows[] = {0, 0};
+  const GrB_Index cols[] = {1, 2};
+  const double vals[] = {1.0, 1.0};
+  ASSERT_EQ(GrB_Matrix_build(a, rows, cols, vals, 2), GrB_SUCCESS);
+  GrB_Vector u = nullptr, w = nullptr, mask = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&u, 4), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&w, 4), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&mask, 4), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_setElement(u, 0.0, 0), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_setElement(mask, 1.0, 1), GrB_SUCCESS);
+
+  // Complement mask: index 1 excluded, index 2 kept.
+  ASSERT_EQ(GrB_vxm(w, mask, PGB_MASK_COMPLEMENT, PGB_MIN_FIRST, u, a),
+            GrB_SUCCESS);
+  GrB_Index n = 0;
+  EXPECT_EQ(GrB_Vector_nvals(&n, w), GrB_SUCCESS);
+  EXPECT_EQ(n, 1u);
+  double x = -1;
+  EXPECT_EQ(GrB_Vector_extractElement(&x, w, 2), GrB_SUCCESS);
+  EXPECT_DOUBLE_EQ(x, 0.0);
+  GrB_Matrix_free(&a);
+  GrB_Vector_free(&u);
+  GrB_Vector_free(&w);
+  GrB_Vector_free(&mask);
+}
+
+TEST_F(CapiTest, EwiseAndReduce) {
+  GrB_Vector u = nullptr, v = nullptr, w = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&u, 10), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&v, 10), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&w, 10), GrB_SUCCESS);
+  const GrB_Index ui[] = {1, 4, 7};
+  const double uv[] = {1, 4, 7};
+  const GrB_Index vi[] = {4, 7, 9};
+  const double vv[] = {40, 70, 90};
+  ASSERT_EQ(GrB_Vector_build(u, ui, uv, 3), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_build(v, vi, vv, 3), GrB_SUCCESS);
+
+  ASSERT_EQ(GrB_eWiseMult(w, PGB_PLUS, u, v), GrB_SUCCESS);
+  GrB_Index n = 0;
+  EXPECT_EQ(GrB_Vector_nvals(&n, w), GrB_SUCCESS);
+  EXPECT_EQ(n, 2u);  // intersection {4, 7}
+  double x = 0;
+  EXPECT_EQ(GrB_Vector_extractElement(&x, w, 4), GrB_SUCCESS);
+  EXPECT_DOUBLE_EQ(x, 44.0);
+
+  ASSERT_EQ(GrB_eWiseAdd(w, PGB_PLUS, u, v), GrB_SUCCESS);
+  EXPECT_EQ(GrB_Vector_nvals(&n, w), GrB_SUCCESS);
+  EXPECT_EQ(n, 4u);  // union {1, 4, 7, 9}
+
+  double total = 0;
+  EXPECT_EQ(GrB_reduce(&total, PGB_PLUS, w), GrB_SUCCESS);
+  EXPECT_DOUBLE_EQ(total, 1 + 44 + 77 + 90);
+  EXPECT_EQ(GrB_reduce(&total, PGB_MAX, w), GrB_SUCCESS);
+  EXPECT_DOUBLE_EQ(total, 90.0);
+  GrB_Vector_free(&u);
+  GrB_Vector_free(&v);
+  GrB_Vector_free(&w);
+}
+
+TEST_F(CapiTest, ApplyAndClock) {
+  GrB_Vector u = nullptr, w = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&u, 5), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&w, 5), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_setElement(u, 3.0, 2), GrB_SUCCESS);
+  pgb_reset_clock();
+  ASSERT_EQ(GrB_apply(w, PGB_NEGATE, u), GrB_SUCCESS);
+  double x = 0;
+  EXPECT_EQ(GrB_Vector_extractElement(&x, w, 2), GrB_SUCCESS);
+  EXPECT_DOUBLE_EQ(x, -3.0);
+  EXPECT_GT(pgb_elapsed_seconds(), 0.0);
+  GrB_Vector_free(&u);
+  GrB_Vector_free(&w);
+}
+
+TEST(CapiUninitialized, CallsFailCleanly) {
+  // No pgb_init: object creation must refuse, not crash.
+  GrB_Matrix m = nullptr;
+  EXPECT_EQ(GrB_Matrix_new(&m, 3, 3), GrB_UNINITIALIZED_OBJECT);
+  EXPECT_EQ(pgb_elapsed_seconds(), 0.0);
+  EXPECT_EQ(pgb_finalize(), GrB_SUCCESS);
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Tests for the distributed containers: block-distributed sparse/dense
+// vectors and the 2-D distributed CSR, including their invariants and
+// round trips between local and distributed representations.
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_vec.hpp"
+#include "sparse/dist_csr.hpp"
+#include "sparse/dist_dense_vec.hpp"
+#include "sparse/dist_sparse_vec.hpp"
+
+namespace pgb {
+namespace {
+
+class GridSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridSizes, DistSparseVecPartitionRoundTrips) {
+  auto grid = LocaleGrid::square(GetParam(), 4);
+  const Index n = 1000;
+  auto x = random_dist_sparse_vec<double>(grid, n, 137, /*seed=*/3);
+  EXPECT_TRUE(x.check_invariants());
+  EXPECT_EQ(x.nnz(), 137);
+
+  auto local = x.to_local();
+  EXPECT_EQ(local.nnz(), 137);
+  // Same content as a directly generated local vector.
+  auto ref = random_sparse_vec<double>(n, 137, /*seed=*/3);
+  EXPECT_EQ(local.domain().indices().size(), ref.domain().indices().size());
+  for (Index p = 0; p < ref.nnz(); ++p) {
+    EXPECT_EQ(local.index_at(p), ref.index_at(p));
+    EXPECT_EQ(local.value_at(p), ref.value_at(p));
+  }
+}
+
+TEST_P(GridSizes, EveryIndexOwnedByExactlyOneLocale) {
+  auto grid = LocaleGrid::square(GetParam(), 1);
+  DistSparseVec<int> x(grid, 100);
+  Index total = 0;
+  for (int l = 0; l < grid.num_locales(); ++l) {
+    total += x.dist().local_size(l);
+    for (Index i = x.dist().lo(l); i < x.dist().hi(l); ++i) {
+      EXPECT_EQ(x.owner(i), l);
+    }
+  }
+  EXPECT_EQ(total, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, GridSizes, ::testing::Values(1, 2, 4, 6, 9));
+
+TEST(DistSparseVec, FromSortedRejectsOutOfRange) {
+  auto grid = LocaleGrid::single(1);
+  EXPECT_THROW(
+      DistSparseVec<int>::from_sorted(grid, 10, {5, 12}, {1, 2}),
+      InvalidArgument);
+}
+
+TEST(DistSparseVec, EmptyVector) {
+  auto grid = LocaleGrid::square(4, 1);
+  DistSparseVec<double> x(grid, 50);
+  EXPECT_EQ(x.nnz(), 0);
+  EXPECT_TRUE(x.check_invariants());
+  EXPECT_EQ(x.to_local().nnz(), 0);
+}
+
+TEST(DistDenseVec, GlobalAccessHitsRightLocale) {
+  auto grid = LocaleGrid::square(4, 1);
+  DistDenseVec<int> y(grid, 100, 7);
+  EXPECT_EQ(y.at(0), 7);
+  y.at(99) = 42;
+  EXPECT_EQ(y.local(3)[99], 42);
+  y.fill(1);
+  EXPECT_EQ(y.at(99), 1);
+}
+
+TEST(DistDenseVec, LocalBlocksCoverRange) {
+  auto grid = LocaleGrid::square(6, 1);
+  DistDenseVec<double> y(grid, 101);
+  Index covered = 0;
+  for (int l = 0; l < 6; ++l) covered += y.local(l).size();
+  EXPECT_EQ(covered, 101);
+}
+
+class DistCsrGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistCsrGrids, DistributedMatrixMatchesLocal) {
+  auto grid = LocaleGrid::square(GetParam(), 2);
+  const Index n = 200;
+  auto dist = erdos_renyi_dist<double>(grid, n, 6.0, /*seed=*/11);
+  auto local = erdos_renyi_csr<double>(n, 6.0, /*seed=*/11);
+  EXPECT_TRUE(dist.check_invariants());
+  EXPECT_EQ(dist.nnz(), local.nnz());
+
+  auto gathered = dist.to_local();
+  ASSERT_EQ(gathered.nnz(), local.nnz());
+  for (Index r = 0; r < n; ++r) {
+    auto a = gathered.row_colids(r);
+    auto b = local.row_colids(r);
+    ASSERT_EQ(a.size(), b.size()) << "row " << r;
+    for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]);
+  }
+}
+
+TEST_P(DistCsrGrids, BlocksTileTheMatrix) {
+  auto grid = LocaleGrid::square(GetParam(), 1);
+  DistCsr<int> m(grid, 57, 91);
+  Index rows_covered = 0, cols_covered = 0;
+  for (int pr = 0; pr < grid.rows(); ++pr) {
+    rows_covered += m.block(pr * grid.cols()).rhi -
+                    m.block(pr * grid.cols()).rlo;
+  }
+  for (int pcix = 0; pcix < grid.cols(); ++pcix) {
+    cols_covered += m.block(pcix).chi - m.block(pcix).clo;
+  }
+  EXPECT_EQ(rows_covered, 57);
+  EXPECT_EQ(cols_covered, 91);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, DistCsrGrids, ::testing::Values(1, 2, 4, 9));
+
+TEST(DistCsr, FromCooRoutesTriples) {
+  auto grid = LocaleGrid::square(4, 1);  // 2x2
+  Coo<int> coo(10, 10);
+  coo.add(0, 0, 1);    // block (0,0)
+  coo.add(0, 9, 2);    // block (0,1)
+  coo.add(9, 0, 3);    // block (1,0)
+  coo.add(9, 9, 4);    // block (1,1)
+  auto m = DistCsr<int>::from_coo(grid, coo);
+  EXPECT_EQ(m.block(0).csr.nnz(), 1);
+  EXPECT_EQ(m.block(1).csr.nnz(), 1);
+  EXPECT_EQ(m.block(2).csr.nnz(), 1);
+  EXPECT_EQ(m.block(3).csr.nnz(), 1);
+  EXPECT_EQ(*m.to_local().find(9, 9), 4);
+}
+
+}  // namespace
+}  // namespace pgb

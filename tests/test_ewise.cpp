@@ -1,0 +1,188 @@
+// Tests for eWiseMult (sparse x dense, both variants; sparse x sparse)
+// and eWiseAdd, plus the Fig 4/5 modeled-performance shapes.
+#include <gtest/gtest.h>
+
+#include "core/ewise_add.hpp"
+#include "core/ewise_mult.hpp"
+#include "core/ops.hpp"
+#include "gen/random_vec.hpp"
+
+namespace pgb {
+namespace {
+
+struct KeepTrue {
+  bool operator()(std::uint8_t b) const { return b != 0; }
+};
+
+class EwiseGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(EwiseGrids, SparseDenseKeepsExactlyMaskedEntries) {
+  auto grid = LocaleGrid::square(GetParam(), 4);
+  const Index n = 4000;
+  auto x = random_dist_sparse_vec<double>(grid, n, 600, 1);
+  auto y = random_dist_bool_vec(grid, n, 0.5, 2);
+
+  auto z = ewise_mult_sd(x, y, FirstOp{}, KeepTrue{});
+  EXPECT_TRUE(z.check_invariants());
+
+  auto lx = x.to_local();
+  auto lz = z.to_local();
+  Index expected = 0;
+  for (Index p = 0; p < lx.nnz(); ++p) {
+    const Index i = lx.index_at(p);
+    if (y.at(i)) {
+      ++expected;
+      const double* v = lz.find(i);
+      ASSERT_NE(v, nullptr);
+      EXPECT_DOUBLE_EQ(*v, lx.value_at(p));
+    } else {
+      EXPECT_EQ(lz.find(i), nullptr);
+    }
+  }
+  EXPECT_EQ(lz.nnz(), expected);
+}
+
+TEST_P(EwiseGrids, AtomicAndScanVariantsAgree) {
+  auto grid = LocaleGrid::square(GetParam(), 4);
+  const Index n = 3000;
+  auto x = random_dist_sparse_vec<double>(grid, n, 500, 3);
+  auto y = random_dist_bool_vec(grid, n, 0.4, 4);
+
+  auto za = ewise_mult_sd(x, y, FirstOp{}, KeepTrue{}, EwiseVariant::kAtomic);
+  auto zs = ewise_mult_sd(x, y, FirstOp{}, KeepTrue{}, EwiseVariant::kScan);
+  auto a = za.to_local();
+  auto s = zs.to_local();
+  ASSERT_EQ(a.nnz(), s.nnz());
+  for (Index p = 0; p < a.nnz(); ++p) {
+    EXPECT_EQ(a.index_at(p), s.index_at(p));
+    EXPECT_DOUBLE_EQ(a.value_at(p), s.value_at(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, EwiseGrids, ::testing::Values(1, 2, 4, 9));
+
+TEST(Ewise, MultiplyOperatorIsApplied) {
+  auto grid = LocaleGrid::single(2);
+  auto x = DistSparseVec<double>::from_sorted(grid, 10, {1, 3, 5},
+                                              {1.0, 3.0, 5.0});
+  DistDenseVec<std::uint8_t> y(grid, 10, 1);  // all true
+  auto z = ewise_mult_sd(x, y, TimesOp{}, KeepTrue{});
+  auto lz = z.to_local();
+  ASSERT_EQ(lz.nnz(), 3);
+  // value = x[i] * y[i] with y == 1
+  EXPECT_DOUBLE_EQ(lz.value_at(0), 1.0);
+  EXPECT_DOUBLE_EQ(lz.value_at(2), 5.0);
+}
+
+TEST(Ewise, AllFalseMaskYieldsEmpty) {
+  auto grid = LocaleGrid::square(4, 1);
+  auto x = random_dist_sparse_vec<double>(grid, 500, 100, 9);
+  DistDenseVec<std::uint8_t> y(grid, 500, 0);
+  auto z = ewise_mult_sd(x, y, FirstOp{}, KeepTrue{});
+  EXPECT_EQ(z.nnz(), 0);
+}
+
+TEST(Ewise, ShapeMismatchThrows) {
+  auto grid = LocaleGrid::single(1);
+  DistSparseVec<double> x(grid, 10);
+  DistDenseVec<std::uint8_t> y(grid, 11);
+  EXPECT_THROW(ewise_mult_sd(x, y, FirstOp{}, KeepTrue{}),
+               DimensionMismatch);
+}
+
+TEST(EwiseSparseSparse, IntersectionSemantics) {
+  auto grid = LocaleGrid::square(2, 1);
+  auto x = DistSparseVec<double>::from_sorted(grid, 12, {1, 4, 7, 10},
+                                              {1, 4, 7, 10});
+  auto w = DistSparseVec<double>::from_sorted(grid, 12, {2, 4, 10},
+                                              {20, 40, 100});
+  auto z = ewise_mult_ss(x, w, TimesOp{});
+  auto lz = z.to_local();
+  ASSERT_EQ(lz.nnz(), 2);
+  EXPECT_EQ(lz.index_at(0), 4);
+  EXPECT_DOUBLE_EQ(lz.value_at(0), 160.0);
+  EXPECT_EQ(lz.index_at(1), 10);
+  EXPECT_DOUBLE_EQ(lz.value_at(1), 1000.0);
+}
+
+TEST(EwiseAdd, UnionSemantics) {
+  auto grid = LocaleGrid::square(2, 1);
+  auto x = DistSparseVec<double>::from_sorted(grid, 12, {1, 4, 10},
+                                              {1, 4, 10});
+  auto w = DistSparseVec<double>::from_sorted(grid, 12, {2, 4, 11},
+                                              {2, 40, 11});
+  auto z = ewise_add(x, w, PlusOp{});
+  auto lz = z.to_local();
+  ASSERT_EQ(lz.nnz(), 5);
+  EXPECT_DOUBLE_EQ(*lz.find(1), 1.0);
+  EXPECT_DOUBLE_EQ(*lz.find(2), 2.0);
+  EXPECT_DOUBLE_EQ(*lz.find(4), 44.0);
+  EXPECT_DOUBLE_EQ(*lz.find(10), 10.0);
+  EXPECT_DOUBLE_EQ(*lz.find(11), 11.0);
+}
+
+TEST(EwiseAdd, EmptyOperands) {
+  auto grid = LocaleGrid::single(1);
+  DistSparseVec<double> x(grid, 10);
+  auto w = DistSparseVec<double>::from_sorted(grid, 10, {3}, {3.0});
+  auto z = ewise_add(x, w, PlusOp{});
+  EXPECT_EQ(z.nnz(), 1);
+  auto z2 = ewise_mult_ss(x, w, TimesOp{});
+  EXPECT_EQ(z2.nnz(), 0);
+}
+
+// ---- modeled-performance shapes (Figs 4-5) ----
+
+TEST(EwiseModel, LargeInputScalesSmallInputDoesNot) {
+  auto run = [&](Index nnz, int threads) {
+    auto g = LocaleGrid::single(threads);
+    auto x = random_dist_sparse_vec<double>(g, 2 * nnz, nnz, 1);
+    auto y = random_dist_bool_vec(g, 2 * nnz, 0.5, 2);
+    g.reset();
+    ewise_mult_sd(x, y, FirstOp{}, KeepTrue{});
+    return g.time();
+  };
+  // Fig 4: 100M scales ~13x at 24 threads; 10K is flat (spawn-bound).
+  const double big = run(2000000, 1) / run(2000000, 24);
+  const double small = run(10000, 1) / run(10000, 24);
+  EXPECT_GT(big, 8.0);
+  EXPECT_LT(big, 24.0);  // capped below ideal by the atomic counter
+  EXPECT_LT(small, 2.0);
+}
+
+TEST(EwiseModel, ScanVariantBeatsAtomicAtScale) {
+  const Index nnz = 2000000;
+  auto g = LocaleGrid::single(24);
+  auto x = random_dist_sparse_vec<double>(g, 2 * nnz, nnz, 1);
+  auto y = random_dist_bool_vec(g, 2 * nnz, 0.5, 2);
+  g.reset();
+  ewise_mult_sd(x, y, FirstOp{}, KeepTrue{}, EwiseVariant::kAtomic);
+  const double ta = g.time();
+  g.reset();
+  ewise_mult_sd(x, y, FirstOp{}, KeepTrue{}, EwiseVariant::kScan);
+  const double ts = g.time();
+  EXPECT_LT(ts, ta);
+}
+
+TEST(EwiseModel, DistributedScalingFlattens) {
+  // Fig 5: 100M-scale input gains up to ~32 nodes, then flattens.
+  auto run = [&](int nloc, Index nnz) {
+    auto g = LocaleGrid::square(nloc, 24);
+    auto x = random_dist_sparse_vec<double>(g, 2 * nnz, nnz, 1);
+    auto y = random_dist_bool_vec(g, 2 * nnz, 0.5, 2);
+    g.reset();
+    ewise_mult_sd(x, y, FirstOp{}, KeepTrue{});
+    return g.time();
+  };
+  const Index big = 10000000;
+  const double t1 = run(1, big);
+  const double t16 = run(16, big);
+  const double t64 = run(64, big);
+  EXPECT_GT(t1 / t16, 8.0);            // still scaling at 16 nodes
+  EXPECT_LT(t16 / t64, 3.0);           // mostly flat beyond
+  // Small input: no useful distributed scaling at all.
+  EXPECT_LT(run(1, 100000) / run(64, 100000), 3.0);
+}
+
+}  // namespace
+}  // namespace pgb

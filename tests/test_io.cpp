@@ -1,0 +1,135 @@
+// Tests for Matrix Market I/O: parsing of the supported header
+// variants, symmetric expansion, pattern matrices, round trips, and
+// error handling on malformed input.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/matrix_market.hpp"
+
+namespace pgb {
+namespace {
+
+TEST(MatrixMarket, ParsesGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "\n"
+      "3 4 3\n"
+      "1 1 1.5\n"
+      "2 3 -2\n"
+      "3 4 0.25\n");
+  MatrixMarketInfo info;
+  auto m = read_matrix_market(in, &info).to_csr();
+  EXPECT_EQ(info.nrows, 3);
+  EXPECT_EQ(info.ncols, 4);
+  EXPECT_EQ(info.entries, 3);
+  EXPECT_FALSE(info.symmetric);
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_DOUBLE_EQ(*m.find(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(*m.find(1, 2), -2.0);
+  EXPECT_DOUBLE_EQ(*m.find(2, 3), 0.25);
+}
+
+TEST(MatrixMarket, SymmetricMirrorsOffDiagonal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "2 1 5\n"
+      "3 1 7\n"
+      "2 2 9\n");
+  auto m = read_matrix_market(in).to_csr();
+  EXPECT_EQ(m.nnz(), 5);  // two mirrored + diagonal kept once
+  EXPECT_DOUBLE_EQ(*m.find(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(*m.find(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(*m.find(0, 2), 7.0);
+  EXPECT_DOUBLE_EQ(*m.find(1, 1), 9.0);
+}
+
+TEST(MatrixMarket, PatternGetsUnitValues) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  MatrixMarketInfo info;
+  auto m = read_matrix_market(in, &info).to_csr();
+  EXPECT_TRUE(info.pattern);
+  EXPECT_DOUBLE_EQ(*m.find(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(*m.find(1, 0), 1.0);
+}
+
+TEST(MatrixMarket, IntegerField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 1\n"
+      "2 2 42\n");
+  auto m = read_matrix_market(in).to_csr();
+  EXPECT_DOUBLE_EQ(*m.find(1, 1), 42.0);
+}
+
+TEST(MatrixMarket, RejectsMalformedInput) {
+  auto expect_throw = [](const std::string& text) {
+    std::istringstream in(text);
+    EXPECT_THROW(read_matrix_market(in), Error) << text;
+  };
+  expect_throw("");
+  expect_throw("not a banner\n1 1 0\n");
+  expect_throw("%%MatrixMarket matrix array real general\n2 2 4\n");
+  expect_throw("%%MatrixMarket matrix coordinate complex general\n1 1 1\n");
+  expect_throw("%%MatrixMarket matrix coordinate real general\n");
+  expect_throw(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+  expect_throw(
+      "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  Coo<double> coo(5, 7);
+  coo.add(0, 6, 1.25);
+  coo.add(4, 0, -3.5);
+  coo.add(2, 2, 9.0);
+  auto m = coo.to_csr();
+
+  const std::string path = "/tmp/pgb_mm_roundtrip.mtx";
+  write_matrix_market(path, m);
+  auto back = read_matrix_market_csr(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(back.nnz(), m.nnz());
+  EXPECT_EQ(back.nrows(), 5);
+  EXPECT_EQ(back.ncols(), 7);
+  EXPECT_DOUBLE_EQ(*back.find(0, 6), 1.25);
+  EXPECT_DOUBLE_EQ(*back.find(4, 0), -3.5);
+  EXPECT_DOUBLE_EQ(*back.find(2, 2), 9.0);
+}
+
+TEST(MatrixMarket, DistributedReadMatchesLocal) {
+  const std::string path = "/tmp/pgb_mm_dist.mtx";
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real general\n"
+        << "10 10 4\n"
+        << "1 1 1\n10 10 2\n1 10 3\n10 1 4\n";
+  }
+  auto grid = LocaleGrid::square(4, 1);
+  auto dist = read_matrix_market_dist(grid, path);
+  auto local = read_matrix_market_csr(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(dist.nnz(), local.nnz());
+  EXPECT_TRUE(dist.check_invariants());
+  // Corners land on the four different blocks.
+  EXPECT_EQ(dist.block(0).csr.nnz(), 1);
+  EXPECT_EQ(dist.block(1).csr.nnz(), 1);
+  EXPECT_EQ(dist.block(2).csr.nnz(), 1);
+  EXPECT_EQ(dist.block(3).csr.nnz(), 1);
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_csr("/nonexistent/nope.mtx"), Error);
+}
+
+}  // namespace
+}  // namespace pgb

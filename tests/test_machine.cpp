@@ -1,0 +1,204 @@
+// Tests for the machine model: the cost vector algebra and the *relations*
+// the parallel and network models must satisfy (monotonicity, saturation,
+// serialization) for the paper's figure shapes to be reproducible.
+#include <gtest/gtest.h>
+
+#include "machine/cost.hpp"
+#include "machine/machine_model.hpp"
+#include "machine/network_model.hpp"
+#include "machine/parallel_model.hpp"
+#include "machine/sim_clock.hpp"
+
+namespace pgb {
+namespace {
+
+TEST(CostVector, AddAndScale) {
+  CostVector c;
+  c.add(CostKind::kCpuOps, 100);
+  c.add(CostKind::kCpuOps, 50);
+  c.add(CostKind::kStreamBytes, 8);
+  EXPECT_DOUBLE_EQ(c.get(CostKind::kCpuOps), 150);
+  const CostVector half = c.scaled(0.5);
+  EXPECT_DOUBLE_EQ(half.get(CostKind::kCpuOps), 75);
+  EXPECT_DOUBLE_EQ(half.get(CostKind::kStreamBytes), 4);
+  CostVector sum = c;
+  sum += half;
+  EXPECT_DOUBLE_EQ(sum.get(CostKind::kCpuOps), 225);
+}
+
+TEST(CostVector, EmptyDetection) {
+  CostVector c;
+  EXPECT_TRUE(c.empty());
+  c.add(CostKind::kRandAccess, 1);
+  EXPECT_FALSE(c.empty());
+}
+
+class ThreadsParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadsParam, MoreThreadsNeverSlower) {
+  const auto node = MachineModel::edison().node;
+  const int p = GetParam();
+  CostVector c;
+  c.add(CostKind::kCpuOps, 1e9);
+  c.add(CostKind::kStreamBytes, 1e8);
+  c.add(CostKind::kRandAccess, 1e6);
+  EXPECT_LE(region_time(node, c, p + 1), region_time(node, c, p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ThreadsParam,
+                         ::testing::Values(1, 2, 4, 8, 16, 23, 24, 31));
+
+TEST(ParallelModel, CpuScalesLinearlyWithinCores) {
+  const auto node = MachineModel::edison().node;
+  CostVector c;
+  c.add(CostKind::kCpuOps, 2.4e9);
+  EXPECT_NEAR(region_time(node, c, 1), 1.0, 1e-9);
+  EXPECT_NEAR(region_time(node, c, 12), 1.0 / 12, 1e-9);
+}
+
+TEST(ParallelModel, StreamSaturatesAtNodeBandwidth) {
+  const auto node = MachineModel::edison().node;
+  CostVector c;
+  c.add(CostKind::kStreamBytes, node.bw_node);  // 1 s at full node BW
+  const double t24 = region_time(node, c, 24);
+  const double t12 = region_time(node, c, 12);
+  EXPECT_NEAR(t24, 1.0, 1e-9);           // saturated
+  EXPECT_GT(t12 / t24, 1.2);             // not yet saturated at 12
+  EXPECT_NEAR(region_time(node, c, 32), t24, 1e-9);  // stays saturated
+}
+
+TEST(ParallelModel, ContendedAtomicsDoNotScale) {
+  const auto node = MachineModel::edison().node;
+  CostVector c;
+  c.add(CostKind::kAtomicContended, 1e6);
+  EXPECT_DOUBLE_EQ(region_time(node, c, 1), region_time(node, c, 24));
+}
+
+TEST(ParallelModel, RandomAccessSaturatesAtNodeMlp) {
+  const auto node = MachineModel::edison().node;
+  CostVector c;
+  c.add(CostKind::kRandAccess, 1e7);
+  const double t8 = region_time(node, c, 8);
+  const double t16 = region_time(node, c, 16);
+  // mlp_node = 80 = 8 threads * mlp_core: saturated by 8 threads.
+  EXPECT_NEAR(t8, t16, 1e-12);
+  EXPECT_GT(region_time(node, c, 4), t8);
+}
+
+TEST(ParallelModel, OversubscriptionGainsLittle) {
+  const auto node = MachineModel::edison().node;
+  CostVector c;
+  c.add(CostKind::kCpuOps, 1e9);
+  const double t24 = region_time(node, c, 24);
+  const double t32 = region_time(node, c, 32);
+  EXPECT_LT(t32, t24);
+  EXPECT_GT(t32, t24 * 0.8);  // far from the 32/24 ideal
+}
+
+TEST(ParallelModel, TaskSpawnChargedSerially) {
+  const auto node = MachineModel::edison().node;
+  CostVector c;
+  c.add(CostKind::kTaskSpawn, 24);
+  EXPECT_DOUBLE_EQ(region_time(node, c, 24), 24 * node.tau_task);
+}
+
+TEST(ParallelModel, ColocationSharesBandwidth) {
+  const auto node = MachineModel::edison().node;
+  CostVector c;
+  c.add(CostKind::kStreamBytes, 1e9);
+  EXPECT_GT(region_time(node, c, 24, /*colocated=*/4),
+            region_time(node, c, 24, /*colocated=*/1) * 2.0);
+}
+
+TEST(ParallelModel, EffectiveThreadsCappedByShare) {
+  const auto node = MachineModel::edison().node;
+  // 4 co-located locales split 24 cores: 6 each.
+  EXPECT_NEAR(effective_threads(node, 6, 4), 6.0, 1e-12);
+  EXPECT_LT(effective_threads(node, 24, 4), 9.0);
+}
+
+TEST(NetworkModel, AlphaBetaComposition) {
+  NetworkModel net(MachineModel::edison().net);
+  const auto& p = net.params();
+  EXPECT_NEAR(net.message(0, false, 1), p.alpha, 1e-12);
+  EXPECT_NEAR(net.message(8000, false, 1), p.alpha + 8000 * p.beta, 1e-15);
+  EXPECT_LT(net.message(0, true, 1), net.message(0, false, 1));
+}
+
+TEST(NetworkModel, DependentChainIsSerial) {
+  NetworkModel net(MachineModel::edison().net);
+  const double one = net.dependent_chain(1, 3.0, 8, false, 1);
+  EXPECT_NEAR(net.dependent_chain(1000, 3.0, 8, false, 1), 1000 * one, 1e-9);
+}
+
+TEST(NetworkModel, OverlappedBeatsDependent) {
+  NetworkModel net(MachineModel::edison().net);
+  EXPECT_LT(net.overlapped_messages(1000, 8, false, 1),
+            net.dependent_chain(1000, 1.0, 8, false, 1));
+}
+
+TEST(NetworkModel, BulkBeatsFineGrained) {
+  NetworkModel net(MachineModel::edison().net);
+  // Moving 1000 8-byte elements: one bulk put vs element-wise.
+  EXPECT_LT(net.bulk(8000, false, 1) * 50,
+            net.overlapped_messages(1000, 8, false, 1));
+}
+
+TEST(NetworkModel, ColocationPenalizesLatency) {
+  NetworkModel net(MachineModel::edison().net);
+  EXPECT_GT(net.message(0, true, 8), net.message(0, true, 1));
+  EXPECT_GT(net.fork(true, 8), net.fork(true, 1));
+}
+
+TEST(NetworkModel, RemoteForkCostlierThanLocalTask) {
+  const auto m = MachineModel::edison();
+  NetworkModel net(m.net);
+  EXPECT_GT(net.fork(false, 1), m.node.tau_task);
+}
+
+TEST(NetworkModel, BarrierGrowsLogarithmically) {
+  NetworkModel net(MachineModel::edison().net);
+  EXPECT_EQ(net.barrier(1), 0.0);
+  EXPECT_LT(net.barrier(4), net.barrier(64));
+  EXPECT_NEAR(net.barrier(64) / net.barrier(2), 6.0, 1e-9);
+}
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock c;
+  c.advance(1.5);
+  c.advance_to(1.0);  // no-op backwards
+  EXPECT_DOUBLE_EQ(c.now(), 1.5);
+  c.advance_to(2.0);
+  EXPECT_DOUBLE_EQ(c.now(), 2.0);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+}
+
+TEST(Trace, AccumulatesByPhase) {
+  Trace t;
+  t.add("spa", 0.1);
+  t.add("sort", 0.2);
+  t.add("spa", 0.3);
+  EXPECT_DOUBLE_EQ(t.get("spa"), 0.4);
+  EXPECT_DOUBLE_EQ(t.get("sort"), 0.2);
+  EXPECT_DOUBLE_EQ(t.get("missing"), 0.0);
+  EXPECT_EQ(t.phases().size(), 2u);
+  t.clear();
+  EXPECT_TRUE(t.phases().empty());
+}
+
+TEST(SortCosts, RadixCheaperThanMergeForLargeN) {
+  const auto node = MachineModel::edison().node;
+  const auto merge = merge_sort_cost(1 << 20);
+  const auto radix = radix_sort_cost(1 << 20, 1 << 20);
+  EXPECT_LT(region_time(node, radix, 1), region_time(node, merge, 1));
+}
+
+TEST(SortCosts, EmptyAndSingletonAreFree) {
+  EXPECT_TRUE(merge_sort_cost(0).empty());
+  EXPECT_TRUE(merge_sort_cost(1).empty());
+  EXPECT_TRUE(radix_sort_cost(1, 100).empty());
+}
+
+}  // namespace
+}  // namespace pgb

@@ -1,0 +1,244 @@
+// Tests for the remaining GraphBLAS surface: SpMV, transpose, mxm
+// (SpGEMM), reduce, extract, and masks.
+#include <gtest/gtest.h>
+
+#include "core/extract.hpp"
+#include "core/ops.hpp"
+#include "core/mask.hpp"
+#include "core/mxm.hpp"
+#include "core/reduce.hpp"
+#include "core/spmv.hpp"
+#include "core/transpose.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_vec.hpp"
+
+namespace pgb {
+namespace {
+
+class SpmvGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpmvGrids, MatchesDenseReference) {
+  const Index n = 500;
+  auto grid = LocaleGrid::square(GetParam(), 4);
+  auto a = erdos_renyi_dist<double>(grid, n, 6.0, 13);
+  DistDenseVec<double> x(grid, n);
+  for (int l = 0; l < grid.num_locales(); ++l) {
+    auto& lv = x.local(l);
+    for (Index i = lv.lo(); i < lv.hi(); ++i) {
+      lv[i] = static_cast<double>((i % 7) + 1);
+    }
+  }
+  auto y = spmv(a, x, arithmetic_semiring<double>());
+
+  auto local = a.to_local();
+  std::vector<double> ref(static_cast<std::size_t>(n), 0.0);
+  for (Index r = 0; r < n; ++r) {
+    for (std::size_t k = 0; k < local.row_colids(r).size(); ++k) {
+      const Index c = local.row_colids(r)[k];
+      ref[static_cast<std::size_t>(c)] +=
+          static_cast<double>((r % 7) + 1) * local.row_values(r)[k];
+    }
+  }
+  for (Index i = 0; i < n; ++i) {
+    EXPECT_NEAR(y.at(i), ref[static_cast<std::size_t>(i)], 1e-9) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, SpmvGrids, ::testing::Values(1, 2, 4, 9));
+
+TEST(Spmv, MixedValueTypes) {
+  // int64 adjacency with double vector (the PageRank pattern).
+  const Index n = 200;
+  auto grid = LocaleGrid::square(4, 2);
+  auto a = erdos_renyi_dist<std::int64_t>(grid, n, 4.0, 3);
+  DistDenseVec<double> x(grid, n, 0.5);
+  auto y = spmv(a, x, arithmetic_semiring<double>());
+  auto local = a.to_local();
+  for (Index c = 0; c < n; ++c) {
+    // Column sums * 0.5.
+    double ref = 0;
+    for (Index r = 0; r < n; ++r) {
+      if (local.find(r, c)) ref += 0.5;
+    }
+    EXPECT_NEAR(y.at(c), ref, 1e-9);
+  }
+}
+
+TEST(Transpose, LocalRoundTrip) {
+  auto a = erdos_renyi_csr<double>(300, 5.0, 17);
+  auto t = transpose_local(a);
+  EXPECT_TRUE(t.check_invariants());
+  EXPECT_EQ(t.nnz(), a.nnz());
+  EXPECT_EQ(t.nrows(), a.ncols());
+  auto tt = transpose_local(t);
+  ASSERT_EQ(tt.nnz(), a.nnz());
+  for (Index r = 0; r < a.nrows(); ++r) {
+    auto ar = a.row_colids(r);
+    auto br = tt.row_colids(r);
+    ASSERT_EQ(ar.size(), br.size());
+    for (std::size_t k = 0; k < ar.size(); ++k) EXPECT_EQ(ar[k], br[k]);
+  }
+}
+
+TEST(Transpose, EntriesSwapped) {
+  Coo<int> coo(3, 4);
+  coo.add(0, 3, 7);
+  coo.add(2, 1, 9);
+  auto t = transpose_local(coo.to_csr());
+  EXPECT_EQ(*t.find(3, 0), 7);
+  EXPECT_EQ(*t.find(1, 2), 9);
+  EXPECT_EQ(t.find(0, 3), nullptr);
+}
+
+class TransposeGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransposeGrids, DistMatchesLocalTranspose) {
+  const Index n = 240;
+  auto grid = LocaleGrid::square(GetParam(), 2);
+  auto a = erdos_renyi_dist<double>(grid, n, 4.0, 19);
+  auto t = transpose_dist(a);
+  EXPECT_TRUE(t.check_invariants());
+  auto ref = transpose_local(a.to_local());
+  auto got = t.to_local();
+  ASSERT_EQ(got.nnz(), ref.nnz());
+  for (Index r = 0; r < n; ++r) {
+    auto gr = got.row_colids(r);
+    auto rr = ref.row_colids(r);
+    ASSERT_EQ(gr.size(), rr.size());
+    for (std::size_t k = 0; k < gr.size(); ++k) EXPECT_EQ(gr[k], rr[k]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, TransposeGrids,
+                         ::testing::Values(1, 4, 9, 16));
+
+TEST(Mxm, SmallKnownProduct) {
+  // A = [[1,2],[0,3]], B = [[4,0],[5,6]] -> C = [[14,12],[15,18]]
+  Coo<double> ca(2, 2), cb(2, 2);
+  ca.add(0, 0, 1);
+  ca.add(0, 1, 2);
+  ca.add(1, 1, 3);
+  cb.add(0, 0, 4);
+  cb.add(1, 0, 5);
+  cb.add(1, 1, 6);
+  auto grid = LocaleGrid::single(1);
+  LocaleCtx ctx(grid, 0);
+  auto c = mxm_local(ctx, ca.to_csr(), cb.to_csr(),
+                     arithmetic_semiring<double>());
+  EXPECT_EQ(*c.find(0, 0), 14);
+  EXPECT_EQ(*c.find(0, 1), 12);
+  EXPECT_EQ(*c.find(1, 0), 15);
+  EXPECT_EQ(*c.find(1, 1), 18);
+}
+
+TEST(Mxm, MatchesDenseReferenceOnRandom) {
+  const Index n = 60;
+  auto a = erdos_renyi_csr<double>(n, 4.0, 23);
+  auto b = erdos_renyi_csr<double>(n, 4.0, 29);
+  auto grid = LocaleGrid::single(2);
+  LocaleCtx ctx(grid, 0);
+  auto c = mxm_local(ctx, a, b, arithmetic_semiring<double>());
+  EXPECT_TRUE(c.check_invariants());
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      double ref = 0;
+      for (Index k = 0; k < n; ++k) {
+        const double* av = a.find(i, k);
+        const double* bv = b.find(k, j);
+        if (av && bv) ref += *av * *bv;
+      }
+      const double* cv = c.find(i, j);
+      EXPECT_NEAR(cv ? *cv : 0.0, ref, 1e-9) << i << "," << j;
+    }
+  }
+}
+
+TEST(Mxm, DimensionMismatchThrows) {
+  auto grid = LocaleGrid::single(1);
+  LocaleCtx ctx(grid, 0);
+  Csr<double> a(3, 4), b(5, 3);
+  EXPECT_THROW(mxm_local(ctx, a, b, arithmetic_semiring<double>()),
+               DimensionMismatch);
+}
+
+TEST(Reduce, SumAndMaxOverDistributedVector) {
+  auto grid = LocaleGrid::square(4, 2);
+  auto x = DistSparseVec<std::int64_t>::from_sorted(
+      grid, 100, {3, 30, 60, 99}, {5, 7, 1, 10});
+  EXPECT_EQ(reduce(x, plus_monoid<std::int64_t>()), 23);
+  EXPECT_EQ(reduce(x, max_monoid<std::int64_t>()), 10);
+  EXPECT_EQ(reduce(x, min_monoid<std::int64_t>()), 1);
+}
+
+TEST(Reduce, EmptyVectorGivesIdentity) {
+  auto grid = LocaleGrid::square(2, 1);
+  DistSparseVec<std::int64_t> x(grid, 10);
+  EXPECT_EQ(reduce(x, plus_monoid<std::int64_t>()), 0);
+}
+
+TEST(ReduceRows, ComputesOutDegrees) {
+  const Index n = 150;
+  auto grid = LocaleGrid::square(4, 1);
+  auto a = erdos_renyi_dist<std::int64_t>(grid, n, 5.0, 31);
+  auto deg = reduce_rows(a, plus_monoid<std::int64_t>());
+  auto local = a.to_local();
+  for (Index r = 0; r < n; ++r) {
+    EXPECT_EQ(deg.at(r), local.row_nnz(r)) << r;
+  }
+}
+
+TEST(Extract, RangeKeepsGlobalIndices) {
+  auto grid = LocaleGrid::square(4, 1);
+  auto x = DistSparseVec<double>::from_sorted(grid, 100, {5, 25, 50, 75},
+                                              {1, 2, 3, 4});
+  auto z = extract_range(x, 20, 60);
+  auto lz = z.to_local();
+  ASSERT_EQ(lz.nnz(), 2);
+  EXPECT_EQ(lz.index_at(0), 25);
+  EXPECT_DOUBLE_EQ(lz.value_at(0), 2.0);
+  EXPECT_EQ(lz.index_at(1), 50);
+}
+
+TEST(Extract, BadRangeThrows) {
+  auto grid = LocaleGrid::single(1);
+  DistSparseVec<double> x(grid, 10);
+  EXPECT_THROW(extract_range(x, -1, 5), InvalidArgument);
+  EXPECT_THROW(extract_range(x, 5, 11), InvalidArgument);
+}
+
+TEST(Mask, NormalAndComplement) {
+  auto grid = LocaleGrid::square(4, 1);
+  auto x = DistSparseVec<double>::from_sorted(grid, 40, {1, 10, 20, 30},
+                                              {1, 2, 3, 4});
+  DistDenseVec<std::uint8_t> m(grid, 40, 0);
+  m.at(10) = 1;
+  m.at(30) = 1;
+
+  auto kept = apply_mask(x, m, MaskMode::kMask);
+  ASSERT_EQ(kept.nnz(), 2);
+  EXPECT_NE(kept.to_local().find(10), nullptr);
+  EXPECT_NE(kept.to_local().find(30), nullptr);
+
+  auto comp = apply_mask(x, m, MaskMode::kComplement);
+  ASSERT_EQ(comp.nnz(), 2);
+  EXPECT_NE(comp.to_local().find(1), nullptr);
+  EXPECT_NE(comp.to_local().find(20), nullptr);
+
+  auto none = apply_mask(x, m, MaskMode::kNone);
+  EXPECT_EQ(none.nnz(), 4);
+}
+
+TEST(Mask, UnionScattersPattern) {
+  auto grid = LocaleGrid::square(2, 1);
+  auto x = DistSparseVec<double>::from_sorted(grid, 20, {2, 15}, {1, 1});
+  DistDenseVec<std::uint8_t> m(grid, 20, 0);
+  m.at(3) = 1;
+  mask_union(m, x);
+  EXPECT_EQ(m.at(2), 1);
+  EXPECT_EQ(m.at(15), 1);
+  EXPECT_EQ(m.at(3), 1);
+  EXPECT_EQ(m.at(4), 0);
+}
+
+}  // namespace
+}  // namespace pgb

@@ -1,0 +1,140 @@
+// End-to-end figure-shape assertions: each test pins one qualitative
+// claim of a paper figure that the benches print quantitatively. These
+// are the regression guards for the calibration constants.
+#include <gtest/gtest.h>
+
+#include "core/apply.hpp"
+#include "core/assign.hpp"
+#include "core/ops.hpp"
+#include "core/spmspv.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_vec.hpp"
+
+namespace pgb {
+namespace {
+
+double assign2_time(int nloc, Index nnz, int threads) {
+  auto g = LocaleGrid::square(nloc, threads);
+  auto b = random_dist_sparse_vec<double>(g, 2 * nnz, nnz, 1);
+  DistSparseVec<double> a(g, 2 * nnz);
+  g.reset();
+  assign_v2(a, b);
+  return g.time();
+}
+
+TEST(Fig3Shape, SmallAssignStopsScalingLargeKeepsGoing) {
+  // Fig 3: nnz=1M flattens after a few nodes; nnz=100M keeps scaling.
+  // (Scaled 10x down here to keep the test fast; the bench runs full
+  // size.)
+  const Index small = 100000, large = 10000000;
+  const double s1 = assign2_time(1, small, 24);
+  const double s16 = assign2_time(16, small, 24);
+  const double s64 = assign2_time(64, small, 24);
+  const double l1 = assign2_time(1, large, 24);
+  const double l64 = assign2_time(64, large, 24);
+
+  EXPECT_LT(s16 / s64, 2.0);        // small: flat beyond 16 nodes
+  EXPECT_LT(s1 / s64, 24.0);        // small: far from ideal 64x
+  EXPECT_GT(l1 / l64, 20.0);        // large: strong scaling persists
+}
+
+TEST(Fig9Shape, LocalMultiplySpeedsUpButTotalStaysFlat) {
+  // Fig 9: local multiply gains ~43x from 1 to 64 nodes, while gather
+  // keeps the total roughly flat. Needs enough per-locale work at 64
+  // locales for spawn overhead to amortize, hence the larger instance.
+  const Index n = 4000000;
+  const double d = 16.0;
+  const Index fnnz = n / 50;
+
+  auto run = [&](int nloc, double* local_t, double* total_t) {
+    auto g = LocaleGrid::square(nloc, 24);
+    auto a = erdos_renyi_dist<std::int64_t>(g, n, d, 5);
+    auto x = random_dist_sparse_vec<std::int64_t>(g, n, fnnz, 6);
+    g.reset();
+    spmspv_dist(a, x, arithmetic_semiring<std::int64_t>());
+    *local_t = g.trace().get("local");
+    *total_t = g.time();
+  };
+
+  double local1, total1, local64, total64;
+  run(1, &local1, &total1);
+  run(64, &local64, &total64);
+
+  EXPECT_GT(local1 / local64, 15.0);  // local multiply scales strongly
+  EXPECT_LT(local1 / local64, 120.0);
+  EXPECT_LT(total1 / total64, 8.0);   // total does not scale like that
+}
+
+TEST(Fig8Shape, GatherGrowsToDominateWithNodeCount) {
+  const Index n = 1000000;
+  const Index fnnz = n / 50;
+  auto gather_frac = [&](int nloc) {
+    auto g = LocaleGrid::square(nloc, 24);
+    auto a = erdos_renyi_dist<std::int64_t>(g, n, 16.0, 5);
+    auto x = random_dist_sparse_vec<std::int64_t>(g, n, fnnz, 6);
+    g.reset();
+    spmspv_dist(a, x, arithmetic_semiring<std::int64_t>());
+    return g.trace().get("gather") / g.time();
+  };
+  EXPECT_LT(gather_frac(1), 0.05);   // all local at 1 node
+  EXPECT_GT(gather_frac(16), 0.5);   // dominates at scale
+}
+
+TEST(Fig1Shape, Apply1JumpsByOrdersOfMagnitudeLeavingOneNode) {
+  const Index nnz = 1000000;
+  auto run = [&](int nloc) {
+    auto g = LocaleGrid::square(nloc, 24);
+    auto x = random_dist_sparse_vec<double>(g, 2 * nnz, nnz, 1);
+    g.reset();
+    apply_v1(x, NegateOp{});
+    return g.time();
+  };
+  const double t1 = run(1);
+  const double t2 = run(2);
+  EXPECT_GT(t2 / t1, 100.0);  // the cliff between 1 and 2 nodes
+  EXPECT_LT(run(64) / t2, 10.0);  // then a slow climb, not another cliff
+}
+
+TEST(Fig10Shape, ColocationDegradesBeyondAFewLocales) {
+  // Fig 10: with a tiny input and all locales on one node, extra locales
+  // only add fork serialization and handler contention. A small dip at
+  // 2-4 locales (work still splits) is fine; past that the curve climbs,
+  // and 32 locales are much worse than 1.
+  const Index nnz = 10000;
+  auto run = [&](int nloc) {
+    auto g = LocaleGrid::square(nloc, 1, /*locales_per_node=*/nloc);
+    auto b = random_dist_sparse_vec<double>(g, 2 * nnz, nnz, 1);
+    DistSparseVec<double> a(g, 2 * nnz);
+    g.reset();
+    assign_v2(a, b);
+    return g.time();
+  };
+  const double t1 = run(1);
+  double prev = run(4);
+  for (int nloc : {8, 16, 32}) {
+    const double t = run(nloc);
+    EXPECT_GT(t, prev) << nloc << " locales";
+    prev = t;
+  }
+  EXPECT_GT(prev, 2.0 * t1);  // 32 locales clearly worse than 1
+}
+
+TEST(BurdenedParallelism, SpmdBeatsForallOnlyWhenWorkAmortizes) {
+  // The paper's central finding: SPMD wins in distributed memory, and
+  // the margin shrinks as per-locale work grows (spawn costs amortize).
+  auto ratio = [&](Index nnz) {
+    auto g = LocaleGrid::square(4, 24);
+    auto x = random_dist_sparse_vec<double>(g, 2 * nnz, nnz, 1);
+    g.reset();
+    apply_v1(x, NegateOp{});
+    const double t1 = g.time();
+    g.reset();
+    apply_v2(x, NegateOp{});
+    return t1 / g.time();
+  };
+  EXPECT_GT(ratio(10000), 10.0);
+  EXPECT_GT(ratio(1000000), ratio(10000));  // v1's deficit grows with nnz
+}
+
+}  // namespace
+}  // namespace pgb

@@ -1,0 +1,108 @@
+// Tests for symmetric vertex relabeling and load-balance metrics.
+#include <gtest/gtest.h>
+
+#include "algo/bfs.hpp"
+#include "core/permute.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+
+namespace pgb {
+namespace {
+
+TEST(Relabeling, ProducesAPermutation) {
+  auto p = random_relabeling(1000, 5);
+  std::vector<bool> seen(1000, false);
+  for (Index v : p) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 1000);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  EXPECT_EQ(random_relabeling(1000, 5), p);  // deterministic
+  EXPECT_NE(random_relabeling(1000, 6), p);
+}
+
+class PermuteGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(PermuteGrids, EntriesLandAtRelabeledCoordinates) {
+  const Index n = 300;
+  auto grid = LocaleGrid::square(GetParam(), 2);
+  auto a = erdos_renyi_dist<double>(grid, n, 5.0, 3);
+  auto perm = random_relabeling(n, 7);
+  auto b = permute_matrix(a, perm);
+  EXPECT_TRUE(b.check_invariants());
+  EXPECT_EQ(b.nnz(), a.nnz());
+
+  auto la = a.to_local();
+  auto lb = b.to_local();
+  for (Index r = 0; r < n; ++r) {
+    auto cols = la.row_colids(r);
+    auto vals = la.row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const double* v =
+          lb.find(perm[static_cast<std::size_t>(r)],
+                  perm[static_cast<std::size_t>(cols[k])]);
+      ASSERT_NE(v, nullptr);
+      EXPECT_DOUBLE_EQ(*v, vals[k]);
+    }
+  }
+}
+
+TEST_P(PermuteGrids, GraphStructurePreserved) {
+  // BFS level sizes are invariant under relabeling (modulo the source).
+  RmatParams p;
+  p.scale = 9;
+  p.edge_factor = 8;
+  auto grid = LocaleGrid::square(GetParam(), 2);
+  auto a = rmat_dist(grid, p);
+  auto perm = random_relabeling(a.nrows(), 11);
+  auto b = permute_matrix(a, perm);
+
+  auto ra = bfs(a, /*source=*/0);
+  auto rb = bfs(b, /*source=*/perm[0]);
+  ASSERT_EQ(rb.level_sizes.size(), ra.level_sizes.size());
+  for (std::size_t i = 0; i < ra.level_sizes.size(); ++i) {
+    EXPECT_EQ(rb.level_sizes[i], ra.level_sizes[i]) << "level " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, PermuteGrids, ::testing::Values(1, 4, 9));
+
+TEST(LoadBalance, ErdosRenyiIsNearlyBalanced) {
+  auto grid = LocaleGrid::square(16, 1);
+  auto a = erdos_renyi_dist<double>(grid, 20000, 8.0, 3);
+  EXPECT_LT(load_imbalance(a), 1.15);
+}
+
+TEST(LoadBalance, RelabelingFixesRmatSkew) {
+  RmatParams p;
+  p.scale = 13;
+  p.edge_factor = 8;
+  auto grid = LocaleGrid::square(16, 1);
+  auto a = rmat_dist(grid, p);
+  const double before = load_imbalance(a);
+  auto b = permute_matrix(a, random_relabeling(a.nrows(), 5));
+  const double after = load_imbalance(b);
+  EXPECT_GT(before, 1.8);          // R-MAT hubs overload the (0,0) block
+  EXPECT_LT(after, before * 0.7);  // relabeling spreads them out
+  EXPECT_LT(after, 1.5);
+}
+
+TEST(LoadBalance, EmptyMatrixIsBalanced) {
+  auto grid = LocaleGrid::square(4, 1);
+  DistCsr<double> a(grid, 10, 10);
+  EXPECT_DOUBLE_EQ(load_imbalance(a), 1.0);
+}
+
+TEST(Permute, ValidationErrors) {
+  auto grid = LocaleGrid::square(4, 1);
+  DistCsr<double> rect(grid, 10, 12);
+  std::vector<Index> p10(10);
+  EXPECT_THROW(permute_matrix(rect, p10), DimensionMismatch);
+  DistCsr<double> sq(grid, 10, 10);
+  std::vector<Index> wrong(9);
+  EXPECT_THROW(permute_matrix(sq, wrong), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pgb

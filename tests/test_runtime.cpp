@@ -1,0 +1,194 @@
+// Tests for the locale-grid runtime: grid construction, block
+// distributions, clock semantics of coforall/barrier, and the
+// communication-charging helpers.
+#include <gtest/gtest.h>
+
+#include "runtime/dist.hpp"
+#include "runtime/locale_grid.hpp"
+
+namespace pgb {
+namespace {
+
+TEST(LocaleGrid, SingleGrid) {
+  auto g = LocaleGrid::single(24);
+  EXPECT_EQ(g.num_locales(), 1);
+  EXPECT_EQ(g.threads(), 24);
+  EXPECT_EQ(g.colocated(), 1);
+}
+
+TEST(LocaleGrid, SquareFactorsNearSquare) {
+  auto g16 = LocaleGrid::square(16, 24);
+  EXPECT_EQ(g16.rows(), 4);
+  EXPECT_EQ(g16.cols(), 4);
+  auto g8 = LocaleGrid::square(8, 24);
+  EXPECT_EQ(g8.rows(), 2);
+  EXPECT_EQ(g8.cols(), 4);
+  auto g2 = LocaleGrid::square(2, 24);
+  EXPECT_EQ(g2.rows(), 1);
+  EXPECT_EQ(g2.cols(), 2);
+}
+
+TEST(LocaleGrid, RowMajorCoordinates) {
+  auto g = LocaleGrid::square(8, 1);  // 2 x 4
+  EXPECT_EQ(g.locale(5).row, 1);
+  EXPECT_EQ(g.locale(5).col, 1);
+  EXPECT_EQ(g.locale(3).row, 0);
+  EXPECT_EQ(g.locale(3).col, 3);
+}
+
+TEST(LocaleGrid, NodePlacement) {
+  auto g = LocaleGrid::square(8, 1, /*locales_per_node=*/4);
+  EXPECT_TRUE(g.same_node(0, 3));
+  EXPECT_FALSE(g.same_node(3, 4));
+  EXPECT_TRUE(g.same_node(4, 7));
+}
+
+TEST(LocaleGrid, RejectsBadConfig) {
+  EXPECT_THROW(LocaleGrid(GridConfig{.rows = 0}), InvalidArgument);
+  EXPECT_THROW(LocaleGrid(GridConfig{.threads_per_locale = 0}),
+               InvalidArgument);
+}
+
+TEST(LocaleGrid, CoforallRunsBodyOncePerLocale) {
+  auto g = LocaleGrid::square(6, 4);
+  std::vector<int> seen;
+  g.coforall_locales([&](LocaleCtx& ctx) { seen.push_back(ctx.locale()); });
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(LocaleGrid, CoforallChargesForkAndBarrier) {
+  auto g = LocaleGrid::square(8, 4);
+  g.coforall_locales([](LocaleCtx&) {});
+  // Even an empty body costs 7 remote forks + a barrier.
+  const double expected_min = 7 * g.net().params().tau_fork;
+  EXPECT_GE(g.time(), expected_min);
+  EXPECT_LT(g.time(), expected_min * 3);
+}
+
+TEST(LocaleGrid, BarrierSynchronizesClocks) {
+  auto g = LocaleGrid::square(4, 1);
+  g.clock(2).advance(1.0);
+  g.barrier_all();
+  for (int l = 0; l < 4; ++l) EXPECT_GE(g.clock(l).now(), 1.0);
+  EXPECT_DOUBLE_EQ(g.clock(0).now(), g.clock(3).now());
+}
+
+TEST(LocaleGrid, ResetClearsClocksAndTrace) {
+  auto g = LocaleGrid::single(1);
+  g.clock(0).advance(5.0);
+  g.trace().add("x", 1.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.time(), 0.0);
+  EXPECT_TRUE(g.trace().phases().empty());
+}
+
+TEST(LocaleCtx, LocalPeerChargesNothing) {
+  auto g = LocaleGrid::square(4, 1);
+  LocaleCtx ctx(g, 1);
+  ctx.remote_chain(1, 1000, 3.0, 8);
+  ctx.remote_msgs(1, 1000, 8);
+  ctx.remote_bulk(1, 1 << 20);
+  ctx.remote_rt(1, 8);
+  EXPECT_DOUBLE_EQ(g.clock(1).now(), 0.0);
+}
+
+TEST(LocaleCtx, RemotePeerAdvancesOnlyIssuerClock) {
+  auto g = LocaleGrid::square(4, 1);
+  LocaleCtx ctx(g, 1);
+  ctx.remote_bulk(2, 1 << 20);
+  EXPECT_GT(g.clock(1).now(), 0.0);
+  EXPECT_DOUBLE_EQ(g.clock(2).now(), 0.0);
+}
+
+TEST(LocaleCtx, ContentionMultipliesCost) {
+  auto g = LocaleGrid::square(4, 1);
+  LocaleCtx a(g, 0), b(g, 1);
+  a.remote_chain(2, 100, 2.0, 8, 1.0);
+  b.remote_chain(2, 100, 2.0, 8, 4.0);
+  EXPECT_NEAR(g.clock(1).now(), 4.0 * g.clock(0).now(), 1e-12);
+}
+
+TEST(LocaleCtx, ParallelRegionIncludesSpawnBurden) {
+  auto g = LocaleGrid::single(24);
+  LocaleCtx ctx(g, 0);
+  ctx.parallel_region(CostVector{});  // no work, only spawn
+  EXPECT_NEAR(g.clock(0).now(), 24 * g.model().node.tau_task, 1e-12);
+}
+
+TEST(LocaleCtx, SerialRegionHasNoSpawnBurden) {
+  auto g = LocaleGrid::single(24);
+  LocaleCtx ctx(g, 0);
+  ctx.serial_region(CostVector{});
+  EXPECT_DOUBLE_EQ(g.clock(0).now(), 0.0);
+}
+
+// ---- distributions ----
+
+class Dist1DParam
+    : public ::testing::TestWithParam<std::pair<Index, int>> {};
+
+TEST_P(Dist1DParam, BlocksPartitionTheRange) {
+  const auto [n, parts] = GetParam();
+  BlockDist1D d(n, parts);
+  Index covered = 0;
+  for (int p = 0; p < parts; ++p) {
+    EXPECT_EQ(d.hi(p) - d.lo(p), d.local_size(p));
+    covered += d.local_size(p);
+    if (p > 0) EXPECT_EQ(d.lo(p), d.hi(p - 1));
+  }
+  EXPECT_EQ(covered, n);
+}
+
+TEST_P(Dist1DParam, OwnerIsConsistentWithBlocks) {
+  const auto [n, parts] = GetParam();
+  BlockDist1D d(n, parts);
+  const Index step = std::max<Index>(1, n / 137);
+  for (Index i = 0; i < n; i += step) {
+    const int p = d.owner(i);
+    EXPECT_GE(i, d.lo(p));
+    EXPECT_LT(i, d.hi(p));
+  }
+  if (n >= parts) {
+    // With fewer items than parts, leading/trailing blocks may be empty
+    // and the boundary items belong to interior parts.
+    EXPECT_EQ(d.owner(0), 0);
+    EXPECT_EQ(d.owner(n - 1), parts - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Dist1DParam,
+    ::testing::Values(std::pair<Index, int>{100, 1},
+                      std::pair<Index, int>{100, 7},
+                      std::pair<Index, int>{7, 7},
+                      std::pair<Index, int>{5, 8},  // more parts than items
+                      std::pair<Index, int>{1000003, 64},
+                      std::pair<Index, int>{0, 4}));
+
+TEST(Dist2D, LocaleOfMatchesRowMajorGrid) {
+  BlockDist2D d(100, 100, 2, 4);
+  EXPECT_EQ(d.locale_of(0, 0), 0);
+  EXPECT_EQ(d.locale_of(0, 99), 3);
+  EXPECT_EQ(d.locale_of(99, 0), 4);
+  EXPECT_EQ(d.locale_of(99, 99), 7);
+  EXPECT_EQ(d.prow_of(6), 1);
+  EXPECT_EQ(d.pcol_of(6), 2);
+}
+
+TEST(Dist2D, EveryCellOwnedByExactlyOneLocale) {
+  BlockDist2D d(31, 17, 3, 2);
+  for (Index r = 0; r < 31; ++r) {
+    for (Index c = 0; c < 17; ++c) {
+      const int l = d.locale_of(r, c);
+      EXPECT_GE(l, 0);
+      EXPECT_LT(l, 6);
+      EXPECT_GE(r, d.rowd().lo(d.prow_of(l)));
+      EXPECT_LT(r, d.rowd().hi(d.prow_of(l)));
+      EXPECT_GE(c, d.cold().lo(d.pcol_of(l)));
+      EXPECT_LT(c, d.cold().hi(d.pcol_of(l)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pgb

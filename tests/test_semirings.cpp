@@ -1,0 +1,144 @@
+// Property tests for the algebraic layer: monoid and semiring laws over
+// random samples, and the behaviour of the standard instances. These are
+// the invariants the GraphBLAS operations rely on (e.g. the scatter
+// accumulation assumes the add monoid is associative & commutative).
+#include <gtest/gtest.h>
+
+#include "core/ops.hpp"
+#include "machine/machine_model.hpp"
+#include "util/rng.hpp"
+
+namespace pgb {
+namespace {
+
+template <typename M, typename Gen>
+void check_monoid_laws(const M& m, Gen gen, int samples = 200) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < samples; ++i) {
+    const auto a = gen(rng);
+    const auto b = gen(rng);
+    const auto c = gen(rng);
+    // identity
+    EXPECT_EQ(m(a, m.identity), a);
+    EXPECT_EQ(m(m.identity, a), a);
+    // associativity
+    EXPECT_EQ(m(m(a, b), c), m(a, m(b, c)));
+    // commutativity (all standard GraphBLAS add monoids are commutative)
+    EXPECT_EQ(m(a, b), m(b, a));
+  }
+}
+
+std::int64_t gen_int(Xoshiro256& rng) {
+  return static_cast<std::int64_t>(rng.next_below(2000)) - 1000;
+}
+
+TEST(MonoidLaws, PlusInt) {
+  check_monoid_laws(plus_monoid<std::int64_t>(), gen_int);
+}
+
+TEST(MonoidLaws, TimesInt) {
+  // Smaller operands to avoid overflow in the associativity check.
+  check_monoid_laws(times_monoid<std::int64_t>(), [](Xoshiro256& rng) {
+    return static_cast<std::int64_t>(rng.next_below(20)) - 10;
+  });
+}
+
+TEST(MonoidLaws, MinMaxInt) {
+  check_monoid_laws(min_monoid<std::int64_t>(), gen_int);
+  check_monoid_laws(max_monoid<std::int64_t>(), gen_int);
+}
+
+TEST(MonoidLaws, LogicalOr) {
+  check_monoid_laws(lor_monoid<std::int64_t>(), [](Xoshiro256& rng) {
+    return static_cast<std::int64_t>(rng.next_below(2));
+  });
+}
+
+template <typename SR, typename Gen>
+void check_semiring_laws(const SR& sr, Gen gen, int samples = 200) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < samples; ++i) {
+    const auto a = gen(rng);
+    const auto b = gen(rng);
+    const auto c = gen(rng);
+    // multiply distributes over add (left and right)
+    EXPECT_EQ(sr.multiply(a, sr.combine(b, c)),
+              sr.combine(sr.multiply(a, b), sr.multiply(a, c)));
+    EXPECT_EQ(sr.multiply(sr.combine(a, b), c),
+              sr.combine(sr.multiply(a, c), sr.multiply(b, c)));
+    // additive identity annihilates nothing for combine
+    EXPECT_EQ(sr.combine(a, sr.zero()), a);
+  }
+}
+
+TEST(SemiringLaws, ArithmeticDistributes) {
+  check_semiring_laws(arithmetic_semiring<std::int64_t>(),
+                      [](Xoshiro256& rng) {
+                        return static_cast<std::int64_t>(rng.next_below(30)) -
+                               15;
+                      });
+}
+
+TEST(SemiringLaws, MinPlusDistributes) {
+  // (min, +) is a semiring: a + min(b, c) == min(a+b, a+c).
+  check_semiring_laws(min_plus_semiring<std::int64_t>(), gen_int);
+}
+
+TEST(SemiringLaws, BooleanDistributes) {
+  check_semiring_laws(boolean_semiring<std::int64_t>(), [](Xoshiro256& rng) {
+    return static_cast<std::int64_t>(rng.next_below(2));
+  });
+}
+
+TEST(Semirings, MinFirstPropagatesLeftOperand) {
+  const auto sr = min_first_semiring<std::int64_t>();
+  EXPECT_EQ(sr.multiply(42, 7), 42);
+  EXPECT_EQ(sr.combine(42, 7), 7);
+  EXPECT_EQ(sr.zero(), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(UnaryOps, Basics) {
+  EXPECT_EQ(IdentityOp{}(5), 5);
+  EXPECT_EQ(NegateOp{}(5), -5);
+  EXPECT_EQ((ScaleOp<int>{3})(5), 15);
+  EXPECT_EQ((IncrementOp<int>{3})(5), 8);
+}
+
+TEST(BinaryOps, Selectors) {
+  EXPECT_EQ(FirstOp{}(1, 2), 1);
+  EXPECT_EQ(SecondOp{}(1, 2), 2);
+  EXPECT_EQ(LogicalOrOp{}(0, 3), 1);
+  EXPECT_EQ(LogicalOrOp{}(0, 0), 0);
+  EXPECT_EQ(LogicalAndOp{}(2, 3), 1);
+  EXPECT_EQ(LogicalAndOp{}(2, 0), 0);
+}
+
+TEST(Semirings, UserDefinedSemiringWorks) {
+  // max-times over non-negative doubles (a legitimate semiring on
+  // [0, inf): used for widest-path style problems).
+  struct MaxOp2 {
+    double operator()(double a, double b) const { return std::max(a, b); }
+  };
+  Semiring<double, MaxOp2, TimesOp> sr{{MaxOp2{}, 0.0}, TimesOp{}};
+  EXPECT_EQ(sr.combine(0.5, 0.7), 0.7);
+  EXPECT_EQ(sr.multiply(0.5, 0.5), 0.25);
+  check_semiring_laws(sr, [](Xoshiro256& rng) {
+    return rng.next_double();
+  });
+}
+
+TEST(MachineModels, ModernRelations) {
+  const auto edison = MachineModel::edison();
+  const auto modern = MachineModel::modern();
+  // Compute and bandwidth grew much more than network latency shrank —
+  // the premise of the era ablation.
+  const double compute_gain = (modern.node.cores * modern.node.ops_per_sec) /
+                              (edison.node.cores * edison.node.ops_per_sec);
+  const double latency_gain = edison.net.alpha / modern.net.alpha;
+  EXPECT_GT(compute_gain, 1.5 * latency_gain);
+  EXPECT_GT(edison.node.tau_task, modern.node.tau_task);
+  EXPECT_GT(modern.node.bw_node, edison.node.bw_node);
+}
+
+}  // namespace
+}  // namespace pgb

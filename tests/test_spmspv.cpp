@@ -1,0 +1,259 @@
+// Tests for SpMSpV: the shared-memory SPA algorithm against a dense
+// reference, the distributed version against the shared-memory one across
+// grid shapes and option combinations, and the Fig 7-9 modeled shapes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/ops.hpp"
+#include "core/spmspv.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_vec.hpp"
+
+namespace pgb {
+namespace {
+
+/// Dense reference for y <- x A on a semiring.
+template <typename T, typename SR>
+std::vector<T> dense_reference(const Csr<T>& a, const SparseVec<T>& x,
+                               const SR& sr) {
+  std::vector<T> y(static_cast<std::size_t>(a.ncols()), sr.zero());
+  for (Index p = 0; p < x.nnz(); ++p) {
+    const Index r = x.index_at(p);
+    auto cols = a.row_colids(r);
+    auto vals = a.row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      auto& slot = y[static_cast<std::size_t>(cols[k])];
+      slot = sr.combine(slot, sr.multiply(x.value_at(p), vals[k]));
+    }
+  }
+  return y;
+}
+
+template <typename T>
+void expect_matches_dense(const SparseVec<T>& got, const std::vector<T>& ref,
+                          T zero) {
+  Index nnz_ref = 0;
+  for (std::size_t c = 0; c < ref.size(); ++c) {
+    if (ref[c] != zero) {
+      ++nnz_ref;
+      const T* v = got.find(static_cast<Index>(c));
+      ASSERT_NE(v, nullptr) << "missing output at " << c;
+      EXPECT_EQ(*v, ref[c]) << "wrong value at " << c;
+    }
+  }
+  EXPECT_EQ(got.nnz(), nnz_ref);
+}
+
+using ShmParam = std::tuple<Index, double, double, SortAlgo>;
+
+class SpmspvShm : public ::testing::TestWithParam<ShmParam> {};
+
+TEST_P(SpmspvShm, MatchesDenseReferenceArithmetic) {
+  const auto [n, d, f, sort] = GetParam();
+  auto a = erdos_renyi_csr<std::int64_t>(n, d, 7);
+  auto x = random_sparse_vec<std::int64_t>(
+      n, static_cast<Index>(f * static_cast<double>(n)), 8);
+  const auto sr = arithmetic_semiring<std::int64_t>();
+
+  auto grid = LocaleGrid::single(4);
+  LocaleCtx ctx(grid, 0);
+  SpmspvOptions opt;
+  opt.sort = sort;
+  auto y = spmspv_shm(ctx, a, 0, x, 0, n, sr, opt);
+  expect_matches_dense(y, dense_reference(a, x, sr), sr.zero());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpmspvShm,
+    ::testing::Combine(::testing::Values<Index>(64, 500, 2000),
+                       ::testing::Values(2.0, 8.0),
+                       ::testing::Values(0.02, 0.2, 0.8),
+                       ::testing::Values(SortAlgo::kMerge,
+                                         SortAlgo::kRadix)));
+
+TEST(SpmspvShmSemirings, MinPlusMatchesReference) {
+  const Index n = 400;
+  auto a = erdos_renyi_csr<std::int64_t>(n, 6.0, 3);
+  auto x = random_sparse_vec<std::int64_t>(n, 40, 4);
+  const auto sr = min_plus_semiring<std::int64_t>();
+  auto grid = LocaleGrid::single(1);
+  LocaleCtx ctx(grid, 0);
+  auto y = spmspv_shm(ctx, a, 0, x, 0, n, sr);
+  expect_matches_dense(y, dense_reference(a, x, sr), sr.zero());
+}
+
+TEST(SpmspvShm, EmptyVectorGivesEmptyResult) {
+  auto a = erdos_renyi_csr<std::int64_t>(100, 4.0, 1);
+  SparseVec<std::int64_t> x(100);
+  auto grid = LocaleGrid::single(1);
+  LocaleCtx ctx(grid, 0);
+  auto y = spmspv_shm(ctx, a, 0, x, 0, 100, arithmetic_semiring<std::int64_t>());
+  EXPECT_EQ(y.nnz(), 0);
+}
+
+TEST(SpmspvShm, OutputSortedAndInRange) {
+  const Index n = 1000;
+  auto a = erdos_renyi_csr<std::int64_t>(n, 10.0, 2);
+  auto x = random_sparse_vec<std::int64_t>(n, 100, 5);
+  auto grid = LocaleGrid::single(2);
+  LocaleCtx ctx(grid, 0);
+  auto y = spmspv_shm(ctx, a, 0, x, 0, n, arithmetic_semiring<std::int64_t>());
+  EXPECT_TRUE(is_sorted_ascending(y.domain().indices()));
+  for (Index p = 0; p < y.nnz(); ++p) {
+    EXPECT_GE(y.index_at(p), 0);
+    EXPECT_LT(y.index_at(p), n);
+  }
+}
+
+TEST(SpmspvShm, RecordsPhaseTrace) {
+  const Index n = 500;
+  auto a = erdos_renyi_csr<std::int64_t>(n, 8.0, 2);
+  auto x = random_sparse_vec<std::int64_t>(n, 50, 3);
+  auto grid = LocaleGrid::single(4);
+  LocaleCtx ctx(grid, 0);
+  Trace trace;
+  spmspv_shm(ctx, a, 0, x, 0, n, arithmetic_semiring<std::int64_t>(), {},
+             &trace);
+  EXPECT_GT(trace.get("spa"), 0.0);
+  EXPECT_GT(trace.get("sort"), 0.0);
+  EXPECT_GT(trace.get("output"), 0.0);
+  EXPECT_NEAR(trace.get("spa") + trace.get("sort") + trace.get("output"),
+              grid.time(), 1e-12);
+}
+
+using DistParam = std::tuple<int, bool, bool>;
+
+class SpmspvDist : public ::testing::TestWithParam<DistParam> {};
+
+TEST_P(SpmspvDist, MatchesLocalReference) {
+  const auto [nloc, bulk_gather, bulk_scatter] = GetParam();
+  const Index n = 600;
+  auto grid = LocaleGrid::square(nloc, 4);
+  auto a = erdos_renyi_dist<std::int64_t>(grid, n, 6.0, 11);
+  auto x = random_dist_sparse_vec<std::int64_t>(grid, n, 80, 12);
+  const auto sr = arithmetic_semiring<std::int64_t>();
+
+  SpmspvOptions opt;
+  opt.bulk_gather = bulk_gather;
+  opt.bulk_scatter = bulk_scatter;
+  auto y = spmspv_dist(a, x, sr, opt);
+  EXPECT_TRUE(y.check_invariants());
+
+  auto ref = dense_reference(a.to_local(), x.to_local(), sr);
+  expect_matches_dense(y.to_local(), ref, sr.zero());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridsAndModes, SpmspvDist,
+    ::testing::Combine(::testing::Values(1, 2, 4, 6, 9, 16),
+                       ::testing::Bool(), ::testing::Bool()));
+
+TEST(SpmspvDist, MinFirstSemiringParentStyle) {
+  // BFS-style: x carries vertex ids, result holds min discovering row.
+  const Index n = 300;
+  auto grid = LocaleGrid::square(4, 2);
+  auto a = erdos_renyi_dist<std::int64_t>(grid, n, 5.0, 21);
+  std::vector<Index> fidx{10, 50, 200};
+  std::vector<std::int64_t> fval{10, 50, 200};
+  auto x = DistSparseVec<std::int64_t>::from_sorted(grid, n, fidx, fval);
+  const auto sr = min_first_semiring<std::int64_t>();
+  auto y = spmspv_dist(a, x, sr);
+  auto ref = dense_reference(a.to_local(), x.to_local(), sr);
+  expect_matches_dense(y.to_local(), ref, sr.zero());
+}
+
+TEST(SpmspvDist, RecordsDistPhases) {
+  const Index n = 400;
+  auto grid = LocaleGrid::square(4, 2);
+  auto a = erdos_renyi_dist<std::int64_t>(grid, n, 6.0, 2);
+  auto x = random_dist_sparse_vec<std::int64_t>(grid, n, 60, 3);
+  grid.reset();
+  spmspv_dist(a, x, arithmetic_semiring<std::int64_t>());
+  EXPECT_GT(grid.trace().get("gather"), 0.0);
+  EXPECT_GT(grid.trace().get("local"), 0.0);
+  EXPECT_GT(grid.trace().get("scatter"), 0.0);
+}
+
+// ---- modeled-performance shapes (Figs 7-9) ----
+
+TEST(SpmspvModel, SortDominatesSharedMemory) {
+  // Fig 7: with merge sort, sorting is the most expensive component.
+  const Index n = 100000;
+  auto a = erdos_renyi_csr<std::int64_t>(n, 16.0, 5);
+  auto x = random_sparse_vec<std::int64_t>(n, n / 50, 6);
+  auto grid = LocaleGrid::single(1);
+  LocaleCtx ctx(grid, 0);
+  Trace trace;
+  spmspv_shm(ctx, a, 0, x, 0, n, arithmetic_semiring<std::int64_t>(), {},
+             &trace);
+  EXPECT_GT(trace.get("sort"), trace.get("spa"));
+  EXPECT_GT(trace.get("sort"), trace.get("output"));
+}
+
+TEST(SpmspvModel, SharedMemorySpeedupAroundTen) {
+  // Paper: 9-11x going from 1 to 24 threads.
+  const Index n = 200000;
+  auto a = erdos_renyi_csr<std::int64_t>(n, 16.0, 5);
+  auto x = random_sparse_vec<std::int64_t>(n, n / 50, 6);
+  auto run = [&](int threads) {
+    auto grid = LocaleGrid::single(threads);
+    LocaleCtx ctx(grid, 0);
+    spmspv_shm(ctx, a, 0, x, 0, n, arithmetic_semiring<std::int64_t>());
+    return grid.time();
+  };
+  const double speedup = run(1) / run(24);
+  EXPECT_GT(speedup, 6.0);
+  EXPECT_LT(speedup, 16.0);
+}
+
+TEST(SpmspvModel, RadixSortCutsTheSortCost) {
+  const Index n = 200000;
+  auto a = erdos_renyi_csr<std::int64_t>(n, 16.0, 5);
+  auto x = random_sparse_vec<std::int64_t>(n, n / 50, 6);
+  auto run = [&](SortAlgo s) {
+    auto grid = LocaleGrid::single(24);
+    LocaleCtx ctx(grid, 0);
+    SpmspvOptions opt;
+    opt.sort = s;
+    Trace t;
+    spmspv_shm(ctx, a, 0, x, 0, n, arithmetic_semiring<std::int64_t>(), opt,
+               &t);
+    return t.get("sort");
+  };
+  EXPECT_GT(run(SortAlgo::kMerge), 2.0 * run(SortAlgo::kRadix));
+}
+
+TEST(SpmspvModel, GatherDominatesDistributedRuns) {
+  // Figs 8-9: communication (gather) swamps the local multiply at scale.
+  const Index n = 200000;
+  auto grid = LocaleGrid::square(16, 24);
+  auto a = erdos_renyi_dist<std::int64_t>(grid, n, 16.0, 5);
+  auto x = random_dist_sparse_vec<std::int64_t>(grid, n, n / 50, 6);
+  grid.reset();
+  spmspv_dist(a, x, arithmetic_semiring<std::int64_t>());
+  EXPECT_GT(grid.trace().get("gather"), grid.trace().get("local"));
+}
+
+TEST(SpmspvModel, BulkGatherBeatsFineGrained) {
+  const Index n = 200000;
+  auto grid = LocaleGrid::square(16, 24);
+  auto a = erdos_renyi_dist<std::int64_t>(grid, n, 16.0, 5);
+  auto x = random_dist_sparse_vec<std::int64_t>(grid, n, n / 50, 6);
+
+  grid.reset();
+  SpmspvOptions fine;
+  spmspv_dist(a, x, arithmetic_semiring<std::int64_t>(), fine);
+  const double t_fine = grid.trace().get("gather");
+
+  grid.reset();
+  SpmspvOptions bulk;
+  bulk.bulk_gather = true;
+  spmspv_dist(a, x, arithmetic_semiring<std::int64_t>(), bulk);
+  const double t_bulk = grid.trace().get("gather");
+  EXPECT_GT(t_fine, 10.0 * t_bulk);
+}
+
+}  // namespace
+}  // namespace pgb

@@ -1,0 +1,199 @@
+// Tests for SSSP (vs a Dijkstra reference) and Luby's MIS
+// (independence + maximality properties on random and structured
+// graphs).
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "algo/mis.hpp"
+#include "algo/sssp.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "util/rng.hpp"
+
+namespace pgb {
+namespace {
+
+/// Builds an ER digraph with random positive weights in [1, 10).
+Csr<double> weighted_er(Index n, double d, std::uint64_t seed) {
+  auto structure = erdos_renyi_csr<double>(n, d, seed);
+  Xoshiro256 rng(seed + 99);
+  for (auto& v : structure.values()) {
+    v = 1.0 + 9.0 * rng.next_double();
+  }
+  return structure;
+}
+
+std::vector<double> dijkstra(const Csr<double>& a, Index source) {
+  std::vector<double> dist(static_cast<std::size_t>(a.nrows()),
+                           SsspResult::kUnreachable);
+  using Item = std::pair<double, Index>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  pq.emplace(0.0, source);
+  while (!pq.empty()) {
+    auto [du, u] = pq.top();
+    pq.pop();
+    if (du > dist[static_cast<std::size_t>(u)]) continue;
+    auto cols = a.row_colids(u);
+    auto vals = a.row_values(u);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const double nd = du + vals[k];
+      if (nd < dist[static_cast<std::size_t>(cols[k])]) {
+        dist[static_cast<std::size_t>(cols[k])] = nd;
+        pq.emplace(nd, cols[k]);
+      }
+    }
+  }
+  return dist;
+}
+
+class SsspGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(SsspGrids, MatchesDijkstra) {
+  const Index n = 300;
+  auto local = weighted_er(n, 5.0, 11);
+  auto grid = LocaleGrid::square(GetParam(), 4);
+  Coo<double> coo(n, n);
+  for (Index r = 0; r < n; ++r) {
+    auto cols = local.row_colids(r);
+    auto vals = local.row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      coo.add(r, cols[k], vals[k]);
+    }
+  }
+  auto a = DistCsr<double>::from_coo(grid, coo);
+
+  auto res = sssp(a, /*source=*/0);
+  auto ref = dijkstra(local, 0);
+  for (Index v = 0; v < n; ++v) {
+    if (ref[static_cast<std::size_t>(v)] == SsspResult::kUnreachable) {
+      EXPECT_EQ(res.dist[static_cast<std::size_t>(v)],
+                SsspResult::kUnreachable)
+          << v;
+    } else {
+      EXPECT_NEAR(res.dist[static_cast<std::size_t>(v)],
+                  ref[static_cast<std::size_t>(v)], 1e-9)
+          << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, SsspGrids, ::testing::Values(1, 4, 9));
+
+TEST(Sssp, PathGraphDistancesAreCumulative) {
+  const Index n = 12;
+  auto grid = LocaleGrid::square(4, 1);
+  Coo<double> coo(n, n);
+  for (Index i = 0; i + 1 < n; ++i) {
+    coo.add(i, i + 1, static_cast<double>(i + 1));
+  }
+  auto a = DistCsr<double>::from_coo(grid, coo);
+  auto res = sssp(a, 0);
+  double acc = 0;
+  for (Index v = 0; v < n; ++v) {
+    EXPECT_NEAR(res.dist[static_cast<std::size_t>(v)], acc, 1e-12);
+    acc += static_cast<double>(v + 1);
+  }
+  // n-1 relaxation rounds plus the final round that discovers no
+  // improvement and empties the frontier.
+  EXPECT_EQ(res.rounds, n);
+}
+
+TEST(Sssp, UnreachableVerticesStayAtInfinity) {
+  auto grid = LocaleGrid::square(2, 1);
+  Coo<double> coo(6, 6);
+  coo.add(0, 1, 1.0);
+  coo.add(4, 5, 1.0);  // separate island
+  auto a = DistCsr<double>::from_coo(grid, coo);
+  auto res = sssp(a, 0);
+  EXPECT_EQ(res.dist[5], SsspResult::kUnreachable);
+  EXPECT_EQ(res.dist[4], SsspResult::kUnreachable);
+  EXPECT_NEAR(res.dist[1], 1.0, 1e-12);
+}
+
+TEST(Sssp, ShorterPathThroughMoreHopsWins) {
+  // 0 -> 2 direct costs 10; 0 -> 1 -> 2 costs 3.
+  auto grid = LocaleGrid::single(1);
+  Coo<double> coo(3, 3);
+  coo.add(0, 2, 10.0);
+  coo.add(0, 1, 1.0);
+  coo.add(1, 2, 2.0);
+  auto a = DistCsr<double>::from_coo(grid, coo);
+  auto res = sssp(a, 0);
+  EXPECT_NEAR(res.dist[2], 3.0, 1e-12);
+}
+
+class MisGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(MisGrids, IndependentAndMaximal) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 6;
+  p.seed = 17;
+  auto grid = LocaleGrid::square(GetParam(), 4);
+  auto a = rmat_dist(grid, p);
+  auto local = a.to_local();
+
+  auto res = mis(a, /*seed=*/5);
+  EXPECT_GT(res.set_size, 0);
+
+  // Independence: no edge inside the set.
+  for (Index u = 0; u < local.nrows(); ++u) {
+    if (!res.in_set[static_cast<std::size_t>(u)]) continue;
+    for (Index v : local.row_colids(u)) {
+      EXPECT_FALSE(res.in_set[static_cast<std::size_t>(v)])
+          << "edge " << u << "-" << v << " inside the set";
+    }
+  }
+  // Maximality: every vertex outside the set has a neighbor inside.
+  for (Index u = 0; u < local.nrows(); ++u) {
+    if (res.in_set[static_cast<std::size_t>(u)]) continue;
+    bool covered = false;
+    for (Index v : local.row_colids(u)) {
+      if (res.in_set[static_cast<std::size_t>(v)]) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "vertex " << u << " is not covered";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, MisGrids, ::testing::Values(1, 4, 9));
+
+TEST(Mis, EmptyGraphTakesAllVertices) {
+  auto grid = LocaleGrid::square(2, 1);
+  DistCsr<std::int64_t> a(grid, 20, 20);
+  auto res = mis(a);
+  EXPECT_EQ(res.set_size, 20);
+  EXPECT_EQ(res.rounds, 1);
+}
+
+TEST(Mis, CliqueYieldsSingleVertex) {
+  const Index n = 15;
+  auto grid = LocaleGrid::square(4, 1);
+  Coo<std::int64_t> coo(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      if (i != j) coo.add(i, j, 1);
+    }
+  }
+  auto a = DistCsr<std::int64_t>::from_coo(grid, coo);
+  auto res = mis(a);
+  EXPECT_EQ(res.set_size, 1);
+}
+
+TEST(Mis, DeterministicForFixedSeed) {
+  RmatParams p;
+  p.scale = 8;
+  auto grid = LocaleGrid::square(4, 1);
+  auto a = rmat_dist(grid, p);
+  auto r1 = mis(a, 7);
+  auto r2 = mis(a, 7);
+  EXPECT_EQ(r1.in_set, r2.in_set);
+  EXPECT_EQ(r1.rounds, r2.rounds);
+}
+
+}  // namespace
+}  // namespace pgb

@@ -1,0 +1,112 @@
+// Tests for the GraphBLAS-naming wrappers (vxm/mxv with transpose
+// descriptor and masks) and the dense BLAS-1 helpers.
+#include <gtest/gtest.h>
+
+#include "core/dense_ops.hpp"
+#include "core/mask.hpp"
+#include "core/ops.hpp"
+#include "core/vxm.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_vec.hpp"
+
+namespace pgb {
+namespace {
+
+class VxmGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(VxmGrids, VxmEqualsSpmspv) {
+  const Index n = 300;
+  auto grid = LocaleGrid::square(GetParam(), 2);
+  auto a = erdos_renyi_dist<std::int64_t>(grid, n, 5.0, 3);
+  auto x = random_dist_sparse_vec<std::int64_t>(grid, n, 40, 4);
+  const auto sr = arithmetic_semiring<std::int64_t>();
+  auto y1 = vxm(x, a, sr);
+  auto y2 = spmspv_dist(a, x, sr);
+  EXPECT_TRUE(y1.to_local() == y2.to_local());
+}
+
+TEST_P(VxmGrids, MxvEqualsVxmOverTranspose) {
+  const Index n = 250;
+  auto grid = LocaleGrid::square(GetParam(), 2);
+  auto a = erdos_renyi_dist<std::int64_t>(grid, n, 5.0, 7);
+  auto x = random_dist_sparse_vec<std::int64_t>(grid, n, 30, 8);
+  const auto sr = arithmetic_semiring<std::int64_t>();
+
+  auto got = mxv(a, x, sr);
+  // Reference: y[r] = sum over c of A[r,c] * x[c].
+  auto la = a.to_local();
+  auto lx = x.to_local();
+  std::vector<std::int64_t> ref(static_cast<std::size_t>(n), 0);
+  for (Index r = 0; r < n; ++r) {
+    auto cols = la.row_colids(r);
+    auto vals = la.row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const std::int64_t* xv = lx.find(cols[k]);
+      if (xv) ref[static_cast<std::size_t>(r)] += *xv * vals[k];
+    }
+  }
+  auto lg = got.to_local();
+  for (Index r = 0; r < n; ++r) {
+    const std::int64_t* v = lg.find(r);
+    EXPECT_EQ(v ? *v : 0, ref[static_cast<std::size_t>(r)]) << r;
+  }
+}
+
+TEST_P(VxmGrids, MaskedVxmMatchesSeparatePass) {
+  const Index n = 300;
+  auto grid = LocaleGrid::square(GetParam(), 2);
+  auto a = erdos_renyi_dist<std::int64_t>(grid, n, 5.0, 9);
+  auto x = random_dist_sparse_vec<std::int64_t>(grid, n, 50, 10);
+  DistDenseVec<std::uint8_t> mask(grid, n, 0);
+  for (Index i = 0; i < n; i += 2) mask.at(i) = 1;
+  const auto sr = arithmetic_semiring<std::int64_t>();
+  auto fused = vxm(x, a, mask, MaskMode::kMask, sr);
+  auto separate = apply_mask(vxm(x, a, sr), mask, MaskMode::kMask);
+  EXPECT_TRUE(fused.to_local() == separate.to_local());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, VxmGrids, ::testing::Values(1, 4, 9));
+
+TEST(DenseOps, TransformAppliesEverywhere) {
+  auto grid = LocaleGrid::square(4, 2);
+  DistDenseVec<double> y(grid, 101, 2.0);
+  transform(y, [](double v) { return v * v + 1; });
+  for (Index i = 0; i < 101; ++i) EXPECT_DOUBLE_EQ(y.at(i), 5.0);
+}
+
+TEST(DenseOps, Axpy) {
+  auto grid = LocaleGrid::square(4, 2);
+  DistDenseVec<double> x(grid, 50, 2.0), y(grid, 50, 1.0);
+  axpy(3.0, x, y);
+  for (Index i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(y.at(i), 7.0);
+  DistDenseVec<double> bad(grid, 49);
+  EXPECT_THROW(axpy(1.0, bad, y), DimensionMismatch);
+}
+
+TEST(DenseOps, DotAndSum) {
+  auto grid = LocaleGrid::square(2, 1);
+  DistDenseVec<double> x(grid, 10, 0.0), y(grid, 10, 2.0);
+  for (Index i = 0; i < 10; ++i) x.at(i) = static_cast<double>(i);
+  EXPECT_DOUBLE_EQ(dot(x, y), 2.0 * 45.0);
+  EXPECT_DOUBLE_EQ(sum(x), 45.0);
+}
+
+TEST(DenseOps, DiffNorm) {
+  auto grid = LocaleGrid::square(4, 1);
+  DistDenseVec<double> x(grid, 20, 1.0), y(grid, 20, 1.0);
+  EXPECT_DOUBLE_EQ(diff_norm1(x, y), 0.0);
+  y.at(3) = 4.0;
+  y.at(17) = -1.0;
+  EXPECT_DOUBLE_EQ(diff_norm1(x, y), 3.0 + 2.0);
+}
+
+TEST(DenseOps, ChargesAdvanceClock) {
+  auto grid = LocaleGrid::square(4, 4);
+  DistDenseVec<double> x(grid, 100000, 1.0);
+  grid.reset();
+  transform(x, [](double v) { return v + 1; });
+  EXPECT_GT(grid.time(), 0.0);
+}
+
+}  // namespace
+}  // namespace pgb

@@ -1,0 +1,168 @@
+// pgb — command-line driver for the pgas-graphblas library.
+//
+// Loads a graph (Matrix Market file, or a generated Erdős–Rényi / R-MAT
+// instance), lays it out on a simulated locale grid, runs one of the
+// library's algorithms/operations, and reports the result summary plus
+// the modeled execution time and its communication breakdown.
+//
+// Examples:
+//   pgb --gen=rmat --rmat-scale=16 --op=bfs --nodes=16
+//   pgb --matrix=web.mtx --op=pagerank --machine=modern
+//   pgb --gen=er --n=1000000 --d=16 --op=spmspv --f=0.02 --bulk
+#include <cstdio>
+#include <string>
+
+#include "algo/bfs.hpp"
+#include "algo/bfs_hybrid.hpp"
+#include "algo/connected_components.hpp"
+#include "algo/mis.hpp"
+#include "algo/pagerank.hpp"
+#include "algo/sssp.hpp"
+#include "core/graphblas.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_vec.hpp"
+#include "gen/rmat.hpp"
+#include "io/matrix_market.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace pgb;
+
+namespace {
+
+void print_timing(LocaleGrid& grid) {
+  std::printf("\nmodeled time: %s\n", Table::time(grid.time()).c_str());
+  for (const auto& phase : grid.trace().phases()) {
+    std::printf("  %-8s %s\n", phase.c_str(),
+                Table::time(grid.trace().get(phase)).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::string matrix = cli.get("matrix", "", "Matrix Market file");
+  const std::string gen =
+      cli.get("gen", "rmat", "generator when no --matrix: er | rmat");
+  const Index n = cli.get_int("n", 100000, "ER vertices");
+  const double d = cli.get_double("d", 8.0, "ER nonzeros per row");
+  const int rmat_scale =
+      static_cast<int>(cli.get_int("rmat-scale", 14, "R-MAT scale"));
+  const std::string op = cli.get(
+      "op", "bfs", "bfs | bfs-hybrid | cc | pagerank | sssp | mis | spmspv");
+  const int nodes = static_cast<int>(cli.get_int("nodes", 4, "locales"));
+  const int threads =
+      static_cast<int>(cli.get_int("threads", 24, "threads per locale"));
+  const Index source = cli.get_int("source", 0, "source vertex");
+  const double f =
+      cli.get_double("f", 0.02, "input-vector density for --op=spmspv");
+  const bool bulk =
+      cli.get_bool("bulk", false, "bulk-synchronous communication");
+  const std::string machine =
+      cli.get("machine", "edison", "machine model: edison | modern");
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 1, "generator seed"));
+  cli.finish();
+
+  PGB_REQUIRE(machine == "edison" || machine == "modern",
+              "--machine must be edison or modern");
+  const MachineModel model =
+      machine == "edison" ? MachineModel::edison() : MachineModel::modern();
+  auto grid = LocaleGrid::square(nodes, threads, 1, model);
+
+  // --- load or generate the matrix (double values throughout) ---
+  DistCsr<double> a(grid, 0, 0);
+  if (!matrix.empty()) {
+    MatrixMarketInfo info;
+    a = read_matrix_market_dist(grid, matrix, &info);
+    std::printf("loaded %s: %lld x %lld, %lld nonzeros%s\n", matrix.c_str(),
+                static_cast<long long>(a.nrows()),
+                static_cast<long long>(a.ncols()),
+                static_cast<long long>(a.nnz()),
+                info.symmetric ? " (symmetric)" : "");
+  } else if (gen == "er") {
+    a = erdos_renyi_dist<double>(grid, n, d, seed);
+    std::printf("generated ER: n=%lld d=%g, %lld nonzeros\n",
+                static_cast<long long>(n), d,
+                static_cast<long long>(a.nnz()));
+  } else if (gen == "rmat") {
+    RmatParams p;
+    p.scale = rmat_scale;
+    p.seed = seed;
+    auto m = rmat_csr(p);
+    Coo<double> coo(m.nrows(), m.ncols());
+    for (Index r = 0; r < m.nrows(); ++r) {
+      for (Index c : m.row_colids(r)) coo.add(r, c, 1.0);
+    }
+    a = DistCsr<double>::from_coo(grid, coo);
+    std::printf("generated R-MAT: 2^%d vertices, %lld edges (symmetric)\n",
+                rmat_scale, static_cast<long long>(a.nnz()));
+  } else {
+    throw InvalidArgument("--gen must be er or rmat");
+  }
+  std::printf("grid: %dx%d locales, %d threads, machine=%s\n\n", grid.rows(),
+              grid.cols(), threads, machine.c_str());
+
+  SpmspvOptions comm;
+  comm.bulk_gather = bulk;
+  comm.bulk_scatter = bulk;
+
+  grid.reset();
+  if (op == "bfs") {
+    auto res = bfs(a, source, comm);
+    Index reached = 0;
+    for (Index s : res.level_sizes) reached += s;
+    std::printf("bfs: reached %lld vertices in %zu levels\n",
+                static_cast<long long>(reached), res.level_sizes.size());
+  } else if (op == "bfs-hybrid") {
+    HybridBfsOptions h;
+    h.spmspv = comm;
+    auto res = bfs_hybrid(a, source, h);
+    int bu = 0;
+    for (bool b : res.level_was_bottom_up) bu += b ? 1 : 0;
+    std::printf("bfs-hybrid: %zu levels (%d bottom-up)\n",
+                res.level_sizes.size(), bu);
+  } else if (op == "cc") {
+    auto res = connected_components(a);
+    std::printf("cc: %lld components in %d rounds\n",
+                static_cast<long long>(res.num_components), res.rounds);
+  } else if (op == "pagerank") {
+    auto res = pagerank(a);
+    Index best = 0;
+    for (Index v = 1; v < a.nrows(); ++v) {
+      if (res.rank[static_cast<std::size_t>(v)] >
+          res.rank[static_cast<std::size_t>(best)]) {
+        best = v;
+      }
+    }
+    std::printf("pagerank: %d iterations; top vertex %lld (%.3g)\n",
+                res.iterations, static_cast<long long>(best),
+                res.rank[static_cast<std::size_t>(best)]);
+  } else if (op == "sssp") {
+    auto res = sssp(a, source, comm);
+    Index reached = 0;
+    for (double dv : res.dist) {
+      if (dv != SsspResult::kUnreachable) ++reached;
+    }
+    std::printf("sssp: %lld reachable vertices, %d rounds\n",
+                static_cast<long long>(reached), res.rounds);
+  } else if (op == "mis") {
+    auto res = mis(a, seed);
+    std::printf("mis: independent set of %lld vertices in %d rounds\n",
+                static_cast<long long>(res.set_size), res.rounds);
+  } else if (op == "spmspv") {
+    auto x = random_dist_sparse_vec<double>(
+        grid, a.nrows(), static_cast<Index>(f * static_cast<double>(a.nrows())),
+        seed + 1);
+    grid.reset();
+    auto y = spmspv_dist(a, x, arithmetic_semiring<double>(), comm);
+    std::printf("spmspv: nnz(x)=%lld -> nnz(y)=%lld\n",
+                static_cast<long long>(x.nnz()),
+                static_cast<long long>(y.nnz()));
+  } else {
+    throw InvalidArgument("unknown --op: " + op);
+  }
+  print_timing(grid);
+  return 0;
+}
