@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_async_paths"
+  "../bench/abl_async_paths.pdb"
+  "CMakeFiles/abl_async_paths.dir/abl_async_paths.cpp.o"
+  "CMakeFiles/abl_async_paths.dir/abl_async_paths.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_async_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

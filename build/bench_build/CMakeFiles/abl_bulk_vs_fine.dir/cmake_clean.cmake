@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_bulk_vs_fine"
+  "../bench/abl_bulk_vs_fine.pdb"
+  "CMakeFiles/abl_bulk_vs_fine.dir/abl_bulk_vs_fine.cpp.o"
+  "CMakeFiles/abl_bulk_vs_fine.dir/abl_bulk_vs_fine.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bulk_vs_fine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_dist_1d_vs_2d"
+  "../bench/abl_dist_1d_vs_2d.pdb"
+  "CMakeFiles/abl_dist_1d_vs_2d.dir/abl_dist_1d_vs_2d.cpp.o"
+  "CMakeFiles/abl_dist_1d_vs_2d.dir/abl_dist_1d_vs_2d.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dist_1d_vs_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_ewisemult_scan"
+  "../bench/abl_ewisemult_scan.pdb"
+  "CMakeFiles/abl_ewisemult_scan.dir/abl_ewisemult_scan.cpp.o"
+  "CMakeFiles/abl_ewisemult_scan.dir/abl_ewisemult_scan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ewisemult_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

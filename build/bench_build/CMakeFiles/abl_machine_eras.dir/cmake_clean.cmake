@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_machine_eras"
+  "../bench/abl_machine_eras.pdb"
+  "CMakeFiles/abl_machine_eras.dir/abl_machine_eras.cpp.o"
+  "CMakeFiles/abl_machine_eras.dir/abl_machine_eras.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_machine_eras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_relabel"
+  "../bench/abl_relabel.pdb"
+  "CMakeFiles/abl_relabel.dir/abl_relabel.cpp.o"
+  "CMakeFiles/abl_relabel.dir/abl_relabel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_relabel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_spmspv_sort"
+  "../bench/abl_spmspv_sort.pdb"
+  "CMakeFiles/abl_spmspv_sort.dir/abl_spmspv_sort.cpp.o"
+  "CMakeFiles/abl_spmspv_sort.dir/abl_spmspv_sort.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_spmspv_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_apply"
+  "../bench/fig01_apply.pdb"
+  "CMakeFiles/fig01_apply.dir/fig01_apply.cpp.o"
+  "CMakeFiles/fig01_apply.dir/fig01_apply.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_apply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

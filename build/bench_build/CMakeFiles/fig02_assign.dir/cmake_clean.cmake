@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_assign"
+  "../bench/fig02_assign.pdb"
+  "CMakeFiles/fig02_assign.dir/fig02_assign.cpp.o"
+  "CMakeFiles/fig02_assign.dir/fig02_assign.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

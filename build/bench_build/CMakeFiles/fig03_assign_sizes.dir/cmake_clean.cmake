@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_assign_sizes"
+  "../bench/fig03_assign_sizes.pdb"
+  "CMakeFiles/fig03_assign_sizes.dir/fig03_assign_sizes.cpp.o"
+  "CMakeFiles/fig03_assign_sizes.dir/fig03_assign_sizes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_assign_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

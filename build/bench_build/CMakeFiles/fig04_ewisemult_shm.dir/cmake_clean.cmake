@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_ewisemult_shm"
+  "../bench/fig04_ewisemult_shm.pdb"
+  "CMakeFiles/fig04_ewisemult_shm.dir/fig04_ewisemult_shm.cpp.o"
+  "CMakeFiles/fig04_ewisemult_shm.dir/fig04_ewisemult_shm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_ewisemult_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

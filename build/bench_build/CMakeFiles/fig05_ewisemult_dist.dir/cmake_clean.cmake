@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_ewisemult_dist"
+  "../bench/fig05_ewisemult_dist.pdb"
+  "CMakeFiles/fig05_ewisemult_dist.dir/fig05_ewisemult_dist.cpp.o"
+  "CMakeFiles/fig05_ewisemult_dist.dir/fig05_ewisemult_dist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ewisemult_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

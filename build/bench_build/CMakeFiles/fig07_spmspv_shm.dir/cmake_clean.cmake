@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_spmspv_shm"
+  "../bench/fig07_spmspv_shm.pdb"
+  "CMakeFiles/fig07_spmspv_shm.dir/fig07_spmspv_shm.cpp.o"
+  "CMakeFiles/fig07_spmspv_shm.dir/fig07_spmspv_shm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_spmspv_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_spmspv_dist_n1m"
+  "../bench/fig08_spmspv_dist_n1m.pdb"
+  "CMakeFiles/fig08_spmspv_dist_n1m.dir/fig08_spmspv_dist_n1m.cpp.o"
+  "CMakeFiles/fig08_spmspv_dist_n1m.dir/fig08_spmspv_dist_n1m.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_spmspv_dist_n1m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_spmspv_dist_n1m.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_spmspv_dist_n10m"
+  "../bench/fig09_spmspv_dist_n10m.pdb"
+  "CMakeFiles/fig09_spmspv_dist_n10m.dir/fig09_spmspv_dist_n10m.cpp.o"
+  "CMakeFiles/fig09_spmspv_dist_n10m.dir/fig09_spmspv_dist_n10m.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_spmspv_dist_n10m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

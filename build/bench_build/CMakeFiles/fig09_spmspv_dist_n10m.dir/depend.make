@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_spmspv_dist_n10m.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_multilocale_assign"
+  "../bench/fig10_multilocale_assign.pdb"
+  "CMakeFiles/fig10_multilocale_assign.dir/fig10_multilocale_assign.cpp.o"
+  "CMakeFiles/fig10_multilocale_assign.dir/fig10_multilocale_assign.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_multilocale_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgb_bench_common.dir/spmspv_dist_fig.cpp.o"
+  "CMakeFiles/pgb_bench_common.dir/spmspv_dist_fig.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgb_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

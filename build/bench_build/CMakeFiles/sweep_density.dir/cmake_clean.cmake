@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sweep_density"
+  "../bench/sweep_density.pdb"
+  "CMakeFiles/sweep_density.dir/sweep_density.cpp.o"
+  "CMakeFiles/sweep_density.dir/sweep_density.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

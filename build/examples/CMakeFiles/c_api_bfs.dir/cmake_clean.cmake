@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c_api_bfs.dir/c_api_bfs.c.o"
+  "CMakeFiles/c_api_bfs.dir/c_api_bfs.c.o.d"
+  "c_api_bfs"
+  "c_api_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C)
+  include(CMakeFiles/c_api_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centrality_demo.dir/centrality_demo.cpp.o"
+  "CMakeFiles/centrality_demo.dir/centrality_demo.cpp.o.d"
+  "centrality_demo"
+  "centrality_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centrality_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connected_components_demo.dir/connected_components_demo.cpp.o"
+  "CMakeFiles/connected_components_demo.dir/connected_components_demo.cpp.o.d"
+  "connected_components_demo"
+  "connected_components_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connected_components_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

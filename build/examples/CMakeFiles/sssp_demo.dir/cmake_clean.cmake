@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssp_demo.dir/sssp_demo.cpp.o"
+  "CMakeFiles/sssp_demo.dir/sssp_demo.cpp.o.d"
+  "sssp_demo"
+  "sssp_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssp_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

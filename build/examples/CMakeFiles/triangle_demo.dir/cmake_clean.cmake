@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triangle_demo.dir/triangle_demo.cpp.o"
+  "CMakeFiles/triangle_demo.dir/triangle_demo.cpp.o.d"
+  "triangle_demo"
+  "triangle_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triangle_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

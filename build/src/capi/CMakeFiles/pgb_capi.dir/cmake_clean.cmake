@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgb_capi.dir/pgb_graphblas.cpp.o"
+  "CMakeFiles/pgb_capi.dir/pgb_graphblas.cpp.o.d"
+  "libpgb_capi.a"
+  "libpgb_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgb_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

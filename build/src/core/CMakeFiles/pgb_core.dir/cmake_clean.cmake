@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgb_core.dir/kernel_costs.cpp.o"
+  "CMakeFiles/pgb_core.dir/kernel_costs.cpp.o.d"
+  "libpgb_core.a"
+  "libpgb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

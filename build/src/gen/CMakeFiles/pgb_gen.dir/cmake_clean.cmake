@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgb_gen.dir/erdos_renyi.cpp.o"
+  "CMakeFiles/pgb_gen.dir/erdos_renyi.cpp.o.d"
+  "CMakeFiles/pgb_gen.dir/random_vec.cpp.o"
+  "CMakeFiles/pgb_gen.dir/random_vec.cpp.o.d"
+  "CMakeFiles/pgb_gen.dir/rmat.cpp.o"
+  "CMakeFiles/pgb_gen.dir/rmat.cpp.o.d"
+  "libpgb_gen.a"
+  "libpgb_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgb_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgb_io.dir/matrix_market.cpp.o"
+  "CMakeFiles/pgb_io.dir/matrix_market.cpp.o.d"
+  "libpgb_io.a"
+  "libpgb_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgb_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgb_machine.dir/machine_model.cpp.o"
+  "CMakeFiles/pgb_machine.dir/machine_model.cpp.o.d"
+  "CMakeFiles/pgb_machine.dir/network_model.cpp.o"
+  "CMakeFiles/pgb_machine.dir/network_model.cpp.o.d"
+  "CMakeFiles/pgb_machine.dir/parallel_model.cpp.o"
+  "CMakeFiles/pgb_machine.dir/parallel_model.cpp.o.d"
+  "libpgb_machine.a"
+  "libpgb_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgb_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

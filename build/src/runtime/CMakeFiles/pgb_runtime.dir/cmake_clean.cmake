@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgb_runtime.dir/collectives.cpp.o"
+  "CMakeFiles/pgb_runtime.dir/collectives.cpp.o.d"
+  "CMakeFiles/pgb_runtime.dir/locale_grid.cpp.o"
+  "CMakeFiles/pgb_runtime.dir/locale_grid.cpp.o.d"
+  "libpgb_runtime.a"
+  "libpgb_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgb_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

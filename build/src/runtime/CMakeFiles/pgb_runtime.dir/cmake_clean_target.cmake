@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpgb_runtime.a"
+)

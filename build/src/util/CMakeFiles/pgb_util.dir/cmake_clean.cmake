@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgb_util.dir/cli.cpp.o"
+  "CMakeFiles/pgb_util.dir/cli.cpp.o.d"
+  "CMakeFiles/pgb_util.dir/error.cpp.o"
+  "CMakeFiles/pgb_util.dir/error.cpp.o.d"
+  "CMakeFiles/pgb_util.dir/prefix_sum.cpp.o"
+  "CMakeFiles/pgb_util.dir/prefix_sum.cpp.o.d"
+  "CMakeFiles/pgb_util.dir/sorting.cpp.o"
+  "CMakeFiles/pgb_util.dir/sorting.cpp.o.d"
+  "CMakeFiles/pgb_util.dir/table.cpp.o"
+  "CMakeFiles/pgb_util.dir/table.cpp.o.d"
+  "libpgb_util.a"
+  "libpgb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

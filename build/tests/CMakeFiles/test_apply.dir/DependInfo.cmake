@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apply.cpp" "tests/CMakeFiles/test_apply.dir/test_apply.cpp.o" "gcc" "tests/CMakeFiles/test_apply.dir/test_apply.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pgb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/pgb_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pgb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pgb_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

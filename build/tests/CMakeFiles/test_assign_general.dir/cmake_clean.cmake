@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assign_general.dir/test_assign_general.cpp.o"
+  "CMakeFiles/test_assign_general.dir/test_assign_general.cpp.o.d"
+  "test_assign_general"
+  "test_assign_general.pdb"
+  "test_assign_general[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assign_general.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bc_ktruss.dir/test_bc_ktruss.cpp.o"
+  "CMakeFiles/test_bc_ktruss.dir/test_bc_ktruss.cpp.o.d"
+  "test_bc_ktruss"
+  "test_bc_ktruss.pdb"
+  "test_bc_ktruss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bc_ktruss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

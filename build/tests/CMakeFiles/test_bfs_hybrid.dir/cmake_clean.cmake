@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bfs_hybrid.dir/test_bfs_hybrid.cpp.o"
+  "CMakeFiles/test_bfs_hybrid.dir/test_bfs_hybrid.cpp.o.d"
+  "test_bfs_hybrid"
+  "test_bfs_hybrid.pdb"
+  "test_bfs_hybrid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bfs_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_ewise.dir/test_matrix_ewise.cpp.o"
+  "CMakeFiles/test_matrix_ewise.dir/test_matrix_ewise.cpp.o.d"
+  "test_matrix_ewise"
+  "test_matrix_ewise.pdb"
+  "test_matrix_ewise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_ewise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_shapes.dir/test_model_shapes.cpp.o"
+  "CMakeFiles/test_model_shapes.dir/test_model_shapes.cpp.o.d"
+  "test_model_shapes"
+  "test_model_shapes.pdb"
+  "test_model_shapes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mxv_direct.dir/test_mxv_direct.cpp.o"
+  "CMakeFiles/test_mxv_direct.dir/test_mxv_direct.cpp.o.d"
+  "test_mxv_direct"
+  "test_mxv_direct.pdb"
+  "test_mxv_direct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mxv_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

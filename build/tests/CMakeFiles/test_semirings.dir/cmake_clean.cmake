@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_semirings.dir/test_semirings.cpp.o"
+  "CMakeFiles/test_semirings.dir/test_semirings.cpp.o.d"
+  "test_semirings"
+  "test_semirings.pdb"
+  "test_semirings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_semirings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spmspv.dir/test_spmspv.cpp.o"
+  "CMakeFiles/test_spmspv.dir/test_spmspv.cpp.o.d"
+  "test_spmspv"
+  "test_spmspv.pdb"
+  "test_spmspv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spmspv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spmspv_bucket.dir/test_spmspv_bucket.cpp.o"
+  "CMakeFiles/test_spmspv_bucket.dir/test_spmspv_bucket.cpp.o.d"
+  "test_spmspv_bucket"
+  "test_spmspv_bucket.pdb"
+  "test_spmspv_bucket[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spmspv_bucket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sssp_mis.dir/test_sssp_mis.cpp.o"
+  "CMakeFiles/test_sssp_mis.dir/test_sssp_mis.cpp.o.d"
+  "test_sssp_mis"
+  "test_sssp_mis.pdb"
+  "test_sssp_mis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sssp_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

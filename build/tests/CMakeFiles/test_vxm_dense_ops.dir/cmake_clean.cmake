@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vxm_dense_ops.dir/test_vxm_dense_ops.cpp.o"
+  "CMakeFiles/test_vxm_dense_ops.dir/test_vxm_dense_ops.cpp.o.d"
+  "test_vxm_dense_ops"
+  "test_vxm_dense_ops.pdb"
+  "test_vxm_dense_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vxm_dense_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse[1]_include.cmake")
+include("/root/repo/build/tests/test_dist_containers[1]_include.cmake")
+include("/root/repo/build/tests/test_gen[1]_include.cmake")
+include("/root/repo/build/tests/test_apply[1]_include.cmake")
+include("/root/repo/build/tests/test_assign[1]_include.cmake")
+include("/root/repo/build/tests/test_ewise[1]_include.cmake")
+include("/root/repo/build/tests/test_spmspv[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_algos[1]_include.cmake")
+include("/root/repo/build/tests/test_model_shapes[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix_ewise[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_sssp_mis[1]_include.cmake")
+include("/root/repo/build/tests/test_bfs_hybrid[1]_include.cmake")
+include("/root/repo/build/tests/test_semirings[1]_include.cmake")
+include("/root/repo/build/tests/test_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_spmspv_bucket[1]_include.cmake")
+include("/root/repo/build/tests/test_vxm_dense_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_assign_general[1]_include.cmake")
+include("/root/repo/build/tests/test_permute[1]_include.cmake")
+include("/root/repo/build/tests/test_csc[1]_include.cmake")
+include("/root/repo/build/tests/test_capi[1]_include.cmake")
+include("/root/repo/build/tests/test_bc_ktruss[1]_include.cmake")
+include("/root/repo/build/tests/test_mxv_direct[1]_include.cmake")
+include("/root/repo/build/tests/test_matching[1]_include.cmake")

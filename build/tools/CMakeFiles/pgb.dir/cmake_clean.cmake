@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgb.dir/pgb.cpp.o"
+  "CMakeFiles/pgb.dir/pgb.cpp.o.d"
+  "pgb"
+  "pgb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
