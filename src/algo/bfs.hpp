@@ -34,6 +34,12 @@ struct BfsResult {
 /// Direction note: edges are matrix entries A[r, c] = edge r -> c; BFS
 /// explores along edge direction (use a symmetric matrix for undirected
 /// graphs).
+///
+/// The per-level frontier exchange is the masked SpMSpV below; its
+/// gather/scatter schedule follows opt.comm, so
+/// `opt.comm = CommMode::kAggregated` runs every level's frontier
+/// exchange through the conveyor-style aggregators. Results are
+/// identical across schedules.
 template <typename T>
 BfsResult bfs(const DistCsr<T>& a, Index source,
               const SpmspvOptions& opt = {}) {

@@ -28,6 +28,11 @@ struct SsspResult {
 /// Edge weights are the matrix values (must be non-negative for the
 /// result to be meaningful in bounded rounds; negative cycles are not
 /// detected — rounds are capped at n).
+///
+/// Each relaxation round's frontier exchange is the SpMSpV below; set
+/// `opt.comm = CommMode::kAggregated` to run it through the
+/// conveyor-style aggregation layer (identical distances, far fewer
+/// modeled messages).
 template <typename T>
 SsspResult sssp(const DistCsr<T>& a, Index source,
                 const SpmspvOptions& opt = {}) {

@@ -9,8 +9,10 @@
 //   extract_indexed: Z[k]    = A[I[k]]
 //
 // I is a global index map (|I| = capacity of B / Z). In distributed
-// memory every B entry is routed to the owner of its target index —
-// bulk-batched per destination, the communication pattern [8] analyzes.
+// memory every B entry is routed to the owner of its target index — the
+// communication pattern [8] analyzes. The schedule is selectable
+// (CommMode): per-element messages, one bulk batch per destination
+// (default, the historical behaviour), or conveyor-style aggregation.
 // Entries of A at assigned positions are overwritten; other entries are
 // kept (merge semantics) or dropped (replace semantics) per descriptor.
 #pragma once
@@ -22,6 +24,7 @@
 #include "core/descriptor.hpp"
 #include "core/kernel_costs.hpp"
 #include "machine/cost.hpp"
+#include "runtime/aggregator.hpp"
 #include "runtime/locale_grid.hpp"
 #include "sparse/dist_sparse_vec.hpp"
 
@@ -32,7 +35,9 @@ namespace pgb {
 template <typename T>
 void assign_indexed(DistSparseVec<T>& a, const std::vector<Index>& index_map,
                     const DistSparseVec<T>& b,
-                    OutputMode mode = OutputMode::kMerge) {
+                    OutputMode mode = OutputMode::kMerge,
+                    CommMode comm = CommMode::kBulk,
+                    const AggConfig& agg_cfg = {}) {
   PGB_REQUIRE_SHAPE(&a.grid() == &b.grid(),
                     "assign_indexed: operands on different grids");
   PGB_REQUIRE(static_cast<Index>(index_map.size()) == b.capacity(),
@@ -51,14 +56,41 @@ void assign_indexed(DistSparseVec<T>& a, const std::vector<Index>& index_map,
     const int l = ctx.locale();
     const auto& lb = b.local(l);
     std::vector<std::int64_t> count_to(static_cast<std::size_t>(nloc), 0);
-    for (Index p = 0; p < lb.nnz(); ++p) {
-      const Index tgt = index_map[static_cast<std::size_t>(lb.index_at(p))];
-      PGB_REQUIRE(tgt >= 0 && tgt < a.capacity(),
-                  "assign_indexed: index map out of range");
-      const int o = a.owner(tgt);
-      out_idx[static_cast<std::size_t>(o)].push_back(tgt);
-      out_val[static_cast<std::size_t>(o)].push_back(lb.value_at(p));
-      ++count_to[static_cast<std::size_t>(o)];
+    if (comm == CommMode::kAggregated) {
+      // Route (target, value) records through per-destination buffers;
+      // each flush lands one batch at the owner as a single bulk.
+      struct Entry {
+        Index tgt;
+        T v;
+      };
+      DstAggregator<Entry> agg(
+          ctx,
+          [&](int peer, std::vector<Entry>& batch) {
+            for (const auto& e : batch) {
+              out_idx[static_cast<std::size_t>(peer)].push_back(e.tgt);
+              out_val[static_cast<std::size_t>(peer)].push_back(e.v);
+            }
+          },
+          agg_cfg);
+      for (Index p = 0; p < lb.nnz(); ++p) {
+        const Index tgt =
+            index_map[static_cast<std::size_t>(lb.index_at(p))];
+        PGB_REQUIRE(tgt >= 0 && tgt < a.capacity(),
+                    "assign_indexed: index map out of range");
+        agg.push(a.owner(tgt), Entry{tgt, lb.value_at(p)});
+      }
+      agg.flush_all();
+    } else {
+      for (Index p = 0; p < lb.nnz(); ++p) {
+        const Index tgt =
+            index_map[static_cast<std::size_t>(lb.index_at(p))];
+        PGB_REQUIRE(tgt >= 0 && tgt < a.capacity(),
+                    "assign_indexed: index map out of range");
+        const int o = a.owner(tgt);
+        out_idx[static_cast<std::size_t>(o)].push_back(tgt);
+        out_val[static_cast<std::size_t>(o)].push_back(lb.value_at(p));
+        ++count_to[static_cast<std::size_t>(o)];
+      }
     }
     CostVector c;
     c.add(CostKind::kCpuOps, kEwiseOpsPerElem * static_cast<double>(lb.nnz()));
@@ -66,7 +98,11 @@ void assign_indexed(DistSparseVec<T>& a, const std::vector<Index>& index_map,
     c.add(CostKind::kStreamBytes, 32.0 * static_cast<double>(lb.nnz()));
     ctx.parallel_region(c);
     for (int o = 0; o < nloc; ++o) {
-      if (o != l && count_to[static_cast<std::size_t>(o)] > 0) {
+      if (o == l || count_to[static_cast<std::size_t>(o)] == 0) continue;
+      if (comm == CommMode::kFine) {
+        // One small message per routed element (Listing-8-style).
+        ctx.remote_msgs(o, count_to[static_cast<std::size_t>(o)], 16);
+      } else if (comm == CommMode::kBulk) {
         ctx.remote_bulk(o, 16 * count_to[static_cast<std::size_t>(o)]);
       }
     }
@@ -124,10 +160,14 @@ void assign_indexed(DistSparseVec<T>& a, const std::vector<Index>& index_map,
 
 /// Z[k] = A[I[k]] for every k where A has an entry at I[k]; Z has
 /// capacity |I|. The dual routing pattern: each requested index is pulled
-/// from its owner (batched per source).
+/// from its owner — per-element round trips (kFine), one request/response
+/// batch per source (kBulk, default), or capacity-sized SrcAggregator
+/// flushes (kAggregated).
 template <typename T>
 DistSparseVec<T> extract_indexed(const DistSparseVec<T>& a,
-                                 const std::vector<Index>& index_map) {
+                                 const std::vector<Index>& index_map,
+                                 CommMode comm = CommMode::kBulk,
+                                 const AggConfig& agg_cfg = {}) {
   auto& grid = a.grid();
   const int nloc = grid.num_locales();
   const Index zcap = static_cast<Index>(index_map.size());
@@ -140,16 +180,51 @@ DistSparseVec<T> extract_indexed(const DistSparseVec<T>& a,
   grid.coforall_locales([&](LocaleCtx& ctx) {
     const int l = ctx.locale();
     std::vector<std::int64_t> pulls_from(static_cast<std::size_t>(nloc), 0);
-    for (Index k = z.dist().lo(l); k < z.dist().hi(l); ++k) {
-      const Index src = index_map[static_cast<std::size_t>(k)];
-      PGB_REQUIRE(src >= 0 && src < a.capacity(),
-                  "extract_indexed: index map out of range");
-      const int o = a.owner(src);
-      ++pulls_from[static_cast<std::size_t>(o)];
-      const T* v = a.local(o).find(src);
-      if (v != nullptr) {
-        z_idx[static_cast<std::size_t>(l)].push_back(k);
-        z_val[static_cast<std::size_t>(l)].push_back(*v);
+    if (comm == CommMode::kAggregated) {
+      // Buffered gets: a request records the output slot and the remote
+      // index; a flush ships the request batch and pulls the response
+      // batch. Results arrive per-peer batched, so sort at the end.
+      struct Req {
+        Index k;
+        Index src;
+      };
+      AggConfig cfg = agg_cfg;
+      cfg.resp_bytes_each = 16;  // (found flag + value) per request
+      SrcAggregator<Req> agg(
+          ctx,
+          [&](int peer, std::vector<Req>& batch) {
+            for (const auto& r : batch) {
+              const T* v = a.local(peer).find(r.src);
+              if (v != nullptr) {
+                z_idx[static_cast<std::size_t>(l)].push_back(r.k);
+                z_val[static_cast<std::size_t>(l)].push_back(*v);
+              }
+            }
+          },
+          cfg);
+      for (Index k = z.dist().lo(l); k < z.dist().hi(l); ++k) {
+        const Index src = index_map[static_cast<std::size_t>(k)];
+        PGB_REQUIRE(src >= 0 && src < a.capacity(),
+                    "extract_indexed: index map out of range");
+        const int o = a.owner(src);
+        ++pulls_from[static_cast<std::size_t>(o)];
+        agg.get(o, Req{k, src});
+      }
+      agg.flush_all();
+      sort_pairs_by_index(z_idx[static_cast<std::size_t>(l)],
+                          z_val[static_cast<std::size_t>(l)]);
+    } else {
+      for (Index k = z.dist().lo(l); k < z.dist().hi(l); ++k) {
+        const Index src = index_map[static_cast<std::size_t>(k)];
+        PGB_REQUIRE(src >= 0 && src < a.capacity(),
+                    "extract_indexed: index map out of range");
+        const int o = a.owner(src);
+        ++pulls_from[static_cast<std::size_t>(o)];
+        const T* v = a.local(o).find(src);
+        if (v != nullptr) {
+          z_idx[static_cast<std::size_t>(l)].push_back(k);
+          z_val[static_cast<std::size_t>(l)].push_back(*v);
+        }
       }
     }
     const Index span = z.dist().local_size(l);
@@ -165,9 +240,18 @@ DistSparseVec<T> extract_indexed(const DistSparseVec<T>& a,
     c.add(CostKind::kDependentAccess, lognnz * local_pulls);
     c.add(CostKind::kStreamBytes, 24.0 * static_cast<double>(span));
     ctx.parallel_region(c);
-    // ...and one batched request/response per remote owner.
+    // ...and the selected schedule for the remote fraction (the
+    // aggregated schedule charged itself during the loop above).
     for (int o = 0; o < nloc; ++o) {
-      if (o != l && pulls_from[static_cast<std::size_t>(o)] > 0) {
+      if (o == l || pulls_from[static_cast<std::size_t>(o)] == 0) continue;
+      if (comm == CommMode::kFine) {
+        // Each remote pull is a dependent binary search into the owner's
+        // sorted sparse domain (Assign1's distributed collapse).
+        ctx.remote_chain(o, pulls_from[static_cast<std::size_t>(o)],
+                         remote_search_rts(static_cast<double>(
+                             a.local(o).nnz())),
+                         16);
+      } else if (comm == CommMode::kBulk) {
         ctx.remote_bulk(o, 8 * pulls_from[static_cast<std::size_t>(o)]);
         ctx.remote_bulk(o, 16 * pulls_from[static_cast<std::size_t>(o)]);
       }

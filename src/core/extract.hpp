@@ -1,12 +1,19 @@
 // GraphBLAS Extract (restricted like the paper's Assign): pull out the
-// sub-vector of x whose indices fall in [lo, hi), preserving global
-// indices, into a vector with the same capacity and distribution.
+// sub-vector of x whose indices fall in [lo, hi).
+//
+// extract_range keeps global indices and the original distribution, so
+// entries never move — no communication. extract_compact re-bases the
+// range to a vector of capacity hi-lo, which redistributes every entry
+// to its new owner; that routing supports the fine / bulk / aggregated
+// schedules (CommMode).
 #pragma once
 
 #include "core/kernel_costs.hpp"
 #include "machine/cost.hpp"
+#include "runtime/aggregator.hpp"
 #include "runtime/locale_grid.hpp"
 #include "sparse/dist_sparse_vec.hpp"
+#include "util/sorting.hpp"
 
 namespace pgb {
 
@@ -39,6 +46,86 @@ DistSparseVec<T> extract_range(const DistSparseVec<T>& x, Index lo,
     z.local(l) = SparseVec<T>::from_sorted(lx.capacity(), std::move(idx),
                                            std::move(val));
   });
+  return z;
+}
+
+/// Z[i - lo] = X[i] for every entry of x in [lo, hi); Z has capacity
+/// hi - lo and the standard 1-D block distribution, so each selected
+/// entry is routed to its new owner.
+template <typename T>
+DistSparseVec<T> extract_compact(const DistSparseVec<T>& x, Index lo,
+                                 Index hi, CommMode comm = CommMode::kBulk,
+                                 const AggConfig& agg_cfg = {}) {
+  PGB_REQUIRE(lo >= 0 && hi <= x.capacity() && lo <= hi,
+              "extract_compact: bad range");
+  auto& grid = x.grid();
+  const int nloc = grid.num_locales();
+  DistSparseVec<T> z(grid, hi - lo);
+
+  std::vector<std::vector<Index>> z_idx(static_cast<std::size_t>(nloc));
+  std::vector<std::vector<T>> z_val(static_cast<std::size_t>(nloc));
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const int l = ctx.locale();
+    const auto& lx = x.local(l);
+    std::vector<std::int64_t> count_to(static_cast<std::size_t>(nloc), 0);
+    struct Entry {
+      Index j;  ///< re-based index in [0, hi - lo)
+      T v;
+    };
+    auto deliver = [&](int peer, std::vector<Entry>& batch) {
+      for (const auto& e : batch) {
+        z_idx[static_cast<std::size_t>(peer)].push_back(e.j);
+        z_val[static_cast<std::size_t>(peer)].push_back(e.v);
+      }
+    };
+    DstAggregator<Entry> agg(ctx, deliver, agg_cfg);
+    Index selected = 0;
+    for (Index p = 0; p < lx.nnz(); ++p) {
+      const Index i = lx.index_at(p);
+      if (i < lo || i >= hi) continue;
+      ++selected;
+      const Index j = i - lo;
+      const int o = z.dist().owner(j);
+      ++count_to[static_cast<std::size_t>(o)];
+      if (comm == CommMode::kAggregated) {
+        agg.push(o, Entry{j, lx.value_at(p)});
+      } else {
+        z_idx[static_cast<std::size_t>(o)].push_back(j);
+        z_val[static_cast<std::size_t>(o)].push_back(lx.value_at(p));
+      }
+    }
+    agg.flush_all();
+    CostVector c;
+    c.add(CostKind::kCpuOps, kApplyOpsPerElem * static_cast<double>(lx.nnz()));
+    c.add(CostKind::kStreamBytes, 16.0 * static_cast<double>(lx.nnz()) +
+                                      24.0 * static_cast<double>(selected));
+    ctx.parallel_region(c);
+    for (int o = 0; o < nloc; ++o) {
+      if (o == l || count_to[static_cast<std::size_t>(o)] == 0) continue;
+      if (comm == CommMode::kFine) {
+        ctx.remote_msgs(o, count_to[static_cast<std::size_t>(o)], 16);
+      } else if (comm == CommMode::kBulk) {
+        ctx.remote_bulk(o, 16 * count_to[static_cast<std::size_t>(o)]);
+      }
+    }
+  });
+  grid.barrier_all();
+
+  // Each new owner sorts and installs its batch (senders are visited in
+  // locale order, so per-owner batches arrive nearly sorted).
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const int o = ctx.locale();
+    auto& idx = z_idx[static_cast<std::size_t>(o)];
+    auto& val = z_val[static_cast<std::size_t>(o)];
+    sort_pairs_by_index(idx, val);
+    CostVector c;
+    c.add(CostKind::kCpuOps, 12.0 * static_cast<double>(idx.size()));
+    c.add(CostKind::kStreamBytes, 24.0 * static_cast<double>(idx.size()));
+    ctx.parallel_region(c);
+    z.local(o) = SparseVec<T>::from_sorted(z.dist().local_size(o),
+                                           std::move(idx), std::move(val));
+  });
+  grid.barrier_all();
   return z;
 }
 

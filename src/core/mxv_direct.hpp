@@ -84,6 +84,9 @@ DistSparseVec<T> mxv_direct(const DistCsr<TA>& a,
     const auto& blk = a.block(l);
     std::vector<Index> idx;
     std::vector<T> val;
+    AggConfig gather_cfg = opt.agg;
+    gather_cfg.contention = static_cast<double>(pr);
+    AggChannel chan(ctx, gather_cfg);
     // Owners of [clo, chi) under x's 1-D distribution.
     const int first = blk.chi > blk.clo ? x.owner(blk.clo) : 0;
     const int last = blk.chi > blk.clo ? x.owner(blk.chi - 1) : -1;
@@ -100,7 +103,9 @@ DistSparseVec<T> mxv_direct(const DistCsr<TA>& a,
       }
       if (src != l) {
         ctx.remote_rt(src, 8);
-        if (opt.bulk_gather) {
+        if (opt.aggregated()) {
+          chan.get_elems(src, piece_cnt, 16);
+        } else if (opt.gather_is_bulk()) {
           // Each x owner serves all pr locales of one processor column.
           ctx.remote_bulk(src, 16 * piece_cnt * pr);
         } else {
@@ -109,6 +114,7 @@ DistSparseVec<T> mxv_direct(const DistCsr<TA>& a,
         }
       }
     }
+    chan.drain();
     xc[static_cast<std::size_t>(l)] = SparseVec<T>::from_sorted(
         blk.chi - blk.clo, std::move(idx), std::move(val));
   });
@@ -138,6 +144,45 @@ DistSparseVec<T> mxv_direct(const DistCsr<TA>& a,
     const int l = ctx.locale();
     const auto& part = ly[static_cast<std::size_t>(l)];
     std::vector<std::int64_t> count_to(static_cast<std::size_t>(nloc), 0);
+    if (opt.aggregated()) {
+      // Same conveyor schedule as spmspv_dist's scatter, with row-wise
+      // receiver contention (pc senders per destination).
+      struct Update {
+        Index r;
+        T v;
+      };
+      AggConfig cfg = opt.agg;
+      cfg.contention = static_cast<double>(pc);
+      DstAggregator<Update> agg(
+          ctx,
+          [&](int peer, std::vector<Update>& batch) {
+            for (const auto& u : batch) {
+              yspa[static_cast<std::size_t>(peer)].accumulate(u.r, u.v,
+                                                              sr.add);
+            }
+          },
+          cfg);
+      for (Index p = 0; p < part.nnz(); ++p) {
+        const Index r = part.index_at(p);
+        const int o = y.dist().owner(r);
+        agg.push(o, Update{r, part.value_at(p)});
+        ++count_to[static_cast<std::size_t>(o)];
+      }
+      agg.flush_all();
+      CostVector c;
+      c.add(CostKind::kRandAccess,
+            static_cast<double>(count_to[static_cast<std::size_t>(l)]));
+      c.add(CostKind::kCpuOps,
+            20.0 * static_cast<double>(count_to[static_cast<std::size_t>(l)]));
+      for (int o = 0; o < nloc; ++o) {
+        const auto cnt = count_to[static_cast<std::size_t>(o)];
+        if (o == l || cnt == 0) continue;
+        c.add(CostKind::kCpuOps, 10.0 * static_cast<double>(cnt));
+        c.add(CostKind::kStreamBytes, 16.0 * static_cast<double>(cnt));
+      }
+      ctx.parallel_region(c);
+      return;
+    }
     for (Index p = 0; p < part.nnz(); ++p) {
       const Index r = part.index_at(p);
       const int o = y.dist().owner(r);
@@ -153,7 +198,7 @@ DistSparseVec<T> mxv_direct(const DistCsr<TA>& a,
         c.add(CostKind::kRandAccess, static_cast<double>(cnt));
         c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(cnt));
         ctx.parallel_region(c);
-      } else if (opt.bulk_scatter) {
+      } else if (opt.scatter_is_bulk()) {
         CostVector c;
         c.add(CostKind::kCpuOps, 10.0 * static_cast<double>(cnt));
         c.add(CostKind::kStreamBytes, 16.0 * static_cast<double>(cnt));

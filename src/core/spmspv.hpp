@@ -28,6 +28,7 @@
 #include "core/descriptor.hpp"
 #include "core/kernel_costs.hpp"
 #include "machine/cost.hpp"
+#include "runtime/aggregator.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/locale_grid.hpp"
 #include "sparse/dist_csr.hpp"
@@ -57,13 +58,35 @@ enum class SpmspvAlgo {
 struct SpmspvOptions {
   SpmspvAlgo algo = SpmspvAlgo::kSpaSort;
   SortAlgo sort = SortAlgo::kMerge;  ///< sort used by kSpaSort
-  bool bulk_gather = false;   ///< batch the input-vector gather
-  bool bulk_scatter = false;  ///< batch the output-vector scatter
+  /// Communication schedule for gather and scatter: fine-grained
+  /// element-by-element (the paper's Listing 8), one hand-rolled bulk
+  /// transfer per peer, or conveyor-style aggregation (per-peer buffers
+  /// flushed as capacity-sized bulks; see runtime/aggregator.hpp).
+  CommMode comm = CommMode::kFine;
+  /// Buffering parameters when comm == CommMode::kAggregated.
+  AggConfig agg;
+  bool bulk_gather = false;   ///< legacy flag: batch the gather
+  bool bulk_scatter = false;  ///< legacy flag: batch the scatter
   /// Use tree collectives (allgather along processor rows for the input,
   /// reduce-scatter along processor columns for the output) instead of
   /// point-to-point transfers — the facility the paper's Section IV asks
-  /// Chapel to provide. Overrides bulk_gather/bulk_scatter.
+  /// Chapel to provide. Overrides every other comm setting.
   bool use_collectives = false;
+
+  bool aggregated() const { return comm == CommMode::kAggregated; }
+  bool gather_is_bulk() const {
+    return bulk_gather || comm == CommMode::kBulk;
+  }
+  bool scatter_is_bulk() const {
+    return bulk_scatter || comm == CommMode::kBulk;
+  }
+
+  /// Convenience for sweeps: this options set with another schedule.
+  SpmspvOptions with_comm(CommMode m) const {
+    SpmspvOptions o = *this;
+    o.comm = m;
+    return o;
+  }
 };
 
 
@@ -291,6 +314,12 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
     const int prow = grid.locale(l).row;
     std::vector<Index> idx;
     std::vector<T> val;
+    // Aggregated mode: the known-size remote pieces are pulled as
+    // capacity-sized chunks through a double-buffered channel, so chunk
+    // transfers from the pc sources overlap one another.
+    AggConfig gather_cfg = opt.agg;
+    gather_cfg.contention = static_cast<double>(pc);
+    AggChannel chan(ctx, gather_cfg);
     for (int i = 0; i < pc; ++i) {
       const int src = prow * pc + i;
       const auto& piece = x.local(src);
@@ -302,7 +331,9 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
         // this processor row pulls from the same pc sources at once, so
         // each source's AM handler serves pc requesters (contention).
         ctx.remote_rt(src, 8);
-        if (opt.bulk_gather) {
+        if (opt.aggregated()) {
+          chan.get_elems(src, piece.nnz(), 16);
+        } else if (opt.gather_is_bulk()) {
           // The source serves one bulk copy to each of the pc locales in
           // this processor row, serially (no broadcast tree in the
           // paper's runtime): receiver-side contention scales the
@@ -314,6 +345,7 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
         }
       }
     }
+    chan.drain();
     xr[l] = SparseVec<T>::from_sorted(blk.rhi - blk.rlo, std::move(idx),
                                       std::move(val));
   });
@@ -353,6 +385,44 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
     const int l = ctx.locale();
     const auto& part = ly[l];
     std::vector<std::int64_t> count_to(static_cast<std::size_t>(nloc), 0);
+    if (opt.aggregated() && !opt.use_collectives) {
+      // Conveyor schedule: accumulate-at-owner requests ride per-peer
+      // buffers; every flush is one bulk (plus header) instead of a
+      // message per element. Per-peer FIFO delivery keeps the per-slot
+      // accumulation order of the fine-grained path, so results are
+      // bit-identical.
+      struct Update {
+        Index j;
+        T v;
+      };
+      AggConfig cfg = opt.agg;
+      cfg.contention = static_cast<double>(pr);
+      DstAggregator<Update> agg(
+          ctx,
+          [&](int peer, std::vector<Update>& batch) {
+            for (const auto& u : batch) {
+              yspa[peer].accumulate(u.j, u.v, sr.add);
+            }
+          },
+          cfg);
+      for (Index p = 0; p < part.nnz(); ++p) {
+        const Index j = part.index_at(p);
+        const int o = y.dist().owner(j);
+        agg.push(o, Update{j, part.value_at(p)});
+        ++count_to[o];
+      }
+      agg.flush_all();
+      CostVector c;  // local accumulation + packing of the remote batches
+      c.add(CostKind::kRandAccess, static_cast<double>(count_to[l]));
+      c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(count_to[l]));
+      for (int o = 0; o < nloc; ++o) {
+        if (o == l || count_to[o] == 0) continue;
+        c.add(CostKind::kCpuOps, 10.0 * static_cast<double>(count_to[o]));
+        c.add(CostKind::kStreamBytes, 16.0 * static_cast<double>(count_to[o]));
+      }
+      ctx.parallel_region(c);
+      return;
+    }
     for (Index p = 0; p < part.nnz(); ++p) {
       const Index j = part.index_at(p);
       const int o = y.dist().owner(j);
@@ -369,7 +439,7 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
         c.add(CostKind::kRandAccess, static_cast<double>(count_to[o]));
         c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(count_to[o]));
         ctx.parallel_region(c);
-      } else if (opt.bulk_scatter) {
+      } else if (opt.scatter_is_bulk()) {
         CostVector c;  // pack the destination's batch
         c.add(CostKind::kCpuOps, 10.0 * static_cast<double>(count_to[o]));
         c.add(CostKind::kStreamBytes, 16.0 * static_cast<double>(count_to[o]));

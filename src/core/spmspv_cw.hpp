@@ -6,6 +6,11 @@
 // kernel; only the orientation differs (the paper's Fig 6 note: "Neither
 // the algorithm nor its complexity is affected by the use of row-wise vs
 // column-wise representation").
+//
+// This kernel is node-local; its distributed driver (mxv_direct.hpp)
+// honours SpmspvOptions::comm for the surrounding gather/scatter, so the
+// column-wise family supports the fine / bulk / aggregated schedules the
+// same way spmspv_dist does.
 #pragma once
 
 #include "core/kernel_costs.hpp"

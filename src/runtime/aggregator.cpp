@@ -1,0 +1,107 @@
+#include "runtime/aggregator.hpp"
+
+#include <cmath>
+
+namespace pgb {
+
+const char* to_string(CommMode m) {
+  switch (m) {
+    case CommMode::kFine:
+      return "fine";
+    case CommMode::kBulk:
+      return "bulk";
+    case CommMode::kAggregated:
+      return "agg";
+  }
+  return "?";
+}
+
+CommMode parse_comm_mode(const std::string& s) {
+  if (s == "fine") return CommMode::kFine;
+  if (s == "bulk") return CommMode::kBulk;
+  if (s == "agg" || s == "aggregated") return CommMode::kAggregated;
+  throw InvalidArgument("comm mode must be fine, bulk, or agg, got: " + s);
+}
+
+AggChannel::AggChannel(LocaleCtx& ctx, AggConfig cfg)
+    : ctx_(ctx), cfg_(cfg) {
+  PGB_REQUIRE(cfg_.capacity >= 1, "aggregator capacity must be positive");
+  PGB_REQUIRE(cfg_.contention >= 1.0, "contention multiplier must be >= 1");
+}
+
+void AggChannel::issue(int peer, double cost, std::int64_t msgs,
+                       std::int64_t bytes, bool /*is_get*/) {
+  (void)peer;
+  ++stats_.flushes;
+  stats_.messages += msgs;
+  stats_.bytes += bytes;
+  auto& grid = ctx_.grid();
+  auto& cs = grid.comm_stats();
+  ++cs.agg_flushes;
+  cs.messages += msgs;
+  cs.bytes += bytes;
+
+  SimClock& clk = ctx_.clock();
+  if (!cfg_.double_buffer) {
+    clk.advance(cost);
+    inflight_end_ = clk.now();
+    return;
+  }
+  // Double buffering: the task hands the full buffer to the transport —
+  // paying only the software handoff — and keeps filling the spare. The
+  // transfer occupies the single injection channel: it starts once the
+  // previous one finished and completes `cost` later; drain() joins the
+  // tail. Compute between flushes therefore hides transfer time.
+  const double start = std::max(clk.now(), inflight_end_);
+  inflight_end_ = start + cost;
+  clk.advance(grid.net().params().fine_grain_overhead);
+}
+
+void AggChannel::flush_put(int peer, std::int64_t bytes) {
+  if (peer == ctx_.locale()) {
+    ++stats_.local_flushes;
+    return;
+  }
+  auto& grid = ctx_.grid();
+  const bool intra = grid.same_node(ctx_.locale(), peer);
+  const int colo = grid.colocated();
+  const auto& net = grid.net();
+  const double cost = net.round_trip(cfg_.header_bytes, intra, colo) +
+                      cfg_.contention * net.bulk(bytes, intra, colo);
+  // Header round trip (2 one-way messages) + the payload bulk.
+  issue(peer, cost, 3, bytes, /*is_get=*/false);
+}
+
+void AggChannel::flush_get(int peer, std::int64_t req_bytes,
+                           std::int64_t resp_bytes) {
+  if (peer == ctx_.locale()) {
+    ++stats_.local_flushes;
+    return;
+  }
+  auto& grid = ctx_.grid();
+  const bool intra = grid.same_node(ctx_.locale(), peer);
+  const int colo = grid.colocated();
+  const auto& net = grid.net();
+  double cost = net.round_trip(cfg_.header_bytes, intra, colo) +
+                cfg_.contention * net.bulk(resp_bytes, intra, colo);
+  std::int64_t msgs = 3;  // header round trip + response bulk
+  if (req_bytes > 0) {
+    cost += cfg_.contention * net.bulk(req_bytes, intra, colo);
+    ++msgs;  // the request-batch bulk
+  }
+  issue(peer, cost, msgs, req_bytes + resp_bytes, /*is_get=*/true);
+}
+
+void AggChannel::get_elems(int peer, std::int64_t count,
+                           std::int64_t bytes_each) {
+  if (peer == ctx_.locale() || count <= 0) return;
+  stats_.pushed += count;
+  for (std::int64_t left = count; left > 0; left -= cfg_.capacity) {
+    const std::int64_t chunk = std::min(left, cfg_.capacity);
+    flush_get(peer, 0, chunk * bytes_each);
+  }
+}
+
+void AggChannel::drain() { ctx_.clock().advance_to(inflight_end_); }
+
+}  // namespace pgb

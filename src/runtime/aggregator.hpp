@@ -1,0 +1,228 @@
+// Conveyor-style communication aggregation for the locale-grid runtime.
+//
+// The paper's distributed figures (8-9) show fine-grained element-by-
+// element access dominating SpMSpV and Assign; its conclusion names a
+// bulk-synchronous schedule as the remedy. Bale/conveyors and Chapel's
+// SrcAggregator/DstAggregator implement that remedy as a reusable layer:
+// each task keeps a small buffer per destination locale, appends elements
+// locally, and ships a whole buffer as one bulk transfer when it fills
+// (or on an explicit flush). This header is that layer for pgas-graphblas:
+//
+//   DstAggregator<T>  buffered remote puts/accumulations — push(peer, t)
+//                     appends to the peer's buffer; a full buffer is
+//                     delivered to the caller's sink in one flush.
+//   SrcAggregator<T>  buffered remote gets — get(peer, req) queues a
+//                     request; a flush ships the request batch and the
+//                     response batch as two bulks.
+//   AggChannel        the shared flush pipeline: charges the machine
+//                     model (one remote_bulk per flush plus a small
+//                     header round trip), models double-buffered overlap
+//                     of transfers with ongoing buffering, and counts
+//                     per-aggregator stats.
+//
+// The data really moves: deliver callbacks run for real, so results are
+// bit-identical to the fine-grained schedule (per-peer FIFO order keeps
+// even floating-point accumulation order unchanged). Only the *charging*
+// differs — N fine-grained messages collapse into ceil(N/capacity) bulk
+// flushes.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/locale_grid.hpp"
+
+namespace pgb {
+
+/// Communication schedule for distributed kernels with a gather/scatter
+/// structure. kFine is the paper's element-by-element code; kBulk is one
+/// hand-rolled transfer per peer; kAggregated is the conveyor schedule
+/// above (per-peer buffers, capacity-triggered bulk flushes).
+enum class CommMode {
+  kFine,
+  kBulk,
+  kAggregated,
+};
+
+const char* to_string(CommMode m);
+
+/// Parses "fine" | "bulk" | "agg" (or "aggregated"); throws
+/// InvalidArgument otherwise.
+CommMode parse_comm_mode(const std::string& s);
+
+/// Tuning knobs of one aggregator.
+struct AggConfig {
+  /// Elements buffered per peer before a capacity-triggered flush.
+  std::int64_t capacity = 2048;
+  /// Model double buffering: a flushed buffer is handed to the transport
+  /// and the task keeps filling the spare while the transfer is in
+  /// flight; successive transfers queue behind one another. When off,
+  /// every flush blocks until its transfer completes.
+  bool double_buffer = true;
+  /// Receiver-side serialization: the effective transfer cost is scaled
+  /// by this factor when several locales converge on one peer (same
+  /// convention as the hand-rolled bulk paths).
+  double contention = 1.0;
+  /// Bytes of the per-flush header (count + base address).
+  std::int64_t header_bytes = 8;
+  /// Modeled response payload per element of a SrcAggregator flush.
+  std::int64_t resp_bytes_each = 8;
+};
+
+/// Per-aggregator counters, reported by benches as the message-count
+/// reduction of aggregation. Self-peer traffic never reaches the network
+/// and is counted separately.
+struct AggregatorStats {
+  std::int64_t pushed = 0;        ///< elements routed through the aggregator
+  std::int64_t flushes = 0;       ///< buffer drains that hit the network
+  std::int64_t local_flushes = 0; ///< self-peer buffer drains (no comm)
+  std::int64_t messages = 0;      ///< modeled one-way network messages
+  std::int64_t bytes = 0;         ///< payload + request bytes moved
+};
+
+/// The flush pipeline shared by both aggregator directions. Usable on its
+/// own for "chunked bulk" patterns where the remote range is known and no
+/// per-element request payload is needed (e.g. the SpMSpV gather of whole
+/// input-vector pieces).
+class AggChannel {
+ public:
+  AggChannel(LocaleCtx& ctx, AggConfig cfg);
+
+  const AggConfig& config() const { return cfg_; }
+  const AggregatorStats& stats() const { return stats_; }
+  LocaleCtx& ctx() { return ctx_; }
+
+  void count_push() { ++stats_.pushed; }
+
+  /// One buffered-put flush: header round trip + one bulk of `bytes` to
+  /// `peer`. No-op (beyond stats) for the self peer.
+  void flush_put(int peer, std::int64_t bytes);
+
+  /// One buffered-get flush: header round trip + request bulk out +
+  /// response bulk back.
+  void flush_get(int peer, std::int64_t req_bytes, std::int64_t resp_bytes);
+
+  /// Chunked read of `count` remote elements whose location is already
+  /// known to the target (no request payload): capacity-sized flush_gets.
+  void get_elems(int peer, std::int64_t count, std::int64_t bytes_each);
+
+  /// Joins the in-flight transfer (double buffering). Call after the last
+  /// flush; flush_all() of the aggregators does this for you.
+  void drain();
+
+ private:
+  void issue(int peer, double cost, std::int64_t msgs, std::int64_t bytes,
+             bool is_get);
+
+  LocaleCtx& ctx_;
+  AggConfig cfg_;
+  AggregatorStats stats_;
+  double inflight_end_ = 0.0;  ///< sim time the queued transfers complete
+};
+
+/// Buffered remote puts/accumulations. `deliver(peer, batch)` performs
+/// the real write on the destination's data; it runs once per flush, in
+/// per-peer FIFO order.
+template <typename T>
+class DstAggregator {
+ public:
+  using DeliverFn = std::function<void(int peer, std::vector<T>& batch)>;
+
+  DstAggregator(LocaleCtx& ctx, DeliverFn deliver, AggConfig cfg = {})
+      : chan_(ctx, cfg),
+        deliver_(std::move(deliver)),
+        buf_(static_cast<std::size_t>(ctx.grid().num_locales())) {}
+
+  DstAggregator(const DstAggregator&) = delete;
+  DstAggregator& operator=(const DstAggregator&) = delete;
+
+  ~DstAggregator() { flush_all(); }
+
+  void push(int peer, T item) {
+    chan_.count_push();
+    auto& b = buf_[static_cast<std::size_t>(peer)];
+    b.push_back(std::move(item));
+    if (static_cast<std::int64_t>(b.size()) >= chan_.config().capacity) {
+      flush(peer);
+    }
+  }
+
+  /// Ships `peer`'s buffer now, regardless of fill level.
+  void flush(int peer) {
+    auto& b = buf_[static_cast<std::size_t>(peer)];
+    if (b.empty()) return;
+    chan_.flush_put(peer,
+                    static_cast<std::int64_t>(b.size() * sizeof(T)));
+    deliver_(peer, b);
+    b.clear();
+  }
+
+  /// Ships every non-empty buffer and joins the in-flight transfer.
+  void flush_all() {
+    for (int p = 0; p < static_cast<int>(buf_.size()); ++p) flush(p);
+    chan_.drain();
+  }
+
+  const AggregatorStats& stats() const { return chan_.stats(); }
+
+ private:
+  AggChannel chan_;
+  DeliverFn deliver_;
+  std::vector<std::vector<T>> buf_;
+};
+
+/// Buffered remote gets. `T` is the request record (e.g. {output slot,
+/// remote index}); `deliver(peer, batch)` resolves a request batch
+/// against the peer's data and stores the results — the response payload
+/// is modeled as `AggConfig::resp_bytes_each` per request.
+template <typename T>
+class SrcAggregator {
+ public:
+  using DeliverFn = std::function<void(int peer, std::vector<T>& batch)>;
+
+  SrcAggregator(LocaleCtx& ctx, DeliverFn deliver, AggConfig cfg = {})
+      : chan_(ctx, cfg),
+        deliver_(std::move(deliver)),
+        buf_(static_cast<std::size_t>(ctx.grid().num_locales())) {}
+
+  SrcAggregator(const SrcAggregator&) = delete;
+  SrcAggregator& operator=(const SrcAggregator&) = delete;
+
+  ~SrcAggregator() { flush_all(); }
+
+  void get(int peer, T request) {
+    chan_.count_push();
+    auto& b = buf_[static_cast<std::size_t>(peer)];
+    b.push_back(std::move(request));
+    if (static_cast<std::int64_t>(b.size()) >= chan_.config().capacity) {
+      flush(peer);
+    }
+  }
+
+  void flush(int peer) {
+    auto& b = buf_[static_cast<std::size_t>(peer)];
+    if (b.empty()) return;
+    const auto n = static_cast<std::int64_t>(b.size());
+    chan_.flush_get(peer, n * static_cast<std::int64_t>(sizeof(T)),
+                    n * chan_.config().resp_bytes_each);
+    deliver_(peer, b);
+    b.clear();
+  }
+
+  void flush_all() {
+    for (int p = 0; p < static_cast<int>(buf_.size()); ++p) flush(p);
+    chan_.drain();
+  }
+
+  const AggregatorStats& stats() const { return chan_.stats(); }
+
+ private:
+  AggChannel chan_;
+  DeliverFn deliver_;
+  std::vector<std::vector<T>> buf_;
+};
+
+}  // namespace pgb

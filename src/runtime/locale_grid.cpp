@@ -28,6 +28,12 @@ void LocaleCtx::remote_chain(int peer, std::int64_t count,
                              double rts_per_elem, std::int64_t bytes_each,
                              double contention) {
   if (peer == locale_) return;  // local access: caller charges node costs
+  auto& cs = grid_.comm_stats();
+  // Each element sends one payload message after rts_per_elem dependent
+  // round trips (2 one-way messages each).
+  cs.messages += count + std::llround(static_cast<double>(count) * 2.0 *
+                                      rts_per_elem);
+  cs.bytes += count * bytes_each;
   clock().advance(contention *
                   grid_.net().dependent_chain(
                       count, rts_per_elem, bytes_each,
@@ -37,6 +43,9 @@ void LocaleCtx::remote_chain(int peer, std::int64_t count,
 void LocaleCtx::remote_msgs(int peer, std::int64_t count,
                             std::int64_t bytes_each, double contention) {
   if (peer == locale_) return;
+  auto& cs = grid_.comm_stats();
+  cs.messages += count;
+  cs.bytes += count * bytes_each;
   clock().advance(contention *
                   grid_.net().overlapped_messages(
                       count, bytes_each, grid_.same_node(locale_, peer),
@@ -45,12 +54,19 @@ void LocaleCtx::remote_msgs(int peer, std::int64_t count,
 
 void LocaleCtx::remote_bulk(int peer, std::int64_t bytes) {
   if (peer == locale_) return;
+  auto& cs = grid_.comm_stats();
+  cs.messages += 1;
+  cs.bulks += 1;
+  cs.bytes += bytes;
   clock().advance(grid_.net().bulk(bytes, grid_.same_node(locale_, peer),
                                    grid_.colocated()));
 }
 
 void LocaleCtx::remote_rt(int peer, std::int64_t bytes_back) {
   if (peer == locale_) return;
+  auto& cs = grid_.comm_stats();
+  cs.messages += 2;
+  cs.bytes += bytes_back;
   clock().advance(grid_.net().round_trip(
       bytes_back, grid_.same_node(locale_, peer), grid_.colocated()));
 }

@@ -14,6 +14,7 @@
 // reproduces the paper's Fig 10 experiment.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -38,6 +39,18 @@ struct GridConfig {
   int threads_per_locale = 1;
   int locales_per_node = 1;
   MachineModel model = MachineModel::edison();
+};
+
+/// Grid-wide tally of modeled communication events, accumulated by the
+/// LocaleCtx comm helpers and by the aggregation layer
+/// (runtime/aggregator.hpp). Benches read it to report message-count
+/// reductions alongside modeled time; reset together with the clocks.
+struct CommStats {
+  std::int64_t messages = 0;     ///< one-way network messages (a round
+                                 ///< trip counts 2, a bulk counts 1)
+  std::int64_t bytes = 0;        ///< payload bytes moved
+  std::int64_t bulks = 0;        ///< bulk transfers among `messages`
+  std::int64_t agg_flushes = 0;  ///< aggregator buffer flushes
 };
 
 class LocaleGrid;
@@ -119,6 +132,8 @@ class LocaleGrid {
   const NetworkModel& net() const { return net_; }
   SimClock& clock(int l) { return clocks_[l]; }
   Trace& trace() { return trace_; }
+  CommStats& comm_stats() { return comm_stats_; }
+  const CommStats& comm_stats() const { return comm_stats_; }
 
   /// Max over all locale clocks: the grid's current simulated time.
   double time() const;
@@ -126,6 +141,7 @@ class LocaleGrid {
   void reset() {
     for (auto& c : clocks_) c.reset();
     trace_.clear();
+    comm_stats_ = CommStats{};
   }
 
   /// Chapel's `coforall loc in Locales do on loc { ... }`: the initiator
@@ -143,6 +159,7 @@ class LocaleGrid {
   std::vector<SimClock> clocks_;
   NetworkModel net_;
   Trace trace_;
+  CommStats comm_stats_;
 };
 
 }  // namespace pgb

@@ -236,6 +236,52 @@ TEST(SpmspvModel, GatherDominatesDistributedRuns) {
   EXPECT_GT(grid.trace().get("gather"), grid.trace().get("local"));
 }
 
+TEST(SpmspvDist, CommModesProduceIdenticalResults) {
+  const Index n = 600;
+  auto grid = LocaleGrid::square(9, 4);
+  auto a = erdos_renyi_dist<std::int64_t>(grid, n, 6.0, 11);
+  auto x = random_dist_sparse_vec<std::int64_t>(grid, n, 80, 12);
+  const auto sr = arithmetic_semiring<std::int64_t>();
+  auto ref = dense_reference(a.to_local(), x.to_local(), sr);
+
+  for (CommMode m :
+       {CommMode::kFine, CommMode::kBulk, CommMode::kAggregated}) {
+    SpmspvOptions opt;
+    opt.comm = m;
+    opt.agg.capacity = 64;  // small enough for mid-stream flushes
+    auto y = spmspv_dist(a, x, sr, opt);
+    EXPECT_TRUE(y.check_invariants());
+    expect_matches_dense(y.to_local(), ref, sr.zero());
+  }
+}
+
+TEST(SpmspvModel, AggregationCutsMessagesByOrderOfMagnitude) {
+  // The aggregation layer's reason to exist: identical output, ~10x+
+  // fewer modeled messages than the fine-grained schedule.
+  const Index n = 200000;
+  auto grid = LocaleGrid::square(16, 24);
+  auto a = erdos_renyi_dist<std::int64_t>(grid, n, 16.0, 5);
+  auto x = random_dist_sparse_vec<std::int64_t>(grid, n, n / 50, 6);
+  const auto sr = arithmetic_semiring<std::int64_t>();
+
+  SpmspvOptions opt;
+  grid.reset();
+  auto y_fine = spmspv_dist(a, x, sr, opt.with_comm(CommMode::kFine));
+  const auto m_fine = grid.comm_stats().messages;
+  grid.reset();
+  auto y_agg = spmspv_dist(a, x, sr, opt.with_comm(CommMode::kAggregated));
+  const auto m_agg = grid.comm_stats().messages;
+
+  EXPECT_GE(m_fine, 10 * m_agg);
+  auto lf = y_fine.to_local();
+  auto la = y_agg.to_local();
+  ASSERT_EQ(lf.nnz(), la.nnz());
+  for (Index p = 0; p < lf.nnz(); ++p) {
+    EXPECT_EQ(lf.index_at(p), la.index_at(p));
+    EXPECT_EQ(lf.value_at(p), la.value_at(p));
+  }
+}
+
 TEST(SpmspvModel, BulkGatherBeatsFineGrained) {
   const Index n = 200000;
   auto grid = LocaleGrid::square(16, 24);

@@ -36,6 +36,13 @@ void print_timing(LocaleGrid& grid) {
     std::printf("  %-8s %s\n", phase.c_str(),
                 Table::time(grid.trace().get(phase)).c_str());
   }
+  const auto& cs = grid.comm_stats();
+  std::printf("comm: %lld messages, %lld bulk transfers, "
+              "%lld aggregator flushes, %.3g MB\n",
+              static_cast<long long>(cs.messages),
+              static_cast<long long>(cs.bulks),
+              static_cast<long long>(cs.agg_flushes),
+              static_cast<double>(cs.bytes) / 1e6);
 }
 
 }  // namespace
@@ -59,6 +66,11 @@ int main(int argc, char** argv) {
       cli.get_double("f", 0.02, "input-vector density for --op=spmspv");
   const bool bulk =
       cli.get_bool("bulk", false, "bulk-synchronous communication");
+  const std::string comm_flag = cli.get(
+      "comm", "", "communication schedule: fine | bulk | agg "
+                  "(overrides --bulk)");
+  const std::int64_t agg_capacity = cli.get_int(
+      "agg-capacity", 2048, "aggregator buffer capacity (--comm=agg)");
   const std::string machine =
       cli.get("machine", "edison", "machine model: edison | modern");
   const std::uint64_t seed =
@@ -105,8 +117,10 @@ int main(int argc, char** argv) {
               grid.cols(), threads, machine.c_str());
 
   SpmspvOptions comm;
-  comm.bulk_gather = bulk;
-  comm.bulk_scatter = bulk;
+  comm.comm = comm_flag.empty()
+                  ? (bulk ? CommMode::kBulk : CommMode::kFine)
+                  : parse_comm_mode(comm_flag);
+  comm.agg.capacity = agg_capacity;
 
   grid.reset();
   if (op == "bfs") {
