@@ -44,16 +44,17 @@ bool identical(const SparseVec<T>& a, const SparseVec<T>& b) {
 }
 
 void emit_json(const std::string& path, Index n, double d, double f,
-               const std::vector<Sample>& samples) {
+               std::uint64_t seed, const std::vector<Sample>& samples) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   PGB_REQUIRE(out != nullptr, "cannot open --json path: " + path);
   std::fprintf(out, "{\n");
   std::fprintf(out,
                "  \"bench\": \"abl_aggregation\",\n"
                "  \"workload\": {\"kind\": \"erdos-renyi spmspv\", "
-               "\"n\": %lld, \"d\": %g, \"f\": %g},\n"
+               "\"n\": %lld, \"d\": %g, \"f\": %g, \"seed\": %llu},\n"
                "  \"machine\": \"edison\",\n  \"samples\": [\n",
-               static_cast<long long>(n), d, f);
+               static_cast<long long>(n), d, f,
+               static_cast<unsigned long long>(seed));
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const Sample& s = samples[i];
     std::fprintf(out,
@@ -80,6 +81,7 @@ int main(int argc, char** argv) {
   const bool csv = cli.get_bool("csv", false, "emit CSV instead of tables");
   const std::string json =
       cli.get("json", "", "write a machine-readable baseline to this path");
+  const std::uint64_t seed = bench::seed_flag(cli);
   cli.finish();
 
   const Index n = bench::scaled(1000000, scale);
@@ -100,9 +102,9 @@ int main(int argc, char** argv) {
            "vs fine"});
   for (int nodes : {4, 16, 64}) {
     auto grid = LocaleGrid::square(nodes, 24);
-    auto a = erdos_renyi_dist<std::int64_t>(grid, n, d, 5);
+    auto a = erdos_renyi_dist<std::int64_t>(grid, n, d, seed);
     auto x = random_dist_sparse_vec<std::int64_t>(
-        grid, n, static_cast<Index>(f * static_cast<double>(n)), 6);
+        grid, n, static_cast<Index>(f * static_cast<double>(n)), seed + 1);
 
     auto run = [&](const SpmspvOptions& opt) {
       grid.reset();
@@ -162,7 +164,7 @@ int main(int argc, char** argv) {
               accept_agg_over_bulk,
               accept_agg_over_bulk <= 1.10 ? "PASS" : "FAIL");
 
-  if (!json.empty()) emit_json(json, n, d, f, samples);
+  if (!json.empty()) emit_json(json, n, d, f, seed, samples);
   return (all_identical && accept_fine_over_agg >= 10.0 &&
           accept_agg_over_bulk <= 1.10)
              ? 0

@@ -28,6 +28,16 @@ inline std::vector<int> node_sweep(int max_nodes = 64) {
   return s;
 }
 
+/// Reads the shared --seed flag: benches derive every generator seed
+/// from it (matrix = seed, vector = seed + 1, ...), so a run with the
+/// default regenerates the checked-in baselines bit-for-bit and a
+/// different seed gives an independent but reproducible instance.
+inline std::uint64_t seed_flag(Cli& cli, std::uint64_t def = 5) {
+  return static_cast<std::uint64_t>(
+      cli.get_int("seed", static_cast<std::int64_t>(def),
+                  "base seed for the workload generators"));
+}
+
 /// Applies --scale to a paper-sized count (rounding to at least 1).
 inline Index scaled(Index paper_size, double scale) {
   const double v = static_cast<double>(paper_size) * scale;

@@ -24,7 +24,8 @@ void run_spmspv_dist_fig(Index n, double scale, bool csv,
 
   for (const auto& cfg : configs) {
     Table t({"nodes", "Gather input", "Local multiply", "Scatter output",
-             "total"});
+             "total", "gather msgs", "scatter msgs", "gather MB",
+             "scatter MB"});
     for (int nodes : node_sweep()) {
       auto grid = LocaleGrid::square(nodes, 24);
       auto a = erdos_renyi_dist<std::int64_t>(grid, n, cfg.d, 5);
@@ -32,10 +33,21 @@ void run_spmspv_dist_fig(Index n, double scale, bool csv,
           grid, n, static_cast<Index>(cfg.f * static_cast<double>(n)), 6);
       grid.reset();
       spmspv_dist(a, x, sr);
+      // Per-phase traffic attribution, published by the kernel into the
+      // grid's metrics registry.
+      const auto snap = grid.metrics().snapshot();
       t.row({Table::count(nodes), Table::time(grid.trace().get("gather")),
              Table::time(grid.trace().get("local")),
              Table::time(grid.trace().get("scatter")),
-             Table::time(grid.time())});
+             Table::time(grid.time()),
+             Table::count(snap.counter("spmspv.messages{phase=gather}")),
+             Table::count(snap.counter("spmspv.messages{phase=scatter}")),
+             Table::num(static_cast<double>(
+                            snap.counter("spmspv.bytes{phase=gather}")) /
+                        1e6),
+             Table::num(static_cast<double>(
+                            snap.counter("spmspv.bytes{phase=scatter}")) /
+                        1e6)});
     }
     char title[128];
     std::snprintf(title, sizeof title, "ER matrix (n=%lld, d=%g, f=%g%%)",

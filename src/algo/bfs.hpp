@@ -10,6 +10,7 @@
 //     visited |= y's pattern; frontier <- y
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/descriptor.hpp"
@@ -17,6 +18,7 @@
 #include "core/mask.hpp"
 #include "core/ops.hpp"
 #include "core/spmspv.hpp"
+#include "obs/span.hpp"
 #include "sparse/dist_csr.hpp"
 #include "sparse/dist_dense_vec.hpp"
 #include "sparse/dist_sparse_vec.hpp"
@@ -59,7 +61,14 @@ BfsResult bfs(const DistCsr<T>& a, Index source,
   res.level_sizes.push_back(1);
 
   const auto sr = min_first_semiring<T>();
+  grid.metrics().counter("algo.calls", {{"algo", "bfs"}}).inc();
+  Index level = 0;
   while (frontier.nnz() > 0) {
+    ++level;
+    PGB_TRACE_SPAN(grid, "bfs.level",
+                   {{"level", std::to_string(level)},
+                    {"frontier", std::to_string(frontier.nnz())}});
+    grid.metrics().counter("algo.iterations", {{"algo", "bfs"}}).inc();
     // Frontier values carry the discovering vertex: x[r] = r.
     grid.coforall_locales([&](LocaleCtx& ctx) {
       auto& lf = frontier.local(ctx.locale());

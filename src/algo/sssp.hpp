@@ -5,10 +5,12 @@
 #pragma once
 
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "core/ops.hpp"
 #include "core/spmspv.hpp"
+#include "obs/span.hpp"
 #include "sparse/dist_csr.hpp"
 #include "sparse/dist_dense_vec.hpp"
 #include "sparse/dist_sparse_vec.hpp"
@@ -49,8 +51,13 @@ SsspResult sssp(const DistCsr<T>& a, Index source,
   const auto sr = min_plus_semiring<double>();
 
   SsspResult res;
+  grid.metrics().counter("algo.calls", {{"algo", "sssp"}}).inc();
   while (frontier.nnz() > 0 && res.rounds < n) {
     ++res.rounds;
+    PGB_TRACE_SPAN(grid, "sssp.round",
+                   {{"round", std::to_string(res.rounds)},
+                    {"frontier", std::to_string(frontier.nnz())}});
+    grid.metrics().counter("algo.iterations", {{"algo", "sssp"}}).inc();
     // candidate[c] = min over frontier rows r of (dist-candidate of r +
     // weight(r, c)).
     DistSparseVec<double> cand = [&] {

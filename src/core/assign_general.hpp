@@ -24,6 +24,7 @@
 #include "core/descriptor.hpp"
 #include "core/kernel_costs.hpp"
 #include "machine/cost.hpp"
+#include "obs/span.hpp"
 #include "runtime/aggregator.hpp"
 #include "runtime/locale_grid.hpp"
 #include "sparse/dist_sparse_vec.hpp"
@@ -48,6 +49,8 @@ void assign_indexed(DistSparseVec<T>& a, const std::vector<Index>& index_map,
   }
   auto& grid = a.grid();
   const int nloc = grid.num_locales();
+  grid.metrics().counter("kernel.calls", {{"kernel", "assign_indexed"}}).inc();
+  PGB_TRACE_SPAN(grid, "assign.indexed");
 
   // Route (target index, value) pairs to their owner locale.
   std::vector<std::vector<Index>> out_idx(static_cast<std::size_t>(nloc));
@@ -170,6 +173,8 @@ DistSparseVec<T> extract_indexed(const DistSparseVec<T>& a,
                                  const AggConfig& agg_cfg = {}) {
   auto& grid = a.grid();
   const int nloc = grid.num_locales();
+  grid.metrics().counter("kernel.calls", {{"kernel", "extract_indexed"}}).inc();
+  PGB_TRACE_SPAN(grid, "extract.indexed");
   const Index zcap = static_cast<Index>(index_map.size());
   DistSparseVec<T> z(grid, zcap);
 

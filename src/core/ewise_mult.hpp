@@ -20,6 +20,7 @@
 
 #include "core/kernel_costs.hpp"
 #include "machine/cost.hpp"
+#include "obs/span.hpp"
 #include "runtime/locale_grid.hpp"
 #include "sparse/dist_dense_vec.hpp"
 #include "sparse/dist_sparse_vec.hpp"
@@ -42,6 +43,8 @@ DistSparseVec<T> ewise_mult_sd(const DistSparseVec<T>& x,
   PGB_REQUIRE_SHAPE(&x.grid() == &y.grid(),
                     "ewise_mult: operands live on different grids");
   auto& grid = x.grid();
+  grid.metrics().counter("kernel.calls", {{"kernel", "ewise_mult_sd"}}).inc();
+  PGB_TRACE_SPAN(grid, "ewise.mult_sd");
   DistSparseVec<T> z(grid, x.capacity());
 
   grid.coforall_locales([&](LocaleCtx& ctx) {
@@ -115,6 +118,8 @@ DistSparseVec<T> ewise_mult_ss(const DistSparseVec<T>& x,
   PGB_REQUIRE_SHAPE(&x.grid() == &w.grid(),
                     "ewise_mult: operands live on different grids");
   auto& grid = x.grid();
+  grid.metrics().counter("kernel.calls", {{"kernel", "ewise_mult_ss"}}).inc();
+  PGB_TRACE_SPAN(grid, "ewise.mult_ss");
   DistSparseVec<T> z(grid, x.capacity());
 
   grid.coforall_locales([&](LocaleCtx& ctx) {

@@ -10,6 +10,7 @@
 
 #include "core/kernel_costs.hpp"
 #include "machine/cost.hpp"
+#include "obs/span.hpp"
 #include "runtime/aggregator.hpp"
 #include "runtime/locale_grid.hpp"
 #include "sparse/dist_sparse_vec.hpp"
@@ -60,6 +61,8 @@ DistSparseVec<T> extract_compact(const DistSparseVec<T>& x, Index lo,
               "extract_compact: bad range");
   auto& grid = x.grid();
   const int nloc = grid.num_locales();
+  grid.metrics().counter("kernel.calls", {{"kernel", "extract_compact"}}).inc();
+  PGB_TRACE_SPAN(grid, "extract.compact");
   DistSparseVec<T> z(grid, hi - lo);
 
   std::vector<std::vector<Index>> z_idx(static_cast<std::size_t>(nloc));

@@ -16,6 +16,7 @@
 
 #include "core/spmspv.hpp"
 #include "core/spmspv_cw.hpp"
+#include "obs/span.hpp"
 #include "runtime/locale_grid.hpp"
 #include "sparse/csc.hpp"
 #include "sparse/dist_csr.hpp"
@@ -75,8 +76,10 @@ DistSparseVec<T> mxv_direct(const DistCsr<TA>& a,
   const int nloc = grid.num_locales();
   PGB_REQUIRE(static_cast<int>(mirror.blocks.size()) == nloc,
               "mxv: mirror does not match the grid");
+  grid.metrics().counter("kernel.calls", {{"kernel", "mxv_direct"}}).inc();
 
   // ---- gather x for each block's column range ----
+  obs::GridSpan gather_span(grid, "mxv.gather");
   double t0 = grid.time();
   std::vector<SparseVec<T>> xc(static_cast<std::size_t>(nloc));
   grid.coforall_locales([&](LocaleCtx& ctx) {
@@ -118,9 +121,11 @@ DistSparseVec<T> mxv_direct(const DistCsr<TA>& a,
     xc[static_cast<std::size_t>(l)] = SparseVec<T>::from_sorted(
         blk.chi - blk.clo, std::move(idx), std::move(val));
   });
+  gather_span.end();
   grid.trace().add("gather", grid.time() - t0);
 
   // ---- local column-wise multiply into the block's row range ----
+  obs::GridSpan local_span(grid, "mxv.local");
   t0 = grid.time();
   std::vector<SparseVec<T>> ly(static_cast<std::size_t>(nloc));
   grid.coforall_locales([&](LocaleCtx& ctx) {
@@ -130,9 +135,11 @@ DistSparseVec<T> mxv_direct(const DistCsr<TA>& a,
         ctx, mirror.blocks[static_cast<std::size_t>(l)], blk.clo,
         xc[static_cast<std::size_t>(l)], blk.rlo, sr, opt);
   });
+  local_span.end();
   grid.trace().add("local", grid.time() - t0);
 
   // ---- scatter/accumulate into the 1-D result over [0, nrows) ----
+  obs::GridSpan scatter_span(grid, "mxv.scatter");
   t0 = grid.time();
   DistSparseVec<T> y(grid, a.nrows());
   std::vector<Spa<T>> yspa;
@@ -228,6 +235,7 @@ DistSparseVec<T> mxv_direct(const DistCsr<TA>& a,
     y.local(o) = SparseVec<T>::from_sorted(y.dist().local_size(o),
                                            std::move(idx), std::move(val));
   });
+  scatter_span.end();
   grid.trace().add("scatter", grid.time() - t0);
   return y;
 }

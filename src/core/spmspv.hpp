@@ -28,6 +28,7 @@
 #include "core/descriptor.hpp"
 #include "core/kernel_costs.hpp"
 #include "machine/cost.hpp"
+#include "obs/span.hpp"
 #include "runtime/aggregator.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/locale_grid.hpp"
@@ -107,6 +108,7 @@ SparseVec<T> spmspv_shm_bucket(LocaleCtx& ctx, const Csr<TA>& a,
                                                 kBucketWidth);
 
   // ---- Step 1: route (column, value) pairs into buckets ----
+  obs::LocaleSpan route_span(ctx, "spmspv.route");
   double t0 = ctx.clock().now();
   std::vector<std::vector<std::pair<Index, T>>> buckets(
       static_cast<std::size_t>(nbuckets));
@@ -135,10 +137,12 @@ SparseVec<T> spmspv_shm_bucket(LocaleCtx& ctx, const Csr<TA>& a,
     c.add(CostKind::kCpuOps, 25.0 * static_cast<double>(visited));
     ctx.parallel_region(c);
   }
+  route_span.end();
   if (trace) trace->add("spa", ctx.clock().now() - t0);
   if (trace) trace->add("sort", 0.0);  // there is no sort step
 
   // ---- Step 2: per-bucket dense accumulation, emitted in order ----
+  obs::LocaleSpan emit_span(ctx, "spmspv.emit");
   t0 = ctx.clock().now();
   std::vector<Index> idx;
   std::vector<T> val;
@@ -208,6 +212,7 @@ SparseVec<T> spmspv_shm(LocaleCtx& ctx, const Csr<TA>& a, Index row_lo,
                                      trace);
   }
   // ---- Step 1: SPA merge of the selected rows ----
+  obs::LocaleSpan spa_span(ctx, "spmspv.spa");
   double t0 = ctx.clock().now();
   Spa<T> spa(col_lo, col_hi);
   Index visited = 0;
@@ -240,9 +245,11 @@ SparseVec<T> spmspv_shm(LocaleCtx& ctx, const Csr<TA>& a, Index row_lo,
     c.add(CostKind::kStreamBytes, 8.0 * static_cast<double>(out_nnz));
     ctx.parallel_region(c);
   }
+  spa_span.end();
   if (trace) trace->add("spa", ctx.clock().now() - t0);
 
   // ---- Step 2: sort the output indices ----
+  obs::LocaleSpan sort_span(ctx, "spmspv.sort");
   t0 = ctx.clock().now();
   std::vector<Index>& nzinds = spa.nzinds();
   const CostVector sc = opt.sort == SortAlgo::kMerge
@@ -256,9 +263,11 @@ SparseVec<T> spmspv_shm(LocaleCtx& ctx, const Csr<TA>& a, Index row_lo,
   // Final merge passes limit parallelism: ~8% of the sort is serial.
   ctx.parallel_region(sc.scaled(0.92));
   ctx.serial_region(sc.scaled(0.08));
+  sort_span.end();
   if (trace) trace->add("sort", ctx.clock().now() - t0);
 
   // ---- Step 3: populate the output vector ----
+  obs::LocaleSpan output_span(ctx, "spmspv.output");
   t0 = ctx.clock().now();
   std::vector<Index> idx(nzinds.begin(), nzinds.end());
   std::vector<T> val;
@@ -304,8 +313,11 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
   const int pc = grid.cols();
   const int pr = grid.rows();
   const int nloc = grid.num_locales();
+  grid.metrics().counter("kernel.calls", {{"kernel", "spmspv_dist"}}).inc();
 
   // ---- Step 1: gather x along each processor row ----
+  obs::GridSpan gather_span(grid, "spmspv.gather");
+  CommStats cs0 = grid.comm_stats();
   double t0 = grid.time();
   std::vector<SparseVec<T>> xr(nloc);
   grid.coforall_locales([&](LocaleCtx& ctx) {
@@ -360,9 +372,20 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
     }
     grid.barrier_all();
   }
+  gather_span.end();
+  {
+    const CommStats cs1 = grid.comm_stats();
+    grid.metrics()
+        .counter("spmspv.messages", {{"phase", "gather"}})
+        .inc(cs1.messages - cs0.messages);
+    grid.metrics()
+        .counter("spmspv.bytes", {{"phase", "gather"}})
+        .inc(cs1.bytes - cs0.bytes);
+  }
   grid.trace().add("gather", grid.time() - t0);
 
   // ---- Step 2: local multiply ----
+  obs::GridSpan local_span(grid, "spmspv.local");
   t0 = grid.time();
   std::vector<SparseVec<T>> ly(nloc);
   grid.coforall_locales([&](LocaleCtx& ctx) {
@@ -371,9 +394,12 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
     ly[l] = spmspv_shm(ctx, blk.csr, blk.rlo, xr[l], blk.clo, blk.chi, sr,
                        opt);
   });
+  local_span.end();
   grid.trace().add("local", grid.time() - t0);
 
   // ---- Step 3: scatter/accumulate into the 1-D distributed output ----
+  obs::GridSpan scatter_span(grid, "spmspv.scatter");
+  cs0 = grid.comm_stats();
   t0 = grid.time();
   DistSparseVec<T> y(grid, a.ncols());
   std::vector<Spa<T>> yspa;
@@ -496,6 +522,16 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
     y.local(o) = SparseVec<T>::from_sorted(y.dist().local_size(o),
                                            std::move(idx), std::move(val));
   });
+  scatter_span.end();
+  {
+    const CommStats cs1 = grid.comm_stats();
+    grid.metrics()
+        .counter("spmspv.messages", {{"phase", "scatter"}})
+        .inc(cs1.messages - cs0.messages);
+    grid.metrics()
+        .counter("spmspv.bytes", {{"phase", "scatter"}})
+        .inc(cs1.bytes - cs0.bytes);
+  }
   grid.trace().add("scatter", grid.time() - t0);
   return y;
 }

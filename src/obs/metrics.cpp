@@ -1,0 +1,202 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace pgb::obs {
+
+std::string metric_key(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name + "{";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ",";
+    key += sorted[i].first + "=" + sorted[i].second;
+  }
+  key += "}";
+  return key;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Histogram::observe(std::int64_t v) {
+  ++count;
+  sum += v;
+  const auto u = static_cast<std::uint64_t>(v < 0 ? 0 : v);
+  const int b = std::bit_width(u);  // 0 -> 0, 1 -> 1, 2..3 -> 2, ...
+  ++buckets[static_cast<std::size_t>(std::min(b, kBuckets - 1))];
+}
+
+std::int64_t Histogram::quantile_bound(double q) const {
+  if (count == 0) return 0;
+  const double target = q * static_cast<double>(count);
+  std::int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets[static_cast<std::size_t>(b)];
+    if (static_cast<double>(seen) >= target) {
+      return b == 0 ? 0 : (std::int64_t{1} << b) - 1;
+    }
+  }
+  return (std::int64_t{1} << (kBuckets - 1)) - 1;
+}
+
+std::int64_t MetricsSnapshot::counter(const std::string& key) const {
+  auto it = values.find(key);
+  return it == values.end() ? 0 : it->second.counter;
+}
+
+MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& after,
+                                      const MetricsSnapshot& before) {
+  MetricsSnapshot d = after;
+  for (auto& [key, v] : d.values) {
+    auto it = before.values.find(key);
+    if (it == before.values.end()) continue;
+    const MetricValue& b = it->second;
+    v.counter -= b.counter;
+    v.hist_count -= b.hist_count;
+    v.hist_sum -= b.hist_sum;
+    for (std::size_t i = 0;
+         i < v.hist_buckets.size() && i < b.hist_buckets.size(); ++i) {
+      v.hist_buckets[i] -= b.hist_buckets[i];
+    }
+  }
+  return d;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [key, o] : other.values) {
+    auto [it, inserted] = values.try_emplace(key, o);
+    if (inserted) continue;
+    MetricValue& v = it->second;
+    v.counter += o.counter;
+    v.gauge = o.gauge;
+    v.hist_count += o.hist_count;
+    v.hist_sum += o.hist_sum;
+    if (v.hist_buckets.size() < o.hist_buckets.size()) {
+      v.hist_buckets.resize(o.hist_buckets.size(), 0);
+    }
+    for (std::size_t i = 0; i < o.hist_buckets.size(); ++i) {
+      v.hist_buckets[i] += o.hist_buckets[i];
+    }
+  }
+}
+
+std::string MetricsSnapshot::json() const {
+  std::string out = "{\n  \"metrics\": [\n";
+  bool first = true;
+  for (const auto& [key, v] : values) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"name\": \"" + json_escape(key) + "\", ";
+    switch (v.kind) {
+      case MetricKind::kCounter:
+        out += "\"kind\": \"counter\", \"value\": " +
+               std::to_string(v.counter) + "}";
+        break;
+      case MetricKind::kGauge: {
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "%.9g", v.gauge);
+        out += std::string("\"kind\": \"gauge\", \"value\": ") + buf + "}";
+        break;
+      }
+      case MetricKind::kHistogram: {
+        out += "\"kind\": \"histogram\", \"count\": " +
+               std::to_string(v.hist_count) +
+               ", \"sum\": " + std::to_string(v.hist_sum) +
+               ", \"buckets\": [";
+        // Trailing all-zero buckets are elided to keep the file small.
+        std::size_t last = v.hist_buckets.size();
+        while (last > 0 && v.hist_buckets[last - 1] == 0) --last;
+        for (std::size_t i = 0; i < last; ++i) {
+          if (i > 0) out += ",";
+          out += std::to_string(v.hist_buckets[i]);
+        }
+        out += "]}";
+        break;
+      }
+    }
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  return counters_[metric_key(name, labels)];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  return gauges_[metric_key(name, labels)];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels) {
+  return histograms_[metric_key(name, labels)];
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot s;
+  for (const auto& [key, c] : counters_) {
+    MetricValue v;
+    v.kind = MetricKind::kCounter;
+    v.counter = c.value;
+    s.values.emplace(key, std::move(v));
+  }
+  for (const auto& [key, g] : gauges_) {
+    MetricValue v;
+    v.kind = MetricKind::kGauge;
+    v.gauge = g.value;
+    s.values.emplace(key, std::move(v));
+  }
+  for (const auto& [key, h] : histograms_) {
+    MetricValue v;
+    v.kind = MetricKind::kHistogram;
+    v.hist_count = h.count;
+    v.hist_sum = h.sum;
+    v.hist_buckets.assign(h.buckets.begin(), h.buckets.end());
+    s.values.emplace(key, std::move(v));
+  }
+  return s;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [key, c] : counters_) c = Counter{};
+  for (auto& [key, g] : gauges_) g = Gauge{};
+  for (auto& [key, h] : histograms_) h = Histogram{};
+}
+
+}  // namespace pgb::obs

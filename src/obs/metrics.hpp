@@ -1,0 +1,129 @@
+// Metrics registry: named counters / gauges / histograms with labels.
+//
+// The observability backbone of the runtime. Every layer publishes into
+// one grid-owned registry — the comm helpers their message/byte tallies,
+// the aggregation layer its flush counts and occupancy histograms, the
+// collectives their call counts, the kernels their per-phase comm
+// attribution — and every consumer (CommStats, `pgb --metrics`, benches,
+// tests) reads *views* of it instead of keeping parallel books.
+//
+// Conventions:
+//   - names are dot-separated, lowest layer first: "comm.messages",
+//     "agg.flushes", "spmspv.messages";
+//   - labels refine a name into a family: counter("comm.messages",
+//     {{"path", "bulk"}}) — the flat key renders as
+//     comm.messages{path=bulk}, labels sorted by key;
+//   - counters only go up (until reset), gauges hold a last value,
+//     histograms bucket int64 observations by power of two.
+//
+// Handles returned by counter()/gauge()/histogram() are stable for the
+// registry's lifetime (node-based storage), so hot paths look a metric
+// up once and bump a pointer thereafter.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pgb::obs {
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Flat registry key: "name" or "name{k1=v1,k2=v2}" (labels sorted).
+std::string metric_key(const std::string& name, const Labels& labels);
+
+/// JSON string escaping for exporters (quotes, backslashes, control
+/// characters).
+std::string json_escape(const std::string& s);
+
+struct Counter {
+  std::int64_t value = 0;
+  void inc(std::int64_t d = 1) { value += d; }
+};
+
+struct Gauge {
+  double value = 0.0;
+  void set(double v) { value = v; }
+  void add(double d) { value += d; }
+};
+
+/// Power-of-two histogram of non-negative int64 observations: bucket b
+/// counts values whose bit width is b (0 -> bucket 0, 1 -> 1, 2..3 -> 2,
+/// 4..7 -> 3, ...), so bucket b's upper bound is 2^b - 1.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void observe(std::int64_t v);
+
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::array<std::int64_t, kBuckets> buckets{};
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Upper bound (inclusive) of the smallest bucket holding quantile `q`
+  /// of the observations; 0 for an empty histogram.
+  std::int64_t quantile_bound(double q) const;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One metric's value at snapshot time.
+struct MetricValue {
+  MetricKind kind = MetricKind::kCounter;
+  std::int64_t counter = 0;
+  double gauge = 0.0;
+  std::int64_t hist_count = 0;
+  std::int64_t hist_sum = 0;
+  std::vector<std::int64_t> hist_buckets;  ///< empty unless a histogram
+};
+
+/// Point-in-time copy of a registry; value semantics, so callers can
+/// diff two snapshots around a phase or merge snapshots across runs.
+class MetricsSnapshot {
+ public:
+  std::map<std::string, MetricValue> values;
+
+  /// Counter value by flat key; 0 when absent.
+  std::int64_t counter(const std::string& key) const;
+
+  /// after - before, element-wise: counters and histogram counts
+  /// subtract, gauges keep `after`'s value. Keys only in `after` pass
+  /// through; keys only in `before` are dropped.
+  static MetricsSnapshot diff(const MetricsSnapshot& after,
+                              const MetricsSnapshot& before);
+
+  /// Element-wise accumulate `other` into this snapshot (counters and
+  /// histograms add, gauges take `other`'s value).
+  void merge(const MetricsSnapshot& other);
+
+  std::string json() const;
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const Labels& labels = {});
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every registered metric; registrations (and the handles
+  /// already returned) stay valid.
+  void reset();
+
+  std::string json() const { return snapshot().json(); }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace pgb::obs

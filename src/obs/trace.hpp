@@ -1,0 +1,129 @@
+// Simulated-time tracing: per-locale tracks of spans and instant events.
+//
+// A TraceSession records what each locale was doing and *when in
+// simulated time* it was doing it — the per-locale SimClock stamps the
+// events, so the exported timeline is the modeled distributed-memory
+// schedule (gather / local multiply / scatter / barrier wait per
+// locale), not the host's wall clock. Real wall time is recorded
+// alongside each span for profiling the simulator itself.
+//
+// One track per locale. Spans nest (a "spmspv.spa" span sits inside the
+// grid-wide "spmspv.local" phase span); per-track open-span stacks give
+// each span its nesting depth, and RAII scopes (obs/span.hpp) guarantee
+// LIFO close order. The session is attached to a LocaleGrid with
+// `grid.set_trace_session(&session)`; a null session means every
+// recording site is a cheap branch-to-nothing, which is how tracing
+// stays free when off.
+//
+// Export: `chrome_trace_json()` / `write_chrome_trace(path)` emit the
+// Chrome trace-event format ("X" complete events + "i" instants, ts in
+// microseconds of simulated time), loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. Each locale appears as
+// one named thread track; span args carry the wall-time cost and any
+// key/values attached at the call site.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pgb::obs {
+
+struct TraceArg {
+  std::string key;
+  std::string value;
+};
+using TraceArgs = std::vector<TraceArg>;
+
+struct SpanEvent {
+  std::string name;
+  int track = 0;  ///< locale id
+  int depth = 0;  ///< nesting depth at open (0 = top level)
+  double sim_begin = 0.0;  ///< seconds of simulated time
+  double sim_end = 0.0;
+  double wall_begin_us = 0.0;  ///< µs of host wall time since session start
+  double wall_end_us = 0.0;
+  TraceArgs args;
+};
+
+struct InstantEvent {
+  std::string name;
+  int track = 0;
+  double sim_ts = 0.0;
+  double wall_us = 0.0;
+  TraceArgs args;
+};
+
+class TraceSession {
+ public:
+  /// `detail` additionally records per-call comm instants (one event per
+  /// remote_* helper call and per aggregator flush) — high event volume,
+  /// off by default.
+  explicit TraceSession(bool detail = false) : detail_(detail) {
+    t0_ = std::chrono::steady_clock::now();
+  }
+
+  bool detail() const { return detail_; }
+  void set_detail(bool on) { detail_ = on; }
+
+  /// Opens a span on `track` at simulated time `sim_now`. Close with
+  /// end_span — strictly LIFO per track (use the RAII scopes).
+  void begin_span(int track, std::string name, double sim_now,
+                  TraceArgs args = {});
+
+  /// Closes the innermost open span on `track`; `extra` args are
+  /// appended to the ones given at begin. Ignored when no span is open
+  /// (the session was cleared mid-span by a grid reset).
+  void end_span(int track, double sim_now, const TraceArgs& extra = {});
+
+  void instant(int track, std::string name, double sim_now,
+               TraceArgs args = {});
+
+  /// Drops every recorded event and every open span. Called by
+  /// LocaleGrid::reset() so a trace covers exactly one epoch.
+  void clear();
+
+  const std::vector<SpanEvent>& spans() const { return spans_; }
+  const std::vector<InstantEvent>& instants() const { return instants_; }
+
+  /// Number of tracks touched so far (max track id + 1).
+  int num_tracks() const { return num_tracks_; }
+  int open_depth(int track) const;
+
+  /// Latest simulated end time on `track` (0 when empty).
+  double track_end(int track) const;
+
+  /// Fraction of [0, track_end] covered by the track's depth-0 spans —
+  /// the "does the trace explain where time went" number.
+  double track_coverage(int track) const;
+
+  std::string chrome_trace_json() const;
+  void write_chrome_trace(const std::string& path) const;
+
+  /// µs of host wall time since the session was created.
+  double wall_now_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+ private:
+  struct OpenSpan {
+    std::string name;
+    double sim_begin;
+    double wall_begin;
+    TraceArgs args;
+  };
+
+  void ensure_track(int track);
+
+  bool detail_;
+  std::chrono::steady_clock::time_point t0_;
+  int num_tracks_ = 0;
+  std::vector<std::vector<OpenSpan>> open_;  ///< per-track stacks
+  std::vector<SpanEvent> spans_;
+  std::vector<InstantEvent> instants_;
+};
+
+}  // namespace pgb::obs

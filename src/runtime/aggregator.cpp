@@ -27,19 +27,40 @@ AggChannel::AggChannel(LocaleCtx& ctx, AggConfig cfg)
     : ctx_(ctx), cfg_(cfg) {
   PGB_REQUIRE(cfg_.capacity >= 1, "aggregator capacity must be positive");
   PGB_REQUIRE(cfg_.contention >= 1.0, "contention multiplier must be >= 1");
+  auto& grid = ctx.grid();
+  epoch_ = grid.epoch();
+  auto& mx = grid.metrics();
+  m_messages_ = &mx.counter("agg.messages");
+  m_bytes_ = &mx.counter("agg.bytes");
+  m_path_messages_ = &mx.counter("comm.messages", {{"path", "agg"}});
+  m_occ_put_ = &mx.histogram("agg.occupancy", {{"dir", "put"}});
+  m_occ_get_ = &mx.histogram("agg.occupancy", {{"dir", "get"}});
 }
 
 void AggChannel::issue(int peer, double cost, std::int64_t msgs,
-                       std::int64_t bytes, bool /*is_get*/) {
-  (void)peer;
+                       std::int64_t bytes, bool is_get, std::int64_t elems) {
+  auto& grid = ctx_.grid();
+  if (grid.epoch() != epoch_) return;  // constructed before a reset
   ++stats_.flushes;
   stats_.messages += msgs;
   stats_.bytes += bytes;
-  auto& grid = ctx_.grid();
-  auto& cs = grid.comm_stats();
-  ++cs.agg_flushes;
-  cs.messages += msgs;
-  cs.bytes += bytes;
+  const auto& hot = grid.hot();
+  hot.agg_flushes->inc();
+  hot.messages->inc(msgs);
+  hot.bytes->inc(bytes);
+  m_messages_->inc(msgs);
+  m_bytes_->inc(bytes);
+  m_path_messages_->inc(msgs);
+  if (elems >= 0) (is_get ? m_occ_get_ : m_occ_put_)->observe(elems);
+
+  auto* session = grid.trace_session();
+  if (session != nullptr && session->detail()) {
+    session->instant(ctx_.locale(), is_get ? "agg.flush_get" : "agg.flush_put",
+                     ctx_.clock().now(),
+                     {{"peer", std::to_string(peer)},
+                      {"bytes", std::to_string(bytes)},
+                      {"elems", std::to_string(elems)}});
+  }
 
   SimClock& clk = ctx_.clock();
   if (!cfg_.double_buffer) {
@@ -57,7 +78,8 @@ void AggChannel::issue(int peer, double cost, std::int64_t msgs,
   clk.advance(grid.net().params().fine_grain_overhead);
 }
 
-void AggChannel::flush_put(int peer, std::int64_t bytes) {
+void AggChannel::flush_put(int peer, std::int64_t bytes,
+                           std::int64_t elems) {
   if (peer == ctx_.locale()) {
     ++stats_.local_flushes;
     return;
@@ -69,11 +91,11 @@ void AggChannel::flush_put(int peer, std::int64_t bytes) {
   const double cost = net.round_trip(cfg_.header_bytes, intra, colo) +
                       cfg_.contention * net.bulk(bytes, intra, colo);
   // Header round trip (2 one-way messages) + the payload bulk.
-  issue(peer, cost, 3, bytes, /*is_get=*/false);
+  issue(peer, cost, 3, bytes, /*is_get=*/false, elems);
 }
 
 void AggChannel::flush_get(int peer, std::int64_t req_bytes,
-                           std::int64_t resp_bytes) {
+                           std::int64_t resp_bytes, std::int64_t elems) {
   if (peer == ctx_.locale()) {
     ++stats_.local_flushes;
     return;
@@ -89,7 +111,7 @@ void AggChannel::flush_get(int peer, std::int64_t req_bytes,
     cost += cfg_.contention * net.bulk(req_bytes, intra, colo);
     ++msgs;  // the request-batch bulk
   }
-  issue(peer, cost, msgs, req_bytes + resp_bytes, /*is_get=*/true);
+  issue(peer, cost, msgs, req_bytes + resp_bytes, /*is_get=*/true, elems);
 }
 
 void AggChannel::get_elems(int peer, std::int64_t count,
@@ -98,10 +120,13 @@ void AggChannel::get_elems(int peer, std::int64_t count,
   stats_.pushed += count;
   for (std::int64_t left = count; left > 0; left -= cfg_.capacity) {
     const std::int64_t chunk = std::min(left, cfg_.capacity);
-    flush_get(peer, 0, chunk * bytes_each);
+    flush_get(peer, 0, chunk * bytes_each, chunk);
   }
 }
 
-void AggChannel::drain() { ctx_.clock().advance_to(inflight_end_); }
+void AggChannel::drain() {
+  if (ctx_.grid().epoch() != epoch_) return;  // stale epoch: nothing owed
+  ctx_.clock().advance_to(inflight_end_);
+}
 
 }  // namespace pgb

@@ -98,12 +98,15 @@ class AggChannel {
   void count_push() { ++stats_.pushed; }
 
   /// One buffered-put flush: header round trip + one bulk of `bytes` to
-  /// `peer`. No-op (beyond stats) for the self peer.
-  void flush_put(int peer, std::int64_t bytes);
+  /// `peer`. No-op (beyond stats) for the self peer. `elems` (when >= 0)
+  /// is the batch's element count, observed into the occupancy
+  /// histogram (`agg.occupancy{dir=put}`).
+  void flush_put(int peer, std::int64_t bytes, std::int64_t elems = -1);
 
   /// One buffered-get flush: header round trip + request bulk out +
   /// response bulk back.
-  void flush_get(int peer, std::int64_t req_bytes, std::int64_t resp_bytes);
+  void flush_get(int peer, std::int64_t req_bytes, std::int64_t resp_bytes,
+                 std::int64_t elems = -1);
 
   /// Chunked read of `count` remote elements whose location is already
   /// known to the target (no request payload): capacity-sized flush_gets.
@@ -115,12 +118,22 @@ class AggChannel {
 
  private:
   void issue(int peer, double cost, std::int64_t msgs, std::int64_t bytes,
-             bool is_get);
+             bool is_get, std::int64_t elems);
 
   LocaleCtx& ctx_;
   AggConfig cfg_;
   AggregatorStats stats_;
   double inflight_end_ = 0.0;  ///< sim time the queued transfers complete
+  /// Epoch guard: a channel constructed before a grid.reset() must not
+  /// charge clocks or stats into the new epoch when a destructor flush
+  /// drains it afterwards (the data is still delivered — only the
+  /// modeled charging goes quiet).
+  std::uint64_t epoch_ = 0;
+  obs::Counter* m_messages_ = nullptr;  ///< agg.messages
+  obs::Counter* m_bytes_ = nullptr;     ///< agg.bytes
+  obs::Counter* m_path_messages_ = nullptr;  ///< comm.messages{path=agg}
+  obs::Histogram* m_occ_put_ = nullptr;
+  obs::Histogram* m_occ_get_ = nullptr;
 };
 
 /// Buffered remote puts/accumulations. `deliver(peer, batch)` performs
@@ -154,8 +167,8 @@ class DstAggregator {
   void flush(int peer) {
     auto& b = buf_[static_cast<std::size_t>(peer)];
     if (b.empty()) return;
-    chan_.flush_put(peer,
-                    static_cast<std::int64_t>(b.size() * sizeof(T)));
+    chan_.flush_put(peer, static_cast<std::int64_t>(b.size() * sizeof(T)),
+                    static_cast<std::int64_t>(b.size()));
     deliver_(peer, b);
     b.clear();
   }
@@ -207,7 +220,7 @@ class SrcAggregator {
     if (b.empty()) return;
     const auto n = static_cast<std::int64_t>(b.size());
     chan_.flush_get(peer, n * static_cast<std::int64_t>(sizeof(T)),
-                    n * chan_.config().resp_bytes_each);
+                    n * chan_.config().resp_bytes_each, n);
     deliver_(peer, b);
     b.clear();
   }

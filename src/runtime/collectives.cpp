@@ -29,6 +29,12 @@ bool all_same_node(const LocaleGrid& grid, const std::vector<int>& members) {
   return true;
 }
 
+/// Publishes one collective invocation to the grid metrics.
+void count_collective(LocaleGrid& grid, const char* op, std::int64_t bytes) {
+  grid.metrics().counter("collective.calls", {{"op", op}}).inc();
+  grid.metrics().counter("collective.bytes", {{"op", op}}).inc(bytes);
+}
+
 }  // namespace
 
 std::vector<int> row_members(const LocaleGrid& grid, int prow) {
@@ -52,6 +58,7 @@ void broadcast(LocaleGrid& grid, const std::vector<int>& members,
                   root_index < static_cast<int>(members.size()),
               "broadcast: bad root index");
   if (members.size() == 1) return;
+  count_collective(grid, "broadcast", bytes);
   const bool intra = all_same_node(grid, members);
   const auto& net = grid.net();
   const double start = members_time(grid, members);
@@ -74,6 +81,8 @@ void allgather(LocaleGrid& grid, const std::vector<int>& members,
                std::int64_t bytes_each, CollectiveAlgo algo) {
   PGB_REQUIRE(!members.empty(), "allgather: no members");
   if (members.size() == 1) return;
+  count_collective(grid, "allgather",
+                   bytes_each * static_cast<std::int64_t>(members.size()));
   const bool intra = all_same_node(grid, members);
   const auto& net = grid.net();
   const double start = members_time(grid, members);
@@ -104,6 +113,7 @@ void reduce_scatter(LocaleGrid& grid, const std::vector<int>& members,
                     std::int64_t bytes_total, CollectiveAlgo algo) {
   PGB_REQUIRE(!members.empty(), "reduce_scatter: no members");
   if (members.size() == 1) return;
+  count_collective(grid, "reduce_scatter", bytes_total);
   const bool intra = all_same_node(grid, members);
   const auto& net = grid.net();
   const double start = members_time(grid, members);

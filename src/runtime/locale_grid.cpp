@@ -15,6 +15,7 @@ SimClock& LocaleCtx::clock() { return grid_.clock(locale_); }
 
 void LocaleCtx::parallel_region(CostVector cost) {
   cost.add(CostKind::kTaskSpawn, grid_.threads());
+  grid_.hot().parallel_regions->inc();
   clock().advance(region_time(grid_.model().node, cost, grid_.threads(),
                               grid_.colocated()));
 }
@@ -24,16 +25,32 @@ void LocaleCtx::serial_region(const CostVector& cost) {
       region_time(grid_.model().node, cost, 1, grid_.colocated()));
 }
 
+void LocaleCtx::comm_event(const char* path, int peer, std::int64_t msgs,
+                           std::int64_t bytes, std::int64_t bulks) {
+  const auto& hot = grid_.hot();
+  hot.messages->inc(msgs);
+  hot.bytes->inc(bytes);
+  hot.bulks->inc(bulks);
+  grid_.metrics().counter("comm.messages", {{"path", path}}).inc(msgs);
+  auto* session = grid_.trace_session();
+  if (session != nullptr && session->detail()) {
+    session->instant(locale_, std::string("comm.") + path, clock().now(),
+                     {{"peer", std::to_string(peer)},
+                      {"messages", std::to_string(msgs)},
+                      {"bytes", std::to_string(bytes)}});
+  }
+}
+
 void LocaleCtx::remote_chain(int peer, std::int64_t count,
                              double rts_per_elem, std::int64_t bytes_each,
                              double contention) {
   if (peer == locale_) return;  // local access: caller charges node costs
-  auto& cs = grid_.comm_stats();
   // Each element sends one payload message after rts_per_elem dependent
   // round trips (2 one-way messages each).
-  cs.messages += count + std::llround(static_cast<double>(count) * 2.0 *
-                                      rts_per_elem);
-  cs.bytes += count * bytes_each;
+  comm_event("chain", peer,
+             count + std::llround(static_cast<double>(count) * 2.0 *
+                                  rts_per_elem),
+             count * bytes_each, 0);
   clock().advance(contention *
                   grid_.net().dependent_chain(
                       count, rts_per_elem, bytes_each,
@@ -43,9 +60,7 @@ void LocaleCtx::remote_chain(int peer, std::int64_t count,
 void LocaleCtx::remote_msgs(int peer, std::int64_t count,
                             std::int64_t bytes_each, double contention) {
   if (peer == locale_) return;
-  auto& cs = grid_.comm_stats();
-  cs.messages += count;
-  cs.bytes += count * bytes_each;
+  comm_event("msgs", peer, count, count * bytes_each, 0);
   clock().advance(contention *
                   grid_.net().overlapped_messages(
                       count, bytes_each, grid_.same_node(locale_, peer),
@@ -54,19 +69,14 @@ void LocaleCtx::remote_msgs(int peer, std::int64_t count,
 
 void LocaleCtx::remote_bulk(int peer, std::int64_t bytes) {
   if (peer == locale_) return;
-  auto& cs = grid_.comm_stats();
-  cs.messages += 1;
-  cs.bulks += 1;
-  cs.bytes += bytes;
+  comm_event("bulk", peer, 1, bytes, 1);
   clock().advance(grid_.net().bulk(bytes, grid_.same_node(locale_, peer),
                                    grid_.colocated()));
 }
 
 void LocaleCtx::remote_rt(int peer, std::int64_t bytes_back) {
   if (peer == locale_) return;
-  auto& cs = grid_.comm_stats();
-  cs.messages += 2;
-  cs.bytes += bytes_back;
+  comm_event("rt", peer, 2, bytes_back, 0);
   clock().advance(grid_.net().round_trip(
       bytes_back, grid_.same_node(locale_, peer), grid_.colocated()));
 }
@@ -84,6 +94,13 @@ LocaleGrid::LocaleGrid(GridConfig cfg) : cfg_(cfg), net_(cfg.model.net) {
                               .node = id / cfg.locales_per_node});
   }
   clocks_.resize(n);
+  hot_.messages = &metrics_.counter("comm.messages");
+  hot_.bytes = &metrics_.counter("comm.bytes");
+  hot_.bulks = &metrics_.counter("comm.bulks");
+  hot_.agg_flushes = &metrics_.counter("agg.flushes");
+  hot_.parallel_regions = &metrics_.counter("runtime.parallel_regions");
+  hot_.coforalls = &metrics_.counter("runtime.coforalls");
+  hot_.barriers = &metrics_.counter("runtime.barriers");
 }
 
 LocaleGrid LocaleGrid::single(int threads, MachineModel model) {
@@ -114,6 +131,7 @@ double LocaleGrid::time() const {
 }
 
 void LocaleGrid::coforall_locales(const std::function<void(LocaleCtx&)>& body) {
+  hot_.coforalls->inc();
   const double t0 = clocks_[0].now();
   double spawn_accum = 0.0;
   for (int l = 0; l < num_locales(); ++l) {
@@ -128,8 +146,21 @@ void LocaleGrid::coforall_locales(const std::function<void(LocaleCtx&)>& body) {
 }
 
 double LocaleGrid::barrier_all() {
+  hot_.barriers->inc();
   const double t = time() + net_.barrier(num_locales());
+  if (trace_session_ != nullptr) {
+    // One "barrier" span per locale, from its arrival to the joined
+    // time: the timeline's direct view of load imbalance.
+    for (int l = 0; l < num_locales(); ++l) {
+      trace_session_->begin_span(l, "barrier", clocks_[l].now());
+    }
+  }
   for (auto& c : clocks_) c.advance_to(t);
+  if (trace_session_ != nullptr) {
+    for (int l = 0; l < num_locales(); ++l) {
+      trace_session_->end_span(l, t);
+    }
+  }
   return t;
 }
 

@@ -22,6 +22,8 @@
 #include "machine/network_model.hpp"
 #include "machine/parallel_model.hpp"
 #include "machine/sim_clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace pgb {
@@ -41,10 +43,12 @@ struct GridConfig {
   MachineModel model = MachineModel::edison();
 };
 
-/// Grid-wide tally of modeled communication events, accumulated by the
-/// LocaleCtx comm helpers and by the aggregation layer
-/// (runtime/aggregator.hpp). Benches read it to report message-count
-/// reductions alongside modeled time; reset together with the clocks.
+/// Grid-wide tally of modeled communication events. Since the metrics
+/// registry became the single bookkeeping path, this is a *view*: the
+/// LocaleCtx comm helpers and the aggregation layer publish into the
+/// grid's `obs::MetricsRegistry` ("comm.messages", "comm.bytes",
+/// "comm.bulks", "agg.flushes"), and `grid.comm_stats()` snapshots those
+/// counters into this struct. Reset together with the clocks.
 struct CommStats {
   std::int64_t messages = 0;     ///< one-way network messages (a round
                                  ///< trip counts 2, a bulk counts 1)
@@ -93,6 +97,12 @@ class LocaleCtx {
   void remote_rt(int peer, std::int64_t bytes_back);
 
  private:
+  /// Publishes one comm event to the grid's metrics (totals + the
+  /// per-path counter family) and, when a detail-level trace session is
+  /// attached, records an instant event on this locale's track.
+  void comm_event(const char* path, int peer, std::int64_t msgs,
+                  std::int64_t bytes, std::int64_t bulks);
+
   LocaleGrid& grid_;
   int locale_;
 };
@@ -132,8 +142,30 @@ class LocaleGrid {
   const NetworkModel& net() const { return net_; }
   SimClock& clock(int l) { return clocks_[l]; }
   Trace& trace() { return trace_; }
-  CommStats& comm_stats() { return comm_stats_; }
-  const CommStats& comm_stats() const { return comm_stats_; }
+
+  /// Snapshot of the registry's comm counters (see CommStats).
+  CommStats comm_stats() const {
+    return CommStats{hot_.messages->value, hot_.bytes->value,
+                     hot_.bulks->value, hot_.agg_flushes->value};
+  }
+
+  /// The grid-wide metrics registry every layer publishes into.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Attach (or detach, with nullptr) a trace session; not owned. While
+  /// attached, runtime constructs and instrumented kernels record spans
+  /// and instants stamped with the locale clocks.
+  void set_trace_session(obs::TraceSession* session) {
+    trace_session_ = session;
+  }
+  obs::TraceSession* trace_session() { return trace_session_; }
+
+  /// Bumped by reset(). Charging objects that can outlive a reset (the
+  /// aggregation channels) capture the epoch at construction and go
+  /// quiet when it no longer matches, so late destructor flushes cannot
+  /// leak modeled time or stats into the new epoch.
+  std::uint64_t epoch() const { return epoch_; }
 
   /// Max over all locale clocks: the grid's current simulated time.
   double time() const;
@@ -141,7 +173,9 @@ class LocaleGrid {
   void reset() {
     for (auto& c : clocks_) c.reset();
     trace_.clear();
-    comm_stats_ = CommStats{};
+    metrics_.reset();
+    if (trace_session_ != nullptr) trace_session_->clear();
+    ++epoch_;
   }
 
   /// Chapel's `coforall loc in Locales do on loc { ... }`: the initiator
@@ -153,13 +187,38 @@ class LocaleGrid {
   /// synchronized time.
   double barrier_all();
 
+  /// Cached handles to the hot registry counters, looked up once at
+  /// construction so the per-event cost is a pointer bump.
+  struct HotCounters {
+    obs::Counter* messages = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Counter* bulks = nullptr;
+    obs::Counter* agg_flushes = nullptr;
+    obs::Counter* parallel_regions = nullptr;
+    obs::Counter* coforalls = nullptr;
+    obs::Counter* barriers = nullptr;
+  };
+  const HotCounters& hot() const { return hot_; }
+
+  // Copies would leave the copy's cached counter handles pointing into
+  // the source's registry, so forbid copying. Moves are fine: the
+  // registry's node-based storage keeps every cached handle valid when
+  // ownership transfers.
+  LocaleGrid(const LocaleGrid&) = delete;
+  LocaleGrid& operator=(const LocaleGrid&) = delete;
+  LocaleGrid(LocaleGrid&&) = default;
+  LocaleGrid& operator=(LocaleGrid&&) = default;
+
  private:
   GridConfig cfg_;
   std::vector<Locale> locales_;
   std::vector<SimClock> clocks_;
   NetworkModel net_;
   Trace trace_;
-  CommStats comm_stats_;
+  obs::MetricsRegistry metrics_;
+  HotCounters hot_;
+  obs::TraceSession* trace_session_ = nullptr;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace pgb

@@ -10,6 +10,8 @@
 //   pgb --matrix=web.mtx --op=pagerank --machine=modern
 //   pgb --gen=er --n=1000000 --d=16 --op=spmspv --f=0.02 --bulk
 #include <cstdio>
+#include <exception>
+#include <fstream>
 #include <string>
 
 #include "algo/bfs.hpp"
@@ -23,6 +25,7 @@
 #include "gen/random_vec.hpp"
 #include "gen/rmat.hpp"
 #include "io/matrix_market.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -45,9 +48,16 @@ void print_timing(LocaleGrid& grid) {
               static_cast<double>(cs.bytes) / 1e6);
 }
 
+/// Writes the grid's metrics registry as JSON.
+void write_metrics(LocaleGrid& grid, const std::string& path) {
+  std::ofstream out(path);
+  PGB_REQUIRE(out.good(), "cannot open metrics file: " + path);
+  out << grid.metrics().json() << "\n";
+}
+
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   Cli cli(argc, argv);
   const std::string matrix = cli.get("matrix", "", "Matrix Market file");
   const std::string gen =
@@ -73,15 +83,26 @@ int main(int argc, char** argv) {
       "agg-capacity", 2048, "aggregator buffer capacity (--comm=agg)");
   const std::string machine =
       cli.get("machine", "edison", "machine model: edison | modern");
+  const std::string trace_file = cli.get(
+      "trace", "", "write a Chrome trace (Perfetto-loadable) of the op");
+  const bool trace_detail = cli.get_bool(
+      "trace-detail", false, "also record per-call comm instants");
+  const std::string metrics_file =
+      cli.get("metrics", "", "write the metrics registry as JSON");
   const std::uint64_t seed =
       static_cast<std::uint64_t>(cli.get_int("seed", 1, "generator seed"));
   cli.finish();
 
   PGB_REQUIRE(machine == "edison" || machine == "modern",
               "--machine must be edison or modern");
+  PGB_REQUIRE(agg_capacity >= 1,
+              "--agg-capacity must be a positive element count");
   const MachineModel model =
       machine == "edison" ? MachineModel::edison() : MachineModel::modern();
   auto grid = LocaleGrid::square(nodes, threads, 1, model);
+
+  obs::TraceSession session(trace_detail);
+  if (!trace_file.empty()) grid.set_trace_session(&session);
 
   // --- load or generate the matrix (double values throughout) ---
   DistCsr<double> a(grid, 0, 0);
@@ -178,5 +199,23 @@ int main(int argc, char** argv) {
     throw InvalidArgument("unknown --op: " + op);
   }
   print_timing(grid);
+  if (!trace_file.empty()) {
+    session.write_chrome_trace(trace_file);
+    std::printf("trace: %d tracks, %zu spans -> %s\n", session.num_tracks(),
+                session.spans().size(), trace_file.c_str());
+  }
+  if (!metrics_file.empty()) {
+    write_metrics(grid, metrics_file);
+    std::printf("metrics -> %s\n", metrics_file.c_str());
+  }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pgb: error: %s\n", e.what());
+    return 2;
+  }
 }
