@@ -1,0 +1,133 @@
+// Checkpoint/restart wrappers for the round-structured algorithms:
+// BFS, SSSP, and pagerank expressed as RecoverableLoops over their
+// *_init/*_step state machines (bfs.hpp, sssp.hpp, pagerank.hpp).
+//
+// A wrapper run with a null plan (or a plan whose kills never fire) is
+// the plain algorithm plus periodic checkpoint charges; when a locale is
+// killed mid-run, the driver restores the last snapshot and re-executes
+// the lost rounds over bit-identical inputs, so the recovered result is
+// bit-for-bit the fault-free result.
+#pragma once
+
+#include "algo/bfs.hpp"
+#include "algo/pagerank.hpp"
+#include "algo/sssp.hpp"
+#include "fault/recovery.hpp"
+
+namespace pgb {
+
+/// Serialized size of the matrix's distributed blocks: what a
+/// replacement locale must re-ship from the stable store on restore
+/// (the matrix is static state, written once, never checkpointed again).
+template <typename T>
+std::int64_t matrix_static_bytes(const DistCsr<T>& a) {
+  return a.nnz() * static_cast<std::int64_t>(sizeof(Index) + sizeof(T)) +
+         (a.nrows() + 1) * static_cast<std::int64_t>(sizeof(Index));
+}
+
+template <typename T>
+BfsResult bfs_with_recovery(const DistCsr<T>& a, Index source,
+                            const SpmspvOptions& opt, FaultPlan* plan,
+                            RecoveryOptions ropt = {},
+                            RecoveryStats* stats = nullptr) {
+  auto& grid = a.grid();
+  const Index n = a.nrows();
+  if (ropt.static_bytes == 0) ropt.static_bytes = matrix_static_bytes(a);
+
+  RecoverableLoop<BfsState<T>> loop;
+  loop.init = [&] { return bfs_init(a, source); };
+  loop.step = [&](BfsState<T>& st) { bfs_step(a, st, opt); };
+  loop.done = [](const BfsState<T>& st) { return st.done; };
+  loop.save = [](const BfsState<T>& st, Checkpoint& c) {
+    c.put_dense("bfs.visited", st.visited);
+    c.put_sparse("bfs.frontier", st.frontier);
+    c.put_host("bfs.parent", st.res.parent);
+    c.put_host("bfs.level_sizes", st.res.level_sizes);
+    c.put_scalar("bfs.level", st.level);
+    c.put_scalar("bfs.done", st.done);
+  };
+  loop.load = [&](const Checkpoint& c) {
+    BfsState<T> st{DistDenseVec<std::uint8_t>(grid, n, 0),
+                   DistSparseVec<T>(grid, n), {}, 0, false};
+    c.get_dense("bfs.visited", st.visited);
+    c.get_sparse("bfs.frontier", st.frontier);
+    st.res.parent = c.get_host<Index>("bfs.parent");
+    st.res.level_sizes = c.get_host<Index>("bfs.level_sizes");
+    st.level = c.get_scalar<Index>("bfs.level");
+    st.done = c.get_scalar<bool>("bfs.done");
+    return st;
+  };
+  BfsState<T> st = run_with_recovery(grid, plan, loop, ropt, stats);
+  return std::move(st.res);
+}
+
+template <typename T>
+SsspResult sssp_with_recovery(const DistCsr<T>& a, Index source,
+                              const SpmspvOptions& opt, FaultPlan* plan,
+                              RecoveryOptions ropt = {},
+                              RecoveryStats* stats = nullptr) {
+  auto& grid = a.grid();
+  const Index n = a.nrows();
+  if (ropt.static_bytes == 0) ropt.static_bytes = matrix_static_bytes(a);
+
+  RecoverableLoop<SsspState> loop;
+  loop.init = [&] { return sssp_init(a, source); };
+  loop.step = [&](SsspState& st) { sssp_step(a, st, opt); };
+  loop.done = [](const SsspState& st) { return st.done; };
+  loop.save = [](const SsspState& st, Checkpoint& c) {
+    c.put_dense("sssp.dist", st.dist);
+    c.put_sparse("sssp.frontier", st.frontier);
+    c.put_scalar("sssp.rounds", st.res.rounds);
+    c.put_scalar("sssp.done", st.done);
+  };
+  loop.load = [&](const Checkpoint& c) {
+    SsspState st{DistDenseVec<double>(grid, n, SsspResult::kUnreachable),
+                 DistSparseVec<double>(grid, n), {}, false};
+    c.get_dense("sssp.dist", st.dist);
+    c.get_sparse("sssp.frontier", st.frontier);
+    st.res.rounds = c.get_scalar<int>("sssp.rounds");
+    st.done = c.get_scalar<bool>("sssp.done");
+    return st;
+  };
+  SsspState st = run_with_recovery(grid, plan, loop, ropt, stats);
+  return sssp_finalize(st);
+}
+
+template <typename T>
+PagerankResult pagerank_with_recovery(const DistCsr<T>& a, FaultPlan* plan,
+                                      double damping = 0.85, double tol = 1e-8,
+                                      int max_iters = 100,
+                                      RecoveryOptions ropt = {},
+                                      RecoveryStats* stats = nullptr) {
+  auto& grid = a.grid();
+  const Index n = a.nrows();
+  if (ropt.static_bytes == 0) ropt.static_bytes = matrix_static_bytes(a);
+
+  RecoverableLoop<PagerankState<T>> loop;
+  loop.init = [&] { return pagerank_init(a); };
+  loop.step = [&](PagerankState<T>& st) {
+    pagerank_step(a, st, damping, tol, max_iters);
+  };
+  loop.done = [](const PagerankState<T>& st) { return st.done; };
+  loop.save = [](const PagerankState<T>& st, Checkpoint& c) {
+    c.put_dense("pagerank.deg", st.deg);
+    c.put_dense("pagerank.rank", st.rank);
+    c.put_scalar("pagerank.iterations", st.res.iterations);
+    c.put_scalar("pagerank.residual", st.res.residual);
+    c.put_scalar("pagerank.done", st.done);
+  };
+  loop.load = [&](const Checkpoint& c) {
+    PagerankState<T> st{DistDenseVec<T>(grid, n, T{}),
+                        DistDenseVec<double>(grid, n, 0.0), {}, false};
+    c.get_dense("pagerank.deg", st.deg);
+    c.get_dense("pagerank.rank", st.rank);
+    st.res.iterations = c.get_scalar<int>("pagerank.iterations");
+    st.res.residual = c.get_scalar<double>("pagerank.residual");
+    st.done = c.get_scalar<bool>("pagerank.done");
+    return st;
+  };
+  PagerankState<T> st = run_with_recovery(grid, plan, loop, ropt, stats);
+  return pagerank_finalize(st);
+}
+
+}  // namespace pgb

@@ -33,6 +33,95 @@ struct BfsResult {
   std::vector<Index> level_sizes;
 };
 
+/// The loop state of one BFS traversal, exposed so the recovery driver
+/// (fault/recovery.hpp via algo/algo_recovery.hpp) can snapshot it
+/// between levels and rebuild it after a locale failure. `bfs()` below
+/// is exactly bfs_init + bfs_step-until-done.
+template <typename T>
+struct BfsState {
+  DistDenseVec<std::uint8_t> visited;
+  DistSparseVec<T> frontier;
+  BfsResult res;
+  Index level = 0;
+  bool done = false;
+};
+
+template <typename T>
+BfsState<T> bfs_init(const DistCsr<T>& a, Index source) {
+  PGB_REQUIRE_SHAPE(a.nrows() == a.ncols(), "bfs: matrix must be square");
+  PGB_REQUIRE(source >= 0 && source < a.nrows(), "bfs: bad source vertex");
+  auto& grid = a.grid();
+  const Index n = a.nrows();
+
+  BfsState<T> st{DistDenseVec<std::uint8_t>(grid, n, 0),
+                 DistSparseVec<T>::from_sorted(grid, n, {source},
+                                               {static_cast<T>(source)}),
+                 {}, 0, false};
+  st.res.parent.assign(static_cast<std::size_t>(n), Index{-1});
+  st.res.parent[static_cast<std::size_t>(source)] = source;
+  st.visited.at(source) = 1;
+  st.res.level_sizes.push_back(1);
+
+  grid.metrics().counter("algo.calls", {{"algo", "bfs"}}).inc();
+  return st;
+}
+
+/// Advances one BFS level; sets st.done when the traversal is finished.
+template <typename T>
+void bfs_step(const DistCsr<T>& a, BfsState<T>& st,
+              const SpmspvOptions& opt = {}) {
+  auto& grid = a.grid();
+  if (st.frontier.nnz() == 0) {
+    st.done = true;
+    return;
+  }
+  ++st.level;
+  PGB_TRACE_SPAN(grid, "bfs.level",
+                 {{"level", std::to_string(st.level)},
+                  {"frontier", std::to_string(st.frontier.nnz())}});
+  grid.metrics().counter("algo.iterations", {{"algo", "bfs"}}).inc();
+  // Frontier values carry the discovering vertex: x[r] = r.
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    auto& lf = st.frontier.local(ctx.locale());
+    for (Index p = 0; p < lf.nnz(); ++p) {
+      lf.value_at(p) = static_cast<T>(lf.index_at(p));
+    }
+    CostVector c;
+    c.add(CostKind::kStreamBytes, 16.0 * static_cast<double>(lf.nnz()));
+    c.add(CostKind::kCpuOps,
+          kApplyOpsPerElem * static_cast<double>(lf.nnz()));
+    ctx.parallel_region(c);
+  });
+
+  // Fused masked vxm: unvisited-only outputs are built directly at
+  // their owners (the paper's future-work "masks in distributed
+  // memory").
+  const auto sr = min_first_semiring<T>();
+  DistSparseVec<T> fresh = spmspv_dist_masked(
+      a, st.frontier, st.visited, MaskMode::kComplement, sr, opt);
+  if (fresh.nnz() == 0) {
+    st.done = true;
+    return;
+  }
+
+  // Record parents and extend the visited set.
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const auto& lf = fresh.local(ctx.locale());
+    for (Index p = 0; p < lf.nnz(); ++p) {
+      st.res.parent[static_cast<std::size_t>(lf.index_at(p))] =
+          static_cast<Index>(lf.value_at(p));
+    }
+    CostVector c;
+    c.add(CostKind::kRandAccess, static_cast<double>(lf.nnz()));
+    c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(lf.nnz()));
+    ctx.parallel_region(c);
+  });
+  mask_union(st.visited, fresh);
+
+  st.res.level_sizes.push_back(fresh.nnz());
+  st.frontier = std::move(fresh);
+}
+
 /// Direction note: edges are matrix entries A[r, c] = edge r -> c; BFS
 /// explores along edge direction (use a symmetric matrix for undirected
 /// graphs).
@@ -45,68 +134,9 @@ struct BfsResult {
 template <typename T>
 BfsResult bfs(const DistCsr<T>& a, Index source,
               const SpmspvOptions& opt = {}) {
-  PGB_REQUIRE_SHAPE(a.nrows() == a.ncols(), "bfs: matrix must be square");
-  PGB_REQUIRE(source >= 0 && source < a.nrows(), "bfs: bad source vertex");
-  auto& grid = a.grid();
-  const Index n = a.nrows();
-
-  DistDenseVec<std::uint8_t> visited(grid, n, 0);
-  BfsResult res;
-  res.parent.assign(static_cast<std::size_t>(n), Index{-1});
-  res.parent[static_cast<std::size_t>(source)] = source;
-  visited.at(source) = 1;
-
-  DistSparseVec<T> frontier = DistSparseVec<T>::from_sorted(
-      grid, n, {source}, {static_cast<T>(source)});
-  res.level_sizes.push_back(1);
-
-  const auto sr = min_first_semiring<T>();
-  grid.metrics().counter("algo.calls", {{"algo", "bfs"}}).inc();
-  Index level = 0;
-  while (frontier.nnz() > 0) {
-    ++level;
-    PGB_TRACE_SPAN(grid, "bfs.level",
-                   {{"level", std::to_string(level)},
-                    {"frontier", std::to_string(frontier.nnz())}});
-    grid.metrics().counter("algo.iterations", {{"algo", "bfs"}}).inc();
-    // Frontier values carry the discovering vertex: x[r] = r.
-    grid.coforall_locales([&](LocaleCtx& ctx) {
-      auto& lf = frontier.local(ctx.locale());
-      for (Index p = 0; p < lf.nnz(); ++p) {
-        lf.value_at(p) = static_cast<T>(lf.index_at(p));
-      }
-      CostVector c;
-      c.add(CostKind::kStreamBytes, 16.0 * static_cast<double>(lf.nnz()));
-      c.add(CostKind::kCpuOps,
-            kApplyOpsPerElem * static_cast<double>(lf.nnz()));
-      ctx.parallel_region(c);
-    });
-
-    // Fused masked vxm: unvisited-only outputs are built directly at
-    // their owners (the paper's future-work "masks in distributed
-    // memory").
-    DistSparseVec<T> fresh = spmspv_dist_masked(
-        a, frontier, visited, MaskMode::kComplement, sr, opt);
-    if (fresh.nnz() == 0) break;
-
-    // Record parents and extend the visited set.
-    grid.coforall_locales([&](LocaleCtx& ctx) {
-      const auto& lf = fresh.local(ctx.locale());
-      for (Index p = 0; p < lf.nnz(); ++p) {
-        res.parent[static_cast<std::size_t>(lf.index_at(p))] =
-            static_cast<Index>(lf.value_at(p));
-      }
-      CostVector c;
-      c.add(CostKind::kRandAccess, static_cast<double>(lf.nnz()));
-      c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(lf.nnz()));
-      ctx.parallel_region(c);
-    });
-    mask_union(visited, fresh);
-
-    res.level_sizes.push_back(fresh.nnz());
-    frontier = std::move(fresh);
-  }
-  return res;
+  BfsState<T> st = bfs_init(a, source);
+  while (!st.done) bfs_step(a, st, opt);
+  return std::move(st.res);
 }
 
 }  // namespace pgb

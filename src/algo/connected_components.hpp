@@ -5,10 +5,12 @@
 // minimum vertex id of each component within O(diameter) rounds.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/ops.hpp"
 #include "core/spmv.hpp"
+#include "obs/span.hpp"
 #include "sparse/dist_csr.hpp"
 #include "sparse/dist_dense_vec.hpp"
 
@@ -34,7 +36,11 @@ CcResult connected_components(const DistCsr<T>& a, int max_rounds = 1000) {
 
   const auto sr = min_first_semiring<T>();
   CcResult res;
+  grid.metrics().counter("algo.calls", {{"algo", "cc"}}).inc();
   for (res.rounds = 0; res.rounds < max_rounds; ++res.rounds) {
+    PGB_TRACE_SPAN(grid, "cc.round",
+                   {{"round", std::to_string(res.rounds + 1)}});
+    grid.metrics().counter("algo.iterations", {{"algo", "cc"}}).inc();
     DistDenseVec<T> pulled = spmv(a, labels, sr);
     bool changed = false;
     grid.coforall_locales([&](LocaleCtx& ctx) {

@@ -5,8 +5,11 @@
 // fixed point.
 #pragma once
 
+#include <string>
+
 #include "core/mxm.hpp"
 #include "core/ops.hpp"
+#include "obs/span.hpp"
 #include "runtime/locale_grid.hpp"
 #include "sparse/csr.hpp"
 
@@ -27,8 +30,13 @@ inline KtrussResult ktruss(LocaleCtx& ctx, const Csr<std::int64_t>& a,
 
   KtrussResult res;
   res.truss = a;
+  ctx.grid().metrics().counter("algo.calls", {{"algo", "ktruss"}}).inc();
   for (;;) {
     ++res.rounds;
+    PGB_TRACE_CTX_SPAN(ctx, "ktruss.round",
+                       {{"round", std::to_string(res.rounds)},
+                        {"edges", std::to_string(res.truss.nnz())}});
+    ctx.grid().metrics().counter("algo.iterations", {{"algo", "ktruss"}}).inc();
     // Support per edge: S = (C .* A) with C = A.A counting wedges.
     const Csr<std::int64_t> c =
         mxm_local(ctx, res.truss, res.truss, arithmetic_semiring<std::int64_t>());

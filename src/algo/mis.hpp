@@ -6,10 +6,12 @@
 #pragma once
 
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "core/ops.hpp"
 #include "core/spmv.hpp"
+#include "obs/span.hpp"
 #include "sparse/dist_csr.hpp"
 #include "sparse/dist_dense_vec.hpp"
 #include "util/rng.hpp"
@@ -35,9 +37,14 @@ MisResult mis(const DistCsr<T>& a, std::uint64_t seed = 1,
   DistDenseVec<std::uint8_t> state(grid, n, 0);
   MisResult res;
 
+  grid.metrics().counter("algo.calls", {{"algo", "mis"}}).inc();
   Index candidates = n;
   while (candidates > 0 && res.rounds < max_rounds) {
     ++res.rounds;
+    PGB_TRACE_SPAN(grid, "mis.round",
+                   {{"round", std::to_string(res.rounds)},
+                    {"candidates", std::to_string(candidates)}});
+    grid.metrics().counter("algo.iterations", {{"algo", "mis"}}).inc();
     // Candidates draw scores; settled vertices sit at +inf.
     DistDenseVec<double> score(grid, n, kOut);
     grid.coforall_locales([&](LocaleCtx& ctx) {

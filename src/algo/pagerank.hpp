@@ -5,11 +5,13 @@
 #pragma once
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "core/ops.hpp"
 #include "core/reduce.hpp"
 #include "core/spmv.hpp"
+#include "obs/span.hpp"
 #include "sparse/dist_csr.hpp"
 #include "sparse/dist_dense_vec.hpp"
 
@@ -21,73 +23,113 @@ struct PagerankResult {
   double residual = 0.0;  ///< final L1 change between iterations
 };
 
+/// The loop state of one pagerank run, exposed for the recovery driver
+/// (fault/recovery.hpp via algo/algo_recovery.hpp). `pagerank()` below
+/// is exactly pagerank_init + pagerank_step-until-done +
+/// pagerank_finalize.
 template <typename T>
-PagerankResult pagerank(const DistCsr<T>& a, double damping = 0.85,
-                        double tol = 1e-8, int max_iters = 100) {
+struct PagerankState {
+  DistDenseVec<T> deg;  ///< out-degrees (invariant across iterations)
+  DistDenseVec<double> rank;
+  PagerankResult res;
+  bool done = false;
+};
+
+template <typename T>
+PagerankState<T> pagerank_init(const DistCsr<T>& a) {
   PGB_REQUIRE_SHAPE(a.nrows() == a.ncols(), "pagerank: matrix must be square");
   auto& grid = a.grid();
   const Index n = a.nrows();
   PGB_REQUIRE(n > 0, "pagerank: empty matrix");
-  const double inv_n = 1.0 / static_cast<double>(n);
 
+  grid.metrics().counter("algo.calls", {{"algo", "pagerank"}}).inc();
   // Out-degrees via row reduction (a GraphBLAS reduce).
-  DistDenseVec<T> deg = reduce_rows(a, plus_monoid<T>());
-  DistDenseVec<double> rank(grid, n, inv_n);
+  return PagerankState<T>{
+      reduce_rows(a, plus_monoid<T>()),
+      DistDenseVec<double>(grid, n, 1.0 / static_cast<double>(n)),
+      {}, false};
+}
 
-  PagerankResult res;
-  for (res.iterations = 1; res.iterations <= max_iters; ++res.iterations) {
-    // scaled[r] = rank[r] / outdeg[r]; dangling mass spread uniformly.
-    DistDenseVec<double> scaled(grid, n, 0.0);
-    double dangling = 0.0;
-    grid.coforall_locales([&](LocaleCtx& ctx) {
-      const int l = ctx.locale();
-      const auto& lr = rank.local(l);
-      const auto& ld = deg.local(l);
-      auto& ls = scaled.local(l);
-      for (Index i = lr.lo(); i < lr.hi(); ++i) {
-        if (ld[i] > T{0}) {
-          ls[i] = lr[i] / static_cast<double>(ld[i]);
-        } else {
-          dangling += lr[i];
-        }
-      }
-      CostVector c;
-      c.add(CostKind::kStreamBytes, 24.0 * static_cast<double>(lr.size()));
-      c.add(CostKind::kCpuOps, 10.0 * static_cast<double>(lr.size()));
-      ctx.parallel_region(c);
-    });
-
-    DistDenseVec<double> pulled =
-        spmv(a, scaled, arithmetic_semiring<double>());
-
-    const double base = (1.0 - damping) * inv_n + damping * dangling * inv_n;
-    double delta = 0.0;
-    grid.coforall_locales([&](LocaleCtx& ctx) {
-      const int l = ctx.locale();
-      auto& lr = rank.local(l);
-      const auto& lp = pulled.local(l);
-      for (Index i = lr.lo(); i < lr.hi(); ++i) {
-        const double next = base + damping * lp[i];
-        delta += std::abs(next - lr[i]);
-        lr[i] = next;
-      }
-      CostVector c;
-      c.add(CostKind::kStreamBytes, 24.0 * static_cast<double>(lr.size()));
-      c.add(CostKind::kCpuOps, 12.0 * static_cast<double>(lr.size()));
-      ctx.parallel_region(c);
-    });
-    res.residual = delta;
-    if (delta < tol) break;
+/// One power iteration; sets st.done on convergence or past max_iters.
+template <typename T>
+void pagerank_step(const DistCsr<T>& a, PagerankState<T>& st,
+                   double damping, double tol, int max_iters) {
+  auto& grid = a.grid();
+  const Index n = a.nrows();
+  const double inv_n = 1.0 / static_cast<double>(n);
+  ++st.res.iterations;
+  if (st.res.iterations > max_iters) {
+    st.done = true;
+    return;
   }
+  PGB_TRACE_SPAN(grid, "pagerank.iter",
+                 {{"iteration", std::to_string(st.res.iterations)}});
+  grid.metrics().counter("algo.iterations", {{"algo", "pagerank"}}).inc();
 
-  res.rank.resize(static_cast<std::size_t>(n));
-  for (int l = 0; l < grid.num_locales(); ++l) {
-    const auto& lr = rank.local(l);
+  // scaled[r] = rank[r] / outdeg[r]; dangling mass spread uniformly.
+  DistDenseVec<double> scaled(grid, n, 0.0);
+  double dangling = 0.0;
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const int l = ctx.locale();
+    const auto& lr = st.rank.local(l);
+    const auto& ld = st.deg.local(l);
+    auto& ls = scaled.local(l);
     for (Index i = lr.lo(); i < lr.hi(); ++i) {
-      res.rank[static_cast<std::size_t>(i)] = lr[i];
+      if (ld[i] > T{0}) {
+        ls[i] = lr[i] / static_cast<double>(ld[i]);
+      } else {
+        dangling += lr[i];
+      }
+    }
+    CostVector c;
+    c.add(CostKind::kStreamBytes, 24.0 * static_cast<double>(lr.size()));
+    c.add(CostKind::kCpuOps, 10.0 * static_cast<double>(lr.size()));
+    ctx.parallel_region(c);
+  });
+
+  DistDenseVec<double> pulled =
+      spmv(a, scaled, arithmetic_semiring<double>());
+
+  const double base = (1.0 - damping) * inv_n + damping * dangling * inv_n;
+  double delta = 0.0;
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const int l = ctx.locale();
+    auto& lr = st.rank.local(l);
+    const auto& lp = pulled.local(l);
+    for (Index i = lr.lo(); i < lr.hi(); ++i) {
+      const double next = base + damping * lp[i];
+      delta += std::abs(next - lr[i]);
+      lr[i] = next;
+    }
+    CostVector c;
+    c.add(CostKind::kStreamBytes, 24.0 * static_cast<double>(lr.size()));
+    c.add(CostKind::kCpuOps, 12.0 * static_cast<double>(lr.size()));
+    ctx.parallel_region(c);
+  });
+  st.res.residual = delta;
+  if (delta < tol) st.done = true;
+}
+
+/// Gathers the distributed ranks into the result.
+template <typename T>
+PagerankResult pagerank_finalize(PagerankState<T>& st) {
+  const Index n = st.rank.size();
+  st.res.rank.resize(static_cast<std::size_t>(n));
+  for (int l = 0; l < st.rank.grid().num_locales(); ++l) {
+    const auto& lr = st.rank.local(l);
+    for (Index i = lr.lo(); i < lr.hi(); ++i) {
+      st.res.rank[static_cast<std::size_t>(i)] = lr[i];
     }
   }
-  return res;
+  return std::move(st.res);
+}
+
+template <typename T>
+PagerankResult pagerank(const DistCsr<T>& a, double damping = 0.85,
+                        double tol = 1e-8, int max_iters = 100) {
+  PagerankState<T> st = pagerank_init(a);
+  while (!st.done) pagerank_step(a, st, damping, tol, max_iters);
+  return pagerank_finalize(st);
 }
 
 }  // namespace pgb

@@ -27,6 +27,102 @@ struct SsspResult {
       std::numeric_limits<double>::max();
 };
 
+/// The loop state of one SSSP run, exposed for the recovery driver
+/// (fault/recovery.hpp via algo/algo_recovery.hpp): snapshot between
+/// rounds, rebuild after a locale failure. `sssp()` below is exactly
+/// sssp_init + sssp_step-until-done + sssp_finalize.
+struct SsspState {
+  DistDenseVec<double> dist;
+  DistSparseVec<double> frontier;  ///< vertices improved last round
+  SsspResult res;                  ///< rounds only; dist filled at finalize
+  bool done = false;
+};
+
+template <typename T>
+SsspState sssp_init(const DistCsr<T>& a, Index source) {
+  PGB_REQUIRE_SHAPE(a.nrows() == a.ncols(), "sssp: matrix must be square");
+  PGB_REQUIRE(source >= 0 && source < a.nrows(), "sssp: bad source");
+  auto& grid = a.grid();
+  const Index n = a.nrows();
+
+  SsspState st{DistDenseVec<double>(grid, n, SsspResult::kUnreachable),
+               DistSparseVec<double>::from_sorted(grid, n, {source}, {0.0}),
+               {}, false};
+  st.dist.at(source) = 0.0;
+  grid.metrics().counter("algo.calls", {{"algo", "sssp"}}).inc();
+  return st;
+}
+
+/// One Bellman-Ford relaxation round; sets st.done at the fixed point
+/// (or at the n-round cap).
+template <typename T>
+void sssp_step(const DistCsr<T>& a, SsspState& st,
+               const SpmspvOptions& opt = {}) {
+  auto& grid = a.grid();
+  const Index n = a.nrows();
+  if (st.frontier.nnz() == 0 || st.res.rounds >= n) {
+    st.done = true;
+    return;
+  }
+  ++st.res.rounds;
+  PGB_TRACE_SPAN(grid, "sssp.round",
+                 {{"round", std::to_string(st.res.rounds)},
+                  {"frontier", std::to_string(st.frontier.nnz())}});
+  grid.metrics().counter("algo.iterations", {{"algo", "sssp"}}).inc();
+  // candidate[c] = min over frontier rows r of (dist-candidate of r +
+  // weight(r, c)).
+  const auto sr = min_plus_semiring<double>();
+  DistSparseVec<double> cand = [&] {
+    // Cast matrix values to double lazily through the semiring: build
+    // a double view by multiplying with the frontier values.
+    return spmspv_dist(a, st.frontier, sr, opt);
+  }();
+
+  // Keep the candidates that actually improve; update dist.
+  std::vector<std::vector<Index>> imp_idx(grid.num_locales());
+  std::vector<std::vector<double>> imp_val(grid.num_locales());
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    const int l = ctx.locale();
+    const auto& lc = cand.local(l);
+    auto& ld = st.dist.local(l);
+    for (Index p = 0; p < lc.nnz(); ++p) {
+      const Index v = lc.index_at(p);
+      if (lc.value_at(p) < ld[v]) {
+        ld[v] = lc.value_at(p);
+        imp_idx[l].push_back(v);
+        imp_val[l].push_back(lc.value_at(p));
+      }
+    }
+    CostVector c;
+    c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(lc.nnz()));
+    c.add(CostKind::kRandAccess, static_cast<double>(lc.nnz()));
+    c.add(CostKind::kStreamBytes, 24.0 * static_cast<double>(lc.nnz()));
+    ctx.parallel_region(c);
+  });
+
+  DistSparseVec<double> next(grid, n);
+  for (int l = 0; l < grid.num_locales(); ++l) {
+    next.local(l) = SparseVec<double>::from_sorted(
+        next.dist().local_size(l), std::move(imp_idx[l]),
+        std::move(imp_val[l]));
+  }
+  st.frontier = std::move(next);
+}
+
+/// Gathers the distributed distances into the result (no charging; same
+/// convention as the other algos' result extraction).
+inline SsspResult sssp_finalize(SsspState& st) {
+  const Index n = st.dist.size();
+  st.res.dist.resize(static_cast<std::size_t>(n));
+  for (int l = 0; l < st.dist.grid().num_locales(); ++l) {
+    const auto& ld = st.dist.local(l);
+    for (Index i = ld.lo(); i < ld.hi(); ++i) {
+      st.res.dist[static_cast<std::size_t>(i)] = ld[i];
+    }
+  }
+  return std::move(st.res);
+}
+
 /// Edge weights are the matrix values (must be non-negative for the
 /// result to be meaningful in bounded rounds; negative cycles are not
 /// detected — rounds are capped at n).
@@ -38,73 +134,9 @@ struct SsspResult {
 template <typename T>
 SsspResult sssp(const DistCsr<T>& a, Index source,
                 const SpmspvOptions& opt = {}) {
-  PGB_REQUIRE_SHAPE(a.nrows() == a.ncols(), "sssp: matrix must be square");
-  PGB_REQUIRE(source >= 0 && source < a.nrows(), "sssp: bad source");
-  auto& grid = a.grid();
-  const Index n = a.nrows();
-
-  DistDenseVec<double> dist(grid, n, SsspResult::kUnreachable);
-  dist.at(source) = 0.0;
-
-  // Frontier: vertices whose distance improved last round.
-  auto frontier = DistSparseVec<double>::from_sorted(grid, n, {source}, {0.0});
-  const auto sr = min_plus_semiring<double>();
-
-  SsspResult res;
-  grid.metrics().counter("algo.calls", {{"algo", "sssp"}}).inc();
-  while (frontier.nnz() > 0 && res.rounds < n) {
-    ++res.rounds;
-    PGB_TRACE_SPAN(grid, "sssp.round",
-                   {{"round", std::to_string(res.rounds)},
-                    {"frontier", std::to_string(frontier.nnz())}});
-    grid.metrics().counter("algo.iterations", {{"algo", "sssp"}}).inc();
-    // candidate[c] = min over frontier rows r of (dist-candidate of r +
-    // weight(r, c)).
-    DistSparseVec<double> cand = [&] {
-      // Cast matrix values to double lazily through the semiring: build
-      // a double view by multiplying with the frontier values.
-      return spmspv_dist(a, frontier, sr, opt);
-    }();
-
-    // Keep the candidates that actually improve; update dist.
-    std::vector<std::vector<Index>> imp_idx(grid.num_locales());
-    std::vector<std::vector<double>> imp_val(grid.num_locales());
-    grid.coforall_locales([&](LocaleCtx& ctx) {
-      const int l = ctx.locale();
-      const auto& lc = cand.local(l);
-      auto& ld = dist.local(l);
-      for (Index p = 0; p < lc.nnz(); ++p) {
-        const Index v = lc.index_at(p);
-        if (lc.value_at(p) < ld[v]) {
-          ld[v] = lc.value_at(p);
-          imp_idx[l].push_back(v);
-          imp_val[l].push_back(lc.value_at(p));
-        }
-      }
-      CostVector c;
-      c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(lc.nnz()));
-      c.add(CostKind::kRandAccess, static_cast<double>(lc.nnz()));
-      c.add(CostKind::kStreamBytes, 24.0 * static_cast<double>(lc.nnz()));
-      ctx.parallel_region(c);
-    });
-
-    DistSparseVec<double> next(grid, n);
-    for (int l = 0; l < grid.num_locales(); ++l) {
-      next.local(l) = SparseVec<double>::from_sorted(
-          next.dist().local_size(l), std::move(imp_idx[l]),
-          std::move(imp_val[l]));
-    }
-    frontier = std::move(next);
-  }
-
-  res.dist.resize(static_cast<std::size_t>(n));
-  for (int l = 0; l < grid.num_locales(); ++l) {
-    const auto& ld = dist.local(l);
-    for (Index i = ld.lo(); i < ld.hi(); ++i) {
-      res.dist[static_cast<std::size_t>(i)] = ld[i];
-    }
-  }
-  return res;
+  SsspState st = sssp_init(a, source);
+  while (!st.done) sssp_step(a, st, opt);
+  return sssp_finalize(st);
 }
 
 }  // namespace pgb

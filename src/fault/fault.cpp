@@ -1,0 +1,264 @@
+#include "fault/fault.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace pgb {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDuplicate:
+      return "dup";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kLocaleFail:
+      return "kill";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+double parse_num(const std::string& clause, const std::string& v) {
+  char* end = nullptr;
+  const double x = std::strtod(v.c_str(), &end);
+  PGB_REQUIRE(end != nullptr && *end == '\0' && !v.empty(),
+              "fault spec: bad number '" + v + "' in clause '" + clause +
+                  "'");
+  return x;
+}
+
+FaultKind parse_kind(const std::string& clause, const std::string& k) {
+  if (k == "drop") return FaultKind::kDrop;
+  if (k == "dup") return FaultKind::kDuplicate;
+  if (k == "corrupt") return FaultKind::kCorrupt;
+  if (k == "stall") return FaultKind::kStall;
+  if (k == "kill") return FaultKind::kLocaleFail;
+  throw InvalidArgument(
+      "fault spec: unknown kind '" + k + "' in clause '" + clause +
+      "' (expected drop, dup, corrupt, stall, or kill)");
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(const std::string& spec) {
+  FaultSpec out;
+  PGB_REQUIRE(!spec.empty(), "fault spec: empty string");
+  for (const std::string& clause : split(spec, ';')) {
+    PGB_REQUIRE(!clause.empty(), "fault spec: empty clause in '" + spec + "'");
+    const std::size_t colon = clause.find(':');
+    FaultRule rule;
+    rule.kind = parse_kind(clause, clause.substr(0, colon));
+    bool saw_p = false, saw_ms = false, saw_at = false, saw_locale = false;
+    if (colon != std::string::npos) {
+      for (const std::string& kv : split(clause.substr(colon + 1), ',')) {
+        const std::size_t eq = kv.find('=');
+        PGB_REQUIRE(eq != std::string::npos && eq > 0,
+                    "fault spec: expected key=value, got '" + kv +
+                        "' in clause '" + clause + "'");
+        const std::string key = kv.substr(0, eq);
+        const std::string val = kv.substr(eq + 1);
+        if (key == "p") {
+          rule.probability = parse_num(clause, val);
+          saw_p = true;
+        } else if (key == "peer" || key == "locale") {
+          rule.locale = static_cast<int>(parse_num(clause, val));
+          saw_locale = true;
+        } else if (key == "ms") {
+          rule.stall_seconds = parse_num(clause, val) * 1e-3;
+          saw_ms = true;
+        } else if (key == "at") {
+          rule.at_time = parse_num(clause, val);
+          saw_at = true;
+        } else {
+          throw InvalidArgument("fault spec: unknown key '" + key +
+                                "' in clause '" + clause + "'");
+        }
+      }
+    }
+    if (rule.kind == FaultKind::kLocaleFail) {
+      PGB_REQUIRE(saw_locale && rule.locale >= 0,
+                  "fault spec: kill needs locale=<id>: '" + clause + "'");
+      PGB_REQUIRE(saw_at && rule.at_time >= 0.0,
+                  "fault spec: kill needs at=<seconds >= 0>: '" + clause +
+                      "'");
+      PGB_REQUIRE(!saw_p && !saw_ms,
+                  "fault spec: kill takes only locale= and at=: '" + clause +
+                      "'");
+    } else {
+      PGB_REQUIRE(saw_p,
+                  "fault spec: " + std::string(pgb::to_string(rule.kind)) +
+                             " needs p=<probability>: '" + clause + "'");
+      PGB_REQUIRE(rule.probability >= 0.0 && rule.probability <= 1.0,
+                  "fault spec: probability must be in [0,1]: '" + clause +
+                      "'");
+      PGB_REQUIRE(!saw_at, "fault spec: at= only applies to kill: '" +
+                               clause + "'");
+      if (rule.kind == FaultKind::kStall) {
+        PGB_REQUIRE(saw_ms && rule.stall_seconds >= 0.0,
+                    "fault spec: stall needs ms=<latency >= 0>: '" + clause +
+                        "'");
+      } else {
+        PGB_REQUIRE(!saw_ms, "fault spec: ms= only applies to stall: '" +
+                                 clause + "'");
+      }
+    }
+    out.rules.push_back(rule);
+  }
+  return out;
+}
+
+std::string FaultSpec::to_string() const {
+  std::string s;
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const FaultRule& r = rules[i];
+    if (i > 0) s += ';';
+    s += pgb::to_string(r.kind);
+    if (r.kind == FaultKind::kLocaleFail) {
+      s += ":locale=" + std::to_string(r.locale) +
+           ",at=" + std::to_string(r.at_time);
+    } else {
+      s += ":p=" + std::to_string(r.probability);
+      if (r.kind == FaultKind::kStall) {
+        s += ",ms=" + std::to_string(r.stall_seconds * 1e3);
+      }
+      if (r.locale >= 0) s += ",peer=" + std::to_string(r.locale);
+    }
+  }
+  return s;
+}
+
+void RetryPolicy::validate() const {
+  PGB_REQUIRE(max_attempts >= 1,
+              "retry policy: max_attempts must be >= 1 (0 would make every "
+              "transfer undeliverable)");
+  PGB_REQUIRE(timeout >= 0.0 && backoff >= 0.0 && jitter >= 0.0,
+              "retry policy: times and jitter must be non-negative");
+  PGB_REQUIRE(backoff_mult >= 1.0,
+              "retry policy: backoff multiplier must be >= 1");
+}
+
+LocaleFailed::LocaleFailed(int locale, double sim_time)
+    : Error("locale " + std::to_string(locale) +
+            " failed permanently at simulated t=" + std::to_string(sim_time)),
+      locale_(locale),
+      sim_time_(sim_time) {}
+
+FaultPlan::FaultPlan(FaultSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed), rng_(seed) {
+  for (const FaultRule& r : spec_.rules) {
+    if (r.kind == FaultKind::kLocaleFail) {
+      kills_.push_back(Kill{r.locale, r.at_time, false});
+    } else if (r.probability > 0.0) {
+      message_rules_.push_back(r);
+    }
+  }
+}
+
+FaultPlan::AttemptFate FaultPlan::attempt_fate(int src, int peer) {
+  (void)src;
+  AttemptFate fate;
+  if (message_rules_.empty()) return fate;
+  ++decisions_;
+  for (const FaultRule& r : message_rules_) {
+    // Every applicable rule draws, so the stream stays aligned across
+    // runs regardless of which faults fire.
+    if (r.locale >= 0 && r.locale != peer) continue;
+    const bool hit = rng_.next_bernoulli(r.probability);
+    if (!hit) continue;
+    switch (r.kind) {
+      case FaultKind::kDrop:
+        fate.drop = true;
+        break;
+      case FaultKind::kDuplicate:
+        fate.duplicate = true;
+        break;
+      case FaultKind::kCorrupt:
+        fate.corrupt = true;
+        break;
+      case FaultKind::kStall:
+        fate.stall += r.stall_seconds;
+        break;
+      case FaultKind::kLocaleFail:
+        break;  // not a message rule
+    }
+  }
+  return fate;
+}
+
+bool FaultPlan::is_down(int locale, double sim_now) const {
+  for (const Kill& k : kills_) {
+    if (k.locale == locale && !k.recovered && sim_now >= k.at_time) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultPlan::kill_time(int locale) const {
+  double t = std::numeric_limits<double>::infinity();
+  for (const Kill& k : kills_) {
+    if (k.locale == locale && !k.recovered) t = std::min(t, k.at_time);
+  }
+  return t;
+}
+
+void FaultPlan::mark_recovered(int locale) {
+  for (Kill& k : kills_) {
+    if (k.locale == locale) k.recovered = true;
+  }
+}
+
+DeliveryOutcome plan_delivery(FaultPlan& plan, const RetryPolicy& rp,
+                              int src, int peer, double sim_now) {
+  DeliveryOutcome out;
+  const bool down = plan.is_down(peer, sim_now);
+  double backoff = rp.backoff;
+  for (int attempt = 1;; ++attempt) {
+    out.attempts = attempt;
+    const FaultPlan::AttemptFate fate = plan.attempt_fate(src, peer);
+    if (fate.stall > 0.0) {
+      ++out.stalls;
+      out.stall_time += fate.stall;
+    }
+    if (fate.duplicate && !down) ++out.duplicates;
+    if (!down && !fate.drop && !fate.corrupt) return out;  // delivered + acked
+    if (down || fate.drop) {
+      // The message (or its ack) vanished: the sender waits out the ack
+      // timeout before concluding the attempt failed.
+      if (!down) ++out.drops;
+      ++out.timeouts;
+      out.wait_time += rp.timeout;
+    } else {
+      // Corrupt: the payload arrived, the checksum failed, and the
+      // receiver NAKed immediately — no timeout, straight to re-send.
+      ++out.corrupts;
+    }
+    if (attempt >= rp.max_attempts) {
+      out.delivered = false;
+      return out;
+    }
+    out.wait_time += backoff * (1.0 + rp.jitter * plan.uniform());
+    backoff *= rp.backoff_mult;
+  }
+}
+
+}  // namespace pgb

@@ -1,0 +1,138 @@
+// Checkpoint/restart recovery driver.
+//
+// Iterative algorithms in this codebase are round-structured (BFS levels,
+// Bellman-Ford relaxations, pagerank iterations), so recovery is the
+// classic coordinated scheme: snapshot the loop state every K completed
+// rounds; when the grid's coforall dispatch reports a permanently failed
+// locale (LocaleFailed), replace the locale, restore the last snapshot,
+// and resume. Re-executed rounds recompute over bit-identical inputs, so
+// the recovered run's result is bit-for-bit the fault-free result — the
+// only difference is modeled time and re-paid communication.
+//
+// RecoverableLoop is the contract an algorithm exposes: construct the
+// initial state, advance it one round, snapshot it, and rebuild it from
+// a snapshot. algo/algo_recovery.hpp adapts BFS/SSSP/pagerank to it.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "fault/checkpoint.hpp"
+#include "fault/fault.hpp"
+#include "runtime/locale_grid.hpp"
+
+namespace pgb {
+
+struct RecoveryOptions {
+  /// Snapshot every this many completed rounds (0 disables
+  /// checkpointing: a failure restarts the loop from scratch).
+  int checkpoint_every = 4;
+  /// Delivery guarantees installed on the grid for the run.
+  RetryPolicy retry;
+  /// Modeled stable-store bandwidth, bytes/s (burst-buffer class).
+  double stable_bw = 5e9;
+  /// Unchanging bytes the replacement locale re-ships on restore (the
+  /// algorithm's matrix blocks; algo wrappers fill this in).
+  std::int64_t static_bytes = 0;
+  /// Give up (rethrow LocaleFailed) after this many restarts.
+  int max_restarts = 8;
+};
+
+struct RecoveryStats {
+  int restarts = 0;
+  int checkpoints = 0;
+  std::int64_t checkpoint_bytes = 0;  ///< sum over saved snapshots
+  std::int64_t rounds_replayed = 0;   ///< rounds re-executed after restores
+};
+
+/// The algorithm-side contract of run_with_recovery.
+template <typename State>
+struct RecoverableLoop {
+  std::function<State()> init;
+  std::function<void(State&)> step;           ///< one round; sets done
+  std::function<bool(const State&)> done;
+  std::function<void(const State&, Checkpoint&)> save;
+  std::function<State(const Checkpoint&)> load;
+};
+
+/// Runs `loop` to completion under `plan`, surviving locale kills by
+/// checkpoint/restart. Installs `plan` and `opt.retry` on the grid for
+/// the duration (restoring whatever was attached before). `plan` may be
+/// null — the loop then just runs fault-free.
+template <typename State>
+State run_with_recovery(LocaleGrid& grid, FaultPlan* plan,
+                        const RecoverableLoop<State>& loop,
+                        const RecoveryOptions& opt,
+                        RecoveryStats* stats = nullptr) {
+  PGB_REQUIRE(opt.checkpoint_every >= 0,
+              "recovery: checkpoint_every must be >= 0");
+  PGB_REQUIRE(opt.max_restarts >= 0, "recovery: max_restarts must be >= 0");
+  struct Guard {
+    LocaleGrid& g;
+    FaultPlan* prev_plan;
+    RetryPolicy prev_retry;
+    ~Guard() {
+      g.set_fault_plan(prev_plan);
+      g.set_retry_policy(prev_retry);
+    }
+  } guard{grid, grid.fault_plan(), grid.retry_policy()};
+  grid.set_fault_plan(plan);
+  grid.set_retry_policy(opt.retry);
+
+  Checkpoint ckpt;
+  std::optional<State> state;
+  std::int64_t rounds = 0;
+  int restarts = 0;
+  for (;;) {
+    try {
+      if (!state.has_value()) {
+        if (ckpt.round >= 0) {
+          charge_checkpoint_restore(grid, ckpt, opt.stable_bw,
+                                    opt.static_bytes);
+          state.emplace(loop.load(ckpt));
+          rounds = ckpt.round;
+        } else {
+          state.emplace(loop.init());
+          rounds = 0;
+        }
+      }
+      while (!loop.done(*state)) {
+        loop.step(*state);
+        ++rounds;
+        if (opt.checkpoint_every > 0 && rounds % opt.checkpoint_every == 0) {
+          ckpt.clear();
+          loop.save(*state, ckpt);
+          ckpt.round = rounds;
+          charge_checkpoint_save(grid, ckpt, opt.stable_bw);
+          if (stats != nullptr) {
+            ++stats->checkpoints;
+            stats->checkpoint_bytes += ckpt.total_bytes();
+          }
+        }
+      }
+      return std::move(*state);
+    } catch (const LocaleFailed& lf) {
+      ++restarts;
+      if (restarts > opt.max_restarts || plan == nullptr) throw;
+      // The failed locale is replaced: the stand-in adopts its id and
+      // its block assignment, so the plan stops reporting it down.
+      plan->mark_recovered(lf.locale());
+      grid.metrics().counter("recovery.restarts").inc();
+      auto* session = grid.trace_session();
+      if (session != nullptr) {
+        session->instant(lf.locale(), "recovery.restart", grid.time(),
+                         {{"restart", std::to_string(restarts)},
+                          {"from_round",
+                           std::to_string(ckpt.round >= 0 ? ckpt.round : 0)}});
+      }
+      if (stats != nullptr) {
+        ++stats->restarts;
+        stats->rounds_replayed += rounds - (ckpt.round >= 0 ? ckpt.round : 0);
+      }
+      state.reset();  // rebuilt from the snapshot (or scratch) above
+    }
+  }
+}
+
+}  // namespace pgb

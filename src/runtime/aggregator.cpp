@@ -33,6 +33,7 @@ AggChannel::AggChannel(LocaleCtx& ctx, AggConfig cfg)
   m_messages_ = &mx.counter("agg.messages");
   m_bytes_ = &mx.counter("agg.bytes");
   m_path_messages_ = &mx.counter("comm.messages", {{"path", "agg"}});
+  m_resends_ = &mx.counter("agg.resends");
   m_occ_put_ = &mx.histogram("agg.occupancy", {{"dir", "put"}});
   m_occ_get_ = &mx.histogram("agg.occupancy", {{"dir", "get"}});
 }
@@ -41,16 +42,44 @@ void AggChannel::issue(int peer, double cost, std::int64_t msgs,
                        std::int64_t bytes, bool is_get, std::int64_t elems) {
   auto& grid = ctx_.grid();
   if (grid.epoch() != epoch_) return;  // constructed before a reset
-  ++stats_.flushes;
-  stats_.messages += msgs;
-  stats_.bytes += bytes;
+  const std::int64_t seq = next_seq_++;
   const auto& hot = grid.hot();
+  hot.logical_messages->inc(msgs);
+
+  // Consult the fault plan: a dropped/corrupted flush is re-sent under
+  // the same sequence number, a duplicated one is deduplicated by the
+  // receiver. Each wire copy is real traffic; resends also re-occupy
+  // the injection channel below.
+  DeliveryOutcome out;
+  FaultPlan* plan = grid.fault_plan();
+  if (plan != nullptr) {
+    out = plan_delivery(*plan, grid.retry_policy(), ctx_.locale(), peer,
+                        ctx_.clock().now());
+    hot.retries->inc(out.attempts - 1);
+    hot.timeouts->inc(out.timeouts);
+    if (out.drops > 0) hot.injected_drop->inc(out.drops);
+    if (out.duplicates > 0) hot.injected_dup->inc(out.duplicates);
+    if (out.corrupts > 0) hot.injected_corrupt->inc(out.corrupts);
+    if (out.stalls > 0) hot.injected_stall->inc(out.stalls);
+    if (out.attempts > 1) {
+      stats_.resends += out.attempts - 1;
+      m_resends_->inc(out.attempts - 1);
+    }
+    if (!out.delivered) {
+      grid.metrics().counter("comm.undeliverable", {{"path", "agg"}}).inc();
+    }
+  }
+  const std::int64_t wire = out.attempts + out.duplicates;
+
+  ++stats_.flushes;
+  stats_.messages += msgs * wire;
+  stats_.bytes += bytes * wire;
   hot.agg_flushes->inc();
-  hot.messages->inc(msgs);
-  hot.bytes->inc(bytes);
-  m_messages_->inc(msgs);
-  m_bytes_->inc(bytes);
-  m_path_messages_->inc(msgs);
+  hot.messages->inc(msgs * wire);
+  hot.bytes->inc(bytes * wire);
+  m_messages_->inc(msgs * wire);
+  m_bytes_->inc(bytes * wire);
+  m_path_messages_->inc(msgs * wire);
   if (elems >= 0) (is_get ? m_occ_get_ : m_occ_put_)->observe(elems);
 
   auto* session = grid.trace_session();
@@ -59,12 +88,18 @@ void AggChannel::issue(int peer, double cost, std::int64_t msgs,
                      ctx_.clock().now(),
                      {{"peer", std::to_string(peer)},
                       {"bytes", std::to_string(bytes)},
-                      {"elems", std::to_string(elems)}});
+                      {"elems", std::to_string(elems)},
+                      {"seq", std::to_string(seq)},
+                      {"attempts", std::to_string(out.attempts)}});
   }
 
+  // Duplicates overlap the original; serialized attempts plus injected
+  // stall/retry waits are what this flush owes the clock.
+  const double total_cost = static_cast<double>(out.attempts) * cost +
+                            out.stall_time + out.wait_time;
   SimClock& clk = ctx_.clock();
   if (!cfg_.double_buffer) {
-    clk.advance(cost);
+    clk.advance(total_cost);
     inflight_end_ = clk.now();
     return;
   }
@@ -74,7 +109,7 @@ void AggChannel::issue(int peer, double cost, std::int64_t msgs,
   // previous one finished and completes `cost` later; drain() joins the
   // tail. Compute between flushes therefore hides transfer time.
   const double start = std::max(clk.now(), inflight_end_);
-  inflight_end_ = start + cost;
+  inflight_end_ = start + total_cost;
   clk.advance(grid.net().params().fine_grain_overhead);
 }
 

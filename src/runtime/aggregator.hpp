@@ -81,12 +81,24 @@ struct AggregatorStats {
   std::int64_t local_flushes = 0; ///< self-peer buffer drains (no comm)
   std::int64_t messages = 0;      ///< modeled one-way network messages
   std::int64_t bytes = 0;         ///< payload + request bytes moved
+  std::int64_t resends = 0;       ///< flush re-sends forced by the fault plan
 };
 
 /// The flush pipeline shared by both aggregator directions. Usable on its
 /// own for "chunked bulk" patterns where the remote range is known and no
 /// per-element request payload is needed (e.g. the SpMSpV gather of whole
 /// input-vector pieces).
+///
+/// Delivery guarantees: every flush carries a per-channel sequence
+/// number and its header round trip doubles as the ack. When the grid
+/// has a fault plan attached, a dropped or corrupted flush is re-sent
+/// (with the same sequence number) per the grid's RetryPolicy — resends
+/// re-pay the transfer through the network model and occupy the
+/// double-buffered injection channel — and a duplicated flush is
+/// deduplicated by sequence number at the receiver, so the caller's
+/// deliver callback always runs exactly once per flush, in per-peer
+/// FIFO order. That keeps the byte-identity invariant of the
+/// aggregated schedule even under chaos.
 class AggChannel {
  public:
   AggChannel(LocaleCtx& ctx, AggConfig cfg);
@@ -129,9 +141,11 @@ class AggChannel {
   /// drains it afterwards (the data is still delivered — only the
   /// modeled charging goes quiet).
   std::uint64_t epoch_ = 0;
+  std::int64_t next_seq_ = 0;  ///< per-channel flush sequence number
   obs::Counter* m_messages_ = nullptr;  ///< agg.messages
   obs::Counter* m_bytes_ = nullptr;     ///< agg.bytes
   obs::Counter* m_path_messages_ = nullptr;  ///< comm.messages{path=agg}
+  obs::Counter* m_resends_ = nullptr;        ///< agg.resends
   obs::Histogram* m_occ_put_ = nullptr;
   obs::Histogram* m_occ_get_ = nullptr;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace pgb {
 
@@ -41,44 +42,82 @@ void LocaleCtx::comm_event(const char* path, int peer, std::int64_t msgs,
   }
 }
 
+void LocaleCtx::transfer(const char* path, int peer, std::int64_t msgs,
+                         std::int64_t bytes, std::int64_t bulks,
+                         double cost) {
+  const auto& hot = grid_.hot();
+  hot.logical_messages->inc(msgs);
+  FaultPlan* plan = grid_.fault_plan();
+  if (plan == nullptr) {
+    comm_event(path, peer, msgs, bytes, bulks);
+    clock().advance(cost);
+    return;
+  }
+  const DeliveryOutcome out = plan_delivery(*plan, grid_.retry_policy(),
+                                            locale_, peer, clock().now());
+  // Every wire attempt (retries and duplicates included) is real
+  // traffic: it shows up in comm.messages and the per-path family.
+  const int wire = out.attempts + out.duplicates;
+  for (int i = 0; i < wire; ++i) {
+    comm_event(path, peer, msgs, bytes, bulks);
+  }
+  hot.retries->inc(out.attempts - 1);
+  hot.timeouts->inc(out.timeouts);
+  if (out.drops > 0) hot.injected_drop->inc(out.drops);
+  if (out.duplicates > 0) hot.injected_dup->inc(out.duplicates);
+  if (out.corrupts > 0) hot.injected_corrupt->inc(out.corrupts);
+  if (out.stalls > 0) hot.injected_stall->inc(out.stalls);
+  if (!out.delivered) {
+    // A dead peer (or a total drop storm) exhausted the attempts. Data
+    // movement in this process is unaffected; the failure is surfaced
+    // at the next coforall dispatch, where recovery can take over.
+    grid_.metrics().counter("comm.undeliverable", {{"path", path}}).inc();
+  }
+  // Duplicates overlap the original on the wire, so only the serialized
+  // attempts, injected stalls, and retry waits charge this clock.
+  clock().advance(static_cast<double>(out.attempts) * cost +
+                  out.stall_time + out.wait_time);
+}
+
 void LocaleCtx::remote_chain(int peer, std::int64_t count,
                              double rts_per_elem, std::int64_t bytes_each,
                              double contention) {
   if (peer == locale_) return;  // local access: caller charges node costs
   // Each element sends one payload message after rts_per_elem dependent
   // round trips (2 one-way messages each).
-  comm_event("chain", peer,
-             count + std::llround(static_cast<double>(count) * 2.0 *
-                                  rts_per_elem),
-             count * bytes_each, 0);
-  clock().advance(contention *
-                  grid_.net().dependent_chain(
-                      count, rts_per_elem, bytes_each,
-                      grid_.same_node(locale_, peer), grid_.colocated()));
+  transfer("chain", peer,
+           count + std::llround(static_cast<double>(count) * 2.0 *
+                                rts_per_elem),
+           count * bytes_each, 0,
+           contention *
+               grid_.net().dependent_chain(
+                   count, rts_per_elem, bytes_each,
+                   grid_.same_node(locale_, peer), grid_.colocated()));
 }
 
 void LocaleCtx::remote_msgs(int peer, std::int64_t count,
                             std::int64_t bytes_each, double contention) {
   if (peer == locale_) return;
-  comm_event("msgs", peer, count, count * bytes_each, 0);
-  clock().advance(contention *
-                  grid_.net().overlapped_messages(
-                      count, bytes_each, grid_.same_node(locale_, peer),
-                      grid_.colocated()));
+  transfer("msgs", peer, count, count * bytes_each, 0,
+           contention *
+               grid_.net().overlapped_messages(
+                   count, bytes_each, grid_.same_node(locale_, peer),
+                   grid_.colocated()));
 }
 
 void LocaleCtx::remote_bulk(int peer, std::int64_t bytes) {
   if (peer == locale_) return;
-  comm_event("bulk", peer, 1, bytes, 1);
-  clock().advance(grid_.net().bulk(bytes, grid_.same_node(locale_, peer),
-                                   grid_.colocated()));
+  transfer("bulk", peer, 1, bytes, 1,
+           grid_.net().bulk(bytes, grid_.same_node(locale_, peer),
+                            grid_.colocated()));
 }
 
 void LocaleCtx::remote_rt(int peer, std::int64_t bytes_back) {
   if (peer == locale_) return;
-  comm_event("rt", peer, 2, bytes_back, 0);
-  clock().advance(grid_.net().round_trip(
-      bytes_back, grid_.same_node(locale_, peer), grid_.colocated()));
+  transfer("rt", peer, 2, bytes_back, 0,
+           grid_.net().round_trip(bytes_back,
+                                  grid_.same_node(locale_, peer),
+                                  grid_.colocated()));
 }
 
 LocaleGrid::LocaleGrid(GridConfig cfg) : cfg_(cfg), net_(cfg.model.net) {
@@ -101,6 +140,33 @@ LocaleGrid::LocaleGrid(GridConfig cfg) : cfg_(cfg), net_(cfg.model.net) {
   hot_.parallel_regions = &metrics_.counter("runtime.parallel_regions");
   hot_.coforalls = &metrics_.counter("runtime.coforalls");
   hot_.barriers = &metrics_.counter("runtime.barriers");
+  hot_.logical_messages = &metrics_.counter("comm.logical_messages");
+  hot_.retries = &metrics_.counter("comm.retries");
+  hot_.timeouts = &metrics_.counter("comm.timeouts");
+  hot_.injected_drop = &metrics_.counter("fault.injected", {{"kind", "drop"}});
+  hot_.injected_dup = &metrics_.counter("fault.injected", {{"kind", "dup"}});
+  hot_.injected_corrupt =
+      &metrics_.counter("fault.injected", {{"kind", "corrupt"}});
+  hot_.injected_stall =
+      &metrics_.counter("fault.injected", {{"kind", "stall"}});
+}
+
+void LocaleGrid::set_threads(int threads) {
+  PGB_REQUIRE(threads >= 1, "need at least one thread");
+  const int cap = max_threads();
+  if (threads > cap) {
+    if (!warned_thread_clamp_) {
+      std::fprintf(
+          stderr,
+          "pgb: warning: %d threads per locale exceeds %dx the %d modeled "
+          "cores available to each locale; clamping to %d\n",
+          threads, kOversubscribeCap,
+          std::max(1, cfg_.model.node.cores / cfg_.locales_per_node), cap);
+      warned_thread_clamp_ = true;
+    }
+    threads = cap;
+  }
+  cfg_.threads_per_locale = threads;
 }
 
 LocaleGrid LocaleGrid::single(int threads, MachineModel model) {
@@ -138,6 +204,19 @@ void LocaleGrid::coforall_locales(const std::function<void(LocaleCtx&)>& body) {
     if (l != 0) {
       spawn_accum += net_.fork(same_node(0, l), colocated());
       clocks_[l].advance_to(t0 + spawn_accum);
+    }
+    // Permanent-failure detection: a killed locale never answers the
+    // spawn. This is the one place LocaleFailed is thrown, so no
+    // destructor (aggregator flushes included) can ever throw during
+    // unwinding; recovery drivers catch it and restart from the last
+    // checkpoint.
+    if (fault_plan_ != nullptr &&
+        fault_plan_->is_down(l, clocks_[l].now())) {
+      metrics_.counter("fault.injected", {{"kind", "kill"}}).inc();
+      if (trace_session_ != nullptr) {
+        trace_session_->instant(l, "fault.locale_failed", clocks_[l].now());
+      }
+      throw LocaleFailed(l, clocks_[l].now());
     }
     LocaleCtx ctx(*this, l);
     body(ctx);

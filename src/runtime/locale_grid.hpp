@@ -14,10 +14,12 @@
 // reproduces the paper's Fig 10 experiment.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "machine/machine_model.hpp"
 #include "machine/network_model.hpp"
 #include "machine/parallel_model.hpp"
@@ -103,6 +105,16 @@ class LocaleCtx {
   void comm_event(const char* path, int peer, std::int64_t msgs,
                   std::int64_t bytes, std::int64_t bulks);
 
+  /// The delivery funnel every remote_* helper ends in: counts the
+  /// logical intent, and — when a fault plan is attached — runs the
+  /// transfer through it, charging each wire attempt (retries re-pay
+  /// `cost` through the network model, failed attempts add the ack
+  /// timeout, backoffs wait in between) and publishing retry/timeout/
+  /// injection counters. Without a plan it is exactly one comm_event
+  /// plus one clock advance.
+  void transfer(const char* path, int peer, std::int64_t msgs,
+                std::int64_t bytes, std::int64_t bulks, double cost);
+
   LocaleGrid& grid_;
   int locale_;
 };
@@ -127,10 +139,24 @@ class LocaleGrid {
   int threads() const { return cfg_.threads_per_locale; }
 
   /// Change the per-locale thread count (benches sweep threads over one
-  /// generated workload; data placement is unaffected).
-  void set_threads(int threads) {
-    PGB_REQUIRE(threads >= 1, "need at least one thread");
-    cfg_.threads_per_locale = threads;
+  /// generated workload; data placement is unaffected). The value is
+  /// re-validated against the machine model: the parallel model prices
+  /// moderate oversubscription (threads beyond a core's share earn only
+  /// `oversubscribe_gain`), but a request beyond kOversubscribeCap times
+  /// this locale's core share is a sweep bug — it is clamped with a
+  /// warning instead of silently modeling thousands of phantom threads.
+  void set_threads(int threads);
+
+  /// Largest accepted threads-per-locale multiplier over the locale's
+  /// core share (model cores / locales per node).
+  static constexpr int kOversubscribeCap = 4;
+
+  /// The clamp bound set_threads enforces for this grid's model and
+  /// placement.
+  int max_threads() const {
+    const int share =
+        std::max(1, cfg_.model.node.cores / cfg_.locales_per_node);
+    return kOversubscribeCap * share;
   }
   int colocated() const { return cfg_.locales_per_node; }
   const Locale& locale(int id) const { return locales_[id]; }
@@ -160,6 +186,21 @@ class LocaleGrid {
     trace_session_ = session;
   }
   obs::TraceSession* trace_session() { return trace_session_; }
+
+  /// Attach (or detach, with nullptr) a fault plan; not owned. While
+  /// attached, every comm helper and aggregator flush consults it:
+  /// injected faults charge retries/timeouts per `retry_policy()`, and
+  /// coforall dispatch throws LocaleFailed when a locale's kill time has
+  /// passed (recovery drivers catch it; see fault/recovery.hpp).
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+  FaultPlan* fault_plan() { return fault_plan_; }
+
+  /// Delivery-guarantee knobs used while a fault plan is attached.
+  void set_retry_policy(const RetryPolicy& rp) {
+    rp.validate();
+    retry_ = rp;
+  }
+  const RetryPolicy& retry_policy() const { return retry_; }
 
   /// Bumped by reset(). Charging objects that can outlive a reset (the
   /// aggregation channels) capture the epoch at construction and go
@@ -197,6 +238,16 @@ class LocaleGrid {
     obs::Counter* parallel_regions = nullptr;
     obs::Counter* coforalls = nullptr;
     obs::Counter* barriers = nullptr;
+    // Delivery-guarantee accounting (fault plane). comm.messages counts
+    // every wire attempt; comm.logical_messages counts intents, so the
+    // two are equal exactly when nothing was retried or duplicated.
+    obs::Counter* logical_messages = nullptr;  ///< comm.logical_messages
+    obs::Counter* retries = nullptr;           ///< comm.retries
+    obs::Counter* timeouts = nullptr;          ///< comm.timeouts
+    obs::Counter* injected_drop = nullptr;     ///< fault.injected{kind=drop}
+    obs::Counter* injected_dup = nullptr;      ///< fault.injected{kind=dup}
+    obs::Counter* injected_corrupt = nullptr;  ///< ...{kind=corrupt}
+    obs::Counter* injected_stall = nullptr;    ///< ...{kind=stall}
   };
   const HotCounters& hot() const { return hot_; }
 
@@ -218,6 +269,9 @@ class LocaleGrid {
   obs::MetricsRegistry metrics_;
   HotCounters hot_;
   obs::TraceSession* trace_session_ = nullptr;
+  FaultPlan* fault_plan_ = nullptr;
+  RetryPolicy retry_;
+  bool warned_thread_clamp_ = false;
   std::uint64_t epoch_ = 0;
 };
 

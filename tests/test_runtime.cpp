@@ -175,6 +175,23 @@ TEST(Dist2D, LocaleOfMatchesRowMajorGrid) {
   EXPECT_EQ(d.pcol_of(6), 2);
 }
 
+TEST(LocaleGridThreads, SetThreadsClampsToOversubscriptionCap) {
+  auto grid = LocaleGrid::square(4, 1);
+  const int cap = grid.max_threads();
+  // cap = kOversubscribeCap x the locale's core share; well above the
+  // bench sweeps (1..32 threads on the default model).
+  EXPECT_GE(cap, 32);
+  grid.set_threads(cap);  // at the cap: accepted verbatim
+  EXPECT_EQ(grid.threads(), cap);
+  grid.set_threads(cap + 1);  // beyond: clamped, not honored
+  EXPECT_EQ(grid.threads(), cap);
+  grid.set_threads(1000000);
+  EXPECT_EQ(grid.threads(), cap);
+  grid.set_threads(2);  // back under the cap: exact again
+  EXPECT_EQ(grid.threads(), 2);
+  EXPECT_THROW(grid.set_threads(0), InvalidArgument);
+}
+
 TEST(Dist2D, EveryCellOwnedByExactlyOneLocale) {
   BlockDist2D d(31, 17, 3, 2);
   for (Index r = 0; r < 31; ++r) {

@@ -12,8 +12,10 @@
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <optional>
 #include <string>
 
+#include "algo/algo_recovery.hpp"
 #include "algo/bfs.hpp"
 #include "algo/bfs_hybrid.hpp"
 #include "algo/connected_components.hpp"
@@ -91,6 +93,18 @@ int run(int argc, char** argv) {
       cli.get("metrics", "", "write the metrics registry as JSON");
   const std::uint64_t seed =
       static_cast<std::uint64_t>(cli.get_int("seed", 1, "generator seed"));
+  const std::string faults = cli.get(
+      "faults", "",
+      "fault-injection spec, e.g. 'drop:p=0.01;stall:p=0.001,ms=0.5;"
+      "kill:locale=3,at=0.002'");
+  const std::uint64_t fault_seed = static_cast<std::uint64_t>(
+      cli.get_int("fault-seed", 42, "fault plan RNG seed"));
+  const int checkpoint_every = static_cast<int>(cli.get_int(
+      "checkpoint-every", 0,
+      "checkpoint every K rounds under --faults (0 = restart from scratch; "
+      "bfs/sssp/pagerank)"));
+  const int retry_max = static_cast<int>(cli.get_int(
+      "retry-max", 4, "max send attempts per transfer under --faults"));
   cli.finish();
 
   PGB_REQUIRE(machine == "edison" || machine == "modern",
@@ -143,9 +157,35 @@ int run(int argc, char** argv) {
                   : parse_comm_mode(comm_flag);
   comm.agg.capacity = agg_capacity;
 
+  // --- fault plan + delivery guarantees ---
+  RetryPolicy retry;
+  retry.max_attempts = retry_max;
+  retry.validate();
+  PGB_REQUIRE(checkpoint_every >= 0, "--checkpoint-every must be >= 0");
+  std::optional<FaultPlan> plan;
+  if (!faults.empty()) {
+    plan.emplace(FaultSpec::parse(faults), fault_seed);
+    std::printf("faults: %s (seed %llu, retry-max %d)\n",
+                plan->spec().to_string().c_str(),
+                static_cast<unsigned long long>(fault_seed), retry_max);
+  }
+  RecoveryOptions ropt;
+  ropt.checkpoint_every = checkpoint_every;
+  ropt.retry = retry;
+  RecoveryStats rstats;
+
   grid.reset();
+  if (plan.has_value()) {
+    grid.set_fault_plan(&*plan);
+    grid.set_retry_policy(retry);
+  }
   if (op == "bfs") {
-    auto res = bfs(a, source, comm);
+    // Under a fault plan BFS runs through the recovery driver, which
+    // survives locale kills by checkpoint/restart (bit-identical result).
+    const BfsResult res =
+        plan.has_value()
+            ? bfs_with_recovery(a, source, comm, &*plan, ropt, &rstats)
+            : bfs(a, source, comm);
     Index reached = 0;
     for (Index s : res.level_sizes) reached += s;
     std::printf("bfs: reached %lld vertices in %zu levels\n",
@@ -163,7 +203,10 @@ int run(int argc, char** argv) {
     std::printf("cc: %lld components in %d rounds\n",
                 static_cast<long long>(res.num_components), res.rounds);
   } else if (op == "pagerank") {
-    auto res = pagerank(a);
+    const PagerankResult res =
+        plan.has_value()
+            ? pagerank_with_recovery(a, &*plan, 0.85, 1e-8, 100, ropt, &rstats)
+            : pagerank(a);
     Index best = 0;
     for (Index v = 1; v < a.nrows(); ++v) {
       if (res.rank[static_cast<std::size_t>(v)] >
@@ -175,7 +218,10 @@ int run(int argc, char** argv) {
                 res.iterations, static_cast<long long>(best),
                 res.rank[static_cast<std::size_t>(best)]);
   } else if (op == "sssp") {
-    auto res = sssp(a, source, comm);
+    const SsspResult res =
+        plan.has_value()
+            ? sssp_with_recovery(a, source, comm, &*plan, ropt, &rstats)
+            : sssp(a, source, comm);
     Index reached = 0;
     for (double dv : res.dist) {
       if (dv != SsspResult::kUnreachable) ++reached;
@@ -199,6 +245,30 @@ int run(int argc, char** argv) {
     throw InvalidArgument("unknown --op: " + op);
   }
   print_timing(grid);
+  if (plan.has_value()) {
+    const auto& hot = grid.hot();
+    const auto kills =
+        grid.metrics().counter("fault.injected", {{"kind", "kill"}}).value;
+    std::printf(
+        "faults: injected drop=%lld dup=%lld corrupt=%lld stall=%lld "
+        "kill=%lld; retries=%lld timeouts=%lld (%lld logical msgs)\n",
+        static_cast<long long>(hot.injected_drop->value),
+        static_cast<long long>(hot.injected_dup->value),
+        static_cast<long long>(hot.injected_corrupt->value),
+        static_cast<long long>(hot.injected_stall->value),
+        static_cast<long long>(kills),
+        static_cast<long long>(hot.retries->value),
+        static_cast<long long>(hot.timeouts->value),
+        static_cast<long long>(hot.logical_messages->value));
+    if (rstats.restarts > 0 || rstats.checkpoints > 0) {
+      std::printf(
+          "recovery: %d restarts, %d checkpoints (%.3g MB), "
+          "%lld rounds replayed\n",
+          rstats.restarts, rstats.checkpoints,
+          static_cast<double>(rstats.checkpoint_bytes) / 1e6,
+          static_cast<long long>(rstats.rounds_replayed));
+    }
+  }
   if (!trace_file.empty()) {
     session.write_chrome_trace(trace_file);
     std::printf("trace: %d tracks, %zu spans -> %s\n", session.num_tracks(),
