@@ -14,6 +14,9 @@ int main(int argc, char** argv) {
   const int sc =
       static_cast<int>(cli.get_int("rmat-scale", 18, "R-MAT scale (2^s vertices)"));
   const bool csv = cli.get_bool("csv", false, "emit CSV instead of tables");
+  const std::string profile = bench::profile_flag(cli);
+  const bool profile_only = cli.get_bool(
+      "profile-only", false, "write profile reports only, skip the sweep");
   cli.finish();
 
   RmatParams p;
@@ -22,6 +25,30 @@ int main(int argc, char** argv) {
   bench::print_preamble("BFS", "R-MAT graph, GraphBLAS-composed BFS", 1.0);
   std::printf("graph: 2^%d vertices, edge factor %lld (symmetrized)\n",
               p.scale, static_cast<long long>(p.edge_factor));
+
+  // Traced 64-node runs folded into profile reports, one per comm
+  // schedule (the BFS baselines under BENCH_profiles/).
+  if (!profile.empty()) {
+    auto grid = LocaleGrid::square(64, 24);
+    auto a = rmat_dist(grid, p);
+    char workload[96];
+    std::snprintf(workload, sizeof workload,
+                  "bfs rmat scale=%d ef=%lld source=0", p.scale,
+                  static_cast<long long>(p.edge_factor));
+    obs::TraceSession session;
+    grid.set_trace_session(&session);
+    for (CommMode mode :
+         {CommMode::kFine, CommMode::kBulk, CommMode::kAggregated}) {
+      grid.reset();  // also clears the attached session
+      SpmspvOptions opt;
+      opt.comm = mode;
+      bfs(a, /*source=*/0, opt);
+      bench::write_bench_profile(profile, to_string(mode), grid, session,
+                                 workload, to_string(mode), 1);
+    }
+    grid.set_trace_session(nullptr);
+    if (profile_only) return 0;
+  }
 
   Table t({"nodes", "fine-grained (paper)", "bulk comm",
            "hybrid dir-opt", "levels", "reached"});

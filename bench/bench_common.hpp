@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "runtime/dist.hpp"
 #include "runtime/locale_grid.hpp"
 #include "util/cli.hpp"
@@ -36,6 +38,38 @@ inline std::uint64_t seed_flag(Cli& cli, std::uint64_t def = 5) {
   return static_cast<std::uint64_t>(
       cli.get_int("seed", static_cast<std::int64_t>(def),
                   "base seed for the workload generators"));
+}
+
+/// Reads the shared --profile flag: a path prefix under which a bench
+/// writes one profile report per captured configuration (see
+/// write_bench_profile); empty means off. `bench/regen_profiles.sh`
+/// drives this to regenerate the committed `BENCH_profiles/` baselines.
+inline std::string profile_flag(Cli& cli) {
+  return cli.get("profile", "",
+                 "profile report path prefix (one <prefix><label>.json "
+                 "per configuration; empty = off)");
+}
+
+/// Folds a traced run into a profile report at `<prefix><label>.json`.
+/// The grid must still hold the run's clocks/metrics (i.e. call this
+/// before the next `grid.reset()`), with `session` attached for the
+/// duration of the run.
+inline void write_bench_profile(const std::string& prefix,
+                                const std::string& label, LocaleGrid& grid,
+                                const obs::TraceSession& session,
+                                const std::string& workload,
+                                const std::string& comm,
+                                std::uint64_t seed) {
+  obs::Profile p = obs::build_profile(session, grid.metrics().snapshot());
+  p.workload = workload;
+  p.comm = comm;
+  p.seed = seed;
+  p.locales = grid.num_locales();
+  p.threads = grid.threads();
+  p.machine = "edison";
+  const std::string path = prefix + label + ".json";
+  p.write(path);
+  std::printf("profile -> %s\n", path.c_str());
 }
 
 /// Applies --scale to a paper-sized count (rounding to at least 1).

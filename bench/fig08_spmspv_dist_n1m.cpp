@@ -11,8 +11,11 @@ int main(int argc, char** argv) {
   const double scale =
       cli.get_double("scale", 1.0, "fraction of the paper's n=1M");
   const bool csv = cli.get_bool("csv", false, "emit CSV instead of tables");
+  const std::string profile = pgb::bench::profile_flag(cli);
+  const bool profile_only = cli.get_bool(
+      "profile-only", false, "write profile reports only, skip the sweep");
   cli.finish();
   pgb::bench::run_spmspv_dist_fig(pgb::bench::scaled(1000000, scale), scale,
-                                  csv, "Figure 8");
+                                  csv, "Figure 8", profile, profile_only);
   return 0;
 }

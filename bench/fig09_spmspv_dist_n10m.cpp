@@ -16,8 +16,12 @@ int main(int argc, char** argv) {
   const double scale =
       cli.get_double("scale", 0.2, "fraction of the paper's n=10M");
   const bool csv = cli.get_bool("csv", false, "emit CSV instead of tables");
+  const std::string profile = pgb::bench::profile_flag(cli);
+  const bool profile_only = cli.get_bool(
+      "profile-only", false, "write profile reports only, skip the sweep");
   cli.finish();
   pgb::bench::run_spmspv_dist_fig(pgb::bench::scaled(10000000, scale),
-                                  scale, csv, "Figure 9");
+                                  scale, csv, "Figure 9", profile,
+                                  profile_only);
   return 0;
 }

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Regenerates the committed profile baselines under BENCH_profiles/.
+#
+# The pgb_diff regression gate (CI job `profile-regression`) compares
+# freshly generated profiles against these files; regenerate and commit
+# them whenever a deliberate model/kernel change shifts the modeled
+# times or traffic:
+#
+#   cmake --build build -j
+#   bench/regen_profiles.sh              # writes BENCH_profiles/*.json
+#   git add BENCH_profiles && git commit
+#
+# Environment: BUILD (build dir, default "build"), OUT (output dir,
+# default "BENCH_profiles"). Baselines are deterministic — counts are
+# exact on any platform; modeled times are gated within pgb_diff's
+# relative band.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build}
+OUT=${OUT:-BENCH_profiles}
+mkdir -p "$OUT"
+
+# Figure 8: n=1M ER SpMSpV, d=16 f=2%, 64 locales, all three schedules.
+"$BUILD/bench/fig08_spmspv_dist_n1m" --profile="$OUT/fig8_spmspv_" \
+    --profile-only
+
+# Figure 9 at the bench's default 1/5 scale (n=2M): the full n=10M
+# instance costs ~3 GB and minutes of generation, too heavy for CI.
+"$BUILD/bench/fig09_spmspv_dist_n10m" --profile="$OUT/fig9_spmspv_" \
+    --profile-only
+
+# BFS on the paper's R-MAT scale-18 graph, 64 locales.
+"$BUILD/bench/bench_bfs" --profile="$OUT/bfs_rmat18_" --profile-only
+
+# SSSP via pgb (no dedicated figure bench).
+"$BUILD/tools/pgb" --gen=er --n=1000000 --d=8 --op=sssp --nodes=64 \
+    --comm=agg --seed=5 --profile="$OUT/sssp_er1m_agg.json"
+
+echo "baselines written to $OUT/"

@@ -16,11 +16,51 @@ struct Config {
 };
 }  // namespace
 
+namespace {
+
+// One traced run per comm schedule of the headline configuration at the
+// largest sweep point, each folded into `<prefix><mode>.json`. These
+// are the profiles the pgb_diff regression gate compares against the
+// committed BENCH_profiles/ baselines.
+void write_fig_profiles(Index n, const Config& cfg,
+                        const std::string& prefix) {
+  const auto sr = arithmetic_semiring<std::int64_t>();
+  const int nodes = node_sweep().back();
+  auto grid = LocaleGrid::square(nodes, 24);
+  auto a = erdos_renyi_dist<std::int64_t>(grid, n, cfg.d, 5);
+  auto x = random_dist_sparse_vec<std::int64_t>(
+      grid, n, static_cast<Index>(cfg.f * static_cast<double>(n)), 6);
+  char workload[128];
+  std::snprintf(workload, sizeof workload, "spmspv er n=%lld d=%g f=%g",
+                static_cast<long long>(n), cfg.d, cfg.f);
+  obs::TraceSession session;
+  grid.set_trace_session(&session);
+  for (CommMode mode :
+       {CommMode::kFine, CommMode::kBulk, CommMode::kAggregated}) {
+    grid.reset();  // also clears the attached session
+    SpmspvOptions opt;
+    opt.comm = mode;
+    spmspv_dist(a, x, sr, opt);
+    write_bench_profile(prefix, to_string(mode), grid, session, workload,
+                        to_string(mode), 5);
+  }
+  grid.set_trace_session(nullptr);
+}
+
+}  // namespace
+
 void run_spmspv_dist_fig(Index n, double scale, bool csv,
-                         const char* figure) {
+                         const char* figure,
+                         const std::string& profile_prefix,
+                         bool profile_only) {
   print_preamble(figure, "SpMSpV distributed components", scale);
   const Config configs[3] = {{16.0, 0.02}, {4.0, 0.02}, {16.0, 0.20}};
   const auto sr = arithmetic_semiring<std::int64_t>();
+
+  if (!profile_prefix.empty() && profile_only) {
+    write_fig_profiles(n, configs[0], profile_prefix);
+    return;
+  }
 
   for (const auto& cfg : configs) {
     Table t({"nodes", "Gather input", "Local multiply", "Scatter output",
@@ -54,6 +94,8 @@ void run_spmspv_dist_fig(Index n, double scale, bool csv,
                   static_cast<long long>(n), cfg.d, cfg.f * 100);
     csv ? t.print_csv() : t.print(title);
   }
+
+  if (!profile_prefix.empty()) write_fig_profiles(n, configs[0], profile_prefix);
 }
 
 }  // namespace pgb::bench

@@ -2,13 +2,25 @@
 // breakdown at n=1M and n=10M).
 #pragma once
 
+#include <string>
+
 #include "runtime/dist.hpp"
 
 namespace pgb::bench {
 
 /// Prints the three-configuration component tables for matrices with n
 /// rows/columns. `scale` is only echoed in the preamble.
+///
+/// When `profile_prefix` is non-empty, additionally re-runs the
+/// headline configuration (d=16, f=2%) at the largest sweep point under
+/// a trace session — once per comm schedule — and writes profile
+/// reports to `<profile_prefix>{fine,bulk,agg}.json` (the
+/// `BENCH_profiles/` baselines; see bench/regen_profiles.sh).
+/// `profile_only` skips the sweep tables so CI can regenerate
+/// candidates cheaply.
 void run_spmspv_dist_fig(Index n, double scale, bool csv,
-                         const char* figure);
+                         const char* figure,
+                         const std::string& profile_prefix = "",
+                         bool profile_only = false);
 
 }  // namespace pgb::bench

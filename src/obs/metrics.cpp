@@ -39,6 +39,12 @@ std::string json_escape(const std::string& s) {
       case '\r':
         out += "\\r";
         break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
@@ -61,17 +67,32 @@ void Histogram::observe(std::int64_t v) {
   ++buckets[static_cast<std::size_t>(std::min(b, kBuckets - 1))];
 }
 
-std::int64_t Histogram::quantile_bound(double q) const {
+namespace {
+
+std::int64_t quantile_bound_over(const std::int64_t* buckets, int n,
+                                 std::int64_t count, double q) {
   if (count == 0) return 0;
   const double target = q * static_cast<double>(count);
   std::int64_t seen = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    seen += buckets[static_cast<std::size_t>(b)];
+  for (int b = 0; b < n; ++b) {
+    seen += buckets[b];
     if (static_cast<double>(seen) >= target) {
-      return b == 0 ? 0 : (std::int64_t{1} << b) - 1;
+      return b == 0 ? 0 : (std::int64_t{1} << std::min(b, 62)) - 1;
     }
   }
-  return (std::int64_t{1} << (kBuckets - 1)) - 1;
+  return (std::int64_t{1} << 62) - 1;
+}
+
+}  // namespace
+
+std::int64_t Histogram::quantile_bound(double q) const {
+  return quantile_bound_over(buckets.data(), kBuckets, count, q);
+}
+
+std::int64_t MetricValue::hist_quantile_bound(double q) const {
+  return quantile_bound_over(hist_buckets.data(),
+                             static_cast<int>(hist_buckets.size()), hist_count,
+                             q);
 }
 
 std::int64_t MetricsSnapshot::counter(const std::string& key) const {
@@ -134,9 +155,23 @@ std::string MetricsSnapshot::json() const {
         break;
       }
       case MetricKind::kHistogram: {
+        // Summary quantiles ride alongside the raw power-of-two buckets
+        // so two metrics files diff on "p95 moved" instead of bucket
+        // vectors. p50/p95/max are bucket upper bounds (exact integers);
+        // mean is sum/count.
+        char mean[48];
+        std::snprintf(mean, sizeof mean, "%.9g",
+                      v.hist_count == 0
+                          ? 0.0
+                          : static_cast<double>(v.hist_sum) /
+                                static_cast<double>(v.hist_count));
         out += "\"kind\": \"histogram\", \"count\": " +
                std::to_string(v.hist_count) +
                ", \"sum\": " + std::to_string(v.hist_sum) +
+               ", \"mean\": " + mean +
+               ", \"p50\": " + std::to_string(v.hist_quantile_bound(0.5)) +
+               ", \"p95\": " + std::to_string(v.hist_quantile_bound(0.95)) +
+               ", \"max\": " + std::to_string(v.hist_quantile_bound(1.0)) +
                ", \"buckets\": [";
         // Trailing all-zero buckets are elided to keep the file small.
         std::size_t last = v.hist_buckets.size();
@@ -166,6 +201,18 @@ Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       const Labels& labels) {
   return histograms_[metric_key(name, labels)];
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name,
+                                             const Labels& labels) const {
+  auto it = counters_.find(metric_key(name, labels));
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name,
+                                                 const Labels& labels) const {
+  auto it = histograms_.find(metric_key(name, labels));
+  return it == histograms_.end() ? nullptr : &it->second;
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {

@@ -82,6 +82,11 @@ struct MetricValue {
   std::int64_t hist_count = 0;
   std::int64_t hist_sum = 0;
   std::vector<std::int64_t> hist_buckets;  ///< empty unless a histogram
+
+  /// Histogram quantile over the snapshotted buckets (same semantics as
+  /// Histogram::quantile_bound): upper bound (inclusive) of the smallest
+  /// bucket holding quantile `q`; 0 when empty or not a histogram.
+  std::int64_t hist_quantile_bound(double q) const;
 };
 
 /// Point-in-time copy of a registry; value semantics, so callers can
@@ -111,6 +116,13 @@ class MetricsRegistry {
   Counter& counter(const std::string& name, const Labels& labels = {});
   Gauge& gauge(const std::string& name, const Labels& labels = {});
   Histogram& histogram(const std::string& name, const Labels& labels = {});
+
+  /// Non-registering lookups (nullptr when absent) — for samplers that
+  /// must not create metrics as a side effect of observing them.
+  const Counter* find_counter(const std::string& name,
+                              const Labels& labels = {}) const;
+  const Histogram* find_histogram(const std::string& name,
+                                  const Labels& labels = {}) const;
 
   MetricsSnapshot snapshot() const;
 

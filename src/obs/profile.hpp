@@ -1,0 +1,143 @@
+// Profile reports: fold a TraceSession + MetricsSnapshot into a
+// comparable artifact, and diff two such artifacts as a perf gate.
+//
+// A Profile is the analysis-side view of one traced run: the recorded
+// spans, merged by name into a tree (a "spmspv.spa" node under the
+// "spmspv.local" phase node), with per-node inclusive/self *simulated*
+// time, instance counts, per-locale inclusive min/mean/max (the load-
+// imbalance view), and the summed integer span args (the `d_messages` /
+// `d_bytes` comm deltas the grid spans attach). Alongside the tree it
+// carries the registry's counters and histogram summaries verbatim.
+// Host wall time is deliberately absent: everything in a profile is
+// modeled or counted, so the same seed produces a byte-identical
+// profile.json on every run — which is what makes diffing meaningful.
+//
+// The serialized form (`Profile::json()`) is stable: sorted keys,
+// fixed "%.9g" float formatting, version-tagged. `Profile::load()`
+// reads it back (via util/json), and `diff_profiles()` compares two
+// profiles under per-metric tolerances:
+//   - structure (span set, counter families, workload identity, counts,
+//     message/byte counters, histogram shapes): exact — these are
+//     deterministic, any drift is a behavioral change;
+//   - modeled times (inclusive/self, per-locale stats, total): a
+//     relative band (default 5%), with a floor below which times are
+//     noise and not gated. Faster-than-band shows up as an improvement
+//     (reported, but not a failure — regenerate the baseline to lock
+//     it in).
+// `tools/pgb_diff` wraps this as the CI gate; `pgb --profile=FILE` and
+// the figure benches' `--profile` flag emit the artifacts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pgb::obs {
+
+/// One merged span-name node of the profile tree. Times are seconds of
+/// simulated time, summed over every instance on every locale.
+struct ProfileNode {
+  std::int64_t count = 0;  ///< span instances across all locales
+  double incl = 0.0;       ///< total inclusive time
+  double self = 0.0;       ///< incl minus direct children's inclusive
+  int locales = 0;         ///< locales with at least one instance
+  double incl_min = 0.0;   ///< min over per-locale inclusive totals
+  double incl_mean = 0.0;  ///< mean over locales that have the node
+  double incl_max = 0.0;   ///< max over per-locale inclusive totals
+  /// Integer span args summed over instances (e.g. d_messages, d_bytes,
+  /// frontier); exact and deterministic, diffed exactly.
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, ProfileNode> children;  ///< keyed by span name
+};
+
+/// Exact summary of one registry histogram (all integers).
+struct ProfileHistogram {
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t p50 = 0;
+  std::int64_t p95 = 0;
+  std::int64_t max = 0;
+};
+
+struct Profile {
+  static constexpr int kVersion = 1;
+
+  // Workload identity: diffing profiles of different workloads is a
+  // category error, so these participate in the structural comparison.
+  std::string workload;  ///< free-form "op + generator + sizes" label
+  std::string comm;      ///< fine | bulk | agg (empty when n/a)
+  std::uint64_t seed = 0;
+  int locales = 0;
+  int threads = 0;
+  std::string machine;
+
+  double total_time = 0.0;  ///< grid simulated time at capture
+  std::map<std::string, ProfileNode> spans;  ///< root span names
+  std::map<std::string, std::int64_t> counters;  ///< registry counters
+  std::map<std::string, ProfileHistogram> histograms;
+
+  /// Stable serialization (sorted keys, fixed float format): the same
+  /// profile always renders to the same bytes, and render-parse-render
+  /// is idempotent.
+  std::string json() const;
+  void write(const std::string& path) const;
+
+  static Profile from_json(const std::string& text);
+  static Profile load(const std::string& path);
+};
+
+/// Folds the session's recorded spans and the snapshot's counters /
+/// histograms into a profile. Only closed spans contribute (the caller
+/// captures after the op, when every scope has exited); the workload
+/// identity fields are the caller's to fill in.
+Profile build_profile(const TraceSession& session,
+                      const MetricsSnapshot& snap);
+
+// ---------------------------------------------------------------------
+// Diff / gate
+// ---------------------------------------------------------------------
+
+struct ProfileDiffOptions {
+  double time_tol = 0.05;    ///< relative band for modeled times
+  double time_floor = 1e-6;  ///< seconds; both sides below = not gated
+};
+
+struct ProfileFinding {
+  enum class Kind {
+    kStructural,   ///< span/counter appeared or vanished, identity drift
+    kRegression,   ///< exact mismatch, or time above the band
+    kImprovement,  ///< time below the band (informational)
+  };
+  Kind kind = Kind::kRegression;
+  std::string where;   ///< e.g. "spans/spmspv.local/spmspv.gather"
+  std::string metric;  ///< e.g. "incl_mean", "count", "d_messages"
+  double base = 0.0;
+  double cand = 0.0;
+
+  /// "spans/x incl_mean: 1.2e-3 -> 1.4e-3 (+16.7%)"-style line.
+  std::string to_string() const;
+};
+
+struct ProfileDiffResult {
+  std::vector<ProfileFinding> findings;  ///< structural+regression first
+  int compared = 0;  ///< individual metrics compared
+
+  bool clean() const;  ///< no structural findings, no regressions
+  std::string report(const std::string& base_name,
+                     const std::string& cand_name) const;
+};
+
+ProfileDiffResult diff_profiles(const Profile& base, const Profile& cand,
+                                const ProfileDiffOptions& opt = {});
+
+/// Multiplies every time field of nodes named `name` (at any depth) by
+/// `factor`. This is the gate's self-test hook: CI perturbs a copy of
+/// the baseline by 10% and asserts `pgb_diff` fails — proving the gate
+/// would catch a real cost-model shift of that size.
+void scale_span_times(Profile& p, const std::string& name, double factor);
+
+}  // namespace pgb::obs

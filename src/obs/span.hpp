@@ -14,6 +14,9 @@
 // span also attaches the grid-wide comm delta ("d_messages",
 // "d_bytes") accumulated during the phase, so a timeline span answers
 // "how much traffic did this phase move" without a metrics file.
+// Grid spans additionally sample the counter tracks (comm.messages,
+// comm.bytes, ...) at open and close, so Perfetto shows the cumulative
+// counters stepping exactly at phase boundaries.
 //
 // When no session is attached the constructors reduce to one null
 // check; scopes are also epoch-guarded, so a scope that survives a
@@ -38,6 +41,7 @@ class GridSpan {
     const CommStats cs = grid.comm_stats();
     msgs0_ = cs.messages;
     bytes0_ = cs.bytes;
+    grid.sample_counter_tracks();
     for (int l = 0; l < grid.num_locales(); ++l) {
       session->begin_span(l, name, grid.clock(l).now(), args);
     }
@@ -61,6 +65,7 @@ class GridSpan {
     for (int l = 0; l < grid_.num_locales(); ++l) {
       session->end_span(l, grid_.clock(l).now(), extra);
     }
+    grid_.sample_counter_tracks();
   }
 
  private:

@@ -50,10 +50,15 @@ void TraceSession::instant(int track, std::string name, double sim_now,
                                    wall_now_us(), std::move(args)});
 }
 
+void TraceSession::counter(std::string name, double sim_now, double value) {
+  counters_.push_back(CounterSample{std::move(name), sim_now, value});
+}
+
 void TraceSession::clear() {
   for (auto& s : open_) s.clear();
   spans_.clear();
   instants_.clear();
+  counters_.clear();
 }
 
 int TraceSession::open_depth(int track) const {
@@ -129,6 +134,13 @@ std::string TraceSession::chrome_trace_json() const {
            ",\"ts\":" + us(i.sim_ts) + ",\"s\":\"t\",";
     append_args_json(out, i.args, 0.0);
     out += "}";
+  }
+  for (const auto& c : counters_) {
+    char val[48];
+    std::snprintf(val, sizeof val, "%.17g", c.value);
+    out += ",\n{\"ph\":\"C\",\"name\":\"" + json_escape(c.name) +
+           "\",\"cat\":\"sim\",\"pid\":0,\"tid\":0,\"ts\":" + us(c.sim_ts) +
+           ",\"args\":{\"value\":" + val + "}}";
   }
   out += "\n]}\n";
   return out;

@@ -16,11 +16,12 @@
 // stays free when off.
 //
 // Export: `chrome_trace_json()` / `write_chrome_trace(path)` emit the
-// Chrome trace-event format ("X" complete events + "i" instants, ts in
-// microseconds of simulated time), loadable in Perfetto
-// (https://ui.perfetto.dev) or chrome://tracing. Each locale appears as
-// one named thread track; span args carry the wall-time cost and any
-// key/values attached at the call site.
+// Chrome trace-event format ("X" complete events + "i" instants + "C"
+// counter samples, ts in microseconds of simulated time), loadable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing. Each locale
+// appears as one named thread track; span args carry the wall-time cost
+// and any key/values attached at the call site. Counter samples become
+// one Perfetto counter track per name, aligned with the spans.
 #pragma once
 
 #include <chrono>
@@ -55,6 +56,16 @@ struct InstantEvent {
   TraceArgs args;
 };
 
+/// One sample of a cumulative counter, exported as a Chrome trace "C"
+/// event — Perfetto renders each distinct name as a counter track on
+/// the same simulated-time axis as the spans. Samples are grid-wide
+/// (the registry's counters are grid totals), so they live on track 0.
+struct CounterSample {
+  std::string name;    ///< track name, usually the registry key
+  double sim_ts = 0.0;
+  double value = 0.0;
+};
+
 class TraceSession {
  public:
   /// `detail` additionally records per-call comm instants (one event per
@@ -80,12 +91,21 @@ class TraceSession {
   void instant(int track, std::string name, double sim_now,
                TraceArgs args = {});
 
+  /// Records one counter-track sample (see CounterSample). Callers
+  /// sample at span/phase boundaries — LocaleGrid::sample_counter_tracks
+  /// is the standard hook — so each track stays monotone in both ts and
+  /// value for cumulative counters.
+  void counter(std::string name, double sim_now, double value);
+
   /// Drops every recorded event and every open span. Called by
   /// LocaleGrid::reset() so a trace covers exactly one epoch.
   void clear();
 
   const std::vector<SpanEvent>& spans() const { return spans_; }
   const std::vector<InstantEvent>& instants() const { return instants_; }
+  const std::vector<CounterSample>& counter_samples() const {
+    return counters_;
+  }
 
   /// Number of tracks touched so far (max track id + 1).
   int num_tracks() const { return num_tracks_; }
@@ -124,6 +144,7 @@ class TraceSession {
   std::vector<std::vector<OpenSpan>> open_;  ///< per-track stacks
   std::vector<SpanEvent> spans_;
   std::vector<InstantEvent> instants_;
+  std::vector<CounterSample> counters_;
 };
 
 }  // namespace pgb::obs

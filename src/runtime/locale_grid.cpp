@@ -196,6 +196,25 @@ double LocaleGrid::time() const {
   return t;
 }
 
+void LocaleGrid::sample_counter_tracks() {
+  if (trace_session_ == nullptr) return;
+  const double t = time();
+  auto sample = [&](const char* name, std::int64_t v) {
+    trace_session_->counter(name, t, static_cast<double>(v));
+  };
+  sample("comm.messages", hot_.messages->value);
+  sample("comm.bytes", hot_.bytes->value);
+  sample("comm.retries", hot_.retries->value);
+  sample("agg.flushes", hot_.agg_flushes->value);
+  // Cumulative elements moved through aggregator flushes; looked up
+  // without registering so runs that never aggregate don't grow an
+  // empty histogram as a sampling side effect.
+  if (const obs::Histogram* occ =
+          metrics_.find_histogram("agg.occupancy", {{"dir", "put"}})) {
+    sample("agg.occupancy.sum", occ->sum);
+  }
+}
+
 void LocaleGrid::coforall_locales(const std::function<void(LocaleCtx&)>& body) {
   hot_.coforalls->inc();
   const double t0 = clocks_[0].now();

@@ -187,6 +187,14 @@ class LocaleGrid {
   }
   obs::TraceSession* trace_session() { return trace_session_; }
 
+  /// Samples the grid-wide comm counters into the attached trace
+  /// session's counter tracks, stamped at the current simulated time
+  /// (no-op without a session). Called by obs::GridSpan at phase open
+  /// and close, so rate changes land exactly at span boundaries on the
+  /// exported timeline. Tracks are cumulative counters, hence monotone
+  /// non-decreasing within an epoch.
+  void sample_counter_tracks();
+
   /// Attach (or detach, with nullptr) a fault plan; not owned. While
   /// attached, every comm helper and aggregator flush consults it:
   /// injected faults charge retries/timeouts per `retry_policy()`, and

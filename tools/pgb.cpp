@@ -27,6 +27,7 @@
 #include "gen/random_vec.hpp"
 #include "gen/rmat.hpp"
 #include "io/matrix_market.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -91,6 +92,9 @@ int run(int argc, char** argv) {
       "trace-detail", false, "also record per-call comm instants");
   const std::string metrics_file =
       cli.get("metrics", "", "write the metrics registry as JSON");
+  const std::string profile_file = cli.get(
+      "profile", "",
+      "write a profile report (span tree + counters) for pgb_diff");
   const std::uint64_t seed =
       static_cast<std::uint64_t>(cli.get_int("seed", 1, "generator seed"));
   const std::string faults = cli.get(
@@ -116,7 +120,9 @@ int run(int argc, char** argv) {
   auto grid = LocaleGrid::square(nodes, threads, 1, model);
 
   obs::TraceSession session(trace_detail);
-  if (!trace_file.empty()) grid.set_trace_session(&session);
+  if (!trace_file.empty() || !profile_file.empty()) {
+    grid.set_trace_session(&session);
+  }
 
   // --- load or generate the matrix (double values throughout) ---
   DistCsr<double> a(grid, 0, 0);
@@ -271,12 +277,49 @@ int run(int argc, char** argv) {
   }
   if (!trace_file.empty()) {
     session.write_chrome_trace(trace_file);
-    std::printf("trace: %d tracks, %zu spans -> %s\n", session.num_tracks(),
-                session.spans().size(), trace_file.c_str());
+    std::printf("trace: %d tracks, %zu spans, %zu counter samples -> %s\n",
+                session.num_tracks(), session.spans().size(),
+                session.counter_samples().size(), trace_file.c_str());
   }
   if (!metrics_file.empty()) {
     write_metrics(grid, metrics_file);
     std::printf("metrics -> %s\n", metrics_file.c_str());
+  }
+  if (!profile_file.empty()) {
+    obs::Profile prof =
+        obs::build_profile(session, grid.metrics().snapshot());
+    // Workload identity: enough detail that diffing two different runs
+    // is rejected as a structural mismatch instead of reported as a
+    // thousand "regressions".
+    std::string workload = op;
+    if (!matrix.empty()) {
+      workload += " " + matrix;
+    } else if (gen == "er") {
+      char g[64];
+      std::snprintf(g, sizeof g, " er n=%lld d=%g",
+                    static_cast<long long>(n), d);
+      workload += g;
+    } else {
+      workload += " rmat scale=" + std::to_string(rmat_scale);
+    }
+    if (op == "spmspv") {
+      char fs[32];
+      std::snprintf(fs, sizeof fs, " f=%g", f);
+      workload += fs;
+    }
+    if (op == "bfs" || op == "bfs-hybrid" || op == "sssp") {
+      workload += " source=" + std::to_string(static_cast<long long>(source));
+    }
+    if (!faults.empty()) workload += " faults=" + faults;
+    prof.workload = workload;
+    prof.comm = to_string(comm.comm);
+    prof.seed = seed;
+    prof.locales = grid.num_locales();
+    prof.threads = grid.threads();
+    prof.machine = machine;
+    prof.write(profile_file);
+    std::printf("profile: %zu root spans -> %s\n", prof.spans.size(),
+                profile_file.c_str());
   }
   return 0;
 }

@@ -1,0 +1,138 @@
+// pgb_diff — the profile regression gate.
+//
+// Compares two profile reports (written by `pgb --profile=FILE` or the
+// figure benches' `--profile` flag) and exits non-zero when the
+// candidate regressed against the baseline:
+//
+//   pgb_diff BENCH_profiles/fig8_spmspv_agg.json candidate.json
+//
+// Deterministic facts (span structure, instance counts, message/byte
+// counters, histogram shapes) are compared exactly — any drift is a
+// behavioral change and fails the gate. Modeled times are compared
+// within a relative band (--time-tol, default 5%) above a noise floor
+// (--time-floor, default 1µs); faster-than-band results are reported as
+// improvements but do not fail — regenerate the baseline
+// (bench/regen_profiles.sh) to lock them in.
+//
+// --inject-slowdown=NAME:FACTOR multiplies the candidate's modeled
+// times for spans named NAME before diffing. CI uses it to prove the
+// gate trips: diffing a baseline against itself with
+// --inject-slowdown=spmspv.gather:1.1 must exit 1.
+//
+// Exit codes: 0 clean (improvements allowed), 1 regression or
+// structural change, 2 usage/load error.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/profile.hpp"
+#include "util/error.hpp"
+
+using namespace pgb;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s BASELINE.json CANDIDATE.json [options]\n"
+      "  --time-tol=F           relative band for modeled times "
+      "(default 0.05)\n"
+      "  --time-floor=F         seconds below which times are not gated "
+      "(default 1e-6)\n"
+      "  --report=FILE          also write the report to FILE\n"
+      "  --inject-slowdown=NAME:FACTOR\n"
+      "                         scale candidate times of spans named NAME "
+      "(gate self-test)\n",
+      argv0);
+  std::exit(2);
+}
+
+double parse_double(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    PGB_REQUIRE(pos == s.size(), "trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw InvalidArgument(std::string("bad value for ") + what + ": " + s);
+  }
+}
+
+}  // namespace
+
+int run(int argc, char** argv) {
+  std::vector<std::string> files;
+  double time_tol = 0.05;
+  double time_floor = 1e-6;
+  std::string report_file;
+  std::string inject;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      files.push_back(arg);
+      continue;
+    }
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string val =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--time-tol") {
+      time_tol = parse_double(val, "--time-tol");
+    } else if (key == "--time-floor") {
+      time_floor = parse_double(val, "--time-floor");
+    } else if (key == "--report") {
+      report_file = val;
+    } else if (key == "--inject-slowdown") {
+      inject = val;
+    } else if (key == "--help") {
+      usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "pgb_diff: unknown flag %s\n", key.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (files.size() != 2) usage(argv[0]);
+  PGB_REQUIRE(time_tol >= 0.0, "--time-tol must be >= 0");
+  PGB_REQUIRE(time_floor >= 0.0, "--time-floor must be >= 0");
+
+  const obs::Profile base = obs::Profile::load(files[0]);
+  obs::Profile cand = obs::Profile::load(files[1]);
+
+  if (!inject.empty()) {
+    const auto colon = inject.rfind(':');
+    PGB_REQUIRE(colon != std::string::npos && colon > 0,
+                "--inject-slowdown wants NAME:FACTOR");
+    const std::string name = inject.substr(0, colon);
+    const double factor =
+        parse_double(inject.substr(colon + 1), "--inject-slowdown factor");
+    obs::scale_span_times(cand, name, factor);
+    std::printf("injected: %s times x%g in candidate\n", name.c_str(),
+                factor);
+  }
+
+  obs::ProfileDiffOptions opt;
+  opt.time_tol = time_tol;
+  opt.time_floor = time_floor;
+  const obs::ProfileDiffResult diff = obs::diff_profiles(base, cand, opt);
+  const std::string report = diff.report(files[0], files[1]);
+  std::fputs(report.c_str(), stdout);
+  if (!report_file.empty()) {
+    std::ofstream out(report_file);
+    PGB_REQUIRE(out.good(), "cannot open report file: " + report_file);
+    out << report;
+  }
+  return diff.clean() ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pgb_diff: error: %s\n", e.what());
+    return 2;
+  }
+}
