@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
 
     auto record = [&](const std::string& regime, const BfsResult& res,
                       const BfsResult& base_res, double base_time,
-                      const RecoveryStats* rs) {
+                      const RecoveryReport* rs) {
       Sample s;
       s.nodes = nodes;
       s.regime = regime;
@@ -137,7 +137,7 @@ int main(int argc, char** argv) {
       grid.reset();
       RecoveryOptions ropt;
       ropt.checkpoint_every = k;
-      RecoveryStats rs;
+      RecoveryReport rs;
       const BfsResult res = bfs_with_recovery(a, 0, {}, nullptr, ropt, &rs);
       record("ckpt-" + std::to_string(k), res, base, base_time, &rs);
     }
@@ -163,7 +163,7 @@ int main(int argc, char** argv) {
                      fault_seed);
       RecoveryOptions ropt;
       ropt.checkpoint_every = 4;
-      RecoveryStats rs;
+      RecoveryReport rs;
       const BfsResult res = bfs_with_recovery(a, 0, {}, &plan, ropt, &rs);
       record("kill+recover", res, base, base_time, &rs);
     }

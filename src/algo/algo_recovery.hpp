@@ -1,17 +1,29 @@
-// Checkpoint/restart wrappers for the round-structured algorithms:
-// BFS, SSSP, and pagerank expressed as RecoverableLoops over their
-// *_init/*_step state machines (bfs.hpp, sssp.hpp, pagerank.hpp).
+// Recovery wrappers for the round-structured algorithms: BFS, SSSP, and
+// pagerank expressed as RecoverableLoops over their *_init/*_step state
+// machines (bfs.hpp, sssp.hpp, pagerank.hpp).
+//
+// Each algorithm has one loop *builder* (the serialization contract:
+// which blocks make up its state) shared by two drivers:
+//
+//   *_with_recovery  checkpoint rollback to a stable store
+//                    (fault/recovery.hpp) — restores everyone, replays
+//                    up to checkpoint_every rounds;
+//   *_with_rebuild   localized rebuild from in-memory replicas
+//                    (fault/rebuild.hpp) — rebuilds only the dead
+//                    locale's blocks onto a spare or, degraded, onto
+//                    its buddy host, replaying at most one round.
 //
 // A wrapper run with a null plan (or a plan whose kills never fire) is
-// the plain algorithm plus periodic checkpoint charges; when a locale is
-// killed mid-run, the driver restores the last snapshot and re-executes
-// the lost rounds over bit-identical inputs, so the recovered result is
+// the plain algorithm plus periodic checkpoint/replication charges; when
+// a locale is killed mid-run, the driver restores and re-executes the
+// lost rounds over bit-identical inputs, so the recovered result is
 // bit-for-bit the fault-free result.
 #pragma once
 
 #include "algo/bfs.hpp"
 #include "algo/pagerank.hpp"
 #include "algo/sssp.hpp"
+#include "fault/rebuild.hpp"
 #include "fault/recovery.hpp"
 
 namespace pgb {
@@ -25,18 +37,20 @@ std::int64_t matrix_static_bytes(const DistCsr<T>& a) {
          (a.nrows() + 1) * static_cast<std::int64_t>(sizeof(Index));
 }
 
+// -- loop builders (the per-algorithm snapshot contracts) ----------------
+// The matrix is captured by pointer: it must outlive the returned loop
+// (every caller runs the loop inside the scope that owns the matrix).
+
 template <typename T>
-BfsResult bfs_with_recovery(const DistCsr<T>& a, Index source,
-                            const SpmspvOptions& opt, FaultPlan* plan,
-                            RecoveryOptions ropt = {},
-                            RecoveryStats* stats = nullptr) {
+RecoverableLoop<BfsState<T>> bfs_recovery_loop(const DistCsr<T>& a,
+                                               Index source,
+                                               const SpmspvOptions& opt) {
+  auto* ap = &a;
   auto& grid = a.grid();
   const Index n = a.nrows();
-  if (ropt.static_bytes == 0) ropt.static_bytes = matrix_static_bytes(a);
-
   RecoverableLoop<BfsState<T>> loop;
-  loop.init = [&] { return bfs_init(a, source); };
-  loop.step = [&](BfsState<T>& st) { bfs_step(a, st, opt); };
+  loop.init = [ap, source] { return bfs_init(*ap, source); };
+  loop.step = [ap, opt](BfsState<T>& st) { bfs_step(*ap, st, opt); };
   loop.done = [](const BfsState<T>& st) { return st.done; };
   loop.save = [](const BfsState<T>& st, Checkpoint& c) {
     c.put_dense("bfs.visited", st.visited);
@@ -46,7 +60,7 @@ BfsResult bfs_with_recovery(const DistCsr<T>& a, Index source,
     c.put_scalar("bfs.level", st.level);
     c.put_scalar("bfs.done", st.done);
   };
-  loop.load = [&](const Checkpoint& c) {
+  loop.load = [&grid, n](const Checkpoint& c) {
     BfsState<T> st{DistDenseVec<std::uint8_t>(grid, n, 0),
                    DistSparseVec<T>(grid, n), {}, 0, false};
     c.get_dense("bfs.visited", st.visited);
@@ -57,22 +71,19 @@ BfsResult bfs_with_recovery(const DistCsr<T>& a, Index source,
     st.done = c.get_scalar<bool>("bfs.done");
     return st;
   };
-  BfsState<T> st = run_with_recovery(grid, plan, loop, ropt, stats);
-  return std::move(st.res);
+  return loop;
 }
 
 template <typename T>
-SsspResult sssp_with_recovery(const DistCsr<T>& a, Index source,
-                              const SpmspvOptions& opt, FaultPlan* plan,
-                              RecoveryOptions ropt = {},
-                              RecoveryStats* stats = nullptr) {
+RecoverableLoop<SsspState> sssp_recovery_loop(const DistCsr<T>& a,
+                                              Index source,
+                                              const SpmspvOptions& opt) {
+  auto* ap = &a;
   auto& grid = a.grid();
   const Index n = a.nrows();
-  if (ropt.static_bytes == 0) ropt.static_bytes = matrix_static_bytes(a);
-
   RecoverableLoop<SsspState> loop;
-  loop.init = [&] { return sssp_init(a, source); };
-  loop.step = [&](SsspState& st) { sssp_step(a, st, opt); };
+  loop.init = [ap, source] { return sssp_init(*ap, source); };
+  loop.step = [ap, opt](SsspState& st) { sssp_step(*ap, st, opt); };
   loop.done = [](const SsspState& st) { return st.done; };
   loop.save = [](const SsspState& st, Checkpoint& c) {
     c.put_dense("sssp.dist", st.dist);
@@ -80,7 +91,7 @@ SsspResult sssp_with_recovery(const DistCsr<T>& a, Index source,
     c.put_scalar("sssp.rounds", st.res.rounds);
     c.put_scalar("sssp.done", st.done);
   };
-  loop.load = [&](const Checkpoint& c) {
+  loop.load = [&grid, n](const Checkpoint& c) {
     SsspState st{DistDenseVec<double>(grid, n, SsspResult::kUnreachable),
                  DistSparseVec<double>(grid, n), {}, false};
     c.get_dense("sssp.dist", st.dist);
@@ -89,24 +100,21 @@ SsspResult sssp_with_recovery(const DistCsr<T>& a, Index source,
     st.done = c.get_scalar<bool>("sssp.done");
     return st;
   };
-  SsspState st = run_with_recovery(grid, plan, loop, ropt, stats);
-  return sssp_finalize(st);
+  return loop;
 }
 
 template <typename T>
-PagerankResult pagerank_with_recovery(const DistCsr<T>& a, FaultPlan* plan,
-                                      double damping = 0.85, double tol = 1e-8,
-                                      int max_iters = 100,
-                                      RecoveryOptions ropt = {},
-                                      RecoveryStats* stats = nullptr) {
+RecoverableLoop<PagerankState<T>> pagerank_recovery_loop(const DistCsr<T>& a,
+                                                         double damping,
+                                                         double tol,
+                                                         int max_iters) {
+  auto* ap = &a;
   auto& grid = a.grid();
   const Index n = a.nrows();
-  if (ropt.static_bytes == 0) ropt.static_bytes = matrix_static_bytes(a);
-
   RecoverableLoop<PagerankState<T>> loop;
-  loop.init = [&] { return pagerank_init(a); };
-  loop.step = [&](PagerankState<T>& st) {
-    pagerank_step(a, st, damping, tol, max_iters);
+  loop.init = [ap] { return pagerank_init(*ap); };
+  loop.step = [ap, damping, tol, max_iters](PagerankState<T>& st) {
+    pagerank_step(*ap, st, damping, tol, max_iters);
   };
   loop.done = [](const PagerankState<T>& st) { return st.done; };
   loop.save = [](const PagerankState<T>& st, Checkpoint& c) {
@@ -116,7 +124,7 @@ PagerankResult pagerank_with_recovery(const DistCsr<T>& a, FaultPlan* plan,
     c.put_scalar("pagerank.residual", st.res.residual);
     c.put_scalar("pagerank.done", st.done);
   };
-  loop.load = [&](const Checkpoint& c) {
+  loop.load = [&grid, n](const Checkpoint& c) {
     PagerankState<T> st{DistDenseVec<T>(grid, n, T{}),
                         DistDenseVec<double>(grid, n, 0.0), {}, false};
     c.get_dense("pagerank.deg", st.deg);
@@ -126,7 +134,86 @@ PagerankResult pagerank_with_recovery(const DistCsr<T>& a, FaultPlan* plan,
     st.done = c.get_scalar<bool>("pagerank.done");
     return st;
   };
-  PagerankState<T> st = run_with_recovery(grid, plan, loop, ropt, stats);
+  return loop;
+}
+
+// -- checkpoint-rollback drivers -----------------------------------------
+
+template <typename T>
+BfsResult bfs_with_recovery(const DistCsr<T>& a, Index source,
+                            const SpmspvOptions& opt, FaultPlan* plan,
+                            RecoveryOptions ropt = {},
+                            RecoveryReport* report = nullptr) {
+  if (ropt.static_bytes == 0) ropt.static_bytes = matrix_static_bytes(a);
+  BfsState<T> st = run_with_recovery(
+      a.grid(), plan, bfs_recovery_loop(a, source, opt), ropt, report);
+  return std::move(st.res);
+}
+
+template <typename T>
+SsspResult sssp_with_recovery(const DistCsr<T>& a, Index source,
+                              const SpmspvOptions& opt, FaultPlan* plan,
+                              RecoveryOptions ropt = {},
+                              RecoveryReport* report = nullptr) {
+  if (ropt.static_bytes == 0) ropt.static_bytes = matrix_static_bytes(a);
+  SsspState st = run_with_recovery(
+      a.grid(), plan, sssp_recovery_loop(a, source, opt), ropt, report);
+  return sssp_finalize(st);
+}
+
+template <typename T>
+PagerankResult pagerank_with_recovery(const DistCsr<T>& a, FaultPlan* plan,
+                                      double damping = 0.85, double tol = 1e-8,
+                                      int max_iters = 100,
+                                      RecoveryOptions ropt = {},
+                                      RecoveryReport* report = nullptr) {
+  if (ropt.static_bytes == 0) ropt.static_bytes = matrix_static_bytes(a);
+  PagerankState<T> st = run_with_recovery(
+      a.grid(), plan, pagerank_recovery_loop<T>(a, damping, tol, max_iters),
+      ropt, report);
+  return pagerank_finalize(st);
+}
+
+// -- localized-rebuild drivers -------------------------------------------
+
+template <typename T>
+BfsResult bfs_with_rebuild(const DistCsr<T>& a, Index source,
+                           const SpmspvOptions& opt, FaultPlan* plan,
+                           RebuildOptions ropt = {},
+                           RecoveryReport* report = nullptr) {
+  if (ropt.replica.static_bytes == 0) {
+    ropt.replica.static_bytes = matrix_static_bytes(a);
+  }
+  BfsState<T> st = run_with_rebuild(
+      a.grid(), plan, bfs_recovery_loop(a, source, opt), ropt, report);
+  return std::move(st.res);
+}
+
+template <typename T>
+SsspResult sssp_with_rebuild(const DistCsr<T>& a, Index source,
+                             const SpmspvOptions& opt, FaultPlan* plan,
+                             RebuildOptions ropt = {},
+                             RecoveryReport* report = nullptr) {
+  if (ropt.replica.static_bytes == 0) {
+    ropt.replica.static_bytes = matrix_static_bytes(a);
+  }
+  SsspState st = run_with_rebuild(
+      a.grid(), plan, sssp_recovery_loop(a, source, opt), ropt, report);
+  return sssp_finalize(st);
+}
+
+template <typename T>
+PagerankResult pagerank_with_rebuild(const DistCsr<T>& a, FaultPlan* plan,
+                                     double damping = 0.85, double tol = 1e-8,
+                                     int max_iters = 100,
+                                     RebuildOptions ropt = {},
+                                     RecoveryReport* report = nullptr) {
+  if (ropt.replica.static_bytes == 0) {
+    ropt.replica.static_bytes = matrix_static_bytes(a);
+  }
+  PagerankState<T> st = run_with_rebuild(
+      a.grid(), plan, pagerank_recovery_loop<T>(a, damping, tol, max_iters),
+      ropt, report);
   return pagerank_finalize(st);
 }
 

@@ -73,6 +73,14 @@ struct SpmspvOptions {
   /// point-to-point transfers — the facility the paper's Section IV asks
   /// Chapel to provide. Overrides every other comm setting.
   bool use_collectives = false;
+  /// Straggler work-shedding (opt-in, 0 disables): when a locale's host
+  /// has been flagged a barrier straggler (LocaleGrid straggler
+  /// detection), this fraction of its local-multiply time is shed to the
+  /// fastest non-straggler locale in the same processor row. The helper
+  /// pays the shed compute time *and* pulls the shed share of the
+  /// gathered inputs (thief-pays work stealing). Results are unchanged —
+  /// only modeled charging moves between clocks.
+  double straggler_shed = 0.0;
 
   bool aggregated() const { return comm == CommMode::kAggregated; }
   bool gather_is_bulk() const {
@@ -299,6 +307,34 @@ SparseVec<T> spmspv_shm(LocaleCtx& ctx, const Csr<TA>& a, Index row_lo,
 /// (compare apply_mask).
 namespace detail {
 
+/// Picks the helper locale for straggler shedding: the processor-row
+/// peer with the smallest clock whose host has a clean straggler record.
+/// Returns -1 (no shedding) when shedding is off, this locale's host was
+/// never flagged, or no clean peer exists. Deterministic: ties resolve
+/// to the lowest locale id, and the decision depends only on simulated
+/// clocks, so two same-seed runs shed identically.
+inline int shed_helper(LocaleGrid& grid, int l, int pc, double shed,
+                       const RemapView& remap) {
+  if (shed <= 0.0) return -1;
+  PGB_REQUIRE(shed < 1.0, "spmspv: straggler_shed must be in [0, 1)");
+  const int h = remap.host(l);
+  if (grid.straggler_hits(h) <= 0) return -1;
+  const int prow = grid.locale(l).row;
+  int best = -1;
+  double best_t = 0.0;
+  for (int i = 0; i < pc; ++i) {
+    const int cand = prow * pc + i;
+    const int ch = remap.host(cand);
+    if (ch == h || grid.straggler_hits(ch) > 0) continue;
+    const double t = grid.clock(ch).now();
+    if (best < 0 || t < best_t) {
+      best = cand;
+      best_t = t;
+    }
+  }
+  return best;
+}
+
 template <typename TA, typename T, typename SR>
 DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
                                   const DistSparseVec<T>& x, const SR& sr,
@@ -314,6 +350,12 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
   const int pr = grid.rows();
   const int nloc = grid.num_locales();
   grid.metrics().counter("kernel.calls", {{"kernel", "spmspv_dist"}}).inc();
+
+  // Logical->physical host view: after a degraded-mode remap a peer may
+  // be co-hosted with us, turning its "remote" pieces into local memory
+  // reads. Under the identity mapping remapped() is false and every
+  // branch below reduces to the original formulas bit-for-bit.
+  RemapView remap(grid.membership());
 
   // ---- Step 1: gather x along each processor row ----
   obs::GridSpan gather_span(grid, "spmspv.gather");
@@ -338,7 +380,9 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
       idx.insert(idx.end(), piece.domain().indices().begin(),
                  piece.domain().indices().end());
       val.insert(val.end(), piece.values().begin(), piece.values().end());
-      if (src != l && !opt.use_collectives) {
+      const bool co_hosted =
+          remap.remapped() && remap.host(src) == remap.host(l);
+      if (src != l && !co_hosted && !opt.use_collectives) {
         // Domain-size query, then the element copies. Every locale in
         // this processor row pulls from the same pc sources at once, so
         // each source's AM handler serves pc requesters (contention).
@@ -391,8 +435,39 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
   grid.coforall_locales([&](LocaleCtx& ctx) {
     const int l = ctx.locale();
     const auto& blk = a.block(l);
+    // Straggler shedding (opt-in): if barrier detection flagged this
+    // locale's host, move opt.straggler_shed of the multiply's modeled
+    // time to the fastest clean locale in this processor row. The real
+    // compute still runs here (results are untouched); the helper's
+    // clock pays the shed fraction plus the thief-pays input pull.
+    const int helper =
+        detail::shed_helper(grid, l, pc, opt.straggler_shed, remap);
+    if (helper < 0) {
+      ly[l] = spmspv_shm(ctx, blk.csr, blk.rlo, xr[l], blk.clo, blk.chi, sr,
+                         opt);
+      return;
+    }
+    const double shed = opt.straggler_shed;
+    const double before = ctx.clock().now();
+    ctx.set_charge_scale(1.0 - shed);
     ly[l] = spmspv_shm(ctx, blk.csr, blk.rlo, xr[l], blk.clo, blk.chi, sr,
                        opt);
+    ctx.set_charge_scale(1.0);
+    const double charged = ctx.clock().now() - before;
+    // The helper executes the shed share: it re-pays the time the
+    // straggler saved (charged is (1-shed) of the full cost) and pulls
+    // its share of the gathered input.
+    LocaleCtx hctx(grid, helper);
+    hctx.remote_bulk(l, static_cast<std::int64_t>(
+                            16.0 * static_cast<double>(xr[l].nnz()) * shed));
+    grid.clock(remap.host(helper)).advance(charged / (1.0 - shed) * shed);
+    grid.metrics().counter("spmspv.rebalanced").inc();
+    auto* session = grid.trace_session();
+    if (session != nullptr) {
+      session->instant(remap.host(l), "spmspv.shed", ctx.clock().now(),
+                       {{"helper", std::to_string(helper)},
+                        {"fraction", std::to_string(shed)}});
+    }
   });
   local_span.end();
   grid.trace().add("local", grid.time() - t0);
@@ -443,6 +518,13 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
       c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(count_to[l]));
       for (int o = 0; o < nloc; ++o) {
         if (o == l || count_to[o] == 0) continue;
+        if (remap.remapped() && remap.host(o) == remap.host(l)) {
+          // Co-hosted owner after a degraded remap: straight local
+          // accumulation, nothing to pack.
+          c.add(CostKind::kRandAccess, static_cast<double>(count_to[o]));
+          c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(count_to[o]));
+          continue;
+        }
         c.add(CostKind::kCpuOps, 10.0 * static_cast<double>(count_to[o]));
         c.add(CostKind::kStreamBytes, 16.0 * static_cast<double>(count_to[o]));
       }
@@ -460,7 +542,11 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
       if (opt.use_collectives && o != l) {
         continue;  // charged below as a reduce-scatter per column
       }
-      if (o == l) {
+      // Co-hosted owners (degraded remap) accumulate locally; identity
+      // mapping reduces this to the plain o == l test.
+      const bool local_dst =
+          o == l || (remap.remapped() && remap.host(o) == remap.host(l));
+      if (local_dst) {
         CostVector c;
         c.add(CostKind::kRandAccess, static_cast<double>(count_to[o]));
         c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(count_to[o]));

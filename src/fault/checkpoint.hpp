@@ -16,6 +16,7 @@
 
 #include <cstring>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/span.hpp"
@@ -68,26 +69,33 @@ class Checkpoint {
 
   void clear() {
     entries_.clear();
+    index_.clear();
     round = -1;
   }
 
   bool has(const std::string& key) const { return find(key) != nullptr; }
 
+  // Lookups go through a key -> slot index map rather than scanning
+  // entries_: state machines with many registered blocks (k-truss) call
+  // find once per key per round, and the linear scan made checkpoint
+  // cadence O(entries * lookups).
   const CheckpointEntry* find(const std::string& key) const {
-    for (const auto& e : entries_) {
-      if (e.key == key) return &e;
-    }
-    return nullptr;
+    const auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &entries_[it->second];
   }
 
   /// Mutable lookup — lets tests corrupt a block and assert the checksum
   /// catches it.
   CheckpointEntry* find_mutable(const std::string& key) {
-    for (auto& e : entries_) {
-      if (e.key == key) return &e;
-    }
-    return nullptr;
+    const auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &entries_[it->second];
   }
+
+  /// Number of named entries (index/entry coherence checks in tests).
+  std::size_t size() const { return entries_.size(); }
+
+  /// The entries in insertion order (replication diffing walks them).
+  const std::vector<CheckpointEntry>& entries() const { return entries_; }
 
   std::int64_t total_bytes() const {
     std::int64_t b = 0;
@@ -274,16 +282,17 @@ class Checkpoint {
   }
 
   void replace(CheckpointEntry e) {
-    for (auto& old : entries_) {
-      if (old.key == e.key) {
-        old = std::move(e);
-        return;
-      }
+    const auto it = index_.find(e.key);
+    if (it != index_.end()) {
+      entries_[it->second] = std::move(e);
+      return;
     }
+    index_.emplace(e.key, entries_.size());
     entries_.push_back(std::move(e));
   }
 
   std::vector<CheckpointEntry> entries_;
+  std::unordered_map<std::string, std::size_t> index_;
 };
 
 /// Charges the simulated cost of writing `ckpt` to the stable store:

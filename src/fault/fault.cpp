@@ -67,7 +67,8 @@ FaultSpec FaultSpec::parse(const std::string& spec) {
     const std::size_t colon = clause.find(':');
     FaultRule rule;
     rule.kind = parse_kind(clause, clause.substr(0, colon));
-    bool saw_p = false, saw_ms = false, saw_at = false, saw_locale = false;
+    bool saw_p = false, saw_ms = false, saw_at = false, saw_locale = false,
+         saw_src = false;
     if (colon != std::string::npos) {
       for (const std::string& kv : split(clause.substr(colon + 1), ',')) {
         const std::size_t eq = kv.find('=');
@@ -79,6 +80,11 @@ FaultSpec FaultSpec::parse(const std::string& spec) {
         if (key == "p") {
           rule.probability = parse_num(clause, val);
           saw_p = true;
+        } else if (key == "locale" && rule.kind == FaultKind::kStall) {
+          // stall:locale= is the deterministic *source* target, distinct
+          // from peer= (destination filter on probabilistic rules).
+          rule.src_locale = static_cast<int>(parse_num(clause, val));
+          saw_src = true;
         } else if (key == "peer" || key == "locale") {
           rule.locale = static_cast<int>(parse_num(clause, val));
           saw_locale = true;
@@ -103,6 +109,24 @@ FaultSpec FaultSpec::parse(const std::string& spec) {
       PGB_REQUIRE(!saw_p && !saw_ms,
                   "fault spec: kill takes only locale= and at=: '" + clause +
                       "'");
+    } else if (rule.kind == FaultKind::kStall && saw_src) {
+      // Deterministic source-targeted stall: strict form, nothing
+      // probabilistic may ride along.
+      PGB_REQUIRE(rule.src_locale >= 0,
+                  "fault spec: stall:locale=<id> must be >= 0: '" + clause +
+                      "'");
+      PGB_REQUIRE(!saw_p,
+                  "fault spec: stall:locale= is deterministic; p= is not "
+                  "allowed (use peer= with p= for probabilistic stalls): '" +
+                      clause + "'");
+      PGB_REQUIRE(!saw_locale,
+                  "fault spec: stall:locale= takes no peer=: '" + clause +
+                      "'");
+      PGB_REQUIRE(!saw_at,
+                  "fault spec: at= only applies to kill: '" + clause + "'");
+      PGB_REQUIRE(saw_ms && rule.stall_seconds >= 0.0,
+                  "fault spec: stall:locale= needs ms=<latency >= 0>: '" +
+                      clause + "'");
     } else {
       PGB_REQUIRE(saw_p,
                   "fault spec: " + std::string(pgb::to_string(rule.kind)) +
@@ -135,6 +159,9 @@ std::string FaultSpec::to_string() const {
     if (r.kind == FaultKind::kLocaleFail) {
       s += ":locale=" + std::to_string(r.locale) +
            ",at=" + std::to_string(r.at_time);
+    } else if (r.kind == FaultKind::kStall && r.src_locale >= 0) {
+      s += ":locale=" + std::to_string(r.src_locale) +
+           ",ms=" + std::to_string(r.stall_seconds * 1e3);
     } else {
       s += ":p=" + std::to_string(r.probability);
       if (r.kind == FaultKind::kStall) {
@@ -167,18 +194,25 @@ FaultPlan::FaultPlan(FaultSpec spec, std::uint64_t seed)
   for (const FaultRule& r : spec_.rules) {
     if (r.kind == FaultKind::kLocaleFail) {
       kills_.push_back(Kill{r.locale, r.at_time, false});
-    } else if (r.probability > 0.0) {
+    } else if (r.probability > 0.0 ||
+               (r.kind == FaultKind::kStall && r.src_locale >= 0)) {
       message_rules_.push_back(r);
     }
   }
 }
 
 FaultPlan::AttemptFate FaultPlan::attempt_fate(int src, int peer) {
-  (void)src;
   AttemptFate fate;
   if (message_rules_.empty()) return fate;
   ++decisions_;
   for (const FaultRule& r : message_rules_) {
+    if (r.kind == FaultKind::kStall && r.src_locale >= 0) {
+      // Deterministic source-targeted stall: fires iff this locale is
+      // the sender, and never touches the RNG — the decision stream
+      // stays aligned with specs that omit the clause.
+      if (r.src_locale == src) fate.stall += r.stall_seconds;
+      continue;
+    }
     // Every applicable rule draws, so the stream stays aligned across
     // runs regardless of which faults fire.
     if (r.locale >= 0 && r.locale != peer) continue;

@@ -56,6 +56,10 @@ struct FaultRule {
   /// Restrict a message fault to transfers whose destination is this
   /// locale (-1 = any peer). For kLocaleFail: the victim locale.
   int locale = -1;
+  /// kStall only: deterministic source targeting — every transfer *sent
+  /// by* this locale stalls, no probability draw involved (-1 = off).
+  /// This is how straggler tests pin the slow locale exactly.
+  int src_locale = -1;
   /// kStall: latency added to the stalled transfer, in seconds.
   double stall_seconds = 0.0;
   /// kLocaleFail: simulated time of death, in seconds.
@@ -72,10 +76,14 @@ struct FaultRule {
 /// Keys per kind:
 ///   drop / dup / corrupt:  p=<prob in [0,1]>  [peer=<locale>]
 ///   stall:                 p=<prob> ms=<added latency in ms> [peer=<locale>]
+///                        | locale=<src id> ms=<added latency in ms>
+///                          (deterministic: every transfer *sent by* that
+///                          locale stalls; p= and peer= are rejected)
 ///   kill:                  locale=<id> at=<simulated seconds>
 ///
 /// Examples:  "drop:p=0.01"
 ///            "drop:p=0.02,peer=3;stall:p=0.001,ms=0.5"
+///            "stall:locale=7,ms=0.5"
 ///            "corrupt:p=0.005;kill:locale=5,at=0.002"
 struct FaultSpec {
   std::vector<FaultRule> rules;

@@ -14,6 +14,8 @@
 // a snapshot. algo/algo_recovery.hpp adapts BFS/SSSP/pagerank to it.
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <optional>
 #include <string>
@@ -39,11 +41,35 @@ struct RecoveryOptions {
   int max_restarts = 8;
 };
 
-struct RecoveryStats {
-  int restarts = 0;
-  int checkpoints = 0;
+/// Structured outcome of a recovered run, shared by the rollback driver
+/// here and the localized-rebuild driver (fault/rebuild.hpp). `pgb`
+/// prints summary() in its fault summary; the abl_recovery ablation
+/// compares sim_time_lost across recovery paths.
+struct RecoveryReport {
+  const char* mode = "none";  ///< rollback | spare-rebuild | degraded
+  int restarts = 0;           ///< global checkpoint rollbacks taken
+  int rebuilds = 0;           ///< localized rebuilds (rebuild driver)
+  int checkpoints = 0;        ///< snapshots saved (or replica flushes)
   std::int64_t checkpoint_bytes = 0;  ///< sum over saved snapshots
+  std::int64_t replica_bytes = 0;     ///< incremental replica bytes shipped
+  std::int64_t bytes_restored = 0;    ///< bytes reloaded/shipped to rebuild
   std::int64_t rounds_replayed = 0;   ///< rounds re-executed after restores
+  int degraded_locales = 0;  ///< logical locales co-hosted after remaps
+  /// Simulated time a failure cost: discarded work since the last safe
+  /// snapshot plus the restore/rebuild itself, summed over failures.
+  double sim_time_lost = 0.0;
+
+  std::string summary() const {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "mode=%s restarts=%d rebuilds=%d replayed=%lld "
+                  "lost=%.3fms restored=%lld B",
+                  mode, restarts, rebuilds,
+                  static_cast<long long>(rounds_replayed),
+                  sim_time_lost * 1e3,
+                  static_cast<long long>(bytes_restored));
+    return buf;
+  }
 };
 
 /// The algorithm-side contract of run_with_recovery.
@@ -64,7 +90,7 @@ template <typename State>
 State run_with_recovery(LocaleGrid& grid, FaultPlan* plan,
                         const RecoverableLoop<State>& loop,
                         const RecoveryOptions& opt,
-                        RecoveryStats* stats = nullptr) {
+                        RecoveryReport* report = nullptr) {
   PGB_REQUIRE(opt.checkpoint_every >= 0,
               "recovery: checkpoint_every must be >= 0");
   PGB_REQUIRE(opt.max_restarts >= 0, "recovery: max_restarts must be >= 0");
@@ -79,11 +105,17 @@ State run_with_recovery(LocaleGrid& grid, FaultPlan* plan,
   } guard{grid, grid.fault_plan(), grid.retry_policy()};
   grid.set_fault_plan(plan);
   grid.set_retry_policy(opt.retry);
+  if (report != nullptr) report->mode = "rollback";
 
   Checkpoint ckpt;
   std::optional<State> state;
   std::int64_t rounds = 0;
   int restarts = 0;
+  // The last moment the run was "safe": work since then is what a
+  // failure discards. Starts at run begin (failing before the first
+  // checkpoint restarts from scratch).
+  double t_safe = grid.time();
+  bool restoring = false;
   for (;;) {
     try {
       if (!state.has_value()) {
@@ -92,9 +124,19 @@ State run_with_recovery(LocaleGrid& grid, FaultPlan* plan,
                                     opt.static_bytes);
           state.emplace(loop.load(ckpt));
           rounds = ckpt.round;
+          if (report != nullptr) {
+            report->bytes_restored += ckpt.total_bytes() + opt.static_bytes;
+          }
         } else {
           state.emplace(loop.init());
           rounds = 0;
+        }
+        if (restoring) {
+          // Everything between the last safe point and the end of the
+          // restore is the failure's bill.
+          if (report != nullptr) report->sim_time_lost += grid.time() - t_safe;
+          restoring = false;
+          t_safe = grid.time();
         }
       }
       while (!loop.done(*state)) {
@@ -105,9 +147,10 @@ State run_with_recovery(LocaleGrid& grid, FaultPlan* plan,
           loop.save(*state, ckpt);
           ckpt.round = rounds;
           charge_checkpoint_save(grid, ckpt, opt.stable_bw);
-          if (stats != nullptr) {
-            ++stats->checkpoints;
-            stats->checkpoint_bytes += ckpt.total_bytes();
+          t_safe = grid.time();
+          if (report != nullptr) {
+            ++report->checkpoints;
+            report->checkpoint_bytes += ckpt.total_bytes();
           }
         }
       }
@@ -116,7 +159,9 @@ State run_with_recovery(LocaleGrid& grid, FaultPlan* plan,
       ++restarts;
       if (restarts > opt.max_restarts || plan == nullptr) throw;
       // The failed locale is replaced: the stand-in adopts its id and
-      // its block assignment, so the plan stops reporting it down.
+      // its block assignment, so the plan stops reporting it down. (This
+      // driver never remaps membership, so the logical locale carried by
+      // the exception *is* the physical host.)
       plan->mark_recovered(lf.locale());
       grid.metrics().counter("recovery.restarts").inc();
       auto* session = grid.trace_session();
@@ -126,10 +171,11 @@ State run_with_recovery(LocaleGrid& grid, FaultPlan* plan,
                           {"from_round",
                            std::to_string(ckpt.round >= 0 ? ckpt.round : 0)}});
       }
-      if (stats != nullptr) {
-        ++stats->restarts;
-        stats->rounds_replayed += rounds - (ckpt.round >= 0 ? ckpt.round : 0);
+      if (report != nullptr) {
+        ++report->restarts;
+        report->rounds_replayed += rounds - (ckpt.round >= 0 ? ckpt.round : 0);
       }
+      restoring = true;
       state.reset();  // rebuilt from the snapshot (or scratch) above
     }
   }

@@ -53,7 +53,8 @@ void AggChannel::issue(int peer, double cost, std::int64_t msgs,
   DeliveryOutcome out;
   FaultPlan* plan = grid.fault_plan();
   if (plan != nullptr) {
-    out = plan_delivery(*plan, grid.retry_policy(), ctx_.locale(), peer,
+    out = plan_delivery(*plan, grid.retry_policy(),
+                        grid.host_of(ctx_.locale()), grid.host_of(peer),
                         ctx_.clock().now());
     hot.retries->inc(out.attempts - 1);
     hot.timeouts->inc(out.timeouts);
@@ -115,12 +116,15 @@ void AggChannel::issue(int peer, double cost, std::int64_t msgs,
 
 void AggChannel::flush_put(int peer, std::int64_t bytes,
                            std::int64_t elems) {
-  if (peer == ctx_.locale()) {
+  auto& grid = ctx_.grid();
+  // Host-level locality: a logical peer co-hosted after a degraded-mode
+  // remap is a memcpy, not a flush on the wire.
+  if (grid.host_of(peer) == grid.host_of(ctx_.locale())) {
     ++stats_.local_flushes;
     return;
   }
-  auto& grid = ctx_.grid();
-  const bool intra = grid.same_node(ctx_.locale(), peer);
+  const bool intra =
+      grid.same_node(grid.host_of(ctx_.locale()), grid.host_of(peer));
   const int colo = grid.colocated();
   const auto& net = grid.net();
   const double cost = net.round_trip(cfg_.header_bytes, intra, colo) +
@@ -131,12 +135,13 @@ void AggChannel::flush_put(int peer, std::int64_t bytes,
 
 void AggChannel::flush_get(int peer, std::int64_t req_bytes,
                            std::int64_t resp_bytes, std::int64_t elems) {
-  if (peer == ctx_.locale()) {
+  auto& grid = ctx_.grid();
+  if (grid.host_of(peer) == grid.host_of(ctx_.locale())) {
     ++stats_.local_flushes;
     return;
   }
-  auto& grid = ctx_.grid();
-  const bool intra = grid.same_node(ctx_.locale(), peer);
+  const bool intra =
+      grid.same_node(grid.host_of(ctx_.locale()), grid.host_of(peer));
   const int colo = grid.colocated();
   const auto& net = grid.net();
   double cost = net.round_trip(cfg_.header_bytes, intra, colo) +
@@ -151,7 +156,10 @@ void AggChannel::flush_get(int peer, std::int64_t req_bytes,
 
 void AggChannel::get_elems(int peer, std::int64_t count,
                            std::int64_t bytes_each) {
-  if (peer == ctx_.locale() || count <= 0) return;
+  if (ctx_.grid().host_of(peer) == ctx_.grid().host_of(ctx_.locale()) ||
+      count <= 0) {
+    return;
+  }
   stats_.pushed += count;
   for (std::int64_t left = count; left > 0; left -= cfg_.capacity) {
     const std::int64_t chunk = std::min(left, cfg_.capacity);

@@ -9,22 +9,28 @@ namespace pgb {
 
 namespace {
 
-/// Max clock among the members.
+// Members are *logical* locales; clocks and node placement belong to the
+// physical hosts carrying them (identity until a degraded-mode remap).
+
+/// Max clock among the members' hosts.
 double members_time(LocaleGrid& grid, const std::vector<int>& members) {
   double t = 0.0;
-  for (int m : members) t = std::max(t, grid.clock(m).now());
+  for (int m : members) t = std::max(t, grid.clock(grid.host_of(m)).now());
   return t;
 }
 
 void advance_members_to(LocaleGrid& grid, const std::vector<int>& members,
                         double t) {
-  for (int m : members) grid.clock(m).advance_to(t);
+  for (int m : members) grid.clock(grid.host_of(m)).advance_to(t);
 }
 
-/// Whether all members share one physical node (the intra-node path).
+/// Whether all members' hosts share one physical node (intra-node path).
 bool all_same_node(const LocaleGrid& grid, const std::vector<int>& members) {
   for (std::size_t i = 1; i < members.size(); ++i) {
-    if (!grid.same_node(members[0], members[i])) return false;
+    if (!grid.same_node(grid.host_of(members[0]),
+                        grid.host_of(members[i]))) {
+      return false;
+    }
   }
   return true;
 }

@@ -12,18 +12,19 @@ LocaleCtx::LocaleCtx(LocaleGrid& grid, int locale)
               "locale id out of range");
 }
 
-SimClock& LocaleCtx::clock() { return grid_.clock(locale_); }
+SimClock& LocaleCtx::clock() { return grid_.clock(grid_.host_of(locale_)); }
 
 void LocaleCtx::parallel_region(CostVector cost) {
   cost.add(CostKind::kTaskSpawn, grid_.threads());
   grid_.hot().parallel_regions->inc();
-  clock().advance(region_time(grid_.model().node, cost, grid_.threads(),
+  clock().advance(charge_scale_ *
+                  region_time(grid_.model().node, cost, grid_.threads(),
                               grid_.colocated()));
 }
 
 void LocaleCtx::serial_region(const CostVector& cost) {
-  clock().advance(
-      region_time(grid_.model().node, cost, 1, grid_.colocated()));
+  clock().advance(charge_scale_ *
+                  region_time(grid_.model().node, cost, 1, grid_.colocated()));
 }
 
 void LocaleCtx::comm_event(const char* path, int peer, std::int64_t msgs,
@@ -53,8 +54,12 @@ void LocaleCtx::transfer(const char* path, int peer, std::int64_t msgs,
     clock().advance(cost);
     return;
   }
-  const DeliveryOutcome out = plan_delivery(*plan, grid_.retry_policy(),
-                                            locale_, peer, clock().now());
+  // The fault plan reasons about *physical* locales: a stall targeted at
+  // locale 3 follows whatever logical work is hosted there, and a dead
+  // host stays unreachable no matter which logical ids once lived on it.
+  const DeliveryOutcome out =
+      plan_delivery(*plan, grid_.retry_policy(), grid_.host_of(locale_),
+                    grid_.host_of(peer), clock().now());
   // Every wire attempt (retries and duplicates included) is real
   // traffic: it shows up in comm.messages and the per-path family.
   const int wire = out.attempts + out.duplicates;
@@ -82,7 +87,12 @@ void LocaleCtx::transfer(const char* path, int peer, std::int64_t msgs,
 void LocaleCtx::remote_chain(int peer, std::int64_t count,
                              double rts_per_elem, std::int64_t bytes_each,
                              double contention) {
-  if (peer == locale_) return;  // local access: caller charges node costs
+  // Locality is decided by *hosts*: after a degraded-mode remap, two
+  // logical locales sharing a survivor exchange data through its memory,
+  // not the wire. Identity membership makes this the plain self check.
+  const int self_h = grid_.host_of(locale_);
+  const int peer_h = grid_.host_of(peer);
+  if (peer_h == self_h) return;  // local access: caller charges node costs
   // Each element sends one payload message after rts_per_elem dependent
   // round trips (2 one-way messages each).
   transfer("chain", peer,
@@ -92,31 +102,36 @@ void LocaleCtx::remote_chain(int peer, std::int64_t count,
            contention *
                grid_.net().dependent_chain(
                    count, rts_per_elem, bytes_each,
-                   grid_.same_node(locale_, peer), grid_.colocated()));
+                   grid_.same_node(self_h, peer_h), grid_.colocated()));
 }
 
 void LocaleCtx::remote_msgs(int peer, std::int64_t count,
                             std::int64_t bytes_each, double contention) {
-  if (peer == locale_) return;
+  const int self_h = grid_.host_of(locale_);
+  const int peer_h = grid_.host_of(peer);
+  if (peer_h == self_h) return;
   transfer("msgs", peer, count, count * bytes_each, 0,
            contention *
                grid_.net().overlapped_messages(
-                   count, bytes_each, grid_.same_node(locale_, peer),
+                   count, bytes_each, grid_.same_node(self_h, peer_h),
                    grid_.colocated()));
 }
 
 void LocaleCtx::remote_bulk(int peer, std::int64_t bytes) {
-  if (peer == locale_) return;
+  const int self_h = grid_.host_of(locale_);
+  const int peer_h = grid_.host_of(peer);
+  if (peer_h == self_h) return;
   transfer("bulk", peer, 1, bytes, 1,
-           grid_.net().bulk(bytes, grid_.same_node(locale_, peer),
+           grid_.net().bulk(bytes, grid_.same_node(self_h, peer_h),
                             grid_.colocated()));
 }
 
 void LocaleCtx::remote_rt(int peer, std::int64_t bytes_back) {
-  if (peer == locale_) return;
+  const int self_h = grid_.host_of(locale_);
+  const int peer_h = grid_.host_of(peer);
+  if (peer_h == self_h) return;
   transfer("rt", peer, 2, bytes_back, 0,
-           grid_.net().round_trip(bytes_back,
-                                  grid_.same_node(locale_, peer),
+           grid_.net().round_trip(bytes_back, grid_.same_node(self_h, peer_h),
                                   grid_.colocated()));
 }
 
@@ -133,6 +148,8 @@ LocaleGrid::LocaleGrid(GridConfig cfg) : cfg_(cfg), net_(cfg.model.net) {
                               .node = id / cfg.locales_per_node});
   }
   clocks_.resize(n);
+  membership_ = Membership(n);
+  straggler_hits_.assign(n, 0);
   hot_.messages = &metrics_.counter("comm.messages");
   hot_.bytes = &metrics_.counter("comm.bytes");
   hot_.bulks = &metrics_.counter("comm.bulks");
@@ -190,6 +207,20 @@ LocaleGrid LocaleGrid::square(int nlocales, int threads_per_locale,
                                .model = model});
 }
 
+void LocaleGrid::remap_locale(int logical, int physical) {
+  PGB_REQUIRE(logical >= 0 && logical < num_locales(),
+              "remap: logical locale out of range");
+  PGB_REQUIRE(physical >= 0 && physical < num_locales(),
+              "remap: physical locale out of range");
+  membership_.remap(logical, physical);
+  metrics_.counter("membership.remaps").inc();
+  if (trace_session_ != nullptr) {
+    trace_session_->instant(physical, "membership.remap",
+                            clocks_[physical].now(),
+                            {{"logical", std::to_string(logical)}});
+  }
+}
+
 double LocaleGrid::time() const {
   double t = 0.0;
   for (const auto& c : clocks_) t = std::max(t, c.now());
@@ -217,25 +248,34 @@ void LocaleGrid::sample_counter_tracks() {
 
 void LocaleGrid::coforall_locales(const std::function<void(LocaleCtx&)>& body) {
   hot_.coforalls->inc();
-  const double t0 = clocks_[0].now();
+  // The loop runs over *logical* locales; each body executes on the
+  // clock of whichever physical host currently carries that logical id.
+  // After a degraded-mode remap the buddy host runs two bodies back to
+  // back, so it naturally pays double work and shows up at the barrier
+  // as the slow one. Identity membership reduces every line to the
+  // pre-membership behavior bit for bit.
+  const int host0 = membership_.host(0);
+  const double t0 = clocks_[host0].now();
   double spawn_accum = 0.0;
   for (int l = 0; l < num_locales(); ++l) {
-    if (l != 0) {
-      spawn_accum += net_.fork(same_node(0, l), colocated());
-      clocks_[l].advance_to(t0 + spawn_accum);
+    const int h = membership_.host(l);
+    if (h != host0) {
+      spawn_accum += net_.fork(same_node(host0, h), colocated());
+      clocks_[h].advance_to(t0 + spawn_accum);
     }
-    // Permanent-failure detection: a killed locale never answers the
+    // Permanent-failure detection: a killed host never answers the
     // spawn. This is the one place LocaleFailed is thrown, so no
     // destructor (aggregator flushes included) can ever throw during
-    // unwinding; recovery drivers catch it and restart from the last
-    // checkpoint.
-    if (fault_plan_ != nullptr &&
-        fault_plan_->is_down(l, clocks_[l].now())) {
+    // unwinding; recovery drivers catch it and either roll back to a
+    // checkpoint (recovery.hpp) or rebuild the lost blocks from their
+    // replicas (rebuild.hpp). The exception carries the *logical*
+    // locale whose dispatch failed; drivers translate to the host.
+    if (fault_plan_ != nullptr && fault_plan_->is_down(h, clocks_[h].now())) {
       metrics_.counter("fault.injected", {{"kind", "kill"}}).inc();
       if (trace_session_ != nullptr) {
-        trace_session_->instant(l, "fault.locale_failed", clocks_[l].now());
+        trace_session_->instant(h, "fault.locale_failed", clocks_[h].now());
       }
-      throw LocaleFailed(l, clocks_[l].now());
+      throw LocaleFailed(l, clocks_[h].now());
     }
     LocaleCtx ctx(*this, l);
     body(ctx);
@@ -245,7 +285,41 @@ void LocaleGrid::coforall_locales(const std::function<void(LocaleCtx&)>& body) {
 
 double LocaleGrid::barrier_all() {
   hot_.barriers->inc();
-  const double t = time() + net_.barrier(num_locales());
+  // Straggler watch at barrier entry: the skew between the fastest and
+  // slowest *active* host (hosts still carrying logical locales — a dead
+  // host's parked clock must not read as infinite skew) is the direct
+  // signature of a stall-injected straggler. Only observed when someone
+  // is watching (threshold set or a fault plan attached), so fault-free
+  // metrics and committed profile baselines keep their exact key set.
+  if (straggler_threshold_ > 0.0 || fault_plan_ != nullptr) {
+    double lo = 0.0, hi = 0.0;
+    int slowest = -1;
+    bool first = true;
+    for (int l = 0; l < num_locales(); ++l) {
+      const int h = membership_.host(l);
+      const double now = clocks_[h].now();
+      if (first || now < lo) lo = now;
+      if (first || now > hi) {
+        hi = now;
+        slowest = h;
+      }
+      first = false;
+    }
+    const double skew = hi - lo;
+    metrics_.histogram("barrier.skew").observe(std::llround(skew * 1e9));
+    if (straggler_threshold_ > 0.0 && skew > straggler_threshold_ &&
+        slowest >= 0) {
+      metrics_.counter("straggler.detected").inc();
+      ++straggler_hits_[static_cast<std::size_t>(slowest)];
+      if (trace_session_ != nullptr) {
+        trace_session_->instant(slowest, "straggler.detected",
+                                clocks_[slowest].now(),
+                                {{"skew_ns",
+                                  std::to_string(std::llround(skew * 1e9))}});
+      }
+    }
+  }
+  const double t = time() + net_.barrier(membership_.active());
   if (trace_session_ != nullptr) {
     // One "barrier" span per locale, from its arrival to the joined
     // time: the timeline's direct view of load imbalance.

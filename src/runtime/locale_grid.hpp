@@ -21,6 +21,7 @@
 
 #include "fault/fault.hpp"
 #include "machine/machine_model.hpp"
+#include "runtime/dist.hpp"
 #include "machine/network_model.hpp"
 #include "machine/parallel_model.hpp"
 #include "machine/sim_clock.hpp"
@@ -68,7 +69,22 @@ class LocaleCtx {
 
   int locale() const { return locale_; }
   LocaleGrid& grid() { return grid_; }
+
+  /// The clock of the *physical* locale hosting this logical locale:
+  /// after a degraded-mode remap, work charged here lands on the buddy
+  /// host that adopted the dead locale's blocks. Identity mapping makes
+  /// this the locale's own clock.
   SimClock& clock();
+
+  /// Scales the modeled time of parallel_region/serial_region charges
+  /// while set (1.0 = neutral). The straggler work-shedding hook in
+  /// SpMSpV uses it to move a fraction of a flagged straggler's local
+  /// multiply onto a helper's clock without touching the real compute.
+  void set_charge_scale(double s) {
+    PGB_REQUIRE(s > 0.0 && s <= 1.0, "charge scale must be in (0, 1]");
+    charge_scale_ = s;
+  }
+  double charge_scale() const { return charge_scale_; }
 
   /// Charges a forall-style parallel region executed with the locale's
   /// threads; includes the task-spawn burden.
@@ -117,6 +133,7 @@ class LocaleCtx {
 
   LocaleGrid& grid_;
   int locale_;
+  double charge_scale_ = 1.0;
 };
 
 class LocaleGrid {
@@ -162,6 +179,47 @@ class LocaleGrid {
   const Locale& locale(int id) const { return locales_[id]; }
   bool same_node(int a, int b) const {
     return locales_[a].node == locales_[b].node;
+  }
+
+  // -- membership: logical locale -> physical host -----------------------
+
+  /// The live logical->physical mapping. Identity until degraded-mode
+  /// recovery remaps a dead locale onto a survivor. Distributions and
+  /// vectors keep indexing blocks by *logical* locale; every comm helper
+  /// and clock charge translates through this mapping, so co-hosted
+  /// logicals exchange data for free and both charge the same clock.
+  const Membership& membership() const { return membership_; }
+
+  /// Physical locale currently hosting logical locale `l`.
+  int host_of(int l) const { return membership_.host(l); }
+  std::uint64_t membership_epoch() const { return membership_.epoch(); }
+
+  /// Rehosts logical locale `logical` on `physical` (degraded-mode
+  /// recovery after `logical`'s identity host died). Bumps the
+  /// membership epoch so RemapViews revalidate.
+  void remap_locale(int logical, int physical);
+
+  /// Back to the identity mapping (fresh run on a reused grid).
+  void restore_membership() { membership_.reset(); }
+
+  // -- straggler-aware barriers ------------------------------------------
+
+  /// Enables straggler detection at barriers: when the clock skew
+  /// (max - min over active hosts at barrier entry) exceeds `seconds`,
+  /// the slowest host is flagged (`straggler.detected` counter + per-host
+  /// hit count consulted by the SpMSpV shedding hook). 0 disables
+  /// detection; the `barrier.skew` histogram is also recorded whenever a
+  /// fault plan is attached, so chaos runs surface skew unprompted.
+  void set_straggler_threshold(double seconds) {
+    PGB_REQUIRE(seconds >= 0.0, "straggler threshold must be >= 0");
+    straggler_threshold_ = seconds;
+  }
+  double straggler_threshold() const { return straggler_threshold_; }
+
+  /// Times physical locale `phys` was flagged the slowest-at-barrier
+  /// straggler since the last reset.
+  std::int64_t straggler_hits(int phys) const {
+    return straggler_hits_[static_cast<std::size_t>(phys)];
   }
 
   const MachineModel& model() const { return cfg_.model; }
@@ -224,6 +282,8 @@ class LocaleGrid {
     trace_.clear();
     metrics_.reset();
     if (trace_session_ != nullptr) trace_session_->clear();
+    membership_.reset();
+    std::fill(straggler_hits_.begin(), straggler_hits_.end(), 0);
     ++epoch_;
   }
 
@@ -279,6 +339,9 @@ class LocaleGrid {
   obs::TraceSession* trace_session_ = nullptr;
   FaultPlan* fault_plan_ = nullptr;
   RetryPolicy retry_;
+  Membership membership_;
+  std::vector<std::int64_t> straggler_hits_;
+  double straggler_threshold_ = 0.0;
   bool warned_thread_clamp_ = false;
   std::uint64_t epoch_ = 0;
 };

@@ -74,6 +74,55 @@ TEST(FaultSpec, RejectsMalformedInput) {
   EXPECT_THROW(FaultSpec::parse("drop:p=0.1;;dup:p=0.1"), InvalidArgument);
 }
 
+TEST(FaultSpec, ParsesSourceTargetedStall) {
+  const FaultSpec s = FaultSpec::parse("stall:locale=7,ms=0.5");
+  ASSERT_EQ(s.rules.size(), 1u);
+  EXPECT_EQ(s.rules[0].kind, FaultKind::kStall);
+  EXPECT_EQ(s.rules[0].src_locale, 7);
+  EXPECT_DOUBLE_EQ(s.rules[0].probability, 0.0);  // deterministic, no draw
+  EXPECT_DOUBLE_EQ(s.rules[0].stall_seconds, 0.5e-3);
+}
+
+TEST(FaultSpec, SourceTargetedStallRoundTripsThroughToString) {
+  const FaultSpec a = FaultSpec::parse("stall:locale=3,ms=2;drop:p=0.1");
+  const FaultSpec b = FaultSpec::parse(a.to_string());
+  ASSERT_EQ(b.rules.size(), 2u);
+  EXPECT_EQ(b.rules[0].kind, FaultKind::kStall);
+  EXPECT_EQ(b.rules[0].src_locale, 3);
+  EXPECT_DOUBLE_EQ(b.rules[0].stall_seconds, 2e-3);
+}
+
+TEST(FaultSpec, RejectsMalformedSourceTargetedStall) {
+  // The deterministic form is strict: locale= requires ms= and forbids
+  // the probabilistic keys.
+  EXPECT_THROW(FaultSpec::parse("stall:locale=2"), InvalidArgument);
+  EXPECT_THROW(FaultSpec::parse("stall:locale=2,p=0.5,ms=1"),
+               InvalidArgument);
+  EXPECT_THROW(FaultSpec::parse("stall:locale=2,peer=1,ms=1"),
+               InvalidArgument);
+  EXPECT_THROW(FaultSpec::parse("stall:locale=2,at=0.5,ms=1"),
+               InvalidArgument);
+  EXPECT_THROW(FaultSpec::parse("stall:locale=-1,ms=1"), InvalidArgument);
+}
+
+TEST(FaultPlan, SourceTargetedStallIsDeterministicAndAlignsRngStream) {
+  // The targeted stall fires on every message from its source — no RNG
+  // draw — so adding it must not perturb the fate stream of the
+  // probabilistic rules (chaos runs stay reproducible when a stall
+  // clause is appended).
+  FaultPlan with(FaultSpec::parse("drop:p=0.3;stall:locale=1,ms=2"), 11);
+  FaultPlan without(FaultSpec::parse("drop:p=0.3"), 11);
+  for (int i = 0; i < 200; ++i) {
+    const auto fw = with.attempt_fate(1, 2);
+    const auto fo = without.attempt_fate(1, 2);
+    EXPECT_EQ(fw.drop, fo.drop);
+    EXPECT_DOUBLE_EQ(fw.stall, fo.stall + 2e-3);  // fires every time
+  }
+  // Messages from any other source are untouched.
+  const auto other = with.attempt_fate(0, 1);
+  EXPECT_DOUBLE_EQ(other.stall, 0.0);
+}
+
 TEST(RetryPolicy, ValidateRejectsNonsense) {
   RetryPolicy ok;
   EXPECT_NO_THROW(ok.validate());
@@ -400,7 +449,7 @@ TEST(Recovery, BfsRecoversBitIdenticalFromCheckpoint) {
       FaultSpec::parse("kill:locale=1,at=" + std::to_string(total * 0.4)), 3);
   RecoveryOptions ropt;
   ropt.checkpoint_every = 2;
-  RecoveryStats stats;
+  RecoveryReport stats;
   const BfsResult rec = bfs_with_recovery(a, 0, {}, &plan, ropt, &stats);
   EXPECT_EQ(rec.parent, base.parent);
   EXPECT_EQ(rec.level_sizes, base.level_sizes);
@@ -426,7 +475,7 @@ TEST(Recovery, SsspRecoversBitIdenticalFromCheckpoint) {
       FaultSpec::parse("kill:locale=2,at=" + std::to_string(total * 0.5)), 3);
   RecoveryOptions ropt;
   ropt.checkpoint_every = 2;
-  RecoveryStats stats;
+  RecoveryReport stats;
   const SsspResult rec = sssp_with_recovery(a, 0, {}, &plan, ropt, &stats);
   EXPECT_EQ(rec.dist, base.dist);  // exact double equality
   EXPECT_EQ(rec.rounds, base.rounds);
@@ -446,7 +495,7 @@ TEST(Recovery, PagerankRecoversBitIdenticalFromCheckpoint) {
       FaultSpec::parse("kill:locale=3,at=" + std::to_string(total * 0.5)), 3);
   RecoveryOptions ropt;
   ropt.checkpoint_every = 4;
-  RecoveryStats stats;
+  RecoveryReport stats;
   const PagerankResult rec =
       pagerank_with_recovery(a, &plan, 0.85, 1e-8, 50, ropt, &stats);
   EXPECT_EQ(rec.rank, base.rank);  // exact double equality
@@ -467,7 +516,7 @@ TEST(Recovery, WithoutCheckpointsRestartsFromScratch) {
       FaultSpec::parse("kill:locale=1,at=" + std::to_string(total * 0.4)), 3);
   RecoveryOptions ropt;
   ropt.checkpoint_every = 0;  // no snapshots: recovery = full re-run
-  RecoveryStats stats;
+  RecoveryReport stats;
   const BfsResult rec = bfs_with_recovery(a, 0, {}, &plan, ropt, &stats);
   EXPECT_EQ(rec.parent, base.parent);
   EXPECT_EQ(rec.level_sizes, base.level_sizes);
@@ -486,7 +535,7 @@ TEST(Recovery, FaultFreeRunUnderDriverMatchesPlainRun) {
   grid.reset();
   RecoveryOptions ropt;
   ropt.checkpoint_every = 2;
-  RecoveryStats stats;
+  RecoveryReport stats;
   const BfsResult rec = bfs_with_recovery(a, 0, {}, nullptr, ropt, &stats);
   EXPECT_EQ(rec.parent, base.parent);
   EXPECT_EQ(rec.level_sizes, base.level_sizes);

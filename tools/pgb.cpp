@@ -109,12 +109,39 @@ int run(int argc, char** argv) {
       "bfs/sssp/pagerank)"));
   const int retry_max = static_cast<int>(cli.get_int(
       "retry-max", 4, "max send attempts per transfer under --faults"));
+  const std::string recovery_flag = cli.get(
+      "recovery", "rollback",
+      "recovery driver under --faults (bfs/sssp/pagerank): rollback "
+      "(checkpoint/restart) | rebuild (localized rebuild onto a spare) | "
+      "degraded (rebuild onto the surviving locales)");
+  const std::string replica_flag = cli.get(
+      "replica", "buddy",
+      "replication scheme for --recovery=rebuild|degraded: buddy | parity");
+  const int parity_group = static_cast<int>(cli.get_int(
+      "parity-group", 4, "locales per parity group (--replica=parity)"));
+  const std::int64_t replica_chunk = cli.get_int(
+      "replica-chunk", 4096, "replica dirty-diff chunk size in bytes");
+  const double straggler_ms = cli.get_double(
+      "straggler-threshold-ms", 0.0,
+      "flag the slowest locale when barrier clock skew exceeds this "
+      "(0 disables detection)");
+  const double shed = cli.get_double(
+      "shed", 0.0,
+      "fraction of a flagged straggler's SpMSpV local multiply shed to a "
+      "row peer, in [0, 1)");
   cli.finish();
 
   PGB_REQUIRE(machine == "edison" || machine == "modern",
               "--machine must be edison or modern");
   PGB_REQUIRE(agg_capacity >= 1,
               "--agg-capacity must be a positive element count");
+  PGB_REQUIRE(recovery_flag == "rollback" || recovery_flag == "rebuild" ||
+                  recovery_flag == "degraded",
+              "--recovery must be rollback, rebuild, or degraded");
+  PGB_REQUIRE(replica_flag == "buddy" || replica_flag == "parity",
+              "--replica must be buddy or parity");
+  PGB_REQUIRE(straggler_ms >= 0.0, "--straggler-threshold-ms must be >= 0");
+  PGB_REQUIRE(shed >= 0.0 && shed < 1.0, "--shed must be in [0, 1)");
   const MachineModel model =
       machine == "edison" ? MachineModel::edison() : MachineModel::modern();
   auto grid = LocaleGrid::square(nodes, threads, 1, model);
@@ -162,6 +189,10 @@ int run(int argc, char** argv) {
                   ? (bulk ? CommMode::kBulk : CommMode::kFine)
                   : parse_comm_mode(comm_flag);
   comm.agg.capacity = agg_capacity;
+  comm.straggler_shed = shed;
+  if (straggler_ms > 0.0) {
+    grid.set_straggler_threshold(straggler_ms * 1e-3);
+  }
 
   // --- fault plan + delivery guarantees ---
   RetryPolicy retry;
@@ -178,7 +209,16 @@ int run(int argc, char** argv) {
   RecoveryOptions ropt;
   ropt.checkpoint_every = checkpoint_every;
   ropt.retry = retry;
-  RecoveryStats rstats;
+  const bool use_rebuild = recovery_flag != "rollback";
+  RebuildOptions bopt;
+  bopt.mode = recovery_flag == "rebuild" ? RebuildMode::kSpare
+                                         : RebuildMode::kDegraded;
+  bopt.replica.scheme = replica_flag == "parity" ? ReplicaScheme::kParity
+                                                 : ReplicaScheme::kBuddy;
+  bopt.replica.parity_group = parity_group;
+  bopt.replica.chunk_bytes = replica_chunk;
+  bopt.retry = retry;
+  RecoveryReport report;
 
   grid.reset();
   if (plan.has_value()) {
@@ -186,12 +226,14 @@ int run(int argc, char** argv) {
     grid.set_retry_policy(retry);
   }
   if (op == "bfs") {
-    // Under a fault plan BFS runs through the recovery driver, which
-    // survives locale kills by checkpoint/restart (bit-identical result).
+    // Under a fault plan BFS runs through a recovery driver — checkpoint
+    // rollback or localized rebuild per --recovery — which survives
+    // locale kills with a bit-identical result.
     const BfsResult res =
-        plan.has_value()
-            ? bfs_with_recovery(a, source, comm, &*plan, ropt, &rstats)
-            : bfs(a, source, comm);
+        !plan.has_value() ? bfs(a, source, comm)
+        : use_rebuild
+            ? bfs_with_rebuild(a, source, comm, &*plan, bopt, &report)
+            : bfs_with_recovery(a, source, comm, &*plan, ropt, &report);
     Index reached = 0;
     for (Index s : res.level_sizes) reached += s;
     std::printf("bfs: reached %lld vertices in %zu levels\n",
@@ -210,9 +252,11 @@ int run(int argc, char** argv) {
                 static_cast<long long>(res.num_components), res.rounds);
   } else if (op == "pagerank") {
     const PagerankResult res =
-        plan.has_value()
-            ? pagerank_with_recovery(a, &*plan, 0.85, 1e-8, 100, ropt, &rstats)
-            : pagerank(a);
+        !plan.has_value() ? pagerank(a)
+        : use_rebuild
+            ? pagerank_with_rebuild(a, &*plan, 0.85, 1e-8, 100, bopt, &report)
+            : pagerank_with_recovery(a, &*plan, 0.85, 1e-8, 100, ropt,
+                                     &report);
     Index best = 0;
     for (Index v = 1; v < a.nrows(); ++v) {
       if (res.rank[static_cast<std::size_t>(v)] >
@@ -225,9 +269,10 @@ int run(int argc, char** argv) {
                 res.rank[static_cast<std::size_t>(best)]);
   } else if (op == "sssp") {
     const SsspResult res =
-        plan.has_value()
-            ? sssp_with_recovery(a, source, comm, &*plan, ropt, &rstats)
-            : sssp(a, source, comm);
+        !plan.has_value() ? sssp(a, source, comm)
+        : use_rebuild
+            ? sssp_with_rebuild(a, source, comm, &*plan, bopt, &report)
+            : sssp_with_recovery(a, source, comm, &*plan, ropt, &report);
     Index reached = 0;
     for (double dv : res.dist) {
       if (dv != SsspResult::kUnreachable) ++reached;
@@ -266,14 +311,16 @@ int run(int argc, char** argv) {
         static_cast<long long>(hot.retries->value),
         static_cast<long long>(hot.timeouts->value),
         static_cast<long long>(hot.logical_messages->value));
-    if (rstats.restarts > 0 || rstats.checkpoints > 0) {
-      std::printf(
-          "recovery: %d restarts, %d checkpoints (%.3g MB), "
-          "%lld rounds replayed\n",
-          rstats.restarts, rstats.checkpoints,
-          static_cast<double>(rstats.checkpoint_bytes) / 1e6,
-          static_cast<long long>(rstats.rounds_replayed));
+    if (report.restarts > 0 || report.rebuilds > 0 ||
+        report.checkpoints > 0) {
+      std::printf("recovery: %s\n", report.summary().c_str());
     }
+  }
+  if (grid.straggler_threshold() > 0.0) {
+    std::printf("stragglers: %lld detections (threshold %.3g ms)\n",
+                static_cast<long long>(
+                    grid.metrics().counter("straggler.detected").value),
+                grid.straggler_threshold() * 1e3);
   }
   if (!trace_file.empty()) {
     session.write_chrome_trace(trace_file);
@@ -310,7 +357,13 @@ int run(int argc, char** argv) {
     if (op == "bfs" || op == "bfs-hybrid" || op == "sssp") {
       workload += " source=" + std::to_string(static_cast<long long>(source));
     }
-    if (!faults.empty()) workload += " faults=" + faults;
+    if (!faults.empty()) {
+      workload += " faults=" + faults;
+      // Recovery driver is part of the workload identity, but keep the
+      // legacy string for the default (rollback) so existing committed
+      // profiles still diff cleanly.
+      if (use_rebuild) workload += " recovery=" + recovery_flag;
+    }
     prof.workload = workload;
     prof.comm = to_string(comm.comm);
     prof.seed = seed;
