@@ -1,0 +1,206 @@
+// Ablation: inspector–executor schedule selection (--comm=auto) against
+// every fixed schedule.
+//
+// Two workloads, each swept over fine / bulk / agg / auto:
+//
+//   fig8    the paper's Fig 8 SpMSpV (Erdős–Rényi n=1M, d=16, 2% dense
+//           frontier). One phase (the gather) is won by bulk and the
+//           other (the scatter) by aggregation, but the margins are
+//           small; the gate here is that auto lands within 5% of the
+//           best fixed schedule.
+//
+//   mixed   a smaller instance (n=100k) at the same locale count, where
+//           the per-destination packing floor dominates the scatter and
+//           the gather stays bulk-friendly: no fixed schedule can win
+//           both phases, so auto's per-site binding must be *strictly*
+//           faster than every fixed schedule.
+//
+// Every mode must produce a byte-identical result vector, and two
+// same-seed auto runs must be indistinguishable (result, modeled time,
+// message count) — the inspector's decisions are pure functions of the
+// footprint, never of wall clock or pointer identity.
+//
+// The gates are enforced at 64 locales; --json=PATH emits the baseline
+// committed as BENCH_inspector.json.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/ops.hpp"
+#include "core/spmspv.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_vec.hpp"
+#include "runtime/inspector.hpp"
+
+using namespace pgb;
+
+namespace {
+
+struct Sample {
+  int nodes = 0;
+  std::string workload;
+  std::string mode;
+  double time = 0.0;
+  double vs_best = 1.0;  ///< vs the best *fixed* schedule
+  std::int64_t messages = 0;
+  bool identical = true;  ///< result matches the fine-schedule result
+};
+
+struct ModeRun {
+  double time = 0.0;
+  std::int64_t messages = 0;
+  SparseVec<double> y;
+};
+
+ModeRun run_mode(LocaleGrid& grid, const DistCsr<double>& a,
+                 const DistSparseVec<double>& x, CommMode mode) {
+  grid.reset();
+  SpmspvOptions opt;
+  opt.comm = mode;
+  ModeRun r;
+  r.y = spmspv_dist(a, x, arithmetic_semiring<double>(), opt).to_local();
+  r.time = grid.time();
+  r.messages = grid.comm_stats().messages;
+  return r;
+}
+
+void emit_json(const std::string& path, std::uint64_t seed,
+               const std::vector<Sample>& samples) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  PGB_REQUIRE(out != nullptr, "cannot open --json path: " + path);
+  std::fprintf(out,
+               "{\n  \"bench\": \"abl_inspector\",\n"
+               "  \"workloads\": {\"fig8\": \"er n=1m d=16 f=0.02\", "
+               "\"mixed\": \"er n=100k d=16 f=0.02\"},\n"
+               "  \"machine\": \"edison\",\n  \"seed\": %llu,\n"
+               "  \"samples\": [\n",
+               static_cast<unsigned long long>(seed));
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(out,
+                 "    {\"nodes\": %d, \"workload\": \"%s\", "
+                 "\"mode\": \"%s\", \"modeled_time_s\": %.6e, "
+                 "\"vs_best_fixed\": %.4f, \"messages\": %lld, "
+                 "\"identical\": %s}%s\n",
+                 s.nodes, s.workload.c_str(), s.mode.c_str(), s.time,
+                 s.vs_best, static_cast<long long>(s.messages),
+                 s.identical ? "true" : "false",
+                 i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s (%zu samples)\n", path.c_str(), samples.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0, "fraction of paper size");
+  const std::string json =
+      cli.get("json", "", "write a machine-readable baseline to this path");
+  const std::uint64_t seed = bench::seed_flag(cli);
+  cli.finish();
+
+  bench::print_preamble(
+      "Ablation", "inspector-executor schedule selection: --comm=auto vs "
+      "every fixed schedule (byte-identical, within 5% of best, strictly "
+      "fastest on the mixed workload)", scale);
+
+  const char* kModeNames[] = {"fine", "bulk", "agg", "auto"};
+  const CommMode kModes[] = {CommMode::kFine, CommMode::kBulk,
+                             CommMode::kAggregated, CommMode::kAuto};
+
+  std::vector<Sample> samples;
+  bool all_identical = true;
+  bool all_deterministic = true;
+  bool gates_hold = true;
+  Table t({"nodes", "workload", "mode", "time", "vs best fixed", "messages",
+           "identical"});
+  for (int nodes : {16, 64}) {
+    auto grid = LocaleGrid::square(nodes, 24);
+
+    struct Workload {
+      std::string name;
+      Index n;
+    };
+    for (const Workload& w :
+         {Workload{"fig8", bench::scaled(1000000, scale)},
+          Workload{"mixed", bench::scaled(100000, scale)}}) {
+      auto a = erdos_renyi_dist<double>(grid, w.n, 16.0, seed);
+      auto x = random_dist_sparse_vec<double>(grid, w.n, w.n / 50, seed + 1);
+
+      ModeRun runs[4];
+      for (int m = 0; m < 4; ++m) runs[m] = run_mode(grid, a, x, kModes[m]);
+      const double best_fixed =
+          std::min({runs[0].time, runs[1].time, runs[2].time});
+
+      for (int m = 0; m < 4; ++m) {
+        Sample s;
+        s.nodes = nodes;
+        s.workload = w.name;
+        s.mode = kModeNames[m];
+        s.time = runs[m].time;
+        s.vs_best = best_fixed > 0.0 ? s.time / best_fixed : 1.0;
+        s.messages = runs[m].messages;
+        s.identical = runs[m].y == runs[0].y;
+        all_identical = all_identical && s.identical;
+        samples.push_back(s);
+        t.row({Table::count(nodes), w.name, s.mode, Table::time(s.time),
+               Table::num(s.vs_best), Table::count(s.messages),
+               s.identical ? "yes" : "NO"});
+      }
+
+      // Determinism: a second same-seed auto run must be
+      // indistinguishable from the first — result, clock, and traffic.
+      const ModeRun rerun = run_mode(grid, a, x, CommMode::kAuto);
+      const bool deterministic = rerun.y == runs[3].y &&
+                                 rerun.time == runs[3].time &&
+                                 rerun.messages == runs[3].messages;
+      all_deterministic = all_deterministic && deterministic;
+      if (!deterministic) {
+        std::printf("NONDETERMINISM: %s auto rerun diverged at %d locales\n",
+                    w.name.c_str(), nodes);
+      }
+
+      // Acceptance gates at the paper's 64-locale point.
+      if (nodes == 64) {
+        const double autov = runs[3].time;
+        if (w.name == "fig8" && autov > 1.05 * best_fixed) {
+          gates_hold = false;
+          std::printf("GATE FAILED: fig8 auto %.3f ms > 1.05x best fixed "
+                      "%.3f ms\n", autov * 1e3, best_fixed * 1e3);
+        }
+        if (w.name == "mixed" &&
+            !(autov < runs[0].time && autov < runs[1].time &&
+              autov < runs[2].time)) {
+          gates_hold = false;
+          std::printf("GATE FAILED: mixed auto %.3f ms is not strictly "
+                      "faster than every fixed schedule\n", autov * 1e3);
+        }
+
+        // The per-site bindings behind the auto number, for the record.
+        std::printf("\n%d locales, %s: inspector bound\n", nodes,
+                    w.name.c_str());
+        for (const SiteReport& r : grid.inspector().report()) {
+          std::printf("  %-16s -> %-10s (%lld calls)\n", r.site.c_str(),
+                      to_string(r.last_strategy),
+                      static_cast<long long>(r.calls));
+        }
+      }
+    }
+  }
+  t.print();
+
+  std::printf("\nall modes byte-identical: %s; same-seed auto runs "
+              "indistinguishable: %s\n",
+              all_identical ? "yes" : "NO", all_deterministic ? "yes" : "NO");
+  PGB_REQUIRE(all_identical, "comm schedules diverged in result bytes");
+  PGB_REQUIRE(all_deterministic, "same-seed auto runs diverged");
+  PGB_REQUIRE(gates_hold, "inspector acceptance gates failed at 64 locales");
+  if (!json.empty()) emit_json(json, seed, samples);
+  return 0;
+}

@@ -8,6 +8,8 @@
 // schedules (CommMode).
 #pragma once
 
+#include <cmath>
+
 #include "core/kernel_costs.hpp"
 #include "machine/cost.hpp"
 #include "obs/span.hpp"
@@ -65,6 +67,35 @@ DistSparseVec<T> extract_compact(const DistSparseVec<T>& x, Index lo,
   PGB_TRACE_SPAN(grid, "extract.compact");
   DistSparseVec<T> z(grid, hi - lo);
 
+  // Inspector–executor (kAuto): write-direction routing, so fine/bulk/
+  // agg only. Selected counts aren't known before the scan; the range
+  // fraction of x's nonzeros is the uniform estimate every candidate is
+  // priced from.
+  SiteStrategy strat = comm == CommMode::kFine     ? SiteStrategy::kFine
+                       : comm == CommMode::kBulk   ? SiteStrategy::kBulk
+                                                   : SiteStrategy::kAggregated;
+  AggConfig cfg_resolved = agg_cfg;
+  if (comm == CommMode::kAuto) {
+    SiteFootprint fp;
+    fp.bytes_each = 16;
+    fp.gather = false;
+    std::int64_t x_nnz = 0;
+    for (int l = 0; l < nloc; ++l) x_nnz += x.local(l).nnz();
+    const double frac =
+        x.capacity() > 0
+            ? static_cast<double>(hi - lo) / static_cast<double>(x.capacity())
+            : 0.0;
+    fp.elements = std::llround(static_cast<double>(x_nnz) * frac);
+    const std::int64_t pairs_per = nloc > 1 ? nloc - 1 : 0;
+    fp.pairs = static_cast<std::int64_t>(nloc) * pairs_per;
+    fp.max_initiator_pairs = pairs_per;
+    fp.max_initiator_elements =
+        (fp.elements + nloc - 1) / std::max(1, nloc);
+    const SiteDecision dec = grid.inspector().decide("extract.compact", fp);
+    strat = dec.strategy;
+    cfg_resolved.capacity = dec.agg_capacity;
+  }
+
   std::vector<std::vector<Index>> z_idx(static_cast<std::size_t>(nloc));
   std::vector<std::vector<T>> z_val(static_cast<std::size_t>(nloc));
   grid.coforall_locales([&](LocaleCtx& ctx) {
@@ -81,7 +112,7 @@ DistSparseVec<T> extract_compact(const DistSparseVec<T>& x, Index lo,
         z_val[static_cast<std::size_t>(peer)].push_back(e.v);
       }
     };
-    DstAggregator<Entry> agg(ctx, deliver, agg_cfg);
+    DstAggregator<Entry> agg(ctx, deliver, cfg_resolved);
     Index selected = 0;
     for (Index p = 0; p < lx.nnz(); ++p) {
       const Index i = lx.index_at(p);
@@ -90,7 +121,7 @@ DistSparseVec<T> extract_compact(const DistSparseVec<T>& x, Index lo,
       const Index j = i - lo;
       const int o = z.dist().owner(j);
       ++count_to[static_cast<std::size_t>(o)];
-      if (comm == CommMode::kAggregated) {
+      if (strat == SiteStrategy::kAggregated) {
         agg.push(o, Entry{j, lx.value_at(p)});
       } else {
         z_idx[static_cast<std::size_t>(o)].push_back(j);
@@ -105,9 +136,9 @@ DistSparseVec<T> extract_compact(const DistSparseVec<T>& x, Index lo,
     ctx.parallel_region(c);
     for (int o = 0; o < nloc; ++o) {
       if (o == l || count_to[static_cast<std::size_t>(o)] == 0) continue;
-      if (comm == CommMode::kFine) {
+      if (strat == SiteStrategy::kFine) {
         ctx.remote_msgs(o, count_to[static_cast<std::size_t>(o)], 16);
-      } else if (comm == CommMode::kBulk) {
+      } else if (strat == SiteStrategy::kBulk) {
         ctx.remote_bulk(o, 16 * count_to[static_cast<std::size_t>(o)]);
       }
     }

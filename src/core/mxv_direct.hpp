@@ -78,6 +78,49 @@ DistSparseVec<T> mxv_direct(const DistCsr<TA>& a,
               "mxv: mirror does not match the grid");
   grid.metrics().counter("kernel.calls", {{"kernel", "mxv_direct"}}).inc();
 
+  // Inspector–executor (CommMode::kAuto): same protocol as spmspv_dist,
+  // on the mirrored sites. Gather footprints use the unfiltered piece
+  // sizes (cheap pre-wave upper bound); since every candidate strategy
+  // is priced from the same estimate, only near-tie rankings can flip.
+  Inspector* insp = opt.comm == CommMode::kAuto ? &grid.inspector() : nullptr;
+  SiteDecision gather_dec;
+  if (insp != nullptr) {
+    SiteFootprint fp;
+    fp.bytes_each = 16;
+    fp.fanout = static_cast<double>(pr);  // pr readers per x owner
+    fp.chain_rts = kRemoteElemRts + 1.0;
+    fp.read_only = true;
+    fp.gather = true;
+    for (int l = 0; l < nloc; ++l) {
+      const auto& blk = a.block(l);
+      if (blk.chi <= blk.clo) continue;
+      const int first = x.owner(blk.clo);
+      const int last = x.owner(blk.chi - 1);
+      std::int64_t elems = 0;
+      std::int64_t pairs = 0;
+      for (int src = first; src <= last; ++src) {
+        if (src == l) continue;
+        ++pairs;
+        elems += x.local(src).nnz();
+      }
+      fp.pairs += pairs;
+      fp.elements += elems;
+      if (elems > fp.max_initiator_elements) {
+        fp.max_initiator_elements = elems;
+        fp.max_initiator_pairs = pairs;
+        // Replication ships whole pieces, which the range filter may
+        // only partially read.
+        fp.block_bytes = 16 * elems;
+      }
+    }
+    gather_dec = insp->decide("mxv.gather", fp);
+  }
+  const SiteStrategy gather_strat =
+      insp != nullptr          ? gather_dec.strategy
+      : opt.aggregated()       ? SiteStrategy::kAggregated
+      : opt.gather_is_bulk()   ? SiteStrategy::kBulk
+                               : SiteStrategy::kFine;
+
   // ---- gather x for each block's column range ----
   obs::GridSpan gather_span(grid, "mxv.gather");
   double t0 = grid.time();
@@ -89,6 +132,7 @@ DistSparseVec<T> mxv_direct(const DistCsr<TA>& a,
     std::vector<T> val;
     AggConfig gather_cfg = opt.agg;
     gather_cfg.contention = static_cast<double>(pr);
+    if (insp != nullptr) gather_cfg.capacity = gather_dec.agg_capacity;
     AggChannel chan(ctx, gather_cfg);
     // Owners of [clo, chi) under x's 1-D distribution.
     const int first = blk.chi > blk.clo ? x.owner(blk.clo) : 0;
@@ -105,10 +149,32 @@ DistSparseVec<T> mxv_direct(const DistCsr<TA>& a,
         }
       }
       if (src != l) {
+        if (gather_strat == SiteStrategy::kReplicate) {
+          // Read-only replication of the whole piece (the range filter
+          // reads a slice, but the replica serves any slice until the
+          // content tag or the membership epoch moves).
+          const std::uint64_t tag = piece.fingerprint();
+          if (!insp->cache_lookup("mxv.gather", src, ctx.host(), tag)) {
+            const std::int64_t bytes = 16 * piece.nnz();
+            ctx.remote_rt(src, 8);
+            ctx.remote_bulk(src, bytes);
+            const int depth =
+                replication_tree_depth(static_cast<double>(pr));
+            if (depth > 1) {
+              const bool intra =
+                  grid.same_node(ctx.host(), grid.host_of(src));
+              ctx.clock().advance(
+                  static_cast<double>(depth - 1) *
+                  grid.net().bulk(bytes, intra, grid.colocated()));
+            }
+            insp->cache_install("mxv.gather", src, ctx.host(), tag, bytes);
+          }
+          continue;
+        }
         ctx.remote_rt(src, 8);
-        if (opt.aggregated()) {
+        if (gather_strat == SiteStrategy::kAggregated) {
           chan.get_elems(src, piece_cnt, 16);
-        } else if (opt.gather_is_bulk()) {
+        } else if (gather_strat == SiteStrategy::kBulk) {
           // Each x owner serves all pr locales of one processor column.
           ctx.remote_bulk(src, 16 * piece_cnt * pr);
         } else {
@@ -138,6 +204,35 @@ DistSparseVec<T> mxv_direct(const DistCsr<TA>& a,
   local_span.end();
   grid.trace().add("local", grid.time() - t0);
 
+  // Scatter-site inspection (see spmspv_dist): pc senders per
+  // destination, writes can't replicate. The bulk branch spawns one
+  // packing region per destination — charge that floor per pair.
+  SiteDecision scatter_dec;
+  if (insp != nullptr) {
+    SiteFootprint fp;
+    fp.bytes_each = 16;
+    fp.fanout = static_cast<double>(pc);
+    fp.gather = false;
+    fp.bulk_pair_overhead = grid.region_floor();
+    for (int l = 0; l < nloc; ++l) {
+      const std::int64_t elems = ly[static_cast<std::size_t>(l)].nnz();
+      const std::int64_t pairs =
+          std::min<std::int64_t>(nloc > 1 ? nloc - 1 : 0, pc);
+      fp.pairs += pairs;
+      fp.elements += elems;
+      if (elems > fp.max_initiator_elements) {
+        fp.max_initiator_elements = elems;
+        fp.max_initiator_pairs = pairs;
+      }
+    }
+    scatter_dec = insp->decide("mxv.scatter", fp);
+  }
+  const SiteStrategy scatter_strat =
+      insp != nullptr          ? scatter_dec.strategy
+      : opt.aggregated()       ? SiteStrategy::kAggregated
+      : opt.scatter_is_bulk()  ? SiteStrategy::kBulk
+                               : SiteStrategy::kFine;
+
   // ---- scatter/accumulate into the 1-D result over [0, nrows) ----
   obs::GridSpan scatter_span(grid, "mxv.scatter");
   t0 = grid.time();
@@ -151,7 +246,7 @@ DistSparseVec<T> mxv_direct(const DistCsr<TA>& a,
     const int l = ctx.locale();
     const auto& part = ly[static_cast<std::size_t>(l)];
     std::vector<std::int64_t> count_to(static_cast<std::size_t>(nloc), 0);
-    if (opt.aggregated()) {
+    if (scatter_strat == SiteStrategy::kAggregated) {
       // Same conveyor schedule as spmspv_dist's scatter, with row-wise
       // receiver contention (pc senders per destination).
       struct Update {
@@ -160,6 +255,7 @@ DistSparseVec<T> mxv_direct(const DistCsr<TA>& a,
       };
       AggConfig cfg = opt.agg;
       cfg.contention = static_cast<double>(pc);
+      if (insp != nullptr) cfg.capacity = scatter_dec.agg_capacity;
       DstAggregator<Update> agg(
           ctx,
           [&](int peer, std::vector<Update>& batch) {
@@ -205,7 +301,7 @@ DistSparseVec<T> mxv_direct(const DistCsr<TA>& a,
         c.add(CostKind::kRandAccess, static_cast<double>(cnt));
         c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(cnt));
         ctx.parallel_region(c);
-      } else if (opt.scatter_is_bulk()) {
+      } else if (scatter_strat == SiteStrategy::kBulk) {
         CostVector c;
         c.add(CostKind::kCpuOps, 10.0 * static_cast<double>(cnt));
         c.add(CostKind::kStreamBytes, 16.0 * static_cast<double>(cnt));

@@ -357,6 +357,49 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
   // branch below reduces to the original formulas bit-for-bit.
   RemapView remap(grid.membership());
 
+  // Inspector–executor (CommMode::kAuto): each comm site records its
+  // wave's remote footprint up front and is bound to the cheapest
+  // predicted schedule; manual modes keep their hardcoded schedule
+  // (insp stays null). Collectives override every schedule, auto
+  // included. Data movement is identical either way — only charging
+  // differs — so auto's outputs are byte-identical to every manual mode.
+  Inspector* insp = (opt.comm == CommMode::kAuto && !opt.use_collectives)
+                        ? &grid.inspector()
+                        : nullptr;
+  SiteDecision gather_dec;
+  if (insp != nullptr) {
+    SiteFootprint fp;
+    fp.bytes_each = 16;
+    fp.fanout = static_cast<double>(pc);  // pc readers hit each source
+    fp.chain_rts = kRemoteElemRts + 1.0;
+    fp.read_only = true;  // x is immutable for the whole wave
+    fp.gather = true;
+    for (int l = 0; l < nloc; ++l) {
+      const int prow = grid.locale(l).row;
+      std::int64_t elems = 0;
+      std::int64_t pairs = 0;
+      for (int i = 0; i < pc; ++i) {
+        const int src = prow * pc + i;
+        if (src == l) continue;
+        ++pairs;
+        elems += x.local(src).nnz();
+      }
+      fp.pairs += pairs;
+      fp.elements += elems;
+      if (elems > fp.max_initiator_elements) {
+        fp.max_initiator_elements = elems;
+        fp.max_initiator_pairs = pairs;
+      }
+    }
+    fp.block_bytes = 16 * fp.max_initiator_elements;
+    gather_dec = insp->decide("spmspv.gather", fp);
+  }
+  const SiteStrategy gather_strat =
+      insp != nullptr          ? gather_dec.strategy
+      : opt.aggregated()       ? SiteStrategy::kAggregated
+      : opt.gather_is_bulk()   ? SiteStrategy::kBulk
+                               : SiteStrategy::kFine;
+
   // ---- Step 1: gather x along each processor row ----
   obs::GridSpan gather_span(grid, "spmspv.gather");
   CommStats cs0 = grid.comm_stats();
@@ -373,23 +416,53 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
     // transfers from the pc sources overlap one another.
     AggConfig gather_cfg = opt.agg;
     gather_cfg.contention = static_cast<double>(pc);
+    if (insp != nullptr) gather_cfg.capacity = gather_dec.agg_capacity;
     AggChannel chan(ctx, gather_cfg);
+    // Per-wave cached host view: this locale's host is resolved once
+    // here, and per-source hosts go through the RemapView's cached
+    // table — no per-element grid.host_of() walks.
+    const int self_host = remap.host(l);
     for (int i = 0; i < pc; ++i) {
       const int src = prow * pc + i;
       const auto& piece = x.local(src);
       idx.insert(idx.end(), piece.domain().indices().begin(),
                  piece.domain().indices().end());
       val.insert(val.end(), piece.values().begin(), piece.values().end());
-      const bool co_hosted =
-          remap.remapped() && remap.host(src) == remap.host(l);
+      const bool co_hosted = remap.remapped() && remap.host(src) == self_host;
       if (src != l && !co_hosted && !opt.use_collectives) {
+        if (gather_strat == SiteStrategy::kReplicate) {
+          // Selective read-only replication: the source piece is shipped
+          // once per reader host through a binomial broadcast tree
+          // (depth ceil(log2(pc)) instead of pc serialized serves) and
+          // stays resident; while its content fingerprint and the
+          // membership epoch both hold, later waves read the replica for
+          // free (inspector.cache.hits). A remap flushes every replica.
+          const std::uint64_t tag = piece.fingerprint();
+          if (!insp->cache_lookup("spmspv.gather", src, self_host, tag)) {
+            const std::int64_t bytes = 16 * piece.nnz();
+            ctx.remote_rt(src, 8);
+            ctx.remote_bulk(src, bytes);
+            const int depth =
+                replication_tree_depth(static_cast<double>(pc));
+            if (depth > 1) {
+              const bool intra =
+                  grid.same_node(self_host, remap.host(src));
+              ctx.clock().advance(
+                  static_cast<double>(depth - 1) *
+                  grid.net().bulk(bytes, intra, grid.colocated()));
+            }
+            insp->cache_install("spmspv.gather", src, self_host, tag,
+                                bytes);
+          }
+          continue;
+        }
         // Domain-size query, then the element copies. Every locale in
         // this processor row pulls from the same pc sources at once, so
         // each source's AM handler serves pc requesters (contention).
         ctx.remote_rt(src, 8);
-        if (opt.aggregated()) {
+        if (gather_strat == SiteStrategy::kAggregated) {
           chan.get_elems(src, piece.nnz(), 16);
-        } else if (opt.gather_is_bulk()) {
+        } else if (gather_strat == SiteStrategy::kBulk) {
           // The source serves one bulk copy to each of the pc locales in
           // this processor row, serially (no broadcast tree in the
           // paper's runtime): receiver-side contention scales the
@@ -472,6 +545,38 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
   local_span.end();
   grid.trace().add("local", grid.time() - t0);
 
+  // Scatter-site inspection: the partial outputs are known after the
+  // local phase; each initiator sprays its elements across ~pr owners
+  // (the owners of its column range), so pr is both the pair estimate
+  // per initiator and the receiver-side fan-in. Writes can't replicate.
+  SiteDecision scatter_dec;
+  if (insp != nullptr) {
+    SiteFootprint fp;
+    fp.bytes_each = 16;
+    fp.fanout = static_cast<double>(pr);
+    fp.gather = false;
+    // The bulk branch below spawns one packing region per destination;
+    // that task-spawn floor is what it costs over fine/agg per pair.
+    fp.bulk_pair_overhead = grid.region_floor();
+    for (int l = 0; l < nloc; ++l) {
+      const std::int64_t elems = ly[l].nnz();
+      const std::int64_t pairs =
+          std::min<std::int64_t>(nloc > 1 ? nloc - 1 : 0, pr);
+      fp.pairs += pairs;
+      fp.elements += elems;
+      if (elems > fp.max_initiator_elements) {
+        fp.max_initiator_elements = elems;
+        fp.max_initiator_pairs = pairs;
+      }
+    }
+    scatter_dec = insp->decide("spmspv.scatter", fp);
+  }
+  const SiteStrategy scatter_strat =
+      insp != nullptr          ? scatter_dec.strategy
+      : opt.aggregated()       ? SiteStrategy::kAggregated
+      : opt.scatter_is_bulk()  ? SiteStrategy::kBulk
+                               : SiteStrategy::kFine;
+
   // ---- Step 3: scatter/accumulate into the 1-D distributed output ----
   obs::GridSpan scatter_span(grid, "spmspv.scatter");
   cs0 = grid.comm_stats();
@@ -485,8 +590,10 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
   grid.coforall_locales([&](LocaleCtx& ctx) {
     const int l = ctx.locale();
     const auto& part = ly[l];
+    // Per-wave cached host view (same hoist as the gather).
+    const int self_host = remap.host(l);
     std::vector<std::int64_t> count_to(static_cast<std::size_t>(nloc), 0);
-    if (opt.aggregated() && !opt.use_collectives) {
+    if (scatter_strat == SiteStrategy::kAggregated && !opt.use_collectives) {
       // Conveyor schedule: accumulate-at-owner requests ride per-peer
       // buffers; every flush is one bulk (plus header) instead of a
       // message per element. Per-peer FIFO delivery keeps the per-slot
@@ -498,6 +605,7 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
       };
       AggConfig cfg = opt.agg;
       cfg.contention = static_cast<double>(pr);
+      if (insp != nullptr) cfg.capacity = scatter_dec.agg_capacity;
       DstAggregator<Update> agg(
           ctx,
           [&](int peer, std::vector<Update>& batch) {
@@ -518,7 +626,7 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
       c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(count_to[l]));
       for (int o = 0; o < nloc; ++o) {
         if (o == l || count_to[o] == 0) continue;
-        if (remap.remapped() && remap.host(o) == remap.host(l)) {
+        if (remap.remapped() && remap.host(o) == self_host) {
           // Co-hosted owner after a degraded remap: straight local
           // accumulation, nothing to pack.
           c.add(CostKind::kRandAccess, static_cast<double>(count_to[o]));
@@ -545,13 +653,13 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
       // Co-hosted owners (degraded remap) accumulate locally; identity
       // mapping reduces this to the plain o == l test.
       const bool local_dst =
-          o == l || (remap.remapped() && remap.host(o) == remap.host(l));
+          o == l || (remap.remapped() && remap.host(o) == self_host);
       if (local_dst) {
         CostVector c;
         c.add(CostKind::kRandAccess, static_cast<double>(count_to[o]));
         c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(count_to[o]));
         ctx.parallel_region(c);
-      } else if (opt.scatter_is_bulk()) {
+      } else if (scatter_strat == SiteStrategy::kBulk) {
         CostVector c;  // pack the destination's batch
         c.add(CostKind::kCpuOps, 10.0 * static_cast<double>(count_to[o]));
         c.add(CostKind::kStreamBytes, 16.0 * static_cast<double>(count_to[o]));

@@ -12,6 +12,8 @@ const char* to_string(CommMode m) {
       return "bulk";
     case CommMode::kAggregated:
       return "agg";
+    case CommMode::kAuto:
+      return "auto";
   }
   return "?";
 }
@@ -20,7 +22,10 @@ CommMode parse_comm_mode(const std::string& s) {
   if (s == "fine") return CommMode::kFine;
   if (s == "bulk") return CommMode::kBulk;
   if (s == "agg" || s == "aggregated") return CommMode::kAggregated;
-  throw InvalidArgument("comm mode must be fine, bulk, or agg, got: " + s);
+  if (s == "auto") return CommMode::kAuto;
+  throw InvalidArgument(
+      "comm mode must be one of: fine, bulk, agg (aggregated), auto; got: " +
+      s);
 }
 
 AggChannel::AggChannel(LocaleCtx& ctx, AggConfig cfg)
@@ -53,9 +58,8 @@ void AggChannel::issue(int peer, double cost, std::int64_t msgs,
   DeliveryOutcome out;
   FaultPlan* plan = grid.fault_plan();
   if (plan != nullptr) {
-    out = plan_delivery(*plan, grid.retry_policy(),
-                        grid.host_of(ctx_.locale()), grid.host_of(peer),
-                        ctx_.clock().now());
+    out = plan_delivery(*plan, grid.retry_policy(), ctx_.host(),
+                        grid.host_of(peer), ctx_.clock().now());
     hot.retries->inc(out.attempts - 1);
     hot.timeouts->inc(out.timeouts);
     if (out.drops > 0) hot.injected_drop->inc(out.drops);
@@ -118,13 +122,13 @@ void AggChannel::flush_put(int peer, std::int64_t bytes,
                            std::int64_t elems) {
   auto& grid = ctx_.grid();
   // Host-level locality: a logical peer co-hosted after a degraded-mode
-  // remap is a memcpy, not a flush on the wire.
-  if (grid.host_of(peer) == grid.host_of(ctx_.locale())) {
+  // remap is a memcpy, not a flush on the wire. The self side resolves
+  // through the ctx's epoch-cached host.
+  if (grid.host_of(peer) == ctx_.host()) {
     ++stats_.local_flushes;
     return;
   }
-  const bool intra =
-      grid.same_node(grid.host_of(ctx_.locale()), grid.host_of(peer));
+  const bool intra = grid.same_node(ctx_.host(), grid.host_of(peer));
   const int colo = grid.colocated();
   const auto& net = grid.net();
   const double cost = net.round_trip(cfg_.header_bytes, intra, colo) +
@@ -136,12 +140,11 @@ void AggChannel::flush_put(int peer, std::int64_t bytes,
 void AggChannel::flush_get(int peer, std::int64_t req_bytes,
                            std::int64_t resp_bytes, std::int64_t elems) {
   auto& grid = ctx_.grid();
-  if (grid.host_of(peer) == grid.host_of(ctx_.locale())) {
+  if (grid.host_of(peer) == ctx_.host()) {
     ++stats_.local_flushes;
     return;
   }
-  const bool intra =
-      grid.same_node(grid.host_of(ctx_.locale()), grid.host_of(peer));
+  const bool intra = grid.same_node(ctx_.host(), grid.host_of(peer));
   const int colo = grid.colocated();
   const auto& net = grid.net();
   double cost = net.round_trip(cfg_.header_bytes, intra, colo) +
@@ -156,8 +159,7 @@ void AggChannel::flush_get(int peer, std::int64_t req_bytes,
 
 void AggChannel::get_elems(int peer, std::int64_t count,
                            std::int64_t bytes_each) {
-  if (ctx_.grid().host_of(peer) == ctx_.grid().host_of(ctx_.locale()) ||
-      count <= 0) {
+  if (ctx_.grid().host_of(peer) == ctx_.host() || count <= 0) {
     return;
   }
   stats_.pushed += count;

@@ -40,17 +40,22 @@ namespace pgb {
 /// Communication schedule for distributed kernels with a gather/scatter
 /// structure. kFine is the paper's element-by-element code; kBulk is one
 /// hand-rolled transfer per peer; kAggregated is the conveyor schedule
-/// above (per-peer buffers, capacity-triggered bulk flushes).
+/// above (per-peer buffers, capacity-triggered bulk flushes). kAuto
+/// defers the choice to the grid's inspector–executor (runtime/
+/// inspector.hpp), which prices fine/bulk/agg — plus read-only
+/// replication with epoch-cached reads — per call site per wave and
+/// binds the cheapest; outputs stay byte-identical either way.
 enum class CommMode {
   kFine,
   kBulk,
   kAggregated,
+  kAuto,
 };
 
 const char* to_string(CommMode m);
 
-/// Parses "fine" | "bulk" | "agg" (or "aggregated"); throws
-/// InvalidArgument otherwise.
+/// Parses "fine" | "bulk" | "agg" (or "aggregated") | "auto"; throws
+/// InvalidArgument (enumerating the accepted modes) otherwise.
 CommMode parse_comm_mode(const std::string& s);
 
 /// Tuning knobs of one aggregator.

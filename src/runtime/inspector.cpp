@@ -1,0 +1,252 @@
+#include "runtime/inspector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pgb {
+
+const char* to_string(SiteStrategy s) {
+  switch (s) {
+    case SiteStrategy::kFine:
+      return "fine";
+    case SiteStrategy::kBulk:
+      return "bulk";
+    case SiteStrategy::kAggregated:
+      return "agg";
+    case SiteStrategy::kReplicate:
+      return "replicate";
+  }
+  return "?";
+}
+
+int replication_tree_depth(double fanout) {
+  const auto f = static_cast<std::int64_t>(std::llround(std::max(fanout, 1.0)));
+  int depth = 0;
+  std::int64_t reached = 1;
+  while (reached < f) {
+    reached *= 2;
+    ++depth;
+  }
+  return std::max(depth, 1);
+}
+
+std::uint64_t SiteFootprint::signature() const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<std::uint64_t>(pairs));
+  mix(static_cast<std::uint64_t>(elements));
+  mix(static_cast<std::uint64_t>(max_initiator_elements));
+  mix(static_cast<std::uint64_t>(max_initiator_pairs));
+  mix(static_cast<std::uint64_t>(bytes_each));
+  mix(static_cast<std::uint64_t>(block_bytes));
+  mix(static_cast<std::uint64_t>(std::llround(fanout * 16.0)));
+  mix(static_cast<std::uint64_t>(std::llround(chain_rts * 16.0)));
+  mix(static_cast<std::uint64_t>(std::llround(bulk_pair_overhead * 1e9)));
+  mix((read_only ? 2u : 0u) | (gather ? 1u : 0u));
+  return h;
+}
+
+namespace {
+
+/// Power of two nearest to ~elements-per-peer/4, clamped to [512, 8192]:
+/// about four capacity-triggered flushes per peer, enough for the
+/// double-buffered channel to overlap transfers with ongoing buffering
+/// without paying a header round trip per handful of elements.
+std::int64_t tune_agg_capacity(std::int64_t per_peer_elems) {
+  const std::int64_t target =
+      std::clamp<std::int64_t>((per_peer_elems + 3) / 4, 512, 8192);
+  std::int64_t cap = 512;
+  while (cap * 2 <= target) cap *= 2;
+  // Round to the nearer of cap and 2*cap.
+  if (target - cap > 2 * cap - target) cap *= 2;
+  return std::min<std::int64_t>(cap, 8192);
+}
+
+}  // namespace
+
+void Inspector::sync_epoch() {
+  PGB_REQUIRE(membership_ != nullptr, "inspector used before bind()");
+  const std::uint64_t e = membership_->epoch();
+  if (epoch_synced_ && e == cache_epoch_) return;
+  if (epoch_synced_ && !cache_.empty()) {
+    mx_->counter("inspector.cache.invalidations")
+        .inc(static_cast<std::int64_t>(cache_.size()));
+    cache_.clear();
+  }
+  cache_epoch_ = e;
+  epoch_synced_ = true;
+}
+
+SiteDecision Inspector::decide(const std::string& site,
+                               const SiteFootprint& fp) {
+  PGB_REQUIRE(net_ != nullptr && mx_ != nullptr,
+              "inspector used before bind()");
+  sync_epoch();
+
+  auto [it, inserted] = sites_.try_emplace(site);
+  SiteState& st = it->second;
+  if (inserted) mx_->counter("inspector.sites").inc();
+
+  const std::uint64_t sig = fp.signature();
+  if (st.calls > 0 && sig == st.last_signature) {
+    ++st.repeat_streak;
+  } else {
+    st.repeat_streak = 0;
+  }
+  st.last_signature = sig;
+  ++st.calls;
+  st.last_footprint = fp;
+
+  // Price every candidate through the same NetworkModel formulas the
+  // kernels charge with, on the wave's critical path (the heaviest
+  // initiator): P remote pairs of ~per elements each, contended by
+  // `fanout` simultaneous requesters per target. All inter-node
+  // (intra_node=false) — the conservative case the hand-rolled
+  // schedules also assume when they price contention.
+  const NetworkModel& net = *net_;
+  const std::int64_t P = std::max<std::int64_t>(fp.max_initiator_pairs, 1);
+  const std::int64_t E = std::max<std::int64_t>(fp.max_initiator_elements, 0);
+  const std::int64_t per = (E + P - 1) / P;
+  const std::int64_t b = std::max<std::int64_t>(fp.bytes_each, 1);
+  const double C = std::max(fp.fanout, 1.0);
+  const double Pd = static_cast<double>(P);
+  const int colo = colocated_;
+
+  const double fine =
+      fp.chain_rts > 0.0
+          ? Pd * C * net.dependent_chain(per, fp.chain_rts, b, false, colo)
+          : Pd * C * net.overlapped_messages(per, b, false, colo);
+
+  // The hand-rolled bulk paths fold the contention into the byte count:
+  // one serialized transfer of C * bytes per pair. (The size round trip
+  // gather sites pay up front is strategy-independent and cancels out of
+  // the argmin, so no candidate prices it.) Sites whose bulk path spawns
+  // a packing region per destination add that node-side floor per pair —
+  // at small batch sizes it, not the wire, is what sinks kBulk.
+  const double bulk = Pd * (net.bulk(std::llround(C * static_cast<double>(
+                                         per * b)),
+                                     false, colo) +
+                            fp.bulk_pair_overhead);
+
+  const std::int64_t cap = tune_agg_capacity(per);
+  const std::int64_t flushes_per_peer =
+      std::max<std::int64_t>((per + cap - 1) / cap, per > 0 ? 1 : 0);
+  const double agg =
+      Pd * static_cast<double>(flushes_per_peer) *
+      (net.round_trip(8, false, colo) +
+       C * net.bulk(std::min(cap, std::max<std::int64_t>(per, 1)) * b, false,
+                    colo));
+
+  // Replication: ship each block once per reader host through a binomial
+  // broadcast tree (depth log2(fanout) instead of fanout serialized
+  // serves), then every later read is local. The ship cost is weighted
+  // by the predicted miss fraction. Before any cache probes, the only
+  // reuse signal is the footprint repeat streak (an identical wave will
+  // hit); once the executor has probed the cache, the observed hit rate
+  // takes over — so a source whose *content* churns every wave (same
+  // sizes, new fingerprint: think PageRank's iterate) drives the miss
+  // fraction back to 1 and the site falls back to bulk/agg on its own.
+  // The 0.1 floor keeps a long hit streak from pricing replication as
+  // free forever.
+  double replicate = -1.0;
+  if (fp.read_only && fp.gather) {
+    const std::int64_t blk =
+        fp.block_bytes > 0 ? fp.block_bytes : E * b;
+    const std::int64_t blk_per = std::max<std::int64_t>((blk + P - 1) / P, 0);
+    const int depth = replication_tree_depth(C);
+    const double ship =
+        Pd * (net.round_trip(8, false, colo) +
+              static_cast<double>(depth) * net.bulk(blk_per, false, colo));
+    double miss_frac;
+    if (st.cache_lookups > 0) {
+      miss_frac = std::max(
+          0.1, 1.0 - static_cast<double>(st.cache_hits) /
+                         static_cast<double>(st.cache_lookups));
+    } else {
+      miss_frac = 1.0 / static_cast<double>(
+                            1 + std::min<std::int64_t>(st.repeat_streak, 7));
+    }
+    replicate = ship * miss_frac;
+  }
+
+  const double preds[4] = {fine, bulk, agg, replicate};
+  SiteDecision d;
+  d.strategy = SiteStrategy::kFine;
+  d.predicted = fine;
+  for (int s = 1; s < 4; ++s) {
+    if (preds[s] >= 0.0 && preds[s] < d.predicted) {
+      d.strategy = static_cast<SiteStrategy>(s);
+      d.predicted = preds[s];
+    }
+  }
+  d.agg_capacity = cap;
+
+  ++st.decisions[static_cast<int>(d.strategy)];
+  st.last_strategy = d.strategy;
+  st.last_predicted = d.predicted;
+
+  mx_->counter("inspector.decisions", {{"strategy", to_string(d.strategy)}})
+      .inc();
+  mx_->counter("inspector.site.decisions",
+               {{"site", site}, {"strategy", to_string(d.strategy)}})
+      .inc();
+  return d;
+}
+
+bool Inspector::cache_lookup(const std::string& site, int src, int reader_host,
+                             std::uint64_t tag) {
+  PGB_REQUIRE(mx_ != nullptr, "inspector used before bind()");
+  sync_epoch();
+  SiteState& st = sites_[site];  // decide() registered it; tests may not
+  const auto key = std::make_tuple(site, src, reader_host);
+  auto it = cache_.find(key);
+  // A probe with no entry is a compulsory miss — the cache hasn't had a
+  // chance yet. It must not depress the observed hit rate, or the first
+  // replicate wave's cold misses would read as "reuse is zero" and flip
+  // the site straight back to bulk before the cache ever warms. Only
+  // probes that found an entry are evidence about reuse: same tag is a
+  // hit, a changed tag is churn.
+  if (it == cache_.end()) return false;
+  ++st.cache_lookups;
+  if (it->second.tag != tag) {
+    // Content changed: stale replica, re-ship. This is an eviction, not
+    // an epoch invalidation.
+    cache_.erase(it);
+    return false;
+  }
+  ++st.cache_hits;
+  mx_->counter("inspector.cache.hits").inc();
+  return true;
+}
+
+void Inspector::cache_install(const std::string& site, int src,
+                              int reader_host, std::uint64_t tag,
+                              std::int64_t bytes) {
+  PGB_REQUIRE(mx_ != nullptr, "inspector used before bind()");
+  sync_epoch();
+  cache_[std::make_tuple(site, src, reader_host)] = Replica{tag, bytes};
+  mx_->counter("inspector.cache.installs").inc();
+  mx_->counter("inspector.replicated_bytes").inc(bytes);
+}
+
+std::vector<SiteReport> Inspector::report() const {
+  std::vector<SiteReport> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, st] : sites_) {
+    SiteReport r;
+    r.site = name;
+    r.calls = st.calls;
+    r.last_strategy = st.last_strategy;
+    for (int s = 0; s < 4; ++s) r.decisions[s] = st.decisions[s];
+    r.last_predicted = st.last_predicted;
+    r.last_footprint = st.last_footprint;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace pgb

@@ -12,7 +12,16 @@ LocaleCtx::LocaleCtx(LocaleGrid& grid, int locale)
               "locale id out of range");
 }
 
-SimClock& LocaleCtx::clock() { return grid_.clock(grid_.host_of(locale_)); }
+SimClock& LocaleCtx::clock() { return grid_.clock(host()); }
+
+int LocaleCtx::host() const {
+  const std::uint64_t e = grid_.membership().epoch();
+  if (host_epoch_ != e) {
+    host_ = grid_.host_of(locale_);
+    host_epoch_ = e;
+  }
+  return host_;
+}
 
 void LocaleCtx::parallel_region(CostVector cost) {
   cost.add(CostKind::kTaskSpawn, grid_.threads());
@@ -58,8 +67,8 @@ void LocaleCtx::transfer(const char* path, int peer, std::int64_t msgs,
   // locale 3 follows whatever logical work is hosted there, and a dead
   // host stays unreachable no matter which logical ids once lived on it.
   const DeliveryOutcome out =
-      plan_delivery(*plan, grid_.retry_policy(), grid_.host_of(locale_),
-                    grid_.host_of(peer), clock().now());
+      plan_delivery(*plan, grid_.retry_policy(), host(), grid_.host_of(peer),
+                    clock().now());
   // Every wire attempt (retries and duplicates included) is real
   // traffic: it shows up in comm.messages and the per-path family.
   const int wire = out.attempts + out.duplicates;
@@ -90,7 +99,7 @@ void LocaleCtx::remote_chain(int peer, std::int64_t count,
   // Locality is decided by *hosts*: after a degraded-mode remap, two
   // logical locales sharing a survivor exchange data through its memory,
   // not the wire. Identity membership makes this the plain self check.
-  const int self_h = grid_.host_of(locale_);
+  const int self_h = host();
   const int peer_h = grid_.host_of(peer);
   if (peer_h == self_h) return;  // local access: caller charges node costs
   // Each element sends one payload message after rts_per_elem dependent
@@ -107,7 +116,7 @@ void LocaleCtx::remote_chain(int peer, std::int64_t count,
 
 void LocaleCtx::remote_msgs(int peer, std::int64_t count,
                             std::int64_t bytes_each, double contention) {
-  const int self_h = grid_.host_of(locale_);
+  const int self_h = host();
   const int peer_h = grid_.host_of(peer);
   if (peer_h == self_h) return;
   transfer("msgs", peer, count, count * bytes_each, 0,
@@ -118,7 +127,7 @@ void LocaleCtx::remote_msgs(int peer, std::int64_t count,
 }
 
 void LocaleCtx::remote_bulk(int peer, std::int64_t bytes) {
-  const int self_h = grid_.host_of(locale_);
+  const int self_h = host();
   const int peer_h = grid_.host_of(peer);
   if (peer_h == self_h) return;
   transfer("bulk", peer, 1, bytes, 1,
@@ -127,7 +136,7 @@ void LocaleCtx::remote_bulk(int peer, std::int64_t bytes) {
 }
 
 void LocaleCtx::remote_rt(int peer, std::int64_t bytes_back) {
-  const int self_h = grid_.host_of(locale_);
+  const int self_h = host();
   const int peer_h = grid_.host_of(peer);
   if (peer_h == self_h) return;
   transfer("rt", peer, 2, bytes_back, 0,

@@ -22,6 +22,7 @@
 #include "fault/fault.hpp"
 #include "machine/machine_model.hpp"
 #include "runtime/dist.hpp"
+#include "runtime/inspector.hpp"
 #include "machine/network_model.hpp"
 #include "machine/parallel_model.hpp"
 #include "machine/sim_clock.hpp"
@@ -75,6 +76,14 @@ class LocaleCtx {
   /// host that adopted the dead locale's blocks. Identity mapping makes
   /// this the locale's own clock.
   SimClock& clock();
+
+  /// The physical host of this logical locale, cached against the
+  /// membership epoch: steady state is one epoch compare instead of a
+  /// grid.host_of() table walk. Every clock()/remote_* charge resolves
+  /// its own side through this cache, which hoists the repeated
+  /// translation out of the per-element kernel loops; a degraded-mode
+  /// remap bumps the epoch and refreshes it on next use.
+  int host() const;
 
   /// Scales the modeled time of parallel_region/serial_region charges
   /// while set (1.0 = neutral). The straggler work-shedding hook in
@@ -134,6 +143,9 @@ class LocaleCtx {
   LocaleGrid& grid_;
   int locale_;
   double charge_scale_ = 1.0;
+  /// host() cache; ~0 epoch forces the first lookup.
+  mutable std::uint64_t host_epoch_ = ~std::uint64_t{0};
+  mutable int host_ = -1;
 };
 
 class LocaleGrid {
@@ -227,6 +239,18 @@ class LocaleGrid {
   SimClock& clock(int l) { return clocks_[l]; }
   Trace& trace() { return trace_; }
 
+  /// Modeled fixed cost of one parallel region — the task-spawn floor an
+  /// empty `forall` pays (LocaleCtx::parallel_region adds a
+  /// kTaskSpawn(threads) term to every region). Kernels whose bulk path
+  /// spawns a packing region per destination hand this to the inspector
+  /// as SiteFootprint::bulk_pair_overhead; at small batch sizes this
+  /// floor, not the wire transfer, is what decides bulk vs aggregated.
+  double region_floor() const {
+    CostVector c;
+    c.add(CostKind::kTaskSpawn, threads());
+    return region_time(cfg_.model.node, c, threads(), colocated());
+  }
+
   /// Snapshot of the registry's comm counters (see CommStats).
   CommStats comm_stats() const {
     return CommStats{hot_.messages->value, hot_.bytes->value,
@@ -236,6 +260,16 @@ class LocaleGrid {
   /// The grid-wide metrics registry every layer publishes into.
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The grid's inspector–executor state (CommMode::kAuto). Re-bound to
+  /// this grid's registry/model/membership on every access, so the
+  /// cached pointers survive a grid move; all its counters register
+  /// lazily, on first kAuto use, keeping fault-free metric key sets (and
+  /// the committed profile baselines) unchanged.
+  Inspector& inspector() {
+    inspector_.bind(&metrics_, &net_, &membership_, colocated());
+    return inspector_;
+  }
 
   /// Attach (or detach, with nullptr) a trace session; not owned. While
   /// attached, runtime constructs and instrumented kernels record spans
@@ -283,6 +317,7 @@ class LocaleGrid {
     metrics_.reset();
     if (trace_session_ != nullptr) trace_session_->clear();
     membership_.reset();
+    inspector_.reset();
     std::fill(straggler_hits_.begin(), straggler_hits_.end(), 0);
     ++epoch_;
   }
@@ -340,6 +375,7 @@ class LocaleGrid {
   FaultPlan* fault_plan_ = nullptr;
   RetryPolicy retry_;
   Membership membership_;
+  Inspector inspector_;
   std::vector<std::int64_t> straggler_hits_;
   double straggler_threshold_ = 0.0;
   bool warned_thread_clamp_ = false;

@@ -2,7 +2,11 @@
 // domain index, mirroring Chapel's sparse-domain/array split.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "sparse/sparse_domain.hpp"
@@ -70,6 +74,35 @@ class SparseVec {
 
   bool operator==(const SparseVec& o) const {
     return capacity_ == o.capacity_ && dom_ == o.dom_ && vals_ == o.vals_;
+  }
+
+  /// Cheap content tag: nnz, the end indices, and up to 64 evenly
+  /// strided (index, value-bits) samples mixed into one 64-bit word.
+  /// The inspector's replica cache uses it to detect a source block
+  /// changing between waves without hashing the whole vector. A
+  /// collision can only mis-model communication cost (a re-ship not
+  /// charged) — reads always resolve against the live vector, so data
+  /// can never be corrupted by one.
+  std::uint64_t fingerprint() const {
+    const Index n = nnz();
+    std::uint64_t h =
+        0x9e3779b97f4a7c15ull ^ static_cast<std::uint64_t>(n);
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    };
+    mix(static_cast<std::uint64_t>(capacity_));
+    if (n == 0) return h;
+    const Index stride = std::max<Index>(1, n / 64);
+    for (Index p = 0; p < n; p += stride) {
+      mix(static_cast<std::uint64_t>(dom_[p]));
+      if constexpr (std::is_trivially_copyable_v<T>) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &vals_[p], std::min(sizeof(T), sizeof(bits)));
+        mix(bits);
+      }
+    }
+    mix(static_cast<std::uint64_t>(dom_[n - 1]));
+    return h;
   }
 
  private:

@@ -9,7 +9,9 @@
 //   pgb --gen=rmat --rmat-scale=16 --op=bfs --nodes=16
 //   pgb --matrix=web.mtx --op=pagerank --machine=modern
 //   pgb --gen=er --n=1000000 --d=16 --op=spmspv --f=0.02 --bulk
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <exception>
 #include <fstream>
 #include <optional>
@@ -51,6 +53,40 @@ void print_timing(LocaleGrid& grid) {
               static_cast<double>(cs.bytes) / 1e6);
 }
 
+/// Per-site inspector decision dump (--comm=auto). The same numbers are
+/// published as `inspector.*` counters, so a --profile capture carries
+/// them into pgb_diff, where a silent strategy flip between two runs
+/// shows up as a structural diff.
+void print_inspector(LocaleGrid& grid) {
+  const auto sites = grid.inspector().report();
+  if (sites.empty()) return;
+  std::printf("\ninspector: %zu sites\n", sites.size());
+  for (const auto& s : sites) {
+    std::printf(
+        "  %-18s calls=%lld last=%-9s fine/bulk/agg/repl=%lld/%lld/%lld/%lld "
+        "elems=%lld pairs=%lld fanout=%.0f\n",
+        s.site.c_str(), static_cast<long long>(s.calls),
+        to_string(s.last_strategy), static_cast<long long>(s.decisions[0]),
+        static_cast<long long>(s.decisions[1]),
+        static_cast<long long>(s.decisions[2]),
+        static_cast<long long>(s.decisions[3]),
+        static_cast<long long>(s.last_footprint.elements),
+        static_cast<long long>(s.last_footprint.pairs),
+        s.last_footprint.fanout);
+  }
+  const auto& mx = grid.metrics();
+  auto cnt = [&mx](const char* name) {
+    const obs::Counter* c = mx.find_counter(name);
+    return static_cast<long long>(c ? c->value : 0);
+  };
+  std::printf(
+      "  replica cache: %lld hits, %lld installs, %lld invalidations, "
+      "%.3g MB shipped\n",
+      cnt("inspector.cache.hits"), cnt("inspector.cache.installs"),
+      cnt("inspector.cache.invalidations"),
+      static_cast<double>(cnt("inspector.replicated_bytes")) / 1e6);
+}
+
 /// Writes the grid's metrics registry as JSON.
 void write_metrics(LocaleGrid& grid, const std::string& path) {
   std::ofstream out(path);
@@ -80,8 +116,8 @@ int run(int argc, char** argv) {
   const bool bulk =
       cli.get_bool("bulk", false, "bulk-synchronous communication");
   const std::string comm_flag = cli.get(
-      "comm", "", "communication schedule: fine | bulk | agg "
-                  "(overrides --bulk)");
+      "comm", "", "communication schedule: fine | bulk | agg | auto "
+                  "(inspector-chosen per site; overrides --bulk)");
   const std::int64_t agg_capacity = cli.get_int(
       "agg-capacity", 2048, "aggregator buffer capacity (--comm=agg)");
   const std::string machine =
@@ -289,13 +325,34 @@ int run(int argc, char** argv) {
         seed + 1);
     grid.reset();
     auto y = spmspv_dist(a, x, arithmetic_semiring<double>(), comm);
-    std::printf("spmspv: nnz(x)=%lld -> nnz(y)=%lld\n",
+    // FNV over the output's (index, value-bits) stream: a printed
+    // content hash, so CI can diff the result across comm schedules —
+    // every schedule must produce byte-identical output.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+      for (int byte = 0; byte < 8; ++byte) {
+        h = (h ^ ((v >> (8 * byte)) & 0xff)) * 1099511628211ull;
+      }
+    };
+    const auto yl = y.to_local();
+    for (Index p = 0; p < yl.nnz(); ++p) {
+      mix(static_cast<std::uint64_t>(yl.index_at(p)));
+      double dv = yl.value_at(p);
+      std::uint64_t bits;
+      std::memcpy(&bits, &dv, sizeof(bits));
+      mix(bits);
+    }
+    std::printf("spmspv: nnz(x)=%lld -> nnz(y)=%lld hash=%016llx\n",
                 static_cast<long long>(x.nnz()),
-                static_cast<long long>(y.nnz()));
+                static_cast<long long>(y.nnz()),
+                static_cast<unsigned long long>(h));
   } else {
     throw InvalidArgument("unknown --op: " + op);
   }
   print_timing(grid);
+  if (comm.comm == CommMode::kAuto) {
+    print_inspector(grid);
+  }
   if (plan.has_value()) {
     const auto& hot = grid.hot();
     const auto kills =
