@@ -1,0 +1,191 @@
+// Ablation: batched multi-source query fusion against sequential
+// serving.
+//
+// The serving front end's core bet is that k compatible single-source
+// queries fused into one multi-frontier wave cost less than k solo
+// runs: the per-level comm schedule (request round trips, bulk
+// latencies, aggregator flushes) is priced and paid once for the whole
+// batch instead of once per user, while the per-lane compute is the
+// same solo code path — so each query's answer is byte-identical to
+// its solo run.
+//
+// This bench runs k-source BFS batches (k in {4, 16}) against k
+// sequential solo runs at 16 and 64 locales, on the aggregated and
+// inspector-chosen schedules. Gates, enforced at the 64-locale k=16
+// point on the aggregated schedule:
+//   - fused total simulated time <= seq / 1.5 (the >=1.5x speedup the
+//     serving SLO budget assumes);
+//   - strictly fewer messages;
+//   - every lane's parents/levels byte-identical to its solo run;
+//   - two same-seed fused runs indistinguishable (time + messages).
+//
+// --json=PATH emits the baseline committed as BENCH_service.json.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algo/bfs.hpp"
+#include "gen/erdos_renyi.hpp"
+
+using namespace pgb;
+
+namespace {
+
+struct Sample {
+  int nodes = 0;
+  int k = 0;
+  std::string mode;  ///< "seq" | "fused"
+  std::string comm;
+  double time = 0.0;
+  double speedup = 1.0;  ///< seq time / fused time (on fused rows)
+  std::int64_t messages = 0;
+  bool identical = true;  ///< fused lanes match solo runs
+};
+
+void emit_json(const std::string& path, std::uint64_t seed,
+               const std::vector<Sample>& samples) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  PGB_REQUIRE(out != nullptr, "cannot open --json path: " + path);
+  std::fprintf(out,
+               "{\n  \"bench\": \"abl_service\",\n"
+               "  \"workload\": \"er n=100k d=16, k-source bfs batch vs "
+               "k sequential solo runs\",\n"
+               "  \"machine\": \"edison\",\n  \"seed\": %llu,\n"
+               "  \"samples\": [\n",
+               static_cast<unsigned long long>(seed));
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(out,
+                 "    {\"nodes\": %d, \"k\": %d, \"mode\": \"%s\", "
+                 "\"comm\": \"%s\", \"modeled_time_s\": %.6e, "
+                 "\"speedup_vs_seq\": %.4f, \"messages\": %lld, "
+                 "\"identical\": %s}%s\n",
+                 s.nodes, s.k, s.mode.c_str(), s.comm.c_str(), s.time,
+                 s.speedup, static_cast<long long>(s.messages),
+                 s.identical ? "true" : "false",
+                 i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s (%zu samples)\n", path.c_str(), samples.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0, "fraction of paper size");
+  const std::string json =
+      cli.get("json", "", "write a machine-readable baseline to this path");
+  const std::uint64_t seed = bench::seed_flag(cli);
+  cli.finish();
+
+  bench::print_preamble(
+      "Ablation", "batched multi-source fusion: k-source BFS batch vs k "
+      "sequential solo runs (byte-identical lanes, >=1.5x at 64 locales "
+      "k=16)", scale);
+
+  const Index n = bench::scaled(100000, scale);
+  const char* kCommNames[] = {"agg", "auto"};
+  const CommMode kComms[] = {CommMode::kAggregated, CommMode::kAuto};
+
+  std::vector<Sample> samples;
+  bool all_identical = true;
+  bool all_deterministic = true;
+  bool gates_hold = true;
+  Table t({"nodes", "k", "mode", "comm", "time", "speedup", "messages",
+           "identical"});
+  for (int nodes : {16, 64}) {
+    auto grid = LocaleGrid::square(nodes, 24);
+    auto a = erdos_renyi_dist<double>(grid, n, 16.0, seed);
+
+    for (const int k : {4, 16}) {
+      std::vector<Index> sources;
+      for (int i = 0; i < k; ++i) {
+        sources.push_back((static_cast<Index>(i) * n) /
+                          static_cast<Index>(k));
+      }
+      for (int c = 0; c < 2; ++c) {
+        SpmspvOptions opt;
+        opt.comm = kComms[c];
+
+        // k sequential solo runs: total simulated time and traffic.
+        grid.reset();
+        std::vector<BfsResult> solo;
+        for (const Index s : sources) solo.push_back(bfs(a, s, opt));
+        const double seq_time = grid.time();
+        const std::int64_t seq_msgs = grid.comm_stats().messages;
+
+        // One fused k-wide batch.
+        grid.reset();
+        const std::vector<BfsResult> fused = bfs_batch(a, sources, opt);
+        const double fused_time = grid.time();
+        const std::int64_t fused_msgs = grid.comm_stats().messages;
+
+        bool identical = fused.size() == solo.size();
+        for (std::size_t i = 0; identical && i < solo.size(); ++i) {
+          identical = fused[i].parent == solo[i].parent &&
+                      fused[i].level_sizes == solo[i].level_sizes;
+        }
+        all_identical = all_identical && identical;
+
+        // Same-seed fused rerun must be indistinguishable.
+        grid.reset();
+        const std::vector<BfsResult> rerun = bfs_batch(a, sources, opt);
+        const bool deterministic = grid.time() == fused_time &&
+                                   grid.comm_stats().messages == fused_msgs;
+        all_deterministic = all_deterministic && deterministic;
+        if (!deterministic) {
+          std::printf("NONDETERMINISM: fused rerun diverged at %d locales "
+                      "k=%d comm=%s\n", nodes, k, kCommNames[c]);
+        }
+
+        const double speedup =
+            fused_time > 0.0 ? seq_time / fused_time : 1.0;
+        Sample seq{nodes, k, "seq", kCommNames[c], seq_time, 1.0,
+                   seq_msgs, true};
+        Sample fus{nodes, k, "fused", kCommNames[c], fused_time, speedup,
+                   fused_msgs, identical};
+        samples.push_back(seq);
+        samples.push_back(fus);
+        t.row({Table::count(nodes), Table::count(k), "seq", kCommNames[c],
+               Table::time(seq_time), Table::num(1.0),
+               Table::count(seq_msgs), "yes"});
+        t.row({Table::count(nodes), Table::count(k), "fused", kCommNames[c],
+               Table::time(fused_time), Table::num(speedup),
+               Table::count(fused_msgs), identical ? "yes" : "NO"});
+
+        // Acceptance gates at the 64-locale k=16 aggregated point; the
+        // fused wave must also never lose time or traffic anywhere.
+        if (fused_time >= seq_time || fused_msgs >= seq_msgs) {
+          gates_hold = false;
+          std::printf("GATE FAILED: fused not strictly cheaper at %d "
+                      "locales k=%d comm=%s (%.3f ms vs %.3f ms, %lld vs "
+                      "%lld msgs)\n",
+                      nodes, k, kCommNames[c], fused_time * 1e3,
+                      seq_time * 1e3, static_cast<long long>(fused_msgs),
+                      static_cast<long long>(seq_msgs));
+        }
+        if (nodes == 64 && k == 16 && c == 0 && speedup < 1.5) {
+          gates_hold = false;
+          std::printf("GATE FAILED: 64-locale k=16 fused speedup %.2fx "
+                      "< 1.5x\n", speedup);
+        }
+      }
+    }
+  }
+  t.print();
+
+  std::printf("\nall fused lanes byte-identical to solo: %s; same-seed "
+              "fused runs indistinguishable: %s\n",
+              all_identical ? "yes" : "NO",
+              all_deterministic ? "yes" : "NO");
+  PGB_REQUIRE(all_identical, "fused lanes diverged from solo results");
+  PGB_REQUIRE(all_deterministic, "same-seed fused runs diverged");
+  PGB_REQUIRE(gates_hold, "service fusion acceptance gates failed");
+  if (!json.empty()) emit_json(json, seed, samples);
+  return 0;
+}

@@ -74,6 +74,58 @@ RecoverableLoop<BfsState<T>> bfs_recovery_loop(const DistCsr<T>& a,
   return loop;
 }
 
+/// Batched-BFS snapshot contract: the per-lane blocks under lane-indexed
+/// keys ("bfsb.<q>.visited", ...) plus the batch width, so a rebuild
+/// mid-batch restores every lane and the fused wave replays bit-identical
+/// to the fault-free batch.
+template <typename T>
+RecoverableLoop<BfsBatchState<T>> bfs_batch_recovery_loop(
+    const DistCsr<T>& a, const std::vector<Index>& sources,
+    const SpmspvOptions& opt) {
+  auto* ap = &a;
+  auto& grid = a.grid();
+  const Index n = a.nrows();
+  RecoverableLoop<BfsBatchState<T>> loop;
+  loop.init = [ap, sources] { return bfs_batch_init(*ap, sources); };
+  loop.step = [ap, opt](BfsBatchState<T>& st) { bfs_batch_step(*ap, st, opt); };
+  loop.done = [](const BfsBatchState<T>& st) { return st.done; };
+  loop.save = [](const BfsBatchState<T>& st, Checkpoint& c) {
+    c.put_scalar("bfsb.width",
+                 static_cast<Index>(st.lanes.size()));
+    c.put_scalar("bfsb.done", st.done);
+    for (std::size_t q = 0; q < st.lanes.size(); ++q) {
+      const auto& ln = st.lanes[q];
+      const std::string p = "bfsb." + std::to_string(q) + ".";
+      c.put_dense(p + "visited", ln.visited);
+      c.put_sparse(p + "frontier", ln.frontier);
+      c.put_host(p + "parent", ln.res.parent);
+      c.put_host(p + "level_sizes", ln.res.level_sizes);
+      c.put_scalar(p + "level", ln.level);
+      c.put_scalar(p + "done", ln.done);
+    }
+  };
+  loop.load = [&grid, n](const Checkpoint& c) {
+    BfsBatchState<T> st;
+    const auto width = c.get_scalar<Index>("bfsb.width");
+    st.done = c.get_scalar<bool>("bfsb.done");
+    st.lanes.reserve(static_cast<std::size_t>(width));
+    for (Index q = 0; q < width; ++q) {
+      const std::string p = "bfsb." + std::to_string(q) + ".";
+      BfsState<T> ln{DistDenseVec<std::uint8_t>(grid, n, 0),
+                     DistSparseVec<T>(grid, n), {}, 0, false};
+      c.get_dense(p + "visited", ln.visited);
+      c.get_sparse(p + "frontier", ln.frontier);
+      ln.res.parent = c.get_host<Index>(p + "parent");
+      ln.res.level_sizes = c.get_host<Index>(p + "level_sizes");
+      ln.level = c.get_scalar<Index>(p + "level");
+      ln.done = c.get_scalar<bool>(p + "done");
+      st.lanes.push_back(std::move(ln));
+    }
+    return st;
+  };
+  return loop;
+}
+
 template <typename T>
 RecoverableLoop<SsspState> sssp_recovery_loop(const DistCsr<T>& a,
                                               Index source,
@@ -187,6 +239,26 @@ BfsResult bfs_with_rebuild(const DistCsr<T>& a, Index source,
   BfsState<T> st = run_with_rebuild(
       a.grid(), plan, bfs_recovery_loop(a, source, opt), ropt, report);
   return std::move(st.res);
+}
+
+/// Kill-mid-batch recovery for the service executor's fused BFS batch:
+/// the whole batch state (every lane) is replicated/rebuilt as one loop,
+/// and the recovered per-lane results are bit-for-bit the fault-free
+/// batch's (which are themselves byte-identical to solo runs).
+template <typename T>
+std::vector<BfsResult> bfs_batch_with_rebuild(
+    const DistCsr<T>& a, const std::vector<Index>& sources,
+    const SpmspvOptions& opt, FaultPlan* plan, RebuildOptions ropt = {},
+    RecoveryReport* report = nullptr) {
+  if (ropt.replica.static_bytes == 0) {
+    ropt.replica.static_bytes = matrix_static_bytes(a);
+  }
+  BfsBatchState<T> st = run_with_rebuild(
+      a.grid(), plan, bfs_batch_recovery_loop(a, sources, opt), ropt, report);
+  std::vector<BfsResult> out;
+  out.reserve(st.lanes.size());
+  for (auto& ln : st.lanes) out.push_back(std::move(ln.res));
+  return out;
 }
 
 template <typename T>

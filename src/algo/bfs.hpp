@@ -18,6 +18,7 @@
 #include "core/mask.hpp"
 #include "core/ops.hpp"
 #include "core/spmspv.hpp"
+#include "core/spmspv_multi.hpp"
 #include "obs/span.hpp"
 #include "sparse/dist_csr.hpp"
 #include "sparse/dist_dense_vec.hpp"
@@ -137,6 +138,138 @@ BfsResult bfs(const DistCsr<T>& a, Index source,
   BfsState<T> st = bfs_init(a, source);
   while (!st.done) bfs_step(a, st, opt);
   return std::move(st.res);
+}
+
+// ---- Batched multi-source BFS (the service front end's fused wave) ----
+//
+// k independent traversals stepped in lockstep: each level's frontier
+// exchange for every still-active lane rides ONE fused multi-frontier
+// SpMSpV (core/spmspv_multi.hpp), so the comm schedule is priced and
+// paid once per level instead of once per lane. Each lane's state
+// evolves through exactly the solo bfs_init/bfs_step transformations —
+// same frontier values, same mask, same per-owner finalize — so every
+// lane's BfsResult is byte-identical to a solo bfs() from its source.
+
+/// k lane states plus a batch-level done flag. A lane finishes on its
+/// own schedule (its frontier drains); the batch finishes when every
+/// lane has.
+template <typename T>
+struct BfsBatchState {
+  std::vector<BfsState<T>> lanes;
+  bool done = false;
+};
+
+template <typename T>
+BfsBatchState<T> bfs_batch_init(const DistCsr<T>& a,
+                                const std::vector<Index>& sources) {
+  PGB_REQUIRE(!sources.empty(), "bfs_batch: need at least one source");
+  BfsBatchState<T> st;
+  st.lanes.reserve(sources.size());
+  for (Index s : sources) st.lanes.push_back(bfs_init(a, s));
+  a.grid().metrics().counter("algo.calls", {{"algo", "bfs.batch"}}).inc();
+  return st;
+}
+
+/// Advances every still-active lane one level through one fused wave.
+template <typename T>
+void bfs_batch_step(const DistCsr<T>& a, BfsBatchState<T>& st,
+                    const SpmspvOptions& opt = {}) {
+  auto& grid = a.grid();
+  std::vector<int> act;
+  for (int q = 0; q < static_cast<int>(st.lanes.size()); ++q) {
+    auto& ln = st.lanes[static_cast<std::size_t>(q)];
+    if (ln.done) continue;
+    if (ln.frontier.nnz() == 0) {
+      ln.done = true;
+      continue;
+    }
+    act.push_back(q);
+  }
+  if (act.empty()) {
+    st.done = true;
+    return;
+  }
+  PGB_TRACE_SPAN(grid, "bfs.batch.level",
+                 {{"width", std::to_string(act.size())}});
+  grid.metrics().counter("algo.iterations", {{"algo", "bfs.batch"}}).inc();
+  // Per lane: the solo value-write pass (frontier values carry the
+  // discovering vertex), charged per lane inside one locale loop.
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    for (int q : act) {
+      auto& lf = st.lanes[static_cast<std::size_t>(q)].frontier.local(
+          ctx.locale());
+      for (Index p = 0; p < lf.nnz(); ++p) {
+        lf.value_at(p) = static_cast<T>(lf.index_at(p));
+      }
+      CostVector c;
+      c.add(CostKind::kStreamBytes, 16.0 * static_cast<double>(lf.nnz()));
+      c.add(CostKind::kCpuOps,
+            kApplyOpsPerElem * static_cast<double>(lf.nnz()));
+      ctx.parallel_region(c);
+    }
+  });
+
+  const auto sr = min_first_semiring<T>();
+  std::vector<const DistSparseVec<T>*> xs;
+  std::vector<const DistDenseVec<std::uint8_t>*> masks;
+  xs.reserve(act.size());
+  masks.reserve(act.size());
+  for (int q : act) {
+    auto& ln = st.lanes[static_cast<std::size_t>(q)];
+    ++ln.level;
+    xs.push_back(&ln.frontier);
+    masks.push_back(&ln.visited);
+  }
+  std::vector<DistSparseVec<T>> fresh =
+      spmspv_dist_multi(a, xs, masks, MaskMode::kComplement, sr, opt);
+
+  std::vector<int> live;  // positions in act whose lane found new vertices
+  for (int i = 0; i < static_cast<int>(act.size()); ++i) {
+    if (fresh[static_cast<std::size_t>(i)].nnz() == 0) {
+      st.lanes[static_cast<std::size_t>(act[static_cast<std::size_t>(i)])]
+          .done = true;
+    } else {
+      live.push_back(i);
+    }
+  }
+  if (live.empty()) return;
+  grid.coforall_locales([&](LocaleCtx& ctx) {
+    for (int i : live) {
+      auto& ln = st.lanes[static_cast<std::size_t>(
+          act[static_cast<std::size_t>(i)])];
+      const auto& lf = fresh[static_cast<std::size_t>(i)].local(ctx.locale());
+      for (Index p = 0; p < lf.nnz(); ++p) {
+        ln.res.parent[static_cast<std::size_t>(lf.index_at(p))] =
+            static_cast<Index>(lf.value_at(p));
+      }
+      CostVector c;
+      c.add(CostKind::kRandAccess, static_cast<double>(lf.nnz()));
+      c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(lf.nnz()));
+      ctx.parallel_region(c);
+    }
+  });
+  for (int i : live) {
+    auto& ln =
+        st.lanes[static_cast<std::size_t>(act[static_cast<std::size_t>(i)])];
+    auto& fr = fresh[static_cast<std::size_t>(i)];
+    mask_union(ln.visited, fr);
+    ln.res.level_sizes.push_back(fr.nnz());
+    ln.frontier = std::move(fr);
+  }
+}
+
+/// Runs k BFS traversals through the fused per-level wave; out[i] is
+/// byte-identical to bfs(a, sources[i], opt).
+template <typename T>
+std::vector<BfsResult> bfs_batch(const DistCsr<T>& a,
+                                 const std::vector<Index>& sources,
+                                 const SpmspvOptions& opt = {}) {
+  BfsBatchState<T> st = bfs_batch_init(a, sources);
+  while (!st.done) bfs_batch_step(a, st, opt);
+  std::vector<BfsResult> out;
+  out.reserve(st.lanes.size());
+  for (auto& ln : st.lanes) out.push_back(std::move(ln.res));
+  return out;
 }
 
 }  // namespace pgb

@@ -10,6 +10,7 @@
 
 #include "core/ops.hpp"
 #include "core/spmspv.hpp"
+#include "core/spmspv_multi.hpp"
 #include "obs/span.hpp"
 #include "sparse/dist_csr.hpp"
 #include "sparse/dist_dense_vec.hpp"
@@ -137,6 +138,119 @@ SsspResult sssp(const DistCsr<T>& a, Index source,
   SsspState st = sssp_init(a, source);
   while (!st.done) sssp_step(a, st, opt);
   return sssp_finalize(st);
+}
+
+// ---- Batched multi-source SSSP (the service front end's fused wave) ----
+//
+// Same lockstep structure as BfsBatchState: every active lane's
+// relaxation round rides one fused multi-frontier SpMSpV, while each
+// lane's improvement filter and next-frontier build are the solo
+// sssp_step code over that lane's data alone — lane distances are
+// byte-identical to solo sssp() runs.
+
+struct SsspBatchState {
+  std::vector<SsspState> lanes;
+  bool done = false;
+};
+
+template <typename T>
+SsspBatchState sssp_batch_init(const DistCsr<T>& a,
+                               const std::vector<Index>& sources) {
+  PGB_REQUIRE(!sources.empty(), "sssp_batch: need at least one source");
+  SsspBatchState st;
+  st.lanes.reserve(sources.size());
+  for (Index s : sources) st.lanes.push_back(sssp_init(a, s));
+  a.grid().metrics().counter("algo.calls", {{"algo", "sssp.batch"}}).inc();
+  return st;
+}
+
+/// One fused Bellman-Ford relaxation round across all active lanes.
+template <typename T>
+void sssp_batch_step(const DistCsr<T>& a, SsspBatchState& st,
+                     const SpmspvOptions& opt = {}) {
+  auto& grid = a.grid();
+  const Index n = a.nrows();
+  std::vector<int> act;
+  for (int q = 0; q < static_cast<int>(st.lanes.size()); ++q) {
+    auto& ln = st.lanes[static_cast<std::size_t>(q)];
+    if (ln.done) continue;
+    if (ln.frontier.nnz() == 0 || ln.res.rounds >= n) {
+      ln.done = true;
+      continue;
+    }
+    act.push_back(q);
+  }
+  if (act.empty()) {
+    st.done = true;
+    return;
+  }
+  PGB_TRACE_SPAN(grid, "sssp.batch.round",
+                 {{"width", std::to_string(act.size())}});
+  grid.metrics().counter("algo.iterations", {{"algo", "sssp.batch"}}).inc();
+
+  const auto sr = min_plus_semiring<double>();
+  std::vector<const DistSparseVec<double>*> xs;
+  xs.reserve(act.size());
+  for (int q : act) {
+    auto& ln = st.lanes[static_cast<std::size_t>(q)];
+    ++ln.res.rounds;
+    xs.push_back(&ln.frontier);
+  }
+  std::vector<DistSparseVec<double>> cand =
+      spmspv_dist_multi(a, xs, {}, MaskMode::kNone, sr, opt);
+
+  // Per lane: keep the candidates that improve, update dist, and build
+  // the next frontier — the solo filter, charged per lane.
+  const int nloc = grid.num_locales();
+  for (int i = 0; i < static_cast<int>(act.size()); ++i) {
+    auto& ln =
+        st.lanes[static_cast<std::size_t>(act[static_cast<std::size_t>(i)])];
+    auto& lc_all = cand[static_cast<std::size_t>(i)];
+    std::vector<std::vector<Index>> imp_idx(
+        static_cast<std::size_t>(nloc));
+    std::vector<std::vector<double>> imp_val(
+        static_cast<std::size_t>(nloc));
+    grid.coforall_locales([&](LocaleCtx& ctx) {
+      const int l = ctx.locale();
+      const auto& lc = lc_all.local(l);
+      auto& ld = ln.dist.local(l);
+      for (Index p = 0; p < lc.nnz(); ++p) {
+        const Index v = lc.index_at(p);
+        if (lc.value_at(p) < ld[v]) {
+          ld[v] = lc.value_at(p);
+          imp_idx[static_cast<std::size_t>(l)].push_back(v);
+          imp_val[static_cast<std::size_t>(l)].push_back(lc.value_at(p));
+        }
+      }
+      CostVector c;
+      c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(lc.nnz()));
+      c.add(CostKind::kRandAccess, static_cast<double>(lc.nnz()));
+      c.add(CostKind::kStreamBytes, 24.0 * static_cast<double>(lc.nnz()));
+      ctx.parallel_region(c);
+    });
+    DistSparseVec<double> next(grid, n);
+    for (int l = 0; l < nloc; ++l) {
+      next.local(l) = SparseVec<double>::from_sorted(
+          next.dist().local_size(l),
+          std::move(imp_idx[static_cast<std::size_t>(l)]),
+          std::move(imp_val[static_cast<std::size_t>(l)]));
+    }
+    ln.frontier = std::move(next);
+  }
+}
+
+/// Runs k SSSP queries through the fused per-round wave; out[i] is
+/// byte-identical to sssp(a, sources[i], opt).
+template <typename T>
+std::vector<SsspResult> sssp_batch(const DistCsr<T>& a,
+                                   const std::vector<Index>& sources,
+                                   const SpmspvOptions& opt = {}) {
+  SsspBatchState st = sssp_batch_init(a, sources);
+  while (!st.done) sssp_batch_step(a, st, opt);
+  std::vector<SsspResult> out;
+  out.reserve(st.lanes.size());
+  for (auto& ln : st.lanes) out.push_back(sssp_finalize(ln));
+  return out;
 }
 
 }  // namespace pgb

@@ -8,6 +8,7 @@
 
 #include "core/graphblas.hpp"
 #include "runtime/locale_grid.hpp"
+#include "service/service.hpp"
 #include "util/error.hpp"
 
 struct pgb_matrix_opaque {
@@ -21,10 +22,15 @@ struct pgb_vector_opaque {
 namespace {
 
 std::unique_ptr<pgb::LocaleGrid> g_grid;
+std::unique_ptr<pgb::GraphService> g_service;
 
 GrB_Info map_exception() {
   try {
     throw;
+  } catch (const pgb::ServiceOverloaded&) {
+    return GrB_OUT_OF_RESOURCES;
+  } catch (const pgb::InvalidHandleError&) {
+    return GrB_INVALID_OBJECT;
   } catch (const pgb::DimensionMismatch&) {
     return GrB_DIMENSION_MISMATCH;
   } catch (const pgb::InvalidArgument&) {
@@ -92,6 +98,7 @@ GrB_Info pgb_init(int nlocales, int threads_per_locale) {
 }
 
 GrB_Info pgb_finalize(void) {
+  g_service.reset();  // the service borrows the grid: tear it down first
   g_grid.reset();
   return GrB_SUCCESS;
 }
@@ -358,6 +365,127 @@ GrB_Info GrB_apply(GrB_Vector w, pgb_unary_op_t op, GrB_Vector u) {
 GrB_Info GrB_assign(GrB_Vector w, GrB_Vector u) {
   if (w == nullptr || u == nullptr) return GrB_NULL_POINTER;
   PGB_C_GUARD(pgb::assign_v2(w->v, u->v));
+}
+
+// ---- graph service ----
+
+GrB_Info pgb_service_open(int queue_depth, int batch_max) {
+  if (queue_depth < 1 || batch_max < 1) return GrB_INVALID_VALUE;
+  PGB_C_GUARD({
+    pgb::ServiceConfig cfg;
+    cfg.queue_depth = queue_depth;
+    cfg.batch_max = batch_max;
+    g_service = std::make_unique<pgb::GraphService>(*g_grid, cfg);
+  });
+}
+
+GrB_Info pgb_service_close(void) {
+  g_service.reset();
+  return GrB_SUCCESS;
+}
+
+GrB_Info pgb_graph_load(pgb_graph_handle_t* out, GrB_Matrix m) {
+  if (out == nullptr || m == nullptr) return GrB_NULL_POINTER;
+  if (g_service == nullptr) return GrB_UNINITIALIZED_OBJECT;
+  PGB_C_GUARD(*out = static_cast<pgb_graph_handle_t>(g_service->store().load(
+                  std::make_shared<pgb::DistCsr<double>>(m->m))));
+}
+
+GrB_Info pgb_graph_publish(pgb_graph_handle_t h, GrB_Matrix m,
+                           uint64_t* epoch_out) {
+  if (m == nullptr) return GrB_NULL_POINTER;
+  if (g_service == nullptr) return GrB_UNINITIALIZED_OBJECT;
+  PGB_C_GUARD({
+    const std::uint64_t e = g_service->store().publish(
+        h, std::make_shared<pgb::DistCsr<double>>(m->m));
+    if (epoch_out != nullptr) *epoch_out = e;
+  });
+}
+
+GrB_Info pgb_graph_epoch(uint64_t* out, pgb_graph_handle_t h) {
+  if (out == nullptr) return GrB_NULL_POINTER;
+  if (g_service == nullptr) return GrB_UNINITIALIZED_OBJECT;
+  PGB_C_GUARD(*out = g_service->store().epoch(h));
+}
+
+GrB_Info pgb_graph_close(pgb_graph_handle_t h) {
+  if (g_service == nullptr) return GrB_UNINITIALIZED_OBJECT;
+  PGB_C_GUARD(g_service->store().close(h));
+}
+
+GrB_Info pgb_query_submit(pgb_query_id_t* out, pgb_graph_handle_t h,
+                          pgb_query_kind_t kind, GrB_Index source,
+                          GrB_Index depth, int tenant,
+                          uint64_t expected_epoch) {
+  if (out == nullptr) return GrB_NULL_POINTER;
+  if (g_service == nullptr) return GrB_UNINITIALIZED_OBJECT;
+  PGB_C_GUARD({
+    pgb::QuerySpec spec;
+    switch (kind) {
+      case PGB_QUERY_BFS:
+        spec.kind = pgb::QueryKind::kBfs;
+        break;
+      case PGB_QUERY_SSSP:
+        spec.kind = pgb::QueryKind::kSssp;
+        break;
+      case PGB_QUERY_PAGERANK_SUBGRAPH:
+        spec.kind = pgb::QueryKind::kPagerankSubgraph;
+        break;
+      case PGB_QUERY_EGO_NET:
+        spec.kind = pgb::QueryKind::kEgoNet;
+        break;
+      default:
+        return GrB_INVALID_VALUE;
+    }
+    spec.source = static_cast<pgb::Index>(source);
+    spec.depth = static_cast<pgb::Index>(depth);
+    spec.tenant = tenant;
+    // submit_strict throws ServiceOverloaded (-> GrB_OUT_OF_RESOURCES)
+    // on a full queue and InvalidHandleError (-> GrB_INVALID_OBJECT) on
+    // stale epoch pins; snapshot() throws the latter for closed/unknown
+    // handles.
+    const auto s =
+        g_service->submit_strict(h, spec, g_grid->time(), expected_epoch);
+    if (s.code != pgb::AdmitCode::kAdmitted) return GrB_INVALID_VALUE;
+    *out = static_cast<pgb_query_id_t>(s.id);
+  });
+}
+
+GrB_Info pgb_service_drain(void) {
+  if (g_service == nullptr) return GrB_UNINITIALIZED_OBJECT;
+  PGB_C_GUARD(g_service->drain());
+}
+
+GrB_Info pgb_query_done(int* out, pgb_query_id_t id) {
+  if (out == nullptr) return GrB_NULL_POINTER;
+  if (g_service == nullptr) return GrB_UNINITIALIZED_OBJECT;
+  PGB_C_GUARD(*out = g_service->record(id).done ? 1 : 0);
+}
+
+GrB_Info pgb_query_bfs_parent(int64_t* out, pgb_query_id_t id, GrB_Index v) {
+  if (out == nullptr) return GrB_NULL_POINTER;
+  if (g_service == nullptr) return GrB_UNINITIALIZED_OBJECT;
+  PGB_C_GUARD({
+    const auto& rec = g_service->record(id);
+    if (!rec.done || rec.kind != pgb::QueryKind::kBfs) {
+      return GrB_INVALID_VALUE;
+    }
+    if (v >= rec.result.bfs.parent.size()) return GrB_INDEX_OUT_OF_BOUNDS;
+    *out = static_cast<int64_t>(rec.result.bfs.parent[v]);
+  });
+}
+
+GrB_Info pgb_query_sssp_dist(double* out, pgb_query_id_t id, GrB_Index v) {
+  if (out == nullptr) return GrB_NULL_POINTER;
+  if (g_service == nullptr) return GrB_UNINITIALIZED_OBJECT;
+  PGB_C_GUARD({
+    const auto& rec = g_service->record(id);
+    if (!rec.done || rec.kind != pgb::QueryKind::kSssp) {
+      return GrB_INVALID_VALUE;
+    }
+    if (v >= rec.result.sssp.dist.size()) return GrB_INDEX_OUT_OF_BOUNDS;
+    *out = rec.result.sssp.dist[v];
+  });
 }
 
 GrB_Info GrB_reduce(double* out, pgb_binary_op_t op, GrB_Vector u) {

@@ -30,6 +30,8 @@ typedef enum {
   GrB_INVALID_VALUE,
   GrB_INDEX_OUT_OF_BOUNDS,
   GrB_DIMENSION_MISMATCH,
+  GrB_OUT_OF_RESOURCES, /* admission queue full: back off and retry */
+  GrB_INVALID_OBJECT,   /* unknown/closed graph handle, or stale epoch */
   GrB_PANIC
 } GrB_Info;
 
@@ -121,6 +123,60 @@ GrB_Info GrB_assign(GrB_Vector w, GrB_Vector u);
 
 /* out = reduction of u's nonzeros with the binary op (PLUS/MIN/MAX). */
 GrB_Info GrB_reduce(double* out, pgb_binary_op_t op, GrB_Vector u);
+
+/* ---- graph service: resident handles + submit/poll ----
+ *
+ * The serving front end (src/service/) behind a C boundary: load a
+ * matrix once as resident distributed state, submit queries against the
+ * handle, drain, poll results. Admission control answers a full queue
+ * with GrB_OUT_OF_RESOURCES; unknown/closed handles and stale epoch
+ * pins answer GrB_INVALID_OBJECT. */
+
+typedef int64_t pgb_graph_handle_t;
+typedef int64_t pgb_query_id_t;
+
+typedef enum {
+  PGB_QUERY_BFS = 0,
+  PGB_QUERY_SSSP,
+  PGB_QUERY_PAGERANK_SUBGRAPH,
+  PGB_QUERY_EGO_NET
+} pgb_query_kind_t;
+
+/* Opens the service: bounded admission queue of `queue_depth`, fused
+ * batches of up to `batch_max` compatible queries. One service per
+ * grid; reopening replaces it. */
+GrB_Info pgb_service_open(int queue_depth, int batch_max);
+GrB_Info pgb_service_close(void);
+
+/* Copies the matrix in as a resident graph; the handle starts at
+ * epoch 1. Queries pin the version current at submit time, so a later
+ * publish/close never disturbs queued work. */
+GrB_Info pgb_graph_load(pgb_graph_handle_t* out, GrB_Matrix m);
+/* Installs a new version under the handle; *epoch_out (nullable)
+ * receives the bumped epoch. */
+GrB_Info pgb_graph_publish(pgb_graph_handle_t h, GrB_Matrix m,
+                           uint64_t* epoch_out);
+GrB_Info pgb_graph_epoch(uint64_t* out, pgb_graph_handle_t h);
+GrB_Info pgb_graph_close(pgb_graph_handle_t h);
+
+/* Submits a query at the current simulated time. `expected_epoch` of 0
+ * means "whatever is current"; nonzero pins an epoch and a mismatch
+ * returns GrB_INVALID_OBJECT. A full queue returns
+ * GrB_OUT_OF_RESOURCES. `depth` only matters for the subgraph kinds. */
+GrB_Info pgb_query_submit(pgb_query_id_t* out, pgb_graph_handle_t h,
+                          pgb_query_kind_t kind, GrB_Index source,
+                          GrB_Index depth, int tenant,
+                          uint64_t expected_epoch);
+
+/* Serves queued queries (fused batches) until the queue drains. */
+GrB_Info pgb_service_drain(void);
+
+/* *out = 1 once the query has been served, else 0. */
+GrB_Info pgb_query_done(int* out, pgb_query_id_t id);
+/* BFS parent of v (-1 if unreached). Query must be a completed BFS. */
+GrB_Info pgb_query_bfs_parent(int64_t* out, pgb_query_id_t id, GrB_Index v);
+/* SSSP distance of v (DBL_MAX if unreachable). Completed SSSP only. */
+GrB_Info pgb_query_sssp_dist(double* out, pgb_query_id_t id, GrB_Index v);
 
 #ifdef __cplusplus
 } /* extern "C" */

@@ -499,6 +499,7 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
         .counter("spmspv.bytes", {{"phase", "gather"}})
         .inc(cs1.bytes - cs0.bytes);
   }
+  if (insp != nullptr) insp->observe("spmspv.gather", grid.time() - t0);
   grid.trace().add("gather", grid.time() - t0);
 
   // ---- Step 2: local multiply ----
@@ -726,6 +727,7 @@ DistSparseVec<T> spmspv_dist_impl(const DistCsr<TA>& a,
         .counter("spmspv.bytes", {{"phase", "scatter"}})
         .inc(cs1.bytes - cs0.bytes);
   }
+  if (insp != nullptr) insp->observe("spmspv.scatter", grid.time() - t0);
   grid.trace().add("scatter", grid.time() - t0);
   return y;
 }

@@ -233,6 +233,37 @@ void Inspector::cache_install(const std::string& site, int src,
   mx_->counter("inspector.replicated_bytes").inc(bytes);
 }
 
+void Inspector::observe(const std::string& site, double observed_seconds) {
+  PGB_REQUIRE(mx_ != nullptr, "inspector used before bind()");
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return;  // no decision to grade
+  SiteState& st = it->second;
+  // Per-wave grading against the decision that scheduled this wave. The
+  // prediction is the *remote* critical path only, while the charged time
+  // includes node-side work and barriers, so the raw observed/predicted
+  // ratio carries a large constant factor that says nothing about the
+  // ranking. What does signal a wrong price is that factor *moving*:
+  // grade this wave's ratio against the site's running ratio from the
+  // waves before it. Drifting outside 2x either way means the model
+  // ranked this wave from a price that no longer tracks what its waves
+  // actually cost — the trigger for closed-loop recalibration. The first
+  // wave seeds the baseline and is never flagged.
+  if (st.last_predicted > 0.0 && observed_seconds > 0.0 &&
+      st.observed_waves > 0 && st.predicted_total > 0.0 &&
+      st.observed_total > 0.0) {
+    const double ratio = observed_seconds / st.last_predicted;
+    const double baseline = st.observed_total / st.predicted_total;
+    const double drift = ratio / baseline;
+    if (drift > 2.0 || drift < 0.5) {
+      ++st.mispriced_waves;
+      mx_->counter("inspector.mispriced").inc();
+    }
+  }
+  st.observed_total += observed_seconds;
+  st.predicted_total += st.last_predicted;
+  ++st.observed_waves;
+}
+
 std::vector<SiteReport> Inspector::report() const {
   std::vector<SiteReport> out;
   out.reserve(sites_.size());
@@ -244,6 +275,10 @@ std::vector<SiteReport> Inspector::report() const {
     for (int s = 0; s < 4; ++s) r.decisions[s] = st.decisions[s];
     r.last_predicted = st.last_predicted;
     r.last_footprint = st.last_footprint;
+    r.observed_total = st.observed_total;
+    r.predicted_total = st.predicted_total;
+    r.observed_waves = st.observed_waves;
+    r.mispriced_waves = st.mispriced_waves;
     out.push_back(std::move(r));
   }
   return out;

@@ -51,6 +51,10 @@
 //       strategy flip between runs as a structural diff
 //   inspector.replicated_bytes           bytes shipped into replicas
 //   inspector.cache.hits / .installs / .invalidations
+//   inspector.mispriced                  observed waves whose charged-vs-
+//       predicted ratio drifted outside the 2x band around the site's
+//       running ratio — the closed-loop calibration signal (see
+//       Inspector::observe)
 #pragma once
 
 #include <cstdint>
@@ -141,6 +145,18 @@ struct SiteReport {
   std::int64_t decisions[4] = {0, 0, 0, 0};  ///< indexed by SiteStrategy
   double last_predicted = 0.0;
   SiteFootprint last_footprint;
+  /// Closed-loop calibration inputs (Inspector::observe): total charged
+  /// wave time vs total predicted time over the waves that reported
+  /// back, and how many of those waves were mispriced — their own
+  /// ratio drifted outside the 2x band around the running
+  /// observed_total/predicted_total ratio. The ratio itself carries a
+  /// constant factor (prediction is remote-only; charges include local
+  /// work); a *stable* ratio means the pricing still ranks waves
+  /// correctly, drift means it has stopped tracking this site.
+  double observed_total = 0.0;
+  double predicted_total = 0.0;
+  std::int64_t observed_waves = 0;
+  std::int64_t mispriced_waves = 0;
 };
 
 /// Grid-wide inspector state. Owned by value by the LocaleGrid;
@@ -179,6 +195,15 @@ class Inspector {
   void cache_install(const std::string& site, int src, int reader_host,
                      std::uint64_t tag, std::int64_t bytes);
 
+  /// Executor feedback: the *charged* simulated time the wave actually
+  /// took at `site` (the same clocks the decision priced against).
+  /// Accumulates the observed/predicted totals behind the decision dump's
+  /// mispricing ratio and bumps `inspector.mispriced` when this wave's
+  /// ratio drifts outside the [1/2, 2] band around the site's running
+  /// ratio — groundwork for feeding charges back into the pricing model
+  /// (closed-loop calibration).
+  void observe(const std::string& site, double observed_seconds);
+
   /// Live replica-cache entries (test hook).
   std::int64_t cached_blocks() const {
     return static_cast<std::int64_t>(cache_.size());
@@ -211,6 +236,10 @@ class Inspector {
     std::int64_t decisions[4] = {0, 0, 0, 0};
     double last_predicted = 0.0;
     SiteFootprint last_footprint;
+    double observed_total = 0.0;
+    double predicted_total = 0.0;
+    std::int64_t observed_waves = 0;
+    std::int64_t mispriced_waves = 0;
     /// Replica-cache probes that found a resident entry (compulsory
     /// cold misses are excluded), and how many matched the content tag.
     /// Their ratio is the observed reuse that amortizes the predicted

@@ -1,0 +1,67 @@
+// Batching scheduler: coalesces compatible queued queries into one
+// fused multi-source wave.
+//
+// Policy (deterministic): the batch seed is the round-robin fair pop.
+// If the seed's kind fuses (BFS, SSSP — the single-source frontier
+// kinds), the batcher cycles the tenant lanes in round-robin order
+// starting after the seed's tenant and keeps taking lane *heads* that
+// are compatible with the seed — same kind, same graph version, same
+// epoch — until the batch is full or a full cycle adds nothing. Taking
+// only heads preserves each tenant's FIFO order (a tenant's later
+// compatible query never jumps an earlier incompatible one), and the
+// round-robin cycle spreads a wide batch across tenants instead of
+// draining one lane first.
+//
+// Subgraph kinds (ego-net, pagerank-on-subgraph) run solo: their work
+// is not a shared frontier wave, so a "batch" is just the seed.
+#pragma once
+
+#include <vector>
+
+#include "service/queue.hpp"
+
+namespace pgb {
+
+/// True for kinds whose per-level exchange rides the fused
+/// multi-frontier SpMSpV.
+inline bool batchable(QueryKind k) {
+  return k == QueryKind::kBfs || k == QueryKind::kSssp;
+}
+
+inline bool batch_compatible(const PendingQuery& seed, const PendingQuery& q) {
+  return q.spec.kind == seed.spec.kind &&
+         q.snap.graph == seed.snap.graph && q.snap.epoch == seed.snap.epoch;
+}
+
+/// Forms the next batch (size in [1, batch_max]). Precondition: the
+/// queue is non-empty.
+inline std::vector<PendingQuery> form_batch(AdmissionQueue& q, int batch_max) {
+  PGB_ASSERT(!q.empty(), "batcher: form_batch on empty queue");
+  PGB_ASSERT(batch_max >= 1, "batcher: batch_max must be at least 1");
+  std::vector<PendingQuery> batch;
+  batch.reserve(static_cast<std::size_t>(batch_max));  // seed ref stays valid
+  batch.push_back(q.pop_fair());
+  const PendingQuery& seed = batch.front();
+  if (!batchable(seed.spec.kind)) return batch;
+  int cursor = seed.spec.tenant;
+  while (static_cast<int>(batch.size()) < batch_max && !q.empty()) {
+    bool took = false;
+    const int first = q.next_tenant_after(cursor);
+    int t = first;
+    do {
+      const PendingQuery* h = q.head(t);
+      if (h != nullptr && batch_compatible(seed, *h)) {
+        batch.push_back(q.pop_head(t));
+        cursor = t;
+        took = true;
+        break;
+      }
+      if (q.empty()) break;
+      t = q.next_tenant_after(t);
+    } while (t != first);
+    if (!took) break;
+  }
+  return batch;
+}
+
+}  // namespace pgb

@@ -1,0 +1,108 @@
+// Epoch-versioned graph handles: the resident-state half of the service
+// front end.
+//
+// A handle names a logical graph a tenant can query; each `publish`
+// installs a new immutable version and bumps the handle's epoch. Queries
+// capture a *snapshot* (shared_ptr to the version + its epoch) at
+// admission, so a publish or even a close while they sit in the queue
+// cannot pull the graph out from under them — the snapshot pins the old
+// version until the last in-flight query drops it. This is the ownership
+// contract the later streaming-ingest work needs: swap epochs under live
+// traffic, never quiesce.
+//
+// Epoch semantics: load() starts a handle at epoch 1; publish() bumps by
+// one per new version; close() retires the handle id (epoch frozen).
+// snapshot() on a closed or unknown handle throws InvalidHandleError —
+// the C API maps it to GrB_INVALID_OBJECT.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/query.hpp"
+#include "sparse/dist_csr.hpp"
+
+namespace pgb {
+
+/// One pinned graph version: what an admitted query computes against.
+struct GraphSnapshot {
+  std::shared_ptr<const DistCsr<double>> graph;
+  std::uint64_t epoch = 0;
+};
+
+class GraphStore {
+ public:
+  using HandleId = std::int64_t;
+
+  /// Registers a graph as resident state; the returned handle starts at
+  /// epoch 1.
+  HandleId load(std::shared_ptr<const DistCsr<double>> g) {
+    PGB_REQUIRE(g != nullptr, "graph handle: load of null graph");
+    entries_.push_back(Entry{std::move(g), 1, true});
+    return static_cast<HandleId>(entries_.size() - 1);
+  }
+
+  /// Installs a new version under an open handle and returns the bumped
+  /// epoch. Snapshots taken before the publish keep the old version.
+  std::uint64_t publish(HandleId h, std::shared_ptr<const DistCsr<double>> g) {
+    Entry& e = open_entry(h, "publish");
+    PGB_REQUIRE(g != nullptr, "graph handle: publish of null graph");
+    e.graph = std::move(g);
+    return ++e.epoch;
+  }
+
+  /// Retires the handle; the graph stays alive while snapshots hold it.
+  void close(HandleId h) {
+    Entry& e = open_entry(h, "close");
+    e.open = false;
+    e.graph.reset();
+  }
+
+  /// Pins the handle's current version for one query.
+  GraphSnapshot snapshot(HandleId h) const {
+    const Entry& e = open_entry(h, "snapshot");
+    return GraphSnapshot{e.graph, e.epoch};
+  }
+
+  /// Current epoch of an open handle.
+  std::uint64_t epoch(HandleId h) const { return open_entry(h, "epoch").epoch; }
+
+  bool is_open(HandleId h) const {
+    return h >= 0 && h < static_cast<HandleId>(entries_.size()) &&
+           entries_[static_cast<std::size_t>(h)].open;
+  }
+
+  std::int64_t num_handles() const {
+    return static_cast<std::int64_t>(entries_.size());
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const DistCsr<double>> graph;
+    std::uint64_t epoch = 0;
+    bool open = false;
+  };
+
+  const Entry& open_entry(HandleId h, const char* op) const {
+    if (h < 0 || h >= static_cast<HandleId>(entries_.size())) {
+      throw InvalidHandleError(std::string("graph handle: ") + op +
+                               " of unknown handle " + std::to_string(h));
+    }
+    const Entry& e = entries_[static_cast<std::size_t>(h)];
+    if (!e.open) {
+      throw InvalidHandleError(std::string("graph handle: ") + op +
+                               " of closed handle " + std::to_string(h));
+    }
+    return e;
+  }
+  Entry& open_entry(HandleId h, const char* op) {
+    return const_cast<Entry&>(
+        static_cast<const GraphStore*>(this)->open_entry(h, op));
+  }
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace pgb

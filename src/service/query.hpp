@@ -1,0 +1,100 @@
+// Query vocabulary of the graph-as-a-service front end.
+//
+// A query is a small value object a tenant submits against a graph
+// handle: what to compute (kind + parameters), who is asking (tenant),
+// and when it arrived (simulated seconds). Admission control answers
+// with a typed code — admitted queries get a query id to poll, rejected
+// ones say *why* (queue full, stale epoch, malformed) so clients can
+// back off / refresh / fix instead of guessing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algo/bfs.hpp"
+#include "algo/sssp.hpp"
+#include "util/error.hpp"
+
+namespace pgb {
+
+enum class QueryKind {
+  kBfs,               ///< BFS tree from `source`
+  kSssp,              ///< shortest distances from `source`
+  kPagerankSubgraph,  ///< pagerank on the `depth`-hop ego subgraph
+  kEgoNet,            ///< the `depth`-hop ego vertex set itself
+};
+
+inline const char* to_string(QueryKind k) {
+  switch (k) {
+    case QueryKind::kBfs:
+      return "bfs";
+    case QueryKind::kSssp:
+      return "sssp";
+    case QueryKind::kPagerankSubgraph:
+      return "pagerank_subgraph";
+    case QueryKind::kEgoNet:
+      return "ego_net";
+  }
+  return "?";
+}
+
+/// What a tenant asks for. `source` seeds every kind; `depth` bounds the
+/// ego radius of the subgraph kinds; the pagerank knobs apply only to
+/// kPagerankSubgraph.
+struct QuerySpec {
+  QueryKind kind = QueryKind::kBfs;
+  Index source = 0;
+  Index depth = 2;
+  int tenant = 0;
+  double damping = 0.85;
+  double tol = 1e-8;
+  int max_iters = 20;
+};
+
+/// Typed admission verdict.
+enum class AdmitCode {
+  kAdmitted,
+  kQueueFull,    ///< bounded queue at capacity — back off and retry
+  kStaleHandle,  ///< caller pinned an epoch the handle has moved past
+  kBadQuery,     ///< spec invalid for this graph (source out of range, ...)
+};
+
+inline const char* to_string(AdmitCode c) {
+  switch (c) {
+    case AdmitCode::kAdmitted:
+      return "admitted";
+    case AdmitCode::kQueueFull:
+      return "queue_full";
+    case AdmitCode::kStaleHandle:
+      return "stale_handle";
+    case AdmitCode::kBadQuery:
+      return "bad_query";
+  }
+  return "?";
+}
+
+/// Thrown by the strict submit path when admission control turns a query
+/// away at a full queue. The C API maps it to GrB_OUT_OF_RESOURCES.
+class ServiceOverloaded : public Error {
+ public:
+  explicit ServiceOverloaded(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a graph handle is unknown, closed, or pinned to a
+/// superseded epoch. The C API maps it to GrB_INVALID_OBJECT.
+class InvalidHandleError : public Error {
+ public:
+  explicit InvalidHandleError(const std::string& what) : Error(what) {}
+};
+
+/// One query's answer; `kind` says which member is meaningful.
+struct QueryResult {
+  QueryKind kind = QueryKind::kBfs;
+  BfsResult bfs;                    ///< kBfs
+  SsspResult sssp;                  ///< kSssp
+  std::vector<Index> ego;           ///< kEgoNet / kPagerankSubgraph vertices
+  std::vector<double> rank;         ///< kPagerankSubgraph, aligned to `ego`
+};
+
+}  // namespace pgb

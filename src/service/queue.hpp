@@ -1,0 +1,122 @@
+// Admission-control queue: bounded depth, per-tenant FIFO lanes, and a
+// deterministic round-robin fair dequeue.
+//
+// Admission is the service's overload valve: when the bounded queue is
+// at capacity, offers are rejected with AdmitCode::kQueueFull (typed, so
+// clients back off instead of timing out). Inside the bound, each tenant
+// has its own FIFO lane; dequeue serves tenants round-robin by tenant id
+// (ties and wrap order fixed by the id ordering), so a tenant flooding
+// the queue delays only its own lane, not everyone's p95.
+//
+// Determinism: the queue's behavior is a pure function of the offer
+// sequence — no wall clock, no hashing by pointer — so same-seed served
+// traces are identical.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "service/handle.hpp"
+#include "service/query.hpp"
+
+namespace pgb {
+
+/// An admitted query waiting for a batch: the spec plus the snapshot it
+/// was admitted against and its arrival in simulated seconds.
+struct PendingQuery {
+  std::int64_t id = -1;
+  QuerySpec spec;
+  GraphSnapshot snap;
+  double arrival = 0.0;
+};
+
+class AdmissionQueue {
+ public:
+  /// `depth` bounds the total queued queries across all tenants;
+  /// `mx` (optional) receives the `service.queue.depth` gauge.
+  explicit AdmissionQueue(std::size_t depth, obs::MetricsRegistry* mx = nullptr)
+      : depth_(depth), mx_(mx) {
+    publish_depth();
+  }
+
+  /// Admits or rejects; never throws for a full queue (rejection is
+  /// normal control flow — the strict C API path wraps it).
+  AdmitCode offer(PendingQuery q) {
+    if (size_ >= depth_) return AdmitCode::kQueueFull;
+    lanes_[q.spec.tenant].push_back(std::move(q));
+    ++size_;
+    publish_depth();
+    return AdmitCode::kAdmitted;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return depth_; }
+
+  /// Round-robin fair pop: the head of the first non-empty tenant lane
+  /// strictly after the last-served tenant id (wrapping).
+  PendingQuery pop_fair() {
+    PGB_ASSERT(size_ > 0, "admission queue: pop from empty queue");
+    const int t = next_tenant_after(cursor_);
+    cursor_ = t;
+    return pop_head(t);
+  }
+
+  /// Head of one tenant's lane (nullptr when empty). The batcher may
+  /// only ever take *heads* — per-tenant FIFO order is part of the
+  /// fairness contract.
+  const PendingQuery* head(int tenant) const {
+    auto it = lanes_.find(tenant);
+    if (it == lanes_.end() || it->second.empty()) return nullptr;
+    return &it->second.front();
+  }
+
+  PendingQuery pop_head(int tenant) {
+    auto it = lanes_.find(tenant);
+    PGB_ASSERT(it != lanes_.end() && !it->second.empty(),
+               "admission queue: pop_head of empty lane");
+    PendingQuery q = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) lanes_.erase(it);
+    --size_;
+    publish_depth();
+    return q;
+  }
+
+  /// Tenant ids with queued work, ascending.
+  std::vector<int> tenants() const {
+    std::vector<int> out;
+    out.reserve(lanes_.size());
+    for (const auto& [t, lane] : lanes_) {
+      if (!lane.empty()) out.push_back(t);
+    }
+    return out;
+  }
+
+  /// The tenant id the next pop_fair would serve after `after` (test and
+  /// batcher hook; wraps past the largest id).
+  int next_tenant_after(int after) const {
+    PGB_ASSERT(size_ > 0, "admission queue: no tenants queued");
+    auto it = lanes_.upper_bound(after);
+    if (it == lanes_.end()) it = lanes_.begin();
+    return it->first;
+  }
+
+ private:
+  void publish_depth() {
+    if (mx_ != nullptr) {
+      mx_->gauge("service.queue.depth").set(static_cast<double>(size_));
+    }
+  }
+
+  std::size_t depth_;
+  obs::MetricsRegistry* mx_;
+  std::map<int, std::deque<PendingQuery>> lanes_;
+  std::size_t size_ = 0;
+  int cursor_ = -1;  ///< last-served tenant id (round-robin position)
+};
+
+}  // namespace pgb

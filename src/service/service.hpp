@@ -1,0 +1,198 @@
+// GraphService: the long-lived serving facade tying the front end
+// together — resident graphs behind epoch-versioned handles
+// (handle.hpp), bounded fair admission (queue.hpp), batch formation
+// (batcher.hpp), and fused execution (executor.hpp).
+//
+// Time is simulated throughout: a query's arrival is a simulated
+// timestamp, service happens on the grid's modeled clocks, and its
+// end-to-end latency (completion - arrival, including queueing) lands in
+// the per-tenant `service.latency.us{tenant=}` histogram in simulated
+// microseconds — the numbers the SLO gate in pgb_diff checks.
+//
+// Tenant metric taxonomy (all under service.*):
+//   service.submitted{tenant=T}          offered queries per tenant
+//   service.rejected{tenant=T,reason=R}  typed rejections (AdmitCode)
+//   service.queue.depth                  gauge, live queued total
+//   service.batches                      batches executed
+//   service.batched_queries              queries that rode a width>1 batch
+//   service.batch.width                  histogram of batch widths
+//   service.latency.us{tenant=T}         end-to-end simulated latency
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/locale_grid.hpp"
+#include "service/batcher.hpp"
+#include "service/executor.hpp"
+#include "service/handle.hpp"
+#include "service/query.hpp"
+#include "service/queue.hpp"
+
+namespace pgb {
+
+struct ServiceConfig {
+  int queue_depth = 64;
+  int batch_max = 16;
+  SpmspvOptions spmspv;
+  /// Optional fault plan + rebuild policy for kill-mid-batch recovery.
+  FaultPlan* plan = nullptr;
+  RebuildOptions rebuild;
+};
+
+/// Lifecycle record of one submitted query.
+struct QueryRecord {
+  std::int64_t id = -1;
+  int tenant = 0;
+  QueryKind kind = QueryKind::kBfs;
+  double arrival = 0.0;     ///< simulated submit time
+  double completion = 0.0;  ///< simulated completion time
+  int batch_width = 0;      ///< width of the batch that served it
+  bool done = false;
+  QueryResult result;
+};
+
+class GraphService {
+ public:
+  GraphService(LocaleGrid& grid, ServiceConfig cfg)
+      : grid_(grid),
+        cfg_(cfg),
+        queue_(static_cast<std::size_t>(cfg.queue_depth), &grid.metrics()) {
+    PGB_REQUIRE(cfg.queue_depth >= 1, "service: queue_depth must be >= 1");
+    PGB_REQUIRE(cfg.batch_max >= 1, "service: batch_max must be >= 1");
+  }
+
+  GraphStore& store() { return store_; }
+
+  struct Submitted {
+    AdmitCode code = AdmitCode::kAdmitted;
+    std::int64_t id = -1;  ///< valid only when admitted
+  };
+
+  /// Offers a query against handle `h` at simulated time `arrival`.
+  /// `expected_epoch` (0 = don't care) pins the epoch the client
+  /// believes is current: a mismatch is a typed kStaleHandle rejection.
+  /// Unknown/closed handles throw InvalidHandleError (a programming
+  /// error, not load shedding).
+  Submitted submit(GraphStore::HandleId h, const QuerySpec& spec,
+                   double arrival, std::uint64_t expected_epoch = 0) {
+    auto& mx = grid_.metrics();
+    mx.counter("service.submitted", tenant_labels(spec.tenant)).inc();
+    GraphSnapshot snap = store_.snapshot(h);
+    if (expected_epoch != 0 && expected_epoch != snap.epoch) {
+      return reject(spec, AdmitCode::kStaleHandle);
+    }
+    if (spec.source < 0 || spec.source >= snap.graph->nrows() ||
+        spec.depth < 0) {
+      return reject(spec, AdmitCode::kBadQuery);
+    }
+    PendingQuery q;
+    q.id = static_cast<std::int64_t>(records_.size());
+    q.spec = spec;
+    q.snap = std::move(snap);
+    q.arrival = arrival;
+    const AdmitCode code = queue_.offer(std::move(q));
+    if (code != AdmitCode::kAdmitted) return reject(spec, code);
+    QueryRecord rec;
+    rec.id = static_cast<std::int64_t>(records_.size());
+    rec.tenant = spec.tenant;
+    rec.kind = spec.kind;
+    rec.arrival = arrival;
+    records_.push_back(std::move(rec));
+    return Submitted{AdmitCode::kAdmitted, records_.back().id};
+  }
+
+  /// submit() that turns a full-queue rejection into ServiceOverloaded —
+  /// the C API's path, so GrB_OUT_OF_RESOURCES flows from map_exception.
+  Submitted submit_strict(GraphStore::HandleId h, const QuerySpec& spec,
+                          double arrival, std::uint64_t expected_epoch = 0) {
+    Submitted s = submit(h, spec, arrival, expected_epoch);
+    if (s.code == AdmitCode::kQueueFull) {
+      throw ServiceOverloaded("service: admission queue full (depth " +
+                              std::to_string(queue_.capacity()) + ")");
+    }
+    if (s.code == AdmitCode::kStaleHandle) {
+      throw InvalidHandleError("service: stale epoch " +
+                               std::to_string(expected_epoch) + " for handle " +
+                               std::to_string(h));
+    }
+    return s;
+  }
+
+  /// Serves one batch; returns false when the queue is empty. Idle
+  /// clocks fast-forward to the batch's newest arrival (a query cannot
+  /// be served before it arrives).
+  bool step() {
+    if (queue_.empty()) return false;
+    std::vector<PendingQuery> batch = form_batch(queue_, cfg_.batch_max);
+    double start = grid_.time();
+    for (const auto& q : batch) start = std::max(start, q.arrival);
+    for (int l = 0; l < grid_.num_locales(); ++l) {
+      grid_.clock(l).advance_to(start);
+    }
+    ExecOptions eopt;
+    eopt.spmspv = cfg_.spmspv;
+    eopt.plan = cfg_.plan;
+    eopt.rebuild = cfg_.rebuild;
+    std::vector<QueryResult> results = execute_batch(batch, eopt);
+    const double end = grid_.time();
+    auto& mx = grid_.metrics();
+    mx.counter("service.batches").inc();
+    if (batch.size() > 1) {
+      mx.counter("service.batched_queries")
+          .inc(static_cast<std::int64_t>(batch.size()));
+    }
+    mx.histogram("service.batch.width")
+        .observe(static_cast<std::int64_t>(batch.size()));
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      QueryRecord& rec = records_[static_cast<std::size_t>(batch[i].id)];
+      rec.completion = end;
+      rec.batch_width = static_cast<int>(batch.size());
+      rec.done = true;
+      rec.result = std::move(results[i]);
+      const double lat_us = (end - rec.arrival) * 1e6;
+      mx.histogram("service.latency.us", tenant_labels(rec.tenant))
+          .observe(static_cast<std::int64_t>(std::llround(lat_us)));
+    }
+    return true;
+  }
+
+  /// Serves until the queue drains.
+  void drain() {
+    while (step()) {
+    }
+  }
+
+  std::size_t queue_size() const { return queue_.size(); }
+
+  const QueryRecord& record(std::int64_t id) const {
+    PGB_REQUIRE(id >= 0 && id < static_cast<std::int64_t>(records_.size()),
+                "service: unknown query id");
+    return records_[static_cast<std::size_t>(id)];
+  }
+
+  const std::vector<QueryRecord>& records() const { return records_; }
+
+ private:
+  static obs::Labels tenant_labels(int tenant) {
+    return {{"tenant", std::to_string(tenant)}};
+  }
+
+  Submitted reject(const QuerySpec& spec, AdmitCode code) {
+    grid_.metrics()
+        .counter("service.rejected", {{"tenant", std::to_string(spec.tenant)},
+                                      {"reason", to_string(code)}})
+        .inc();
+    return Submitted{code, -1};
+  }
+
+  LocaleGrid& grid_;
+  ServiceConfig cfg_;
+  GraphStore store_;
+  AdmissionQueue queue_;
+  std::vector<QueryRecord> records_;
+};
+
+}  // namespace pgb

@@ -2,6 +2,8 @@
 // codes at the boundary, and operation semantics against the C++ core.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "capi/pgb_graphblas.h"
 
 namespace {
@@ -200,6 +202,122 @@ TEST(CapiUninitialized, CallsFailCleanly) {
   EXPECT_EQ(GrB_Matrix_new(&m, 3, 3), GrB_UNINITIALIZED_OBJECT);
   EXPECT_EQ(pgb_elapsed_seconds(), 0.0);
   EXPECT_EQ(pgb_finalize(), GrB_SUCCESS);
+}
+
+// ---------------------------------------------------------------------
+// Graph service boundary
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// A ring matrix: vertex i points to i+1 (mod n), so BFS/SSSP from 0
+/// have closed-form answers.
+GrB_Matrix ring_matrix(GrB_Index n) {
+  GrB_Matrix m = nullptr;
+  EXPECT_EQ(GrB_Matrix_new(&m, n, n), GrB_SUCCESS);
+  std::vector<GrB_Index> rows(n), cols(n);
+  std::vector<double> vals(n, 1.0);
+  for (GrB_Index i = 0; i < n; ++i) {
+    rows[i] = i;
+    cols[i] = (i + 1) % n;
+  }
+  EXPECT_EQ(GrB_Matrix_build(m, rows.data(), cols.data(), vals.data(), n),
+            GrB_SUCCESS);
+  return m;
+}
+
+}  // namespace
+
+TEST_F(CapiTest, ServiceSubmitDrainPollRoundTrip) {
+  ASSERT_EQ(pgb_service_open(8, 4), GrB_SUCCESS);
+  GrB_Matrix m = ring_matrix(32);
+  pgb_graph_handle_t h = -1;
+  ASSERT_EQ(pgb_graph_load(&h, m), GrB_SUCCESS);
+  uint64_t epoch = 0;
+  EXPECT_EQ(pgb_graph_epoch(&epoch, h), GrB_SUCCESS);
+  EXPECT_EQ(epoch, 1u);
+
+  pgb_query_id_t bfs_id = -1, sssp_id = -1;
+  ASSERT_EQ(pgb_query_submit(&bfs_id, h, PGB_QUERY_BFS, 0, 0, 0, 0),
+            GrB_SUCCESS);
+  ASSERT_EQ(pgb_query_submit(&sssp_id, h, PGB_QUERY_SSSP, 0, 0, 1, 0),
+            GrB_SUCCESS);
+  int done = 1;
+  EXPECT_EQ(pgb_query_done(&done, bfs_id), GrB_SUCCESS);
+  EXPECT_EQ(done, 0);
+  // Result accessors refuse before the drain.
+  int64_t parent = 0;
+  EXPECT_EQ(pgb_query_bfs_parent(&parent, bfs_id, 2), GrB_INVALID_VALUE);
+
+  ASSERT_EQ(pgb_service_drain(), GrB_SUCCESS);
+  EXPECT_EQ(pgb_query_done(&done, bfs_id), GrB_SUCCESS);
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(pgb_query_bfs_parent(&parent, bfs_id, 2), GrB_SUCCESS);
+  EXPECT_EQ(parent, 1);  // ring: parent of 2 is 1
+  double dist = 0;
+  EXPECT_EQ(pgb_query_sssp_dist(&dist, sssp_id, 5), GrB_SUCCESS);
+  EXPECT_DOUBLE_EQ(dist, 5.0);  // five unit hops around the ring
+  // Kind-mismatched accessor refuses.
+  EXPECT_EQ(pgb_query_sssp_dist(&dist, bfs_id, 5), GrB_INVALID_VALUE);
+
+  GrB_Matrix_free(&m);
+  EXPECT_EQ(pgb_service_close(), GrB_SUCCESS);
+}
+
+TEST_F(CapiTest, ServiceQueueFullIsOutOfResources) {
+  ASSERT_EQ(pgb_service_open(2, 4), GrB_SUCCESS);
+  GrB_Matrix m = ring_matrix(16);
+  pgb_graph_handle_t h = -1;
+  ASSERT_EQ(pgb_graph_load(&h, m), GrB_SUCCESS);
+  pgb_query_id_t id = -1;
+  EXPECT_EQ(pgb_query_submit(&id, h, PGB_QUERY_BFS, 0, 0, 0, 0),
+            GrB_SUCCESS);
+  EXPECT_EQ(pgb_query_submit(&id, h, PGB_QUERY_BFS, 1, 0, 0, 0),
+            GrB_SUCCESS);
+  EXPECT_EQ(pgb_query_submit(&id, h, PGB_QUERY_BFS, 2, 0, 0, 0),
+            GrB_OUT_OF_RESOURCES);
+  // Draining frees capacity; the retry is admitted.
+  ASSERT_EQ(pgb_service_drain(), GrB_SUCCESS);
+  EXPECT_EQ(pgb_query_submit(&id, h, PGB_QUERY_BFS, 2, 0, 0, 0),
+            GrB_SUCCESS);
+  GrB_Matrix_free(&m);
+}
+
+TEST_F(CapiTest, ServiceInvalidHandlesAreInvalidObject) {
+  ASSERT_EQ(pgb_service_open(8, 4), GrB_SUCCESS);
+  GrB_Matrix m = ring_matrix(16);
+  pgb_graph_handle_t h = -1;
+  ASSERT_EQ(pgb_graph_load(&h, m), GrB_SUCCESS);
+
+  pgb_query_id_t id = -1;
+  // Unknown handle.
+  EXPECT_EQ(pgb_query_submit(&id, 42, PGB_QUERY_BFS, 0, 0, 0, 0),
+            GrB_INVALID_OBJECT);
+  // Stale epoch pin: publish bumps to 2, a pin of 1 is stale.
+  uint64_t epoch = 0;
+  ASSERT_EQ(pgb_graph_publish(h, m, &epoch), GrB_SUCCESS);
+  EXPECT_EQ(epoch, 2u);
+  EXPECT_EQ(pgb_query_submit(&id, h, PGB_QUERY_BFS, 0, 0, 0, 1),
+            GrB_INVALID_OBJECT);
+  EXPECT_EQ(pgb_query_submit(&id, h, PGB_QUERY_BFS, 0, 0, 0, 2),
+            GrB_SUCCESS);
+  // Closed handle.
+  ASSERT_EQ(pgb_graph_close(h), GrB_SUCCESS);
+  EXPECT_EQ(pgb_query_submit(&id, h, PGB_QUERY_BFS, 0, 0, 0, 0),
+            GrB_INVALID_OBJECT);
+  EXPECT_EQ(pgb_graph_epoch(&epoch, h), GrB_INVALID_OBJECT);
+  // The already-admitted query still drains against its snapshot.
+  ASSERT_EQ(pgb_service_drain(), GrB_SUCCESS);
+  GrB_Matrix_free(&m);
+}
+
+TEST_F(CapiTest, ServiceUnopenedRefusesCleanly) {
+  pgb_graph_handle_t h = -1;
+  GrB_Matrix m = ring_matrix(8);
+  EXPECT_EQ(pgb_graph_load(&h, m), GrB_UNINITIALIZED_OBJECT);
+  EXPECT_EQ(pgb_service_drain(), GrB_UNINITIALIZED_OBJECT);
+  EXPECT_EQ(pgb_service_open(0, 4), GrB_INVALID_VALUE);
+  GrB_Matrix_free(&m);
 }
 
 }  // namespace

@@ -1,0 +1,493 @@
+// Tests for the graph-as-a-service front end: epoch-versioned handles,
+// bounded fair admission, batch formation, fused multi-source waves
+// (byte-identical to solo runs, strictly cheaper than sequential),
+// kill-mid-batch recovery, and same-seed served-trace determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/algo_recovery.hpp"
+#include "algo/bfs.hpp"
+#include "algo/sssp.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "service/service.hpp"
+
+namespace pgb {
+namespace {
+
+std::shared_ptr<const DistCsr<double>> make_graph(LocaleGrid& grid, Index n,
+                                                  double d,
+                                                  std::uint64_t seed) {
+  return std::make_shared<DistCsr<double>>(
+      erdos_renyi_dist<double>(grid, n, d, seed));
+}
+
+PendingQuery make_query(int tenant, QueryKind kind = QueryKind::kBfs,
+                        Index source = 0) {
+  PendingQuery q;
+  q.spec.tenant = tenant;
+  q.spec.kind = kind;
+  q.spec.source = source;
+  return q;
+}
+
+// ---------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------
+
+TEST(GraphStoreTest, EpochStartsAtOneAndPublishBumps) {
+  auto grid = LocaleGrid::square(4, 2);
+  GraphStore store;
+  const auto h = store.load(make_graph(grid, 200, 4.0, 1));
+  EXPECT_EQ(store.epoch(h), 1u);
+  EXPECT_EQ(store.publish(h, make_graph(grid, 200, 4.0, 2)), 2u);
+  EXPECT_EQ(store.epoch(h), 2u);
+  EXPECT_EQ(store.publish(h, make_graph(grid, 200, 4.0, 3)), 3u);
+}
+
+TEST(GraphStoreTest, SnapshotPinsVersionAcrossPublishAndClose) {
+  auto grid = LocaleGrid::square(4, 2);
+  GraphStore store;
+  auto g1 = make_graph(grid, 200, 4.0, 1);
+  const auto h = store.load(g1);
+  const GraphSnapshot snap = store.snapshot(h);
+  EXPECT_EQ(snap.epoch, 1u);
+  EXPECT_EQ(snap.graph.get(), g1.get());
+
+  store.publish(h, make_graph(grid, 200, 4.0, 2));
+  const GraphSnapshot snap2 = store.snapshot(h);
+  EXPECT_EQ(snap2.epoch, 2u);
+  EXPECT_NE(snap2.graph.get(), snap.graph.get());
+  // The old snapshot still pins the old version.
+  EXPECT_EQ(snap.graph.get(), g1.get());
+  EXPECT_EQ(snap.epoch, 1u);
+
+  store.close(h);
+  EXPECT_FALSE(store.is_open(h));
+  // Pinned snapshots outlive the close.
+  EXPECT_EQ(snap2.graph->nrows(), 200);
+  EXPECT_THROW(store.snapshot(h), InvalidHandleError);
+  EXPECT_THROW(store.epoch(h), InvalidHandleError);
+}
+
+TEST(GraphStoreTest, UnknownHandleThrows) {
+  GraphStore store;
+  EXPECT_THROW(store.snapshot(0), InvalidHandleError);
+  EXPECT_THROW(store.snapshot(-1), InvalidHandleError);
+  EXPECT_THROW(store.publish(7, nullptr), InvalidHandleError);
+  EXPECT_FALSE(store.is_open(3));
+}
+
+// ---------------------------------------------------------------------
+// Admission queue
+// ---------------------------------------------------------------------
+
+TEST(AdmissionQueueTest, BoundedDepthRejectsTyped) {
+  AdmissionQueue q(3);
+  EXPECT_EQ(q.offer(make_query(0)), AdmitCode::kAdmitted);
+  EXPECT_EQ(q.offer(make_query(1)), AdmitCode::kAdmitted);
+  EXPECT_EQ(q.offer(make_query(0)), AdmitCode::kAdmitted);
+  EXPECT_EQ(q.offer(make_query(2)), AdmitCode::kQueueFull);
+  EXPECT_EQ(q.size(), 3u);
+  q.pop_fair();
+  EXPECT_EQ(q.offer(make_query(2)), AdmitCode::kAdmitted);
+}
+
+TEST(AdmissionQueueTest, FairDequeueRoundRobinsTenants) {
+  AdmissionQueue q(16);
+  // Tenant 0 floods; tenants 1 and 2 each queue one.
+  for (int i = 0; i < 4; ++i) {
+    auto p = make_query(0);
+    p.spec.source = i;  // tag FIFO order within the lane
+    ASSERT_EQ(q.offer(std::move(p)), AdmitCode::kAdmitted);
+  }
+  ASSERT_EQ(q.offer(make_query(1, QueryKind::kBfs, 100)),
+            AdmitCode::kAdmitted);
+  ASSERT_EQ(q.offer(make_query(2, QueryKind::kBfs, 200)),
+            AdmitCode::kAdmitted);
+
+  std::vector<int> tenant_order;
+  std::vector<Index> t0_sources;
+  while (!q.empty()) {
+    PendingQuery p = q.pop_fair();
+    tenant_order.push_back(p.spec.tenant);
+    if (p.spec.tenant == 0) t0_sources.push_back(p.spec.source);
+  }
+  // Round-robin: the flood delays only tenant 0's own lane.
+  EXPECT_EQ(tenant_order, (std::vector<int>{0, 1, 2, 0, 0, 0}));
+  // Per-tenant FIFO preserved.
+  EXPECT_EQ(t0_sources, (std::vector<Index>{0, 1, 2, 3}));
+}
+
+TEST(AdmissionQueueTest, QueueDepthGaugeTracksSize) {
+  obs::MetricsRegistry mx;
+  AdmissionQueue q(4, &mx);
+  EXPECT_EQ(mx.gauge("service.queue.depth").value, 0.0);
+  q.offer(make_query(0));
+  q.offer(make_query(1));
+  EXPECT_EQ(mx.gauge("service.queue.depth").value, 2.0);
+  q.pop_fair();
+  EXPECT_EQ(mx.gauge("service.queue.depth").value, 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Batch formation
+// ---------------------------------------------------------------------
+
+TEST(BatcherTest, FusesCompatibleHeadsAcrossTenants) {
+  auto grid = LocaleGrid::square(4, 2);
+  auto g = make_graph(grid, 200, 4.0, 1);
+  GraphSnapshot snap{g, 1};
+  AdmissionQueue q(16);
+  for (int t = 0; t < 3; ++t) {
+    for (int i = 0; i < 2; ++i) {
+      auto p = make_query(t, QueryKind::kBfs, t * 10 + i);
+      p.snap = snap;
+      ASSERT_EQ(q.offer(std::move(p)), AdmitCode::kAdmitted);
+    }
+  }
+  auto batch = form_batch(q, 16);
+  EXPECT_EQ(batch.size(), 6u);
+  // Seed is tenant 0's head, then round-robin across lanes.
+  EXPECT_EQ(batch[0].spec.tenant, 0);
+  EXPECT_EQ(batch[1].spec.tenant, 1);
+  EXPECT_EQ(batch[2].spec.tenant, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BatcherTest, RespectsBatchMaxAndKindBoundary) {
+  auto grid = LocaleGrid::square(4, 2);
+  auto g = make_graph(grid, 200, 4.0, 1);
+  GraphSnapshot snap{g, 1};
+  AdmissionQueue q(16);
+  // Tenant 0: bfs, then sssp behind it (only heads may be taken).
+  auto p0 = make_query(0, QueryKind::kBfs, 1);
+  p0.snap = snap;
+  q.offer(std::move(p0));
+  auto p1 = make_query(0, QueryKind::kSssp, 2);
+  p1.snap = snap;
+  q.offer(std::move(p1));
+  auto p2 = make_query(1, QueryKind::kBfs, 3);
+  p2.snap = snap;
+  q.offer(std::move(p2));
+
+  auto batch = form_batch(q, 16);
+  ASSERT_EQ(batch.size(), 2u);  // the two BFS heads; the sssp stays
+  EXPECT_EQ(batch[0].spec.kind, QueryKind::kBfs);
+  EXPECT_EQ(batch[1].spec.kind, QueryKind::kBfs);
+  EXPECT_EQ(q.size(), 1u);
+
+  auto rest = form_batch(q, 16);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].spec.kind, QueryKind::kSssp);
+}
+
+TEST(BatcherTest, EpochMismatchDoesNotFuse) {
+  auto grid = LocaleGrid::square(4, 2);
+  auto g = make_graph(grid, 200, 4.0, 1);
+  AdmissionQueue q(16);
+  auto p0 = make_query(0, QueryKind::kBfs, 1);
+  p0.snap = GraphSnapshot{g, 1};
+  q.offer(std::move(p0));
+  auto p1 = make_query(1, QueryKind::kBfs, 2);
+  p1.snap = GraphSnapshot{g, 2};  // same graph object, later epoch
+  q.offer(std::move(p1));
+  auto batch = form_batch(q, 16);
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BatcherTest, SubgraphKindsRunSolo) {
+  auto grid = LocaleGrid::square(4, 2);
+  auto g = make_graph(grid, 200, 4.0, 1);
+  GraphSnapshot snap{g, 1};
+  AdmissionQueue q(16);
+  for (int i = 0; i < 3; ++i) {
+    auto p = make_query(0, QueryKind::kEgoNet, i);
+    p.snap = snap;
+    q.offer(std::move(p));
+  }
+  auto batch = form_batch(q, 16);
+  EXPECT_EQ(batch.size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Fused waves: byte identity + strictly cheaper
+// ---------------------------------------------------------------------
+
+TEST(BatchFusionTest, BfsBatchByteIdenticalToSoloAcrossCommModes) {
+  auto grid = LocaleGrid::square(4, 2);
+  auto a = erdos_renyi_dist<double>(grid, 1500, 6.0, 5);
+  const std::vector<Index> sources = {0, 17, 400, 1499};
+  for (const CommMode mode : {CommMode::kFine, CommMode::kBulk,
+                              CommMode::kAggregated, CommMode::kAuto}) {
+    SpmspvOptions opt;
+    opt.comm = mode;
+    std::vector<BfsResult> solo;
+    for (const Index s : sources) {
+      grid.reset();
+      solo.push_back(bfs(a, s, opt));
+    }
+    grid.reset();
+    const std::vector<BfsResult> batch = bfs_batch(a, sources, opt);
+    ASSERT_EQ(batch.size(), sources.size());
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      EXPECT_EQ(batch[i].parent, solo[i].parent)
+          << "mode=" << static_cast<int>(mode) << " lane " << i;
+      EXPECT_EQ(batch[i].level_sizes, solo[i].level_sizes);
+    }
+  }
+}
+
+TEST(BatchFusionTest, SsspBatchByteIdenticalToSolo) {
+  auto grid = LocaleGrid::square(4, 2);
+  auto a = erdos_renyi_dist<double>(grid, 1200, 6.0, 9);
+  const std::vector<Index> sources = {3, 250, 1100};
+  for (const CommMode mode :
+       {CommMode::kFine, CommMode::kAggregated, CommMode::kAuto}) {
+    SpmspvOptions opt;
+    opt.comm = mode;
+    std::vector<SsspResult> solo;
+    for (const Index s : sources) {
+      grid.reset();
+      solo.push_back(sssp(a, s, opt));
+    }
+    grid.reset();
+    const std::vector<SsspResult> batch = sssp_batch(a, sources, opt);
+    ASSERT_EQ(batch.size(), sources.size());
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      EXPECT_EQ(batch[i].dist, solo[i].dist)
+          << "mode=" << static_cast<int>(mode) << " lane " << i;
+    }
+  }
+}
+
+TEST(BatchFusionTest, FusedBatchCheaperThanSequentialSolo) {
+  auto grid = LocaleGrid::square(16, 4);
+  auto a = erdos_renyi_dist<double>(grid, 20000, 8.0, 3);
+  std::vector<Index> sources;
+  for (int i = 0; i < 8; ++i) sources.push_back(static_cast<Index>(i * 2311));
+  SpmspvOptions opt;
+  opt.comm = CommMode::kAggregated;
+
+  grid.reset();
+  for (const Index s : sources) bfs(a, s, opt);
+  const double seq_time = grid.time();
+  const std::int64_t seq_msgs = grid.comm_stats().messages;
+
+  grid.reset();
+  bfs_batch(a, sources, opt);
+  const double batch_time = grid.time();
+  const std::int64_t batch_msgs = grid.comm_stats().messages;
+
+  EXPECT_LT(batch_time, seq_time);
+  EXPECT_LT(batch_msgs, seq_msgs);
+}
+
+// ---------------------------------------------------------------------
+// Kill mid-batch: the degraded path replays the wave bit-identical
+// ---------------------------------------------------------------------
+
+TEST(BatchRecoveryTest, KillMidBatchRecoversBitIdentical) {
+  auto grid = LocaleGrid::square(4, 2);
+  auto a = erdos_renyi_dist<double>(grid, 800, 8.0, 11);
+  const std::vector<Index> sources = {0, 99, 500};
+  SpmspvOptions opt;
+  opt.comm = CommMode::kAggregated;
+
+  grid.reset();
+  const std::vector<BfsResult> base = bfs_batch(a, sources, opt);
+  const double total = grid.time();
+  ASSERT_GT(total, 0.0);
+
+  grid.reset();
+  FaultPlan plan(
+      FaultSpec::parse("kill:locale=1,at=" + std::to_string(total * 0.4)),
+      21);
+  RebuildOptions bopt;  // degraded by default
+  RecoveryReport report;
+  const std::vector<BfsResult> rec =
+      bfs_batch_with_rebuild(a, sources, opt, &plan, bopt, &report);
+  EXPECT_GE(report.rebuilds, 1);
+  ASSERT_EQ(rec.size(), base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(rec[i].parent, base[i].parent) << "lane " << i;
+    EXPECT_EQ(rec[i].level_sizes, base[i].level_sizes);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Service facade
+// ---------------------------------------------------------------------
+
+TEST(GraphServiceTest, SubmitValidatesAndServes) {
+  auto grid = LocaleGrid::square(4, 2);
+  ServiceConfig cfg;
+  cfg.queue_depth = 8;
+  cfg.batch_max = 4;
+  GraphService svc(grid, cfg);
+  const auto h = svc.store().load(make_graph(grid, 500, 6.0, 1));
+
+  QuerySpec spec;
+  spec.kind = QueryKind::kBfs;
+  spec.source = 3;
+  spec.tenant = 0;
+  const auto s = svc.submit(h, spec, 0.0);
+  EXPECT_EQ(s.code, AdmitCode::kAdmitted);
+  ASSERT_GE(s.id, 0);
+
+  QuerySpec bad = spec;
+  bad.source = 5000;  // out of range
+  EXPECT_EQ(svc.submit(h, bad, 0.0).code, AdmitCode::kBadQuery);
+  EXPECT_THROW(svc.submit(99, spec, 0.0), InvalidHandleError);
+
+  svc.drain();
+  const QueryRecord& rec = svc.record(s.id);
+  EXPECT_TRUE(rec.done);
+  EXPECT_EQ(rec.result.kind, QueryKind::kBfs);
+  EXPECT_EQ(rec.result.bfs.parent[3], 3);
+  EXPECT_GE(rec.completion, rec.arrival);
+}
+
+TEST(GraphServiceTest, StaleEpochAndOverloadAreTyped) {
+  auto grid = LocaleGrid::square(4, 2);
+  ServiceConfig cfg;
+  cfg.queue_depth = 2;
+  GraphService svc(grid, cfg);
+  const auto h = svc.store().load(make_graph(grid, 300, 4.0, 1));
+
+  QuerySpec spec;
+  spec.tenant = 1;
+  // Pin epoch 1, publish epoch 2, then the pin is stale.
+  svc.store().publish(h, make_graph(grid, 300, 4.0, 2));
+  EXPECT_EQ(svc.submit(h, spec, 0.0, 1).code, AdmitCode::kStaleHandle);
+  EXPECT_THROW(svc.submit_strict(h, spec, 0.0, 1), InvalidHandleError);
+  EXPECT_EQ(svc.submit(h, spec, 0.0, 2).code, AdmitCode::kAdmitted);
+
+  // Fill the depth-2 queue; the third offer is shed.
+  EXPECT_EQ(svc.submit(h, spec, 0.0).code, AdmitCode::kAdmitted);
+  EXPECT_EQ(svc.submit(h, spec, 0.0).code, AdmitCode::kQueueFull);
+  EXPECT_THROW(svc.submit_strict(h, spec, 0.0), ServiceOverloaded);
+  EXPECT_EQ(
+      grid.metrics()
+          .counter("service.rejected",
+                   {{"tenant", "1"}, {"reason", "queue_full"}})
+          .value,
+      2);
+}
+
+TEST(GraphServiceTest, BatchesFuseAndResultsMatchSolo) {
+  const std::vector<Index> sources = {1, 77, 300, 640};
+  SpmspvOptions opt;
+  opt.comm = CommMode::kAggregated;
+
+  // Solo reference on a fresh grid.
+  auto refgrid = LocaleGrid::square(4, 2);
+  auto refg = erdos_renyi_dist<double>(refgrid, 900, 6.0, 4);
+  std::vector<BfsResult> solo;
+  for (const Index s : sources) {
+    refgrid.reset();
+    solo.push_back(bfs(refg, s, opt));
+  }
+
+  auto grid = LocaleGrid::square(4, 2);
+  ServiceConfig cfg;
+  cfg.batch_max = 8;
+  cfg.spmspv = opt;
+  GraphService svc(grid, cfg);
+  const auto h = svc.store().load(make_graph(grid, 900, 6.0, 4));
+  std::vector<std::int64_t> ids;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    QuerySpec spec;
+    spec.kind = QueryKind::kBfs;
+    spec.source = sources[i];
+    spec.tenant = static_cast<int>(i % 2);
+    ids.push_back(svc.submit(h, spec, 0.0).id);
+  }
+  svc.drain();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const QueryRecord& rec = svc.record(ids[i]);
+    ASSERT_TRUE(rec.done);
+    EXPECT_EQ(rec.batch_width, 4) << "query " << i;
+    EXPECT_EQ(rec.result.bfs.parent, solo[i].parent) << "query " << i;
+  }
+  EXPECT_EQ(grid.metrics().counter("service.batches").value, 1);
+  EXPECT_EQ(grid.metrics().counter("service.batched_queries").value, 4);
+}
+
+TEST(GraphServiceTest, ServedTraceDeterministicAcrossRuns) {
+  auto run_once = [](std::vector<double>* completions,
+                     std::vector<int>* widths, double* final_time) {
+    auto grid = LocaleGrid::square(4, 2);
+    ServiceConfig cfg;
+    cfg.batch_max = 4;
+    cfg.spmspv.comm = CommMode::kAuto;
+    GraphService svc(grid, cfg);
+    const auto h = svc.store().load(make_graph(grid, 700, 6.0, 8));
+    const QueryKind kinds[] = {QueryKind::kBfs, QueryKind::kBfs,
+                               QueryKind::kSssp, QueryKind::kEgoNet,
+                               QueryKind::kBfs};
+    for (int i = 0; i < 5; ++i) {
+      QuerySpec spec;
+      spec.kind = kinds[i];
+      spec.source = static_cast<Index>(i * 131);
+      spec.tenant = i % 3;
+      svc.submit(h, spec, 1e-5 * i);
+    }
+    svc.drain();
+    for (const auto& rec : svc.records()) {
+      completions->push_back(rec.completion);
+      widths->push_back(rec.batch_width);
+    }
+    *final_time = grid.time();
+  };
+  std::vector<double> c1, c2;
+  std::vector<int> w1, w2;
+  double t1 = 0.0, t2 = 0.0;
+  run_once(&c1, &w1, &t1);
+  run_once(&c2, &w2, &t2);
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(w1, w2);
+  EXPECT_EQ(t1, t2);
+}
+
+TEST(GraphServiceTest, PagerankSubgraphAndEgoNetServe) {
+  auto grid = LocaleGrid::square(4, 2);
+  ServiceConfig cfg;
+  GraphService svc(grid, cfg);
+  const auto h = svc.store().load(make_graph(grid, 400, 6.0, 2));
+
+  QuerySpec ego;
+  ego.kind = QueryKind::kEgoNet;
+  ego.source = 10;
+  ego.depth = 2;
+  const auto e = svc.submit(h, ego, 0.0);
+
+  QuerySpec pr;
+  pr.kind = QueryKind::kPagerankSubgraph;
+  pr.source = 10;
+  pr.depth = 2;
+  const auto p = svc.submit(h, pr, 0.0);
+  svc.drain();
+
+  const auto& erec = svc.record(e.id);
+  ASSERT_TRUE(erec.done);
+  ASSERT_FALSE(erec.result.ego.empty());
+  // The source belongs to its own ego net.
+  EXPECT_TRUE(std::find(erec.result.ego.begin(), erec.result.ego.end(),
+                        Index{10}) != erec.result.ego.end());
+
+  const auto& prec = svc.record(p.id);
+  ASSERT_TRUE(prec.done);
+  EXPECT_EQ(prec.result.ego, erec.result.ego);
+  ASSERT_EQ(prec.result.rank.size(), prec.result.ego.size());
+  double sum = 0.0;
+  for (const double r : prec.result.rank) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace pgb

@@ -73,6 +73,16 @@ void print_inspector(LocaleGrid& grid) {
         static_cast<long long>(s.last_footprint.elements),
         static_cast<long long>(s.last_footprint.pairs),
         s.last_footprint.fanout);
+    if (s.observed_waves > 0 && s.predicted_total > 0.0) {
+      // Observed charged time vs the inspector's pre-wave prediction;
+      // waves whose own ratio drifts outside the 2x band around this
+      // running ratio also bump `inspector.mispriced`.
+      std::printf("  %-18s mispricing: observed/predicted=%.2fx over "
+                  "%lld waves (%lld drifted outside 2x band)\n",
+                  "", s.observed_total / s.predicted_total,
+                  static_cast<long long>(s.observed_waves),
+                  static_cast<long long>(s.mispriced_waves));
+    }
   }
   const auto& mx = grid.metrics();
   auto cnt = [&mx](const char* name) {

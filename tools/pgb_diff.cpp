@@ -19,8 +19,14 @@
 // gate trips: diffing a baseline against itself with
 // --inject-slowdown=spmspv.gather:1.1 must exit 1.
 //
-// Exit codes: 0 clean (improvements allowed), 1 regression or
-// structural change, 2 usage/load error.
+// --slo=HIST:BOUND (repeatable) additionally gates the *candidate*
+// profile's histogram p95 against an absolute bound — the serving SLO
+// check: `--slo=service.latency.us{tenant=0}:250000` fails the gate
+// when tenant 0's p95 simulated latency exceeds 250ms. The bound is in
+// the histogram's own units (latency histograms record microseconds).
+//
+// Exit codes: 0 clean (improvements allowed), 1 regression, structural
+// change, or SLO violation, 2 usage/load error.
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -46,7 +52,9 @@ namespace {
       "  --report=FILE          also write the report to FILE\n"
       "  --inject-slowdown=NAME:FACTOR\n"
       "                         scale candidate times of spans named NAME "
-      "(gate self-test)\n",
+      "(gate self-test)\n"
+      "  --slo=HIST:BOUND       fail when the candidate histogram's p95 "
+      "exceeds BOUND (repeatable)\n",
       argv0);
   std::exit(2);
 }
@@ -70,6 +78,7 @@ int run(int argc, char** argv) {
   double time_floor = 1e-6;
   std::string report_file;
   std::string inject;
+  std::vector<std::string> slos;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -88,6 +97,8 @@ int run(int argc, char** argv) {
       report_file = val;
     } else if (key == "--inject-slowdown") {
       inject = val;
+    } else if (key == "--slo") {
+      slos.push_back(val);
     } else if (key == "--help") {
       usage(argv[0]);
     } else {
@@ -125,7 +136,33 @@ int run(int argc, char** argv) {
     PGB_REQUIRE(out.good(), "cannot open report file: " + report_file);
     out << report;
   }
-  return diff.clean() ? 0 : 1;
+
+  // SLO legs gate the candidate alone: deterministic p95s from the
+  // profile's histogram summaries against absolute bounds.
+  bool slo_ok = true;
+  for (const std::string& spec : slos) {
+    const auto colon = spec.rfind(':');
+    PGB_REQUIRE(colon != std::string::npos && colon > 0,
+                "--slo wants HIST:BOUND");
+    const std::string hist = spec.substr(0, colon);
+    const double bound = parse_double(spec.substr(colon + 1), "--slo bound");
+    const auto it = cand.histograms.find(hist);
+    if (it == cand.histograms.end()) {
+      std::printf("slo: FAIL %s — histogram absent from candidate\n",
+                  hist.c_str());
+      slo_ok = false;
+      continue;
+    }
+    const double p95 = static_cast<double>(it->second.p95);
+    const bool ok = p95 <= bound;
+    std::printf("slo: %s %s p95=%lld bound=%g (n=%lld)\n",
+                ok ? "ok" : "FAIL", hist.c_str(),
+                static_cast<long long>(it->second.p95), bound,
+                static_cast<long long>(it->second.count));
+    slo_ok = slo_ok && ok;
+  }
+
+  return diff.clean() && slo_ok ? 0 : 1;
 }
 
 int main(int argc, char** argv) {

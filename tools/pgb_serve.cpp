@@ -1,0 +1,311 @@
+// pgb_serve — drives the graph-as-a-service front end (src/service/)
+// under a seeded multi-tenant workload.
+//
+// Loads one generated graph as resident state behind an epoch-versioned
+// handle, then replays a deterministic open-loop arrival process:
+// `--queries` queries drawn from `--mix` across `--tenants` tenants,
+// with exponential inter-arrivals of mean `--arrival-ms` simulated
+// milliseconds. Arrivals that find the bounded admission queue full are
+// shed with a typed rejection; admitted same-kind single-source queries
+// are coalesced into fused multi-source waves (up to `--batch-max`
+// wide) so one comm schedule is paid per level instead of one per user.
+//
+// Everything is simulated time on the modeled machine, so two runs with
+// the same --seed print byte-identical summaries and metrics — the
+// service-smoke CI job diffs exactly that.
+//
+// Examples:
+//   pgb_serve --nodes=64 --tenants=3 --queries=48 --batch-max=16
+//   pgb_serve --gen=rmat --rmat-scale=14 --mix=bfs:4,sssp:2,pr:1,ego:1
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+#include "service/service.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace pgb;
+
+namespace {
+
+/// splitmix64: the workload's own RNG, so the arrival trace depends on
+/// nothing but --seed (std:: distributions are not portable bit-for-bit).
+struct Rng {
+  std::uint64_t s;
+  std::uint64_t next() {
+    std::uint64_t z = (s += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in (0, 1].
+  double unit() {
+    return (static_cast<double>(next() >> 11) + 1.0) / 9007199254740992.0;
+  }
+};
+
+struct MixWeights {
+  std::int64_t bfs = 0, sssp = 0, pr = 0, ego = 0;
+  std::int64_t total() const { return bfs + sssp + pr + ego; }
+};
+
+/// Parses "bfs:4,sssp:2,pr:1,ego:1" (any subset; weights >= 0).
+MixWeights parse_mix(const std::string& spec) {
+  MixWeights w;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string part = spec.substr(pos, comma - pos);
+    const std::size_t colon = part.find(':');
+    PGB_REQUIRE(colon != std::string::npos,
+                "--mix entries are KIND:WEIGHT, got '" + part + "'");
+    const std::string kind = part.substr(0, colon);
+    std::int64_t weight = 0;
+    try {
+      weight = std::stoll(part.substr(colon + 1));
+    } catch (const std::exception&) {
+      throw InvalidArgument("--mix weight must be an integer: '" + part + "'");
+    }
+    PGB_REQUIRE(weight >= 0, "--mix weights must be >= 0");
+    if (kind == "bfs") {
+      w.bfs = weight;
+    } else if (kind == "sssp") {
+      w.sssp = weight;
+    } else if (kind == "pr") {
+      w.pr = weight;
+    } else if (kind == "ego") {
+      w.ego = weight;
+    } else {
+      throw InvalidArgument("--mix kind must be bfs, sssp, pr, or ego; got '" +
+                            kind + "'");
+    }
+    pos = comma + 1;
+  }
+  PGB_REQUIRE(w.total() > 0, "--mix must give positive total weight");
+  return w;
+}
+
+QueryKind draw_kind(const MixWeights& w, Rng& rng) {
+  std::int64_t r =
+      static_cast<std::int64_t>(rng.next() % static_cast<std::uint64_t>(
+                                                 w.total()));
+  if ((r -= w.bfs) < 0) return QueryKind::kBfs;
+  if ((r -= w.sssp) < 0) return QueryKind::kSssp;
+  if ((r -= w.pr) < 0) return QueryKind::kPagerankSubgraph;
+  return QueryKind::kEgoNet;
+}
+
+struct Arrival {
+  double at = 0.0;
+  QuerySpec spec;
+};
+
+}  // namespace
+
+int run(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int nodes = static_cast<int>(cli.get_int("nodes", 4, "locales"));
+  const int threads =
+      static_cast<int>(cli.get_int("threads", 24, "threads per locale"));
+  const std::string machine =
+      cli.get("machine", "edison", "machine model: edison | modern");
+  const std::string gen = cli.get("gen", "er", "graph generator: er | rmat");
+  const Index n = cli.get_int("n", 20000, "ER vertices");
+  const double d = cli.get_double("d", 8.0, "ER nonzeros per row");
+  const int rmat_scale =
+      static_cast<int>(cli.get_int("rmat-scale", 14, "R-MAT scale"));
+  const int tenants =
+      static_cast<int>(cli.get_int("tenants", 3, "number of tenants"));
+  const int queries = static_cast<int>(
+      cli.get_int("queries", 48, "total queries in the workload"));
+  const int batch_max = static_cast<int>(cli.get_int(
+      "batch-max", 16, "max queries fused into one multi-source wave"));
+  const int queue_depth = static_cast<int>(
+      cli.get_int("queue-depth", 64, "admission queue capacity"));
+  const double arrival_ms = cli.get_double(
+      "arrival-ms", 0.05, "mean inter-arrival gap, simulated milliseconds");
+  const std::string mix_flag =
+      cli.get("mix", "bfs:6,sssp:3,pr:1,ego:2",
+              "query mix weights: bfs:W,sssp:W,pr:W,ego:W");
+  const Index depth =
+      cli.get_int("depth", 2, "ego radius for the subgraph kinds");
+  const std::string comm_flag =
+      cli.get("comm", "auto", "communication schedule: fine | bulk | agg | "
+                              "auto (inspector-chosen per site)");
+  const std::uint64_t seed = static_cast<std::uint64_t>(
+      cli.get_int("seed", 1, "graph + workload seed"));
+  const std::string metrics_file =
+      cli.get("metrics", "", "write the metrics registry as JSON");
+  const std::string profile_file = cli.get(
+      "profile", "",
+      "write a profile report (span tree + counters) for pgb_diff");
+  cli.finish();
+
+  // Flag validation per pgb convention: a bad value names the accepted
+  // ones and exits 2 (via InvalidArgument -> main's catch).
+  PGB_REQUIRE(machine == "edison" || machine == "modern",
+              "--machine must be edison or modern");
+  PGB_REQUIRE(gen == "er" || gen == "rmat", "--gen must be er or rmat");
+  PGB_REQUIRE(tenants >= 1 && tenants <= 64,
+              "--tenants must be an integer in [1, 64]");
+  PGB_REQUIRE(batch_max >= 1 && batch_max <= 64,
+              "--batch-max must be an integer in [1, 64]");
+  PGB_REQUIRE(queue_depth >= 1 && queue_depth <= 4096,
+              "--queue-depth must be an integer in [1, 4096]");
+  PGB_REQUIRE(queries >= 1, "--queries must be >= 1");
+  PGB_REQUIRE(arrival_ms > 0.0, "--arrival-ms must be > 0");
+  PGB_REQUIRE(depth >= 1, "--depth must be >= 1");
+  const MixWeights mix = parse_mix(mix_flag);
+
+  const MachineModel model =
+      machine == "edison" ? MachineModel::edison() : MachineModel::modern();
+  auto grid = LocaleGrid::square(nodes, threads, 1, model);
+  obs::TraceSession session(false);
+  if (!profile_file.empty()) grid.set_trace_session(&session);
+
+  DistCsr<double> a(grid, 0, 0);
+  if (gen == "er") {
+    a = erdos_renyi_dist<double>(grid, n, d, seed);
+    std::printf("generated ER: n=%lld d=%g, %lld nonzeros\n",
+                static_cast<long long>(n), d, static_cast<long long>(a.nnz()));
+  } else {
+    RmatParams p;
+    p.scale = rmat_scale;
+    p.seed = seed;
+    auto m = rmat_csr(p);
+    Coo<double> coo(m.nrows(), m.ncols());
+    for (Index r = 0; r < m.nrows(); ++r) {
+      for (Index c : m.row_colids(r)) coo.add(r, c, 1.0);
+    }
+    a = DistCsr<double>::from_coo(grid, coo);
+    std::printf("generated R-MAT: 2^%d vertices, %lld edges (symmetric)\n",
+                rmat_scale, static_cast<long long>(a.nnz()));
+  }
+  std::printf("grid: %dx%d locales, %d threads, machine=%s\n", grid.rows(),
+              grid.cols(), threads, machine.c_str());
+  std::printf("service: queue-depth=%d batch-max=%d tenants=%d comm=%s\n\n",
+              queue_depth, batch_max, tenants, comm_flag.c_str());
+
+  // --- seeded workload: the arrival trace is a pure function of --seed ---
+  Rng rng{seed * 0x9e3779b97f4a7c15ull + 0x5851f42d4c957f2dull};
+  std::vector<Arrival> work;
+  work.reserve(static_cast<std::size_t>(queries));
+  double t = 0.0;
+  for (int i = 0; i < queries; ++i) {
+    t += -(arrival_ms * 1e-3) * std::log(rng.unit());
+    Arrival w;
+    w.at = t;
+    w.spec.kind = draw_kind(mix, rng);
+    w.spec.source = static_cast<Index>(rng.next() %
+                                       static_cast<std::uint64_t>(a.nrows()));
+    w.spec.depth = depth;
+    w.spec.tenant = static_cast<int>(rng.next() %
+                                     static_cast<std::uint64_t>(tenants));
+    work.push_back(w);
+  }
+
+  ServiceConfig cfg;
+  cfg.queue_depth = queue_depth;
+  cfg.batch_max = batch_max;
+  cfg.spmspv.comm = parse_comm_mode(comm_flag);
+  grid.reset();
+  GraphService svc(grid, cfg);
+  const GraphStore::HandleId h = svc.store().load(
+      std::make_shared<DistCsr<double>>(a));
+
+  // --- serve: admit everything that has arrived, then run one batch;
+  // when idle, admit the next future arrival (step() fast-forwards the
+  // clocks to it). Arrivals that find the queue full are shed. ---
+  std::size_t next = 0;
+  while (next < work.size() || svc.queue_size() > 0) {
+    const double now = grid.time();
+    while (next < work.size() &&
+           (work[next].at <= now || svc.queue_size() == 0)) {
+      svc.submit(h, work[next].spec, work[next].at);
+      ++next;
+    }
+    svc.step();
+  }
+
+  // --- deterministic summary ---
+  auto& mx = grid.metrics();
+  std::int64_t admitted = 0;
+  for (const auto& rec : svc.records()) admitted += rec.done ? 1 : 0;
+  const std::int64_t batches = mx.counter("service.batches").value;
+  const auto& width = mx.histogram("service.batch.width");
+  std::printf("served %lld of %d queries in %lld batches (mean width %.2f, "
+              "%lld shed)\n",
+              static_cast<long long>(admitted), queries,
+              static_cast<long long>(batches), width.mean(),
+              static_cast<long long>(queries - admitted));
+  for (int tn = 0; tn < tenants; ++tn) {
+    const obs::Labels labels = {{"tenant", std::to_string(tn)}};
+    const std::int64_t offered = mx.counter("service.submitted", labels).value;
+    std::int64_t served = 0;
+    for (const auto& rec : svc.records()) {
+      served += (rec.tenant == tn && rec.done) ? 1 : 0;
+    }
+    const auto& lat = mx.histogram("service.latency.us", labels);
+    std::printf("  tenant %d: offered=%lld served=%lld rejected=%lld "
+                "latency p50<=%lldus p95<=%lldus\n",
+                tn, static_cast<long long>(offered),
+                static_cast<long long>(served),
+                static_cast<long long>(offered - served),
+                static_cast<long long>(lat.quantile_bound(0.5)),
+                static_cast<long long>(lat.quantile_bound(0.95)));
+  }
+  std::printf("\nmodeled time: %s\n", Table::time(grid.time()).c_str());
+  const auto& cs = grid.comm_stats();
+  std::printf("comm: %lld messages, %lld bulk transfers, "
+              "%lld aggregator flushes, %.3g MB\n",
+              static_cast<long long>(cs.messages),
+              static_cast<long long>(cs.bulks),
+              static_cast<long long>(cs.agg_flushes),
+              static_cast<double>(cs.bytes) / 1e6);
+
+  if (!metrics_file.empty()) {
+    std::ofstream out(metrics_file);
+    PGB_REQUIRE(out.good(), "cannot open metrics file: " + metrics_file);
+    out << mx.json() << "\n";
+    std::printf("metrics -> %s\n", metrics_file.c_str());
+  }
+  if (!profile_file.empty()) {
+    obs::Profile prof = obs::build_profile(session, mx.snapshot());
+    char wl[160];
+    std::snprintf(wl, sizeof wl,
+                  "serve %s tenants=%d queries=%d batch-max=%d "
+                  "queue-depth=%d arrival-ms=%g mix=%s",
+                  gen == "er" ? "er" : "rmat", tenants, queries, batch_max,
+                  queue_depth, arrival_ms, mix_flag.c_str());
+    prof.workload = wl;
+    prof.comm = comm_flag;
+    prof.seed = seed;
+    prof.locales = grid.num_locales();
+    prof.threads = grid.threads();
+    prof.machine = machine;
+    prof.write(profile_file);
+    std::printf("profile: %zu root spans -> %s\n", prof.spans.size(),
+                profile_file.c_str());
+  }
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pgb_serve: error: %s\n", e.what());
+    return 2;
+  }
+}
