@@ -126,6 +126,53 @@ RecoverableLoop<BfsBatchState<T>> bfs_batch_recovery_loop(
   return loop;
 }
 
+/// Batched-SSSP snapshot contract, mirroring bfs_batch_recovery_loop:
+/// per-lane blocks under "ssspb.<q>." keys plus the batch width, so a
+/// kill mid-batch rebuilds every lane and the fused relaxation wave
+/// replays bit-identical to the fault-free batch.
+template <typename T>
+RecoverableLoop<SsspBatchState> sssp_batch_recovery_loop(
+    const DistCsr<T>& a, const std::vector<Index>& sources,
+    const SpmspvOptions& opt) {
+  auto* ap = &a;
+  auto& grid = a.grid();
+  const Index n = a.nrows();
+  RecoverableLoop<SsspBatchState> loop;
+  loop.init = [ap, sources] { return sssp_batch_init(*ap, sources); };
+  loop.step = [ap, opt](SsspBatchState& st) { sssp_batch_step(*ap, st, opt); };
+  loop.done = [](const SsspBatchState& st) { return st.done; };
+  loop.save = [](const SsspBatchState& st, Checkpoint& c) {
+    c.put_scalar("ssspb.width", static_cast<Index>(st.lanes.size()));
+    c.put_scalar("ssspb.done", st.done);
+    for (std::size_t q = 0; q < st.lanes.size(); ++q) {
+      const auto& ln = st.lanes[q];
+      const std::string p = "ssspb." + std::to_string(q) + ".";
+      c.put_dense(p + "dist", ln.dist);
+      c.put_sparse(p + "frontier", ln.frontier);
+      c.put_scalar(p + "rounds", ln.res.rounds);
+      c.put_scalar(p + "done", ln.done);
+    }
+  };
+  loop.load = [&grid, n](const Checkpoint& c) {
+    SsspBatchState st;
+    const auto width = c.get_scalar<Index>("ssspb.width");
+    st.done = c.get_scalar<bool>("ssspb.done");
+    st.lanes.reserve(static_cast<std::size_t>(width));
+    for (Index q = 0; q < width; ++q) {
+      const std::string p = "ssspb." + std::to_string(q) + ".";
+      SsspState ln{DistDenseVec<double>(grid, n, SsspResult::kUnreachable),
+                   DistSparseVec<double>(grid, n), {}, false};
+      c.get_dense(p + "dist", ln.dist);
+      c.get_sparse(p + "frontier", ln.frontier);
+      ln.res.rounds = c.get_scalar<int>(p + "rounds");
+      ln.done = c.get_scalar<bool>(p + "done");
+      st.lanes.push_back(std::move(ln));
+    }
+    return st;
+  };
+  return loop;
+}
+
 template <typename T>
 RecoverableLoop<SsspState> sssp_recovery_loop(const DistCsr<T>& a,
                                               Index source,
@@ -258,6 +305,25 @@ std::vector<BfsResult> bfs_batch_with_rebuild(
   std::vector<BfsResult> out;
   out.reserve(st.lanes.size());
   for (auto& ln : st.lanes) out.push_back(std::move(ln.res));
+  return out;
+}
+
+/// Kill-mid-batch recovery for the service executor's fused SSSP batch
+/// (same contract as bfs_batch_with_rebuild: the whole batch rebuilds as
+/// one loop, recovered lane distances are byte-identical to fault-free).
+template <typename T>
+std::vector<SsspResult> sssp_batch_with_rebuild(
+    const DistCsr<T>& a, const std::vector<Index>& sources,
+    const SpmspvOptions& opt, FaultPlan* plan, RebuildOptions ropt = {},
+    RecoveryReport* report = nullptr) {
+  if (ropt.replica.static_bytes == 0) {
+    ropt.replica.static_bytes = matrix_static_bytes(a);
+  }
+  SsspBatchState st = run_with_rebuild(
+      a.grid(), plan, sssp_batch_recovery_loop(a, sources, opt), ropt, report);
+  std::vector<SsspResult> out;
+  out.reserve(st.lanes.size());
+  for (auto& ln : st.lanes) out.push_back(sssp_finalize(ln));
   return out;
 }
 

@@ -31,6 +31,10 @@ GrB_Info map_exception() {
     return GrB_OUT_OF_RESOURCES;
   } catch (const pgb::InvalidHandleError&) {
     return GrB_INVALID_OBJECT;
+  } catch (const pgb::TenantThrottled&) {
+    return GrB_TENANT_THROTTLED;
+  } catch (const pgb::DeadlineExpired&) {
+    return GrB_DEADLINE_EXPIRED;
   } catch (const pgb::DimensionMismatch&) {
     return GrB_DIMENSION_MISMATCH;
   } catch (const pgb::InvalidArgument&) {
@@ -81,6 +85,24 @@ double apply_binop(pgb_binary_op_t op, double a, double b) {
       return b;
   }
   return a;
+}
+
+bool to_query_kind(pgb_query_kind_t kind, pgb::QueryKind* out) {
+  switch (kind) {
+    case PGB_QUERY_BFS:
+      *out = pgb::QueryKind::kBfs;
+      return true;
+    case PGB_QUERY_SSSP:
+      *out = pgb::QueryKind::kSssp;
+      return true;
+    case PGB_QUERY_PAGERANK_SUBGRAPH:
+      *out = pgb::QueryKind::kPagerankSubgraph;
+      return true;
+    case PGB_QUERY_EGO_NET:
+      *out = pgb::QueryKind::kEgoNet;
+      return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -370,11 +392,24 @@ GrB_Info GrB_assign(GrB_Vector w, GrB_Vector u) {
 // ---- graph service ----
 
 GrB_Info pgb_service_open(int queue_depth, int batch_max) {
-  if (queue_depth < 1 || batch_max < 1) return GrB_INVALID_VALUE;
+  return pgb_service_open_ex(queue_depth, batch_max, 0.0, 8.0, 0, 0.05);
+}
+
+GrB_Info pgb_service_open_ex(int queue_depth, int batch_max,
+                             double tenant_quota_qps, double tenant_quota_burst,
+                             int breaker_k, double breaker_cooldown_s) {
+  if (queue_depth < 1 || batch_max < 1 || tenant_quota_qps < 0.0 ||
+      tenant_quota_burst < 1.0 || breaker_k < 0 || breaker_cooldown_s <= 0.0) {
+    return GrB_INVALID_VALUE;
+  }
   PGB_C_GUARD({
     pgb::ServiceConfig cfg;
     cfg.queue_depth = queue_depth;
     cfg.batch_max = batch_max;
+    cfg.tenant_quota_qps = tenant_quota_qps;
+    cfg.tenant_quota_burst = tenant_quota_burst;
+    cfg.breaker_k = breaker_k;
+    cfg.breaker_cooldown_s = breaker_cooldown_s;
     g_service = std::make_unique<pgb::GraphService>(*g_grid, cfg);
   });
 }
@@ -417,37 +452,43 @@ GrB_Info pgb_query_submit(pgb_query_id_t* out, pgb_graph_handle_t h,
                           pgb_query_kind_t kind, GrB_Index source,
                           GrB_Index depth, int tenant,
                           uint64_t expected_epoch) {
+  return pgb_query_submit_ex(out, h, kind, source, depth, tenant,
+                             expected_epoch, 0.0, nullptr);
+}
+
+GrB_Info pgb_query_submit_ex(pgb_query_id_t* out, pgb_graph_handle_t h,
+                             pgb_query_kind_t kind, GrB_Index source,
+                             GrB_Index depth, int tenant,
+                             uint64_t expected_epoch, double deadline_s,
+                             double* retry_after_s_out) {
   if (out == nullptr) return GrB_NULL_POINTER;
   if (g_service == nullptr) return GrB_UNINITIALIZED_OBJECT;
+  if (deadline_s < 0.0) return GrB_INVALID_VALUE;
   PGB_C_GUARD({
     pgb::QuerySpec spec;
-    switch (kind) {
-      case PGB_QUERY_BFS:
-        spec.kind = pgb::QueryKind::kBfs;
-        break;
-      case PGB_QUERY_SSSP:
-        spec.kind = pgb::QueryKind::kSssp;
-        break;
-      case PGB_QUERY_PAGERANK_SUBGRAPH:
-        spec.kind = pgb::QueryKind::kPagerankSubgraph;
-        break;
-      case PGB_QUERY_EGO_NET:
-        spec.kind = pgb::QueryKind::kEgoNet;
-        break;
-      default:
-        return GrB_INVALID_VALUE;
-    }
+    if (!to_query_kind(kind, &spec.kind)) return GrB_INVALID_VALUE;
     spec.source = static_cast<pgb::Index>(source);
     spec.depth = static_cast<pgb::Index>(depth);
     spec.tenant = tenant;
-    // submit_strict throws ServiceOverloaded (-> GrB_OUT_OF_RESOURCES)
-    // on a full queue and InvalidHandleError (-> GrB_INVALID_OBJECT) on
-    // stale epoch pins; snapshot() throws the latter for closed/unknown
-    // handles.
-    const auto s =
-        g_service->submit_strict(h, spec, g_grid->time(), expected_epoch);
-    if (s.code != pgb::AdmitCode::kAdmitted) return GrB_INVALID_VALUE;
-    *out = static_cast<pgb_query_id_t>(s.id);
+    spec.deadline_s = deadline_s;
+    // The non-strict submit path, so a queue-full rejection can hand its
+    // retry-after hint out; snapshot() still throws InvalidHandleError
+    // (-> GrB_INVALID_OBJECT) for closed/unknown handles.
+    const auto s = g_service->submit(h, spec, g_grid->time(), expected_epoch);
+    switch (s.code) {
+      case pgb::AdmitCode::kAdmitted:
+        *out = static_cast<pgb_query_id_t>(s.id);
+        break;
+      case pgb::AdmitCode::kQueueFull:
+        if (retry_after_s_out != nullptr) *retry_after_s_out = s.retry_after_s;
+        return GrB_OUT_OF_RESOURCES;
+      case pgb::AdmitCode::kTenantThrottled:
+        return GrB_TENANT_THROTTLED;
+      case pgb::AdmitCode::kStaleHandle:
+        return GrB_INVALID_OBJECT;
+      case pgb::AdmitCode::kBadQuery:
+        return GrB_INVALID_VALUE;
+    }
   });
 }
 
@@ -462,11 +503,46 @@ GrB_Info pgb_query_done(int* out, pgb_query_id_t id) {
   PGB_C_GUARD(*out = g_service->record(id).done ? 1 : 0);
 }
 
+GrB_Info pgb_query_state(int* out, pgb_query_id_t id) {
+  if (out == nullptr) return GrB_NULL_POINTER;
+  if (g_service == nullptr) return GrB_UNINITIALIZED_OBJECT;
+  PGB_C_GUARD({
+    switch (g_service->record(id).state) {
+      case pgb::QueryState::kQueued:
+        *out = 0;
+        break;
+      case pgb::QueryState::kDone:
+        *out = 1;
+        break;
+      case pgb::QueryState::kDeadlineExpired:
+        *out = 2;
+        break;
+    }
+  });
+}
+
+GrB_Info pgb_query_release(pgb_query_id_t id) {
+  if (g_service == nullptr) return GrB_UNINITIALIZED_OBJECT;
+  PGB_C_GUARD(g_service->release(id));
+}
+
+GrB_Info pgb_service_health(int* degraded_locales, int* open_breakers) {
+  if (g_service == nullptr) return GrB_UNINITIALIZED_OBJECT;
+  PGB_C_GUARD({
+    pgb::ServiceHealth h = g_service->health();
+    if (degraded_locales != nullptr) *degraded_locales = h.degraded_locales;
+    if (open_breakers != nullptr) *open_breakers = h.open_breakers();
+  });
+}
+
 GrB_Info pgb_query_bfs_parent(int64_t* out, pgb_query_id_t id, GrB_Index v) {
   if (out == nullptr) return GrB_NULL_POINTER;
   if (g_service == nullptr) return GrB_UNINITIALIZED_OBJECT;
   PGB_C_GUARD({
     const auto& rec = g_service->record(id);
+    if (rec.state == pgb::QueryState::kDeadlineExpired) {
+      return GrB_DEADLINE_EXPIRED;
+    }
     if (!rec.done || rec.kind != pgb::QueryKind::kBfs) {
       return GrB_INVALID_VALUE;
     }
@@ -480,6 +556,9 @@ GrB_Info pgb_query_sssp_dist(double* out, pgb_query_id_t id, GrB_Index v) {
   if (g_service == nullptr) return GrB_UNINITIALIZED_OBJECT;
   PGB_C_GUARD({
     const auto& rec = g_service->record(id);
+    if (rec.state == pgb::QueryState::kDeadlineExpired) {
+      return GrB_DEADLINE_EXPIRED;
+    }
     if (!rec.done || rec.kind != pgb::QueryKind::kSssp) {
       return GrB_INVALID_VALUE;
     }

@@ -30,8 +30,10 @@ typedef enum {
   GrB_INVALID_VALUE,
   GrB_INDEX_OUT_OF_BOUNDS,
   GrB_DIMENSION_MISMATCH,
-  GrB_OUT_OF_RESOURCES, /* admission queue full: back off and retry */
-  GrB_INVALID_OBJECT,   /* unknown/closed graph handle, or stale epoch */
+  GrB_OUT_OF_RESOURCES,  /* admission queue full: back off and retry */
+  GrB_INVALID_OBJECT,    /* unknown/closed graph handle, or stale epoch */
+  GrB_DEADLINE_EXPIRED,  /* query's deadline passed; no result was kept */
+  GrB_TENANT_THROTTLED,  /* tenant over quota or its breaker is open */
   GrB_PANIC
 } GrB_Info;
 
@@ -146,6 +148,14 @@ typedef enum {
  * batches of up to `batch_max` compatible queries. One service per
  * grid; reopening replaces it. */
 GrB_Info pgb_service_open(int queue_depth, int batch_max);
+/* pgb_service_open with the resilience knobs: per-tenant token-bucket
+ * quota (`tenant_quota_qps` sustained rate, `tenant_quota_burst` bucket
+ * capacity; qps 0 disables) and circuit breaker (`breaker_k` consecutive
+ * failures trip it, 0 disables; an open breaker holds
+ * `breaker_cooldown_s` simulated seconds before a half-open probe). */
+GrB_Info pgb_service_open_ex(int queue_depth, int batch_max,
+                             double tenant_quota_qps, double tenant_quota_burst,
+                             int breaker_k, double breaker_cooldown_s);
 GrB_Info pgb_service_close(void);
 
 /* Copies the matrix in as a resident graph; the handle starts at
@@ -168,14 +178,43 @@ GrB_Info pgb_query_submit(pgb_query_id_t* out, pgb_graph_handle_t h,
                           GrB_Index depth, int tenant,
                           uint64_t expected_epoch);
 
+/* pgb_query_submit with the resilience surface. `deadline_s` is the
+ * latency budget in simulated seconds from submission (0 = none): a
+ * query that cannot complete inside it ends GrB_DEADLINE_EXPIRED and
+ * never yields a late result. On GrB_OUT_OF_RESOURCES,
+ * `retry_after_s_out` (nullable) receives the suggested simulated
+ * backoff before resubmitting; a throttled tenant (quota or open
+ * breaker) gets GrB_TENANT_THROTTLED. */
+GrB_Info pgb_query_submit_ex(pgb_query_id_t* out, pgb_graph_handle_t h,
+                             pgb_query_kind_t kind, GrB_Index source,
+                             GrB_Index depth, int tenant,
+                             uint64_t expected_epoch, double deadline_s,
+                             double* retry_after_s_out);
+
 /* Serves queued queries (fused batches) until the queue drains. */
 GrB_Info pgb_service_drain(void);
 
-/* *out = 1 once the query has been served, else 0. */
+/* *out = 1 once the query has been served, else 0. A deadline-expired
+ * query never reads as done. */
 GrB_Info pgb_query_done(int* out, pgb_query_id_t id);
-/* BFS parent of v (-1 if unreached). Query must be a completed BFS. */
+
+/* Terminal-state poll: *out = 0 queued, 1 done, 2 deadline-expired. */
+GrB_Info pgb_query_state(int* out, pgb_query_id_t id);
+
+/* Releases a terminal query's record for compaction (the service's
+ * record book stays memory-steady under sustained traffic). The id is
+ * invalid afterwards; releasing a queued query is GrB_INVALID_VALUE. */
+GrB_Info pgb_query_release(pgb_query_id_t id);
+
+/* Snapshot of the service health surface: logical locales living away
+ * from their home host after a degraded-mode remap, and tenants with an
+ * open circuit breaker. Either out pointer may be NULL. */
+GrB_Info pgb_service_health(int* degraded_locales, int* open_breakers);
+/* BFS parent of v (-1 if unreached). Query must be a completed BFS;
+ * polling an expired query returns GrB_DEADLINE_EXPIRED. */
 GrB_Info pgb_query_bfs_parent(int64_t* out, pgb_query_id_t id, GrB_Index v);
-/* SSSP distance of v (DBL_MAX if unreachable). Completed SSSP only. */
+/* SSSP distance of v (DBL_MAX if unreachable). Completed SSSP only;
+ * polling an expired query returns GrB_DEADLINE_EXPIRED. */
 GrB_Info pgb_query_sssp_dist(double* out, pgb_query_id_t id, GrB_Index v);
 
 #ifdef __cplusplus

@@ -48,13 +48,22 @@ struct RebuildOptions {
   RetryPolicy retry;
   /// Give up (rethrow LocaleFailed) after this many rebuilds.
   int max_failures = 4;
+  /// Leave a degraded-mode remap installed on exit instead of restoring
+  /// identity membership. A long-lived caller that drives *many* loops
+  /// under one plan (the serving front end) sets this so that after a
+  /// kill every later loop starts on the surviving hosts directly —
+  /// no logical locale maps to the dead host anymore, so no re-failure
+  /// and no per-loop re-rebuild.
+  bool keep_membership = false;
 };
 
 /// Runs `loop` to completion under `plan`, surviving locale kills by
 /// localized rebuild from in-memory replicas. Installs `plan` and
 /// `opt.retry` on the grid for the duration and restores the previous
 /// plan, retry policy, and membership mapping on exit (a degraded run
-/// leaves the grid remapped only while it executes). `plan` may be null
+/// leaves the grid remapped only while it executes, unless
+/// opt.keep_membership asks for the remap to outlive the call). `plan`
+/// may be null
 /// — the loop then runs fault-free, still paying replication overhead
 /// (that steady-state cost is what abl_recovery prices).
 template <typename State>
@@ -68,18 +77,25 @@ State run_with_rebuild(LocaleGrid& grid, FaultPlan* plan,
     FaultPlan* prev_plan;
     RetryPolicy prev_retry;
     bool prev_identity;
+    bool keep_membership;
     ~Guard() {
       g.set_fault_plan(prev_plan);
       g.set_retry_policy(prev_retry);
-      if (prev_identity && g.membership().remapped()) g.restore_membership();
+      if (!keep_membership && prev_identity && g.membership().remapped()) {
+        g.restore_membership();
+      }
     }
   } guard{grid, grid.fault_plan(), grid.retry_policy(),
-          !grid.membership().remapped()};
+          !grid.membership().remapped(), opt.keep_membership};
   grid.set_fault_plan(plan);
   grid.set_retry_policy(opt.retry);
   if (report != nullptr) report->mode = to_string(opt.mode);
 
-  ReplicaStore store(grid, opt.replica);
+  // The store is built inside the guarded loop: its one-time static
+  // replication is a comm phase, and a kill landing there (or a dead
+  // host still in the mapping on a later driver call under the same
+  // plan) must be handled like any mid-loop failure, not escape.
+  std::optional<ReplicaStore> store;
   std::optional<State> state;
   std::int64_t rounds = 0;
   int failures = 0;
@@ -88,11 +104,12 @@ State run_with_rebuild(LocaleGrid& grid, FaultPlan* plan,
   bool restoring = false;
   for (;;) {
     try {
+      if (!store.has_value()) store.emplace(grid, opt.replica);
       if (!state.has_value()) {
-        if (store.protected_round() >= 0) {
-          const std::int64_t restored_bytes = store.rebuild(last_failed);
-          state.emplace(loop.load(store.restored()));
-          rounds = store.protected_round();
+        if (store->protected_round() >= 0) {
+          const std::int64_t restored_bytes = store->rebuild(last_failed);
+          state.emplace(loop.load(store->restored()));
+          rounds = store->protected_round();
           if (report != nullptr) report->bytes_restored += restored_bytes;
         } else {
           // Failed before the priming flush (or at first run): start
@@ -100,8 +117,8 @@ State run_with_rebuild(LocaleGrid& grid, FaultPlan* plan,
           // degraded mode, so the rerun avoids the dead host.
           state.emplace(loop.init());
           rounds = 0;
-          loop.save(*state, store.staging());
-          store.flush(0);
+          loop.save(*state, store->staging());
+          store->flush(0);
           t_safe = grid.time();
         }
         if (restoring) {
@@ -114,12 +131,12 @@ State run_with_rebuild(LocaleGrid& grid, FaultPlan* plan,
         loop.step(*state);
         ++rounds;
         // Phase boundary: stage the new state and ship the update log.
-        loop.save(*state, store.staging());
-        store.flush(rounds);
+        loop.save(*state, store->staging());
+        store->flush(rounds);
         t_safe = grid.time();
         if (report != nullptr) ++report->checkpoints;
       }
-      if (report != nullptr) report->replica_bytes = store.shipped_bytes();
+      if (report != nullptr) report->replica_bytes = store->shipped_bytes();
       return std::move(*state);
     } catch (const LocaleFailed& lf) {
       ++failures;
@@ -127,7 +144,8 @@ State run_with_rebuild(LocaleGrid& grid, FaultPlan* plan,
       const int logical = lf.locale();
       const int dead_host = grid.host_of(logical);
       if (opt.mode == RebuildMode::kDegraded) {
-        const int new_host = grid.host_of(store.buddy_of(logical));
+        const int new_host = grid.host_of(
+            replica_buddy_of(logical, grid.num_locales()));
         if (new_host == dead_host ||
             plan->is_down(new_host, grid.time())) {
           // The buddy died too (or an earlier remap already routed the
@@ -143,20 +161,23 @@ State run_with_rebuild(LocaleGrid& grid, FaultPlan* plan,
         plan->mark_recovered(dead_host);
       }
       last_failed = logical;
+      // A kill during the store's own static replication leaves no
+      // replicas to restore: drop the partial store and rebuild it from
+      // scratch on the surviving mapping.
+      const std::int64_t safe_round =
+          store.has_value() ? store->protected_round() : -1;
+      if (safe_round < 0) store.reset();
       grid.metrics().counter("recovery.restarts").inc();
       auto* session = grid.trace_session();
       if (session != nullptr) {
         session->instant(dead_host, "recovery.rebuild_started", grid.time(),
                          {{"logical", std::to_string(logical)},
                           {"mode", to_string(opt.mode)},
-                          {"from_round",
-                           std::to_string(store.protected_round())}});
+                          {"from_round", std::to_string(safe_round)}});
       }
       if (report != nullptr) {
         ++report->rebuilds;
-        report->rounds_replayed +=
-            rounds - (store.protected_round() >= 0 ? store.protected_round()
-                                                   : 0);
+        report->rounds_replayed += rounds - (safe_round >= 0 ? safe_round : 0);
       }
       restoring = true;
       state.reset();  // rebuilt from the replicas above

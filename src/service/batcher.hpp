@@ -14,13 +14,27 @@
 //
 // Subgraph kinds (ego-net, pagerank-on-subgraph) run solo: their work
 // is not a shared frontier wave, so a "batch" is just the seed.
+//
+// Deadline-aware fusing: the service may pass a FuseGate that prices
+// the candidate batch through the ServiceCostModel and answers whether
+// a query's deadline survives the estimate. A query the gate refuses is
+// *popped and handed back* through `refused` rather than left queued:
+// the estimate says its deadline is already blown, and waiting can only
+// make that worse — the service expires it with a typed
+// kDeadlineExpired instead of ever serving it late.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "service/queue.hpp"
 
 namespace pgb {
+
+/// Answers whether `q` should join the batch at the given resulting
+/// width (1 for the seed position). False means the query cannot meet
+/// its deadline under the current cost estimate.
+using FuseGate = std::function<bool(const PendingQuery& q, int width)>;
 
 /// True for kinds whose per-level exchange rides the fused
 /// multi-frontier SpMSpV.
@@ -33,14 +47,31 @@ inline bool batch_compatible(const PendingQuery& seed, const PendingQuery& q) {
          q.snap.graph == seed.snap.graph && q.snap.epoch == seed.snap.epoch;
 }
 
-/// Forms the next batch (size in [1, batch_max]). Precondition: the
-/// queue is non-empty.
-inline std::vector<PendingQuery> form_batch(AdmissionQueue& q, int batch_max) {
+/// Forms the next batch (size in [0, batch_max]; 0 only when a gate
+/// refused every candidate seed). Precondition: the queue is non-empty.
+/// With a gate, queries it refuses are popped into `refused` (never
+/// served): gate-refused seeds keep the seed search going, and a
+/// gate-refused compatible head is removed so it cannot block its
+/// lane's later queries from a batch they can still make.
+inline std::vector<PendingQuery> form_batch(AdmissionQueue& q, int batch_max,
+                                            const FuseGate& gate,
+                                            std::vector<PendingQuery>* refused) {
   PGB_ASSERT(!q.empty(), "batcher: form_batch on empty queue");
   PGB_ASSERT(batch_max >= 1, "batcher: batch_max must be at least 1");
+  PGB_ASSERT(!gate || refused != nullptr,
+             "batcher: a fuse gate needs a refused sink");
   std::vector<PendingQuery> batch;
   batch.reserve(static_cast<std::size_t>(batch_max));  // seed ref stays valid
-  batch.push_back(q.pop_fair());
+  while (!q.empty()) {
+    PendingQuery seed = q.pop_fair();
+    if (gate && !gate(seed, 1)) {
+      refused->push_back(std::move(seed));
+      continue;
+    }
+    batch.push_back(std::move(seed));
+    break;
+  }
+  if (batch.empty()) return batch;
   const PendingQuery& seed = batch.front();
   if (!batchable(seed.spec.kind)) return batch;
   int cursor = seed.spec.tenant;
@@ -51,6 +82,13 @@ inline std::vector<PendingQuery> form_batch(AdmissionQueue& q, int batch_max) {
     do {
       const PendingQuery* h = q.head(t);
       if (h != nullptr && batch_compatible(seed, *h)) {
+        if (gate && !gate(*h, static_cast<int>(batch.size()) + 1)) {
+          // Refusing mutates the lane map; restart the cycle with a
+          // fresh round-robin origin (progress: the queue shrank).
+          refused->push_back(q.pop_head(t));
+          took = true;
+          break;
+        }
         batch.push_back(q.pop_head(t));
         cursor = t;
         took = true;
@@ -62,6 +100,11 @@ inline std::vector<PendingQuery> form_batch(AdmissionQueue& q, int batch_max) {
     if (!took) break;
   }
   return batch;
+}
+
+/// Ungated batch formation (size in [1, batch_max]).
+inline std::vector<PendingQuery> form_batch(AdmissionQueue& q, int batch_max) {
+  return form_batch(q, batch_max, FuseGate{}, nullptr);
 }
 
 }  // namespace pgb

@@ -6,13 +6,14 @@
 // level for the whole batch. Per-query results are byte-identical to
 // solo runs (see core/spmspv_multi.hpp for why).
 //
-// When a fault plan is attached, BFS batches run under the PR-5
-// localized-rebuild driver (bfs_batch_with_rebuild): a locale killed
-// mid-batch is rebuilt from replicas and the whole batch replays its
-// last round bit-identical to the fault-free run. Other kinds run
-// outside the rebuild driver (their solo recovery wrappers exist in
-// algo_recovery.hpp; the service's fault story rides its heaviest
-// traffic class first).
+// When a fault plan is attached, BFS and SSSP batches run under the PR-5
+// localized-rebuild driver (bfs_batch_with_rebuild /
+// sssp_batch_with_rebuild): a locale killed mid-batch is rebuilt from
+// replicas and the whole batch replays its last round bit-identical to
+// the fault-free run. The subgraph kinds (ego-net, pagerank-on-subgraph)
+// still run outside the rebuild driver — chaos traffic mixes should
+// stick to the frontier kinds (their solo recovery wrappers exist in
+// algo_recovery.hpp).
 //
 // The subgraph kinds bottom out on the same primitives: an ego-net is a
 // depth-capped BFS's reached set; pagerank-on-subgraph extracts the ego
@@ -36,10 +37,12 @@ namespace pgb {
 
 struct ExecOptions {
   SpmspvOptions spmspv;
-  /// Optional fault plan: BFS batches run under run_with_rebuild so a
-  /// kill mid-batch recovers through the degraded path.
+  /// Optional fault plan: BFS and SSSP batches run under run_with_rebuild
+  /// so a kill mid-batch recovers through the degraded path.
   FaultPlan* plan = nullptr;
   RebuildOptions rebuild;
+  /// Optional recovery telemetry sink (accumulated across batches).
+  RecoveryReport* report = nullptr;
 };
 
 /// Vertices within `depth` hops of `source` (the source included),
@@ -109,7 +112,7 @@ inline std::vector<QueryResult> execute_batch(
       std::vector<BfsResult> res =
           opt.plan != nullptr
               ? bfs_batch_with_rebuild(g, sources, opt.spmspv, opt.plan,
-                                       opt.rebuild)
+                                       opt.rebuild, opt.report)
               : bfs_batch(g, sources, opt.spmspv);
       for (std::size_t i = 0; i < batch.size(); ++i) {
         out[i].kind = kind;
@@ -121,7 +124,11 @@ inline std::vector<QueryResult> execute_batch(
       std::vector<Index> sources;
       sources.reserve(batch.size());
       for (const auto& q : batch) sources.push_back(q.spec.source);
-      std::vector<SsspResult> res = sssp_batch(g, sources, opt.spmspv);
+      std::vector<SsspResult> res =
+          opt.plan != nullptr
+              ? sssp_batch_with_rebuild(g, sources, opt.spmspv, opt.plan,
+                                        opt.rebuild, opt.report)
+              : sssp_batch(g, sources, opt.spmspv);
       for (std::size_t i = 0; i < batch.size(); ++i) {
         out[i].kind = kind;
         out[i].sssp = std::move(res[i]);

@@ -41,7 +41,10 @@ inline const char* to_string(QueryKind k) {
 
 /// What a tenant asks for. `source` seeds every kind; `depth` bounds the
 /// ego radius of the subgraph kinds; the pagerank knobs apply only to
-/// kPagerankSubgraph.
+/// kPagerankSubgraph. `deadline_s` is the latency budget in simulated
+/// seconds from arrival (0 = no deadline): a query that cannot complete
+/// inside it ends in the typed kDeadlineExpired terminal state — the
+/// service never returns a silent late result.
 struct QuerySpec {
   QueryKind kind = QueryKind::kBfs;
   Index source = 0;
@@ -50,14 +53,16 @@ struct QuerySpec {
   double damping = 0.85;
   double tol = 1e-8;
   int max_iters = 20;
+  double deadline_s = 0.0;
 };
 
 /// Typed admission verdict.
 enum class AdmitCode {
   kAdmitted,
-  kQueueFull,    ///< bounded queue at capacity — back off and retry
-  kStaleHandle,  ///< caller pinned an epoch the handle has moved past
-  kBadQuery,     ///< spec invalid for this graph (source out of range, ...)
+  kQueueFull,         ///< bounded queue at capacity — back off and retry
+  kStaleHandle,       ///< caller pinned an epoch the handle has moved past
+  kBadQuery,          ///< spec invalid for this graph (source out of range, ...)
+  kTenantThrottled,   ///< tenant over quota or its circuit breaker is open
 };
 
 inline const char* to_string(AdmitCode c) {
@@ -70,6 +75,31 @@ inline const char* to_string(AdmitCode c) {
       return "stale_handle";
     case AdmitCode::kBadQuery:
       return "bad_query";
+    case AdmitCode::kTenantThrottled:
+      return "tenant_throttled";
+  }
+  return "?";
+}
+
+/// Lifecycle of one submitted query. Every query ends in exactly one
+/// terminal state: kDone (result available) or kDeadlineExpired (no
+/// result — the deadline passed in the queue, the admission estimate
+/// already blew it, or execution finished late and the result was
+/// discarded).
+enum class QueryState {
+  kQueued,
+  kDone,
+  kDeadlineExpired,
+};
+
+inline const char* to_string(QueryState s) {
+  switch (s) {
+    case QueryState::kQueued:
+      return "queued";
+    case QueryState::kDone:
+      return "done";
+    case QueryState::kDeadlineExpired:
+      return "deadline_expired";
   }
   return "?";
 }
@@ -86,6 +116,23 @@ class ServiceOverloaded : public Error {
 class InvalidHandleError : public Error {
  public:
   explicit InvalidHandleError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown by the strict submit path when a tenant is over its token
+/// bucket quota or its circuit breaker is open, and when polling for a
+/// result that was discarded because its deadline expired. The C API
+/// maps it to GrB_TENANT_THROTTLED.
+class TenantThrottled : public Error {
+ public:
+  explicit TenantThrottled(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a result is requested for a query that ended in the
+/// kDeadlineExpired terminal state. The C API maps it to
+/// GrB_DEADLINE_EXPIRED.
+class DeadlineExpired : public Error {
+ public:
+  explicit DeadlineExpired(const std::string& what) : Error(what) {}
 };
 
 /// One query's answer; `kind` says which member is meaningful.

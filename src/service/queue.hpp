@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <map>
 #include <vector>
 
@@ -25,12 +26,15 @@
 namespace pgb {
 
 /// An admitted query waiting for a batch: the spec plus the snapshot it
-/// was admitted against and its arrival in simulated seconds.
+/// was admitted against, its arrival, and its absolute deadline, all in
+/// simulated seconds (deadline = arrival + spec.deadline_s; +inf when
+/// the query has no deadline).
 struct PendingQuery {
   std::int64_t id = -1;
   QuerySpec spec;
   GraphSnapshot snap;
   double arrival = 0.0;
+  double deadline = std::numeric_limits<double>::infinity();
 };
 
 class AdmissionQueue {
@@ -84,6 +88,32 @@ class AdmissionQueue {
     --size_;
     publish_depth();
     return q;
+  }
+
+  /// Lazy deadline eviction: removes and returns every queued query
+  /// whose deadline has passed at simulated time `now` (ordered by
+  /// tenant id, FIFO within a lane). Lanes emptied by eviction are
+  /// erased, so a tenant lane holding only expired queries can never
+  /// stall the round-robin dequeue, and the `service.queue.depth` gauge
+  /// stays coherent with the post-eviction size.
+  std::vector<PendingQuery> take_expired(double now) {
+    std::vector<PendingQuery> out;
+    for (auto it = lanes_.begin(); it != lanes_.end();) {
+      auto& lane = it->second;
+      std::deque<PendingQuery> kept;
+      for (auto& q : lane) {
+        if (q.deadline < now) {
+          out.push_back(std::move(q));
+          --size_;
+        } else {
+          kept.push_back(std::move(q));
+        }
+      }
+      lane = std::move(kept);
+      it = lane.empty() ? lanes_.erase(it) : std::next(it);
+    }
+    if (!out.empty()) publish_depth();
+    return out;
   }
 
   /// Tenant ids with queued work, ascending.

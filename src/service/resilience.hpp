@@ -1,0 +1,328 @@
+// Service-level resilience: the pieces that keep GraphService up, fair,
+// and inside its SLO when offered load exceeds capacity or a host dies
+// mid-traffic.
+//
+//   ServiceCostModel   closed-loop batch pricing + observed service rate.
+//                      The inspector (PR 6) prices one comm wave from its
+//                      footprint; admission needs the *whole batch* price,
+//                      so the model folds the executor's observed charged
+//                      times (the same simulated clocks the inspector's
+//                      Inspector::observe feeds on) into a per-kind EWMA.
+//                      The estimate gates fusion: a query whose deadline
+//                      the estimate already blows is expired at admission
+//                      instead of served late. It also yields the service
+//                      rate behind retry-after.
+//
+//   TenantGovernor     per-tenant token-bucket quotas plus a circuit
+//                      breaker. The bucket bounds a tenant's sustained
+//                      admission rate beyond what fair dequeue already
+//                      bounds; the breaker converts a failing tenant's
+//                      traffic (K consecutive expiries / queue-full
+//                      rejections) into cheap typed kTenantThrottled
+//                      rejections until a half-open probe proves the
+//                      tenant can be served again.
+//
+//   ServiceHealth      the mode / degraded-locales / breaker-state
+//                      surface GraphService::health() exports into
+//                      metrics and pgb_serve summaries.
+//
+// Everything here is simulated-time-pure and deterministic: state
+// advances only on submit/step events stamped with simulated seconds, so
+// two same-seed runs make identical throttle, breaker, and admission
+// decisions.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "service/query.hpp"
+
+namespace pgb {
+
+/// Closed-loop batch cost model. estimate() is 0 (optimistic: admit)
+/// until the first batch of that kind has been observed; after that it
+/// is an EWMA of charged batch times. Fused batches amortize the
+/// per-level comm schedule across lanes, so batch time is only weakly
+/// width-dependent — the per-kind EWMA tracks it well and converges
+/// within a couple of batches.
+class ServiceCostModel {
+ public:
+  /// EWMA weight of the newest observation.
+  static constexpr double kAlpha = 0.25;
+
+  /// Records one executed batch: its kind, width, and the simulated
+  /// seconds the grid charged for it.
+  void observe_batch(QueryKind kind, int width, double seconds) {
+    Kind& k = kinds_[static_cast<int>(kind)];
+    if (k.observed == 0) {
+      k.ewma_seconds = seconds;
+    } else {
+      k.ewma_seconds = (1.0 - kAlpha) * k.ewma_seconds + kAlpha * seconds;
+    }
+    ++k.observed;
+    if (seconds > 0.0 && width > 0) {
+      const double inst_rate = static_cast<double>(width) / seconds;
+      rate_ = rate_ == 0.0 ? inst_rate
+                           : (1.0 - kAlpha) * rate_ + kAlpha * inst_rate;
+    }
+  }
+
+  /// Estimated simulated seconds to serve one batch of `kind`. Width is
+  /// accepted for future refinement; the fused-wave amortization makes
+  /// the per-kind EWMA the load-bearing term.
+  double estimate(QueryKind kind, int /*width*/) const {
+    return kinds_[static_cast<int>(kind)].ewma_seconds;
+  }
+
+  /// True once at least one batch of `kind` has been observed (before
+  /// that, estimate() is an optimistic 0 and cannot gate admission).
+  bool calibrated(QueryKind kind) const {
+    return kinds_[static_cast<int>(kind)].observed > 0;
+  }
+
+  /// Observed service rate in queries per simulated second (EWMA over
+  /// executed batches); 0 until the first batch completes.
+  double service_rate() const { return rate_; }
+
+  /// Suggested simulated retry-after for a queue-full rejection: the
+  /// time to drain the current backlog at the observed service rate,
+  /// floored (a cold service has no rate yet — the floor is the
+  /// client's first backoff quantum).
+  ///
+  ///   retry_after = max(floor_s, queued / service_rate)
+  double retry_after(std::size_t queued, double floor_s) const {
+    if (rate_ <= 0.0) return floor_s;
+    return std::max(floor_s, static_cast<double>(queued) / rate_);
+  }
+
+ private:
+  struct Kind {
+    double ewma_seconds = 0.0;
+    std::int64_t observed = 0;
+  };
+  Kind kinds_[4];
+  double rate_ = 0.0;
+};
+
+/// Circuit-breaker state for one tenant.
+enum class BreakerState {
+  kClosed,    ///< normal admission
+  kOpen,      ///< tripping failures seen; all traffic throttled
+  kHalfOpen,  ///< cooldown elapsed; one probe admitted
+};
+
+inline const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+struct TenantGovernorConfig {
+  /// Sustained admission rate per tenant in queries per simulated
+  /// second (token refill rate); 0 disables quotas.
+  double quota_qps = 0.0;
+  /// Bucket capacity: the burst a tenant may spend at once.
+  double quota_burst = 8.0;
+  /// Consecutive failures (deadline expiries + queue-full rejections)
+  /// that trip the breaker; 0 disables the breaker.
+  int breaker_k = 0;
+  /// Simulated seconds an open breaker holds before a half-open probe.
+  double breaker_cooldown_s = 0.05;
+};
+
+/// Per-tenant admission governor: token-bucket quota + circuit breaker.
+/// All transitions are driven by simulated timestamps handed in by the
+/// caller, never by wall clocks.
+class TenantGovernor {
+ public:
+  explicit TenantGovernor(TenantGovernorConfig cfg = {}) : cfg_(cfg) {}
+
+  struct Verdict {
+    AdmitCode code = AdmitCode::kAdmitted;
+    /// Rejection reason for the metrics label: "tenant_quota" or
+    /// "breaker_open"; nullptr when admitted.
+    const char* why = nullptr;
+  };
+
+  /// Admission check at simulated time `now`. Takes one token on
+  /// admission. The breaker is consulted first: an open breaker
+  /// throttles without spending quota, and the half-open transition
+  /// admits exactly one probe per cooldown.
+  Verdict admit(int tenant, double now) {
+    Lane& ln = lane(tenant, now);
+    if (cfg_.breaker_k > 0) {
+      if (ln.state == BreakerState::kOpen) {
+        if (now < ln.open_until) {
+          return Verdict{AdmitCode::kTenantThrottled, "breaker_open"};
+        }
+        ln.state = BreakerState::kHalfOpen;
+        ln.probe_in_flight = false;
+      }
+      if (ln.state == BreakerState::kHalfOpen) {
+        if (ln.probe_in_flight) {
+          return Verdict{AdmitCode::kTenantThrottled, "breaker_open"};
+        }
+        ln.probe_in_flight = true;  // this query is the probe
+      }
+    }
+    if (cfg_.quota_qps > 0.0) {
+      refill(ln, now);
+      if (ln.tokens < 1.0) {
+        // A quota rejection is not a service failure: it neither feeds
+        // nor resets the breaker's consecutive-failure count.
+        if (ln.state == BreakerState::kHalfOpen) ln.probe_in_flight = false;
+        return Verdict{AdmitCode::kTenantThrottled, "tenant_quota"};
+      }
+      ln.tokens -= 1.0;
+    }
+    return Verdict{AdmitCode::kAdmitted, nullptr};
+  }
+
+  /// A served query completed inside its deadline: resets the failure
+  /// streak and closes a half-open breaker (the probe succeeded).
+  void on_success(int tenant, double now) {
+    Lane& ln = lane(tenant, now);
+    ln.consecutive_failures = 0;
+    if (ln.state != BreakerState::kClosed) {
+      ln.state = BreakerState::kClosed;
+      ln.probe_in_flight = false;
+    }
+  }
+
+  /// A deadline expiry or queue-full rejection for this tenant. K of
+  /// these in a row trip the breaker; a failure during half-open
+  /// re-opens it immediately (the probe failed).
+  /// Returns true when this failure tripped (or re-tripped) the breaker.
+  bool on_failure(int tenant, double now) {
+    Lane& ln = lane(tenant, now);
+    ++ln.consecutive_failures;
+    if (cfg_.breaker_k <= 0) return false;
+    const bool reprobe_failed =
+        ln.state == BreakerState::kHalfOpen && ln.probe_in_flight;
+    if (reprobe_failed || (ln.state == BreakerState::kClosed &&
+                           ln.consecutive_failures >= cfg_.breaker_k)) {
+      ln.state = BreakerState::kOpen;
+      ln.open_until = now + cfg_.breaker_cooldown_s;
+      ln.probe_in_flight = false;
+      ln.consecutive_failures = 0;
+      ++ln.trips;
+      return true;
+    }
+    return false;
+  }
+
+  /// Breaker state as of `now` (resolves an elapsed cooldown to
+  /// half-open so health surfaces report what the next submit would see).
+  BreakerState state(int tenant, double now) const {
+    auto it = lanes_.find(tenant);
+    if (it == lanes_.end()) return BreakerState::kClosed;
+    const Lane& ln = it->second;
+    if (ln.state == BreakerState::kOpen && now >= ln.open_until) {
+      return BreakerState::kHalfOpen;
+    }
+    return ln.state;
+  }
+
+  std::int64_t trips(int tenant) const {
+    auto it = lanes_.find(tenant);
+    return it == lanes_.end() ? 0 : it->second.trips;
+  }
+
+  /// Tenants the governor has seen, ascending.
+  std::vector<int> tenants() const {
+    std::vector<int> out;
+    out.reserve(lanes_.size());
+    for (const auto& [t, ln] : lanes_) out.push_back(t);
+    return out;
+  }
+
+  const TenantGovernorConfig& config() const { return cfg_; }
+
+ private:
+  struct Lane {
+    double tokens = 0.0;
+    double last_refill = 0.0;
+    int consecutive_failures = 0;
+    BreakerState state = BreakerState::kClosed;
+    double open_until = 0.0;
+    bool probe_in_flight = false;
+    std::int64_t trips = 0;
+  };
+
+  Lane& lane(int tenant, double now) {
+    auto [it, fresh] = lanes_.try_emplace(tenant);
+    if (fresh) {
+      it->second.tokens = cfg_.quota_burst;  // buckets start full
+      it->second.last_refill = now;
+    }
+    return it->second;
+  }
+
+  void refill(Lane& ln, double now) {
+    const double dt = std::max(0.0, now - ln.last_refill);
+    ln.tokens = std::min(cfg_.quota_burst, ln.tokens + dt * cfg_.quota_qps);
+    ln.last_refill = std::max(ln.last_refill, now);
+  }
+
+  TenantGovernorConfig cfg_;
+  std::map<int, Lane> lanes_;
+};
+
+/// One tenant's slice of the health surface.
+struct TenantHealth {
+  int tenant = 0;
+  BreakerState breaker = BreakerState::kClosed;
+  std::int64_t trips = 0;
+};
+
+/// The service's liveness/fairness surface: what mode it is serving in,
+/// which breakers are open, and how loaded it is. Built by
+/// GraphService::health() and exported into metrics gauges so profiles
+/// and the pgb_diff gate see mode flips and breaker trips.
+struct ServiceHealth {
+  const char* mode = "normal";  ///< "normal" | "degraded"
+  int degraded_locales = 0;     ///< logical locales co-hosted after remaps
+  int active_hosts = 0;         ///< distinct physical hosts still serving
+  std::size_t queue_depth = 0;
+  std::int64_t records_live = 0;
+  double service_rate = 0.0;  ///< queries per simulated second (EWMA)
+  std::vector<TenantHealth> tenants;
+
+  int open_breakers() const {
+    int n = 0;
+    for (const auto& t : tenants) n += t.breaker == BreakerState::kOpen;
+    return n;
+  }
+
+  std::string summary() const {
+    char head[160];
+    std::snprintf(head, sizeof head,
+                  "mode=%s degraded_locales=%d active_hosts=%d queued=%zu "
+                  "live_records=%lld rate=%.3g q/s",
+                  mode, degraded_locales, active_hosts, queue_depth,
+                  static_cast<long long>(records_live), service_rate);
+    std::string out = head;
+    out += " breakers{";
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      char b[48];
+      std::snprintf(b, sizeof b, "%s%d:%s", i == 0 ? "" : ",",
+                    tenants[i].tenant, to_string(tenants[i].breaker));
+      out += b;
+    }
+    out += "}";
+    return out;
+  }
+};
+
+}  // namespace pgb

@@ -1,7 +1,10 @@
 // GraphService: the long-lived serving facade tying the front end
 // together — resident graphs behind epoch-versioned handles
 // (handle.hpp), bounded fair admission (queue.hpp), batch formation
-// (batcher.hpp), and fused execution (executor.hpp).
+// (batcher.hpp), fused execution (executor.hpp), and the resilience
+// layer (resilience.hpp): per-query deadlines, backpressure with
+// retry-after, per-tenant quotas + circuit breakers, and a health
+// surface that keeps serving through a mid-traffic locale kill.
 //
 // Time is simulated throughout: a query's arrival is a simulated
 // timestamp, service happens on the grid's modeled clocks, and its
@@ -9,19 +12,43 @@
 // the per-tenant `service.latency.us{tenant=}` histogram in simulated
 // microseconds — the numbers the SLO gate in pgb_diff checks.
 //
+// Deadline contract: a query with deadline_s > 0 ends in exactly one of
+// kDone (result, in budget) or kDeadlineExpired (no result) — the
+// service NEVER returns a late result. Expiry is enforced at three
+// stages, each counted under `service.expired{tenant=,stage=}`:
+//   stage=queue      lazy eviction at step start (deadline passed while
+//                    queued)
+//   stage=admission  the fuse gate priced the batch via the closed-loop
+//                    cost model and the estimate already blows the
+//                    deadline — expiring now beats serving late
+//   stage=post       execution finished past the deadline (estimate was
+//                    low); the result is discarded, never surfaced
+//
 // Tenant metric taxonomy (all under service.*):
 //   service.submitted{tenant=T}          offered queries per tenant
-//   service.rejected{tenant=T,reason=R}  typed rejections (AdmitCode)
+//   service.rejected{tenant=T,reason=R}  typed rejections (AdmitCode /
+//                                        throttle cause)
+//   service.expired{tenant=T,stage=S}    deadline expiries by stage
 //   service.queue.depth                  gauge, live queued total
+//   service.retry_after.s                gauge, last suggested retry-after
 //   service.batches                      batches executed
 //   service.batched_queries              queries that rode a width>1 batch
 //   service.batch.width                  histogram of batch widths
 //   service.latency.us{tenant=T}         end-to-end simulated latency
+//   service.breaker.trips{tenant=T}      circuit-breaker trips
+//   service.breaker.state{tenant=T}      gauge, 0 closed / 1 open / 2 half
+//   service.records.live                 gauge, retained lifecycle records
+//   service.records.retired              retired (compacted) records
+//   service.health.*                     gauges from health()
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <deque>
+#include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runtime/locale_grid.hpp"
@@ -30,6 +57,7 @@
 #include "service/handle.hpp"
 #include "service/query.hpp"
 #include "service/queue.hpp"
+#include "service/resilience.hpp"
 
 namespace pgb {
 
@@ -40,6 +68,24 @@ struct ServiceConfig {
   /// Optional fault plan + rebuild policy for kill-mid-batch recovery.
   FaultPlan* plan = nullptr;
   RebuildOptions rebuild;
+  /// Optional recovery telemetry sink (filled by the rebuild driver).
+  RecoveryReport* report = nullptr;
+  /// Per-tenant sustained admission rate (queries per simulated second);
+  /// 0 disables quotas.
+  double tenant_quota_qps = 0.0;
+  /// Token-bucket burst capacity per tenant.
+  double tenant_quota_burst = 8.0;
+  /// Consecutive per-tenant failures (expiries + queue-full rejections)
+  /// that trip its circuit breaker; 0 disables the breaker.
+  int breaker_k = 0;
+  /// Simulated seconds an open breaker holds before a half-open probe.
+  double breaker_cooldown_s = 0.05;
+  /// Floor for the suggested retry-after on queue-full (simulated s).
+  double retry_floor_s = 1e-3;
+  /// Compaction threshold: the released (terminal + polled) record
+  /// prefix is dropped once it reaches this length, keeping the record
+  /// book memory-steady under sustained traffic.
+  int compact_watermark = 256;
 };
 
 /// Lifecycle record of one submitted query.
@@ -48,10 +94,13 @@ struct QueryRecord {
   int tenant = 0;
   QueryKind kind = QueryKind::kBfs;
   double arrival = 0.0;     ///< simulated submit time
-  double completion = 0.0;  ///< simulated completion time
+  double deadline = std::numeric_limits<double>::infinity();
+  double completion = 0.0;  ///< simulated completion/expiry time
   int batch_width = 0;      ///< width of the batch that served it
-  bool done = false;
-  QueryResult result;
+  QueryState state = QueryState::kQueued;
+  bool done = false;        ///< state == kDone (kept for existing callers)
+  bool polled = false;      ///< released by the client; compactable
+  QueryResult result;       ///< valid only when state == kDone
 };
 
 class GraphService {
@@ -59,9 +108,23 @@ class GraphService {
   GraphService(LocaleGrid& grid, ServiceConfig cfg)
       : grid_(grid),
         cfg_(cfg),
-        queue_(static_cast<std::size_t>(cfg.queue_depth), &grid.metrics()) {
+        queue_(static_cast<std::size_t>(cfg.queue_depth), &grid.metrics()),
+        governor_(TenantGovernorConfig{cfg.tenant_quota_qps,
+                                       cfg.tenant_quota_burst, cfg.breaker_k,
+                                       cfg.breaker_cooldown_s}) {
     PGB_REQUIRE(cfg.queue_depth >= 1, "service: queue_depth must be >= 1");
     PGB_REQUIRE(cfg.batch_max >= 1, "service: batch_max must be >= 1");
+    PGB_REQUIRE(cfg.tenant_quota_qps >= 0.0,
+                "service: tenant_quota_qps must be >= 0");
+    PGB_REQUIRE(cfg.tenant_quota_burst >= 1.0,
+                "service: tenant_quota_burst must be >= 1");
+    PGB_REQUIRE(cfg.breaker_k >= 0, "service: breaker_k must be >= 0");
+    PGB_REQUIRE(cfg.breaker_cooldown_s > 0.0,
+                "service: breaker_cooldown_s must be > 0");
+    PGB_REQUIRE(cfg.retry_floor_s > 0.0,
+                "service: retry_floor_s must be > 0");
+    PGB_REQUIRE(cfg.compact_watermark >= 1,
+                "service: compact_watermark must be >= 1");
   }
 
   GraphStore& store() { return store_; }
@@ -69,6 +132,9 @@ class GraphService {
   struct Submitted {
     AdmitCode code = AdmitCode::kAdmitted;
     std::int64_t id = -1;  ///< valid only when admitted
+    /// Suggested simulated retry-after, filled on kQueueFull: the time
+    /// to drain the backlog at the observed service rate (floored).
+    double retry_after_s = 0.0;
   };
 
   /// Offers a query against handle `h` at simulated time `arrival`.
@@ -85,27 +151,44 @@ class GraphService {
       return reject(spec, AdmitCode::kStaleHandle);
     }
     if (spec.source < 0 || spec.source >= snap.graph->nrows() ||
-        spec.depth < 0) {
+        spec.depth < 0 || spec.deadline_s < 0.0) {
       return reject(spec, AdmitCode::kBadQuery);
     }
+    const TenantGovernor::Verdict v = governor_.admit(spec.tenant, arrival);
+    if (v.code != AdmitCode::kAdmitted) {
+      return reject(spec, v.code, v.why);
+    }
     PendingQuery q;
-    q.id = static_cast<std::int64_t>(records_.size());
+    q.id = base_ + static_cast<std::int64_t>(records_.size());
     q.spec = spec;
     q.snap = std::move(snap);
     q.arrival = arrival;
+    if (spec.deadline_s > 0.0) q.deadline = arrival + spec.deadline_s;
+    const double deadline = q.deadline;
     const AdmitCode code = queue_.offer(std::move(q));
-    if (code != AdmitCode::kAdmitted) return reject(spec, code);
+    if (code != AdmitCode::kAdmitted) {
+      // Queue full: the rejection carries a retry-after hint, and counts
+      // as a service failure toward the tenant's breaker (the service,
+      // not the tenant's request, was at fault — but K in a row means
+      // this tenant's traffic cannot be served and should back off hard).
+      Submitted s = reject(spec, code);
+      s.retry_after_s = cost_.retry_after(queue_.size(), cfg_.retry_floor_s);
+      mx.gauge("service.retry_after.s").set(s.retry_after_s);
+      note_failure(spec.tenant, arrival);
+      return s;
+    }
     QueryRecord rec;
-    rec.id = static_cast<std::int64_t>(records_.size());
+    rec.id = base_ + static_cast<std::int64_t>(records_.size());
     rec.tenant = spec.tenant;
     rec.kind = spec.kind;
     rec.arrival = arrival;
+    rec.deadline = deadline;
     records_.push_back(std::move(rec));
-    return Submitted{AdmitCode::kAdmitted, records_.back().id};
+    return Submitted{AdmitCode::kAdmitted, records_.back().id, 0.0};
   }
 
-  /// submit() that turns a full-queue rejection into ServiceOverloaded —
-  /// the C API's path, so GrB_OUT_OF_RESOURCES flows from map_exception.
+  /// submit() that turns rejections into typed exceptions — the C API's
+  /// path, so GrB codes flow from map_exception.
   Submitted submit_strict(GraphStore::HandleId h, const QuerySpec& spec,
                           double arrival, std::uint64_t expected_epoch = 0) {
     Submitted s = submit(h, spec, arrival, expected_epoch);
@@ -118,16 +201,36 @@ class GraphService {
                                std::to_string(expected_epoch) + " for handle " +
                                std::to_string(h));
     }
+    if (s.code == AdmitCode::kTenantThrottled) {
+      throw TenantThrottled("service: tenant " + std::to_string(spec.tenant) +
+                            " throttled (quota or breaker)");
+    }
     return s;
   }
 
-  /// Serves one batch; returns false when the queue is empty. Idle
-  /// clocks fast-forward to the batch's newest arrival (a query cannot
-  /// be served before it arrives).
+  /// Serves one scheduling round: evicts queued queries whose deadline
+  /// already passed, forms a batch through the deadline fuse gate, and
+  /// executes it. Returns false only when nothing was left to do —
+  /// a round that only expired queries still returns true.
   bool step() {
-    if (queue_.empty()) return false;
-    std::vector<PendingQuery> batch = form_batch(queue_, cfg_.batch_max);
-    double start = grid_.time();
+    const double now = grid_.time();
+    const bool evicted = finalize_expired(queue_.take_expired(now), "queue");
+    if (queue_.empty()) return evicted;
+    // The fuse gate prices the candidate batch with the closed-loop cost
+    // model: refuse to fuse a query whose deadline the estimate already
+    // blows (waiting can only make it later). Uncalibrated kinds price
+    // at 0 — optimistically admitted until the first batch lands.
+    const auto gate = [this, now](const PendingQuery& p, int width) {
+      if (std::isinf(p.deadline)) return true;
+      const double start = std::max(now, p.arrival);
+      return p.deadline >= start + cost_.estimate(p.spec.kind, width);
+    };
+    std::vector<PendingQuery> refused;
+    std::vector<PendingQuery> batch =
+        form_batch(queue_, cfg_.batch_max, gate, &refused);
+    finalize_expired(refused, "admission");
+    if (batch.empty()) return true;  // the gate refused every seed
+    double start = now;
     for (const auto& q : batch) start = std::max(start, q.arrival);
     for (int l = 0; l < grid_.num_locales(); ++l) {
       grid_.clock(l).advance_to(start);
@@ -136,8 +239,11 @@ class GraphService {
     eopt.spmspv = cfg_.spmspv;
     eopt.plan = cfg_.plan;
     eopt.rebuild = cfg_.rebuild;
+    eopt.report = cfg_.report;
     std::vector<QueryResult> results = execute_batch(batch, eopt);
     const double end = grid_.time();
+    cost_.observe_batch(batch.front().spec.kind,
+                        static_cast<int>(batch.size()), end - start);
     auto& mx = grid_.metrics();
     mx.counter("service.batches").inc();
     if (batch.size() > 1) {
@@ -147,11 +253,22 @@ class GraphService {
     mx.histogram("service.batch.width")
         .observe(static_cast<std::int64_t>(batch.size()));
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      QueryRecord& rec = records_[static_cast<std::size_t>(batch[i].id)];
+      QueryRecord& rec = record_mut(batch[i].id);
       rec.completion = end;
       rec.batch_width = static_cast<int>(batch.size());
+      if (end > batch[i].deadline) {
+        // Late result: the estimate undershot. Discard — the deadline
+        // contract ("never a silent late result") outranks the work done.
+        rec.state = QueryState::kDeadlineExpired;
+        mx.counter("service.expired", expired_labels(rec.tenant, "post"))
+            .inc();
+        note_failure(rec.tenant, end);
+        continue;
+      }
+      rec.state = QueryState::kDone;
       rec.done = true;
       rec.result = std::move(results[i]);
+      governor_.on_success(rec.tenant, end);
       const double lat_us = (end - rec.arrival) * 1e6;
       mx.histogram("service.latency.us", tenant_labels(rec.tenant))
           .observe(static_cast<std::int64_t>(std::llround(lat_us)));
@@ -168,31 +285,142 @@ class GraphService {
   std::size_t queue_size() const { return queue_.size(); }
 
   const QueryRecord& record(std::int64_t id) const {
-    PGB_REQUIRE(id >= 0 && id < static_cast<std::int64_t>(records_.size()),
+    PGB_REQUIRE(id >= base_, "service: query id already retired");
+    PGB_REQUIRE(id - base_ < static_cast<std::int64_t>(records_.size()),
                 "service: unknown query id");
-    return records_[static_cast<std::size_t>(id)];
+    return records_[static_cast<std::size_t>(id - base_)];
   }
 
-  const std::vector<QueryRecord>& records() const { return records_; }
+  /// Marks a terminal record as consumed by the client, making it
+  /// eligible for compaction. Queued queries cannot be released.
+  void release(std::int64_t id) {
+    QueryRecord& rec = record_mut(id);
+    PGB_REQUIRE(rec.state != QueryState::kQueued,
+                "service: release of a still-queued query");
+    rec.polled = true;
+    compact();
+  }
+
+  /// Records still retained (post-compaction window).
+  const std::deque<QueryRecord>& records() const { return records_; }
+
+  std::int64_t records_live() const {
+    return static_cast<std::int64_t>(records_.size());
+  }
+  std::int64_t records_retired() const { return base_; }
+
+  const ServiceCostModel& cost_model() const { return cost_; }
+  TenantGovernor& governor() { return governor_; }
+
+  /// Builds the health surface and publishes it as gauges, so profiles
+  /// (and the pgb_diff gates over them) see mode flips, breaker state,
+  /// and load at snapshot time.
+  ServiceHealth health() {
+    const Membership& m = grid_.membership();
+    ServiceHealth h;
+    int degraded = 0;
+    for (int l = 0; l < m.size(); ++l) degraded += m.host(l) != l ? 1 : 0;
+    h.mode = m.remapped() ? "degraded" : "normal";
+    h.degraded_locales = degraded;
+    h.active_hosts = m.active();
+    h.queue_depth = queue_.size();
+    h.records_live = records_live();
+    h.service_rate = cost_.service_rate();
+    const double now = grid_.time();
+    for (int t : governor_.tenants()) {
+      h.tenants.push_back(
+          TenantHealth{t, governor_.state(t, now), governor_.trips(t)});
+    }
+    auto& mx = grid_.metrics();
+    mx.gauge("service.health.mode_degraded").set(m.remapped() ? 1.0 : 0.0);
+    mx.gauge("service.health.degraded_locales")
+        .set(static_cast<double>(degraded));
+    mx.gauge("service.health.active_hosts")
+        .set(static_cast<double>(h.active_hosts));
+    mx.gauge("service.records.live").set(static_cast<double>(records_live()));
+    for (const auto& t : h.tenants) {
+      mx.gauge("service.breaker.state", tenant_labels(t.tenant))
+          .set(t.breaker == BreakerState::kClosed   ? 0.0
+               : t.breaker == BreakerState::kOpen   ? 1.0
+                                                    : 2.0);
+    }
+    return h;
+  }
 
  private:
   static obs::Labels tenant_labels(int tenant) {
     return {{"tenant", std::to_string(tenant)}};
   }
 
-  Submitted reject(const QuerySpec& spec, AdmitCode code) {
+  static obs::Labels expired_labels(int tenant, const char* stage) {
+    return {{"tenant", std::to_string(tenant)}, {"stage", stage}};
+  }
+
+  QueryRecord& record_mut(std::int64_t id) {
+    PGB_REQUIRE(id >= base_, "service: query id already retired");
+    PGB_REQUIRE(id - base_ < static_cast<std::int64_t>(records_.size()),
+                "service: unknown query id");
+    return records_[static_cast<std::size_t>(id - base_)];
+  }
+
+  Submitted reject(const QuerySpec& spec, AdmitCode code,
+                   const char* why = nullptr) {
     grid_.metrics()
-        .counter("service.rejected", {{"tenant", std::to_string(spec.tenant)},
-                                      {"reason", to_string(code)}})
+        .counter("service.rejected",
+                 {{"tenant", std::to_string(spec.tenant)},
+                  {"reason", why != nullptr ? why : to_string(code)}})
         .inc();
-    return Submitted{code, -1};
+    return Submitted{code, -1, 0.0};
+  }
+
+  /// Feeds one failure into the tenant's breaker; counts a trip.
+  void note_failure(int tenant, double now) {
+    if (governor_.on_failure(tenant, now)) {
+      grid_.metrics()
+          .counter("service.breaker.trips", tenant_labels(tenant))
+          .inc();
+    }
+  }
+
+  /// Moves evicted/refused queries into the kDeadlineExpired terminal
+  /// state; returns whether anything expired.
+  bool finalize_expired(std::vector<PendingQuery> expired, const char* stage) {
+    if (expired.empty()) return false;
+    const double now = grid_.time();
+    auto& mx = grid_.metrics();
+    for (auto& q : expired) {
+      QueryRecord& rec = record_mut(q.id);
+      rec.state = QueryState::kDeadlineExpired;
+      rec.completion = std::max(now, q.arrival);
+      mx.counter("service.expired", expired_labels(rec.tenant, stage)).inc();
+      note_failure(rec.tenant, rec.completion);
+    }
+    return true;
+  }
+
+  /// Drops the released prefix of the record book once it reaches the
+  /// watermark. Only a *prefix* retires — ids stay dense and record(id)
+  /// stays O(1) via the base_ offset.
+  void compact() {
+    std::size_t n = 0;
+    while (n < records_.size() && records_[n].polled) ++n;
+    if (n < static_cast<std::size_t>(cfg_.compact_watermark)) return;
+    records_.erase(records_.begin(),
+                   records_.begin() + static_cast<std::ptrdiff_t>(n));
+    base_ += static_cast<std::int64_t>(n);
+    auto& mx = grid_.metrics();
+    mx.counter("service.records.retired").inc(static_cast<std::int64_t>(n));
+    mx.gauge("service.records.live").set(static_cast<double>(records_.size()));
   }
 
   LocaleGrid& grid_;
   ServiceConfig cfg_;
   GraphStore store_;
   AdmissionQueue queue_;
-  std::vector<QueryRecord> records_;
+  TenantGovernor governor_;
+  ServiceCostModel cost_;
+  std::deque<QueryRecord> records_;
+  std::int64_t base_ = 0;  ///< id of records_.front(); retired count
 };
 
 }  // namespace pgb

@@ -320,4 +320,139 @@ TEST_F(CapiTest, ServiceUnopenedRefusesCleanly) {
   GrB_Matrix_free(&m);
 }
 
+// ---------------------------------------------------------------------
+// Resilience surface at the C boundary
+// ---------------------------------------------------------------------
+
+TEST_F(CapiTest, ServiceDeadlineExpiredIsTypedAndNeverYieldsResult) {
+  ASSERT_EQ(pgb_service_open(8, 4), GrB_SUCCESS);
+  GrB_Matrix m = ring_matrix(32);
+  pgb_graph_handle_t h = -1;
+  ASSERT_EQ(pgb_graph_load(&h, m), GrB_SUCCESS);
+
+  // A deadline no BFS can meet: the query ends expired, not late.
+  pgb_query_id_t id = -1;
+  ASSERT_EQ(pgb_query_submit_ex(&id, h, PGB_QUERY_BFS, 0, 0, 0, 0, 1e-12,
+                                nullptr),
+            GrB_SUCCESS);
+  int state = -1;
+  EXPECT_EQ(pgb_query_state(&state, id), GrB_SUCCESS);
+  EXPECT_EQ(state, 0);  // queued
+  ASSERT_EQ(pgb_service_drain(), GrB_SUCCESS);
+  EXPECT_EQ(pgb_query_state(&state, id), GrB_SUCCESS);
+  EXPECT_EQ(state, 2);  // deadline-expired
+  int done = -1;
+  EXPECT_EQ(pgb_query_done(&done, id), GrB_SUCCESS);
+  EXPECT_EQ(done, 0);  // an expired query never reads as done
+  int64_t parent = 0;
+  EXPECT_EQ(pgb_query_bfs_parent(&parent, id, 2), GrB_DEADLINE_EXPIRED);
+  double dist = 0;
+  EXPECT_EQ(pgb_query_sssp_dist(&dist, id, 2), GrB_DEADLINE_EXPIRED);
+
+  // Negative deadline is a validation error, not a submit.
+  EXPECT_EQ(pgb_query_submit_ex(&id, h, PGB_QUERY_BFS, 0, 0, 0, 0, -1.0,
+                                nullptr),
+            GrB_INVALID_VALUE);
+  GrB_Matrix_free(&m);
+}
+
+TEST_F(CapiTest, ServiceQueueFullCarriesRetryAfter) {
+  ASSERT_EQ(pgb_service_open(2, 4), GrB_SUCCESS);
+  GrB_Matrix m = ring_matrix(16);
+  pgb_graph_handle_t h = -1;
+  ASSERT_EQ(pgb_graph_load(&h, m), GrB_SUCCESS);
+  pgb_query_id_t id = -1;
+  ASSERT_EQ(pgb_query_submit_ex(&id, h, PGB_QUERY_BFS, 0, 0, 0, 0, 0.0,
+                                nullptr),
+            GrB_SUCCESS);
+  ASSERT_EQ(pgb_query_submit_ex(&id, h, PGB_QUERY_BFS, 1, 0, 0, 0, 0.0,
+                                nullptr),
+            GrB_SUCCESS);
+  double retry_after = 0.0;
+  EXPECT_EQ(pgb_query_submit_ex(&id, h, PGB_QUERY_BFS, 2, 0, 0, 0, 0.0,
+                                &retry_after),
+            GrB_OUT_OF_RESOURCES);
+  EXPECT_GT(retry_after, 0.0);  // at least the floor
+  // The hint's out-pointer is optional.
+  EXPECT_EQ(pgb_query_submit_ex(&id, h, PGB_QUERY_BFS, 2, 0, 0, 0, 0.0,
+                                nullptr),
+            GrB_OUT_OF_RESOURCES);
+  GrB_Matrix_free(&m);
+}
+
+TEST_F(CapiTest, ServiceTenantQuotaIsTenantThrottled) {
+  // 10 qps sustained, burst of 1: the second same-instant submit from
+  // one tenant is throttled; another tenant is unaffected.
+  ASSERT_EQ(pgb_service_open_ex(8, 4, 10.0, 1.0, 0, 0.05), GrB_SUCCESS);
+  GrB_Matrix m = ring_matrix(16);
+  pgb_graph_handle_t h = -1;
+  ASSERT_EQ(pgb_graph_load(&h, m), GrB_SUCCESS);
+  pgb_query_id_t id = -1;
+  EXPECT_EQ(pgb_query_submit_ex(&id, h, PGB_QUERY_BFS, 0, 0, 3, 0, 0.0,
+                                nullptr),
+            GrB_SUCCESS);
+  EXPECT_EQ(pgb_query_submit_ex(&id, h, PGB_QUERY_BFS, 1, 0, 3, 0, 0.0,
+                                nullptr),
+            GrB_TENANT_THROTTLED);
+  EXPECT_EQ(pgb_query_submit_ex(&id, h, PGB_QUERY_BFS, 1, 0, 4, 0, 0.0,
+                                nullptr),
+            GrB_SUCCESS);
+  GrB_Matrix_free(&m);
+}
+
+TEST_F(CapiTest, ServiceBreakerTripsAndHealthReportsIt) {
+  // Depth-1 queue, breaker_k=1: one queue-full failure trips tenant 0's
+  // breaker; while open its submits are GrB_TENANT_THROTTLED and the
+  // health snapshot counts one open breaker.
+  ASSERT_EQ(pgb_service_open_ex(1, 4, 0.0, 8.0, 1, 1000.0), GrB_SUCCESS);
+  GrB_Matrix m = ring_matrix(16);
+  pgb_graph_handle_t h = -1;
+  ASSERT_EQ(pgb_graph_load(&h, m), GrB_SUCCESS);
+  pgb_query_id_t id = -1;
+  ASSERT_EQ(pgb_query_submit_ex(&id, h, PGB_QUERY_BFS, 0, 0, 0, 0, 0.0,
+                                nullptr),
+            GrB_SUCCESS);
+  EXPECT_EQ(pgb_query_submit_ex(&id, h, PGB_QUERY_BFS, 1, 0, 0, 0, 0.0,
+                                nullptr),
+            GrB_OUT_OF_RESOURCES);  // trips at K=1
+  EXPECT_EQ(pgb_query_submit_ex(&id, h, PGB_QUERY_BFS, 1, 0, 0, 0, 0.0,
+                                nullptr),
+            GrB_TENANT_THROTTLED);
+  int degraded = -1, open = -1;
+  EXPECT_EQ(pgb_service_health(&degraded, &open), GrB_SUCCESS);
+  EXPECT_EQ(degraded, 0);
+  EXPECT_EQ(open, 1);
+  EXPECT_EQ(pgb_service_health(nullptr, nullptr), GrB_SUCCESS);
+  GrB_Matrix_free(&m);
+}
+
+TEST_F(CapiTest, ServiceReleaseRetiresRecords) {
+  ASSERT_EQ(pgb_service_open(8, 4), GrB_SUCCESS);
+  GrB_Matrix m = ring_matrix(16);
+  pgb_graph_handle_t h = -1;
+  ASSERT_EQ(pgb_graph_load(&h, m), GrB_SUCCESS);
+  pgb_query_id_t id = -1;
+  ASSERT_EQ(pgb_query_submit(&id, h, PGB_QUERY_BFS, 0, 0, 0, 0),
+            GrB_SUCCESS);
+  // Still queued: release refuses.
+  EXPECT_EQ(pgb_query_release(id), GrB_INVALID_VALUE);
+  ASSERT_EQ(pgb_service_drain(), GrB_SUCCESS);
+  EXPECT_EQ(pgb_query_release(id), GrB_SUCCESS);
+  // Unknown ids refuse cleanly.
+  EXPECT_EQ(pgb_query_release(id + 100), GrB_INVALID_VALUE);
+  GrB_Matrix_free(&m);
+}
+
+TEST_F(CapiTest, ServiceOpenExValidatesRanges) {
+  EXPECT_EQ(pgb_service_open_ex(0, 4, 0.0, 8.0, 0, 0.05), GrB_INVALID_VALUE);
+  EXPECT_EQ(pgb_service_open_ex(8, 0, 0.0, 8.0, 0, 0.05), GrB_INVALID_VALUE);
+  EXPECT_EQ(pgb_service_open_ex(8, 4, -1.0, 8.0, 0, 0.05),
+            GrB_INVALID_VALUE);
+  EXPECT_EQ(pgb_service_open_ex(8, 4, 0.0, 0.5, 0, 0.05), GrB_INVALID_VALUE);
+  EXPECT_EQ(pgb_service_open_ex(8, 4, 0.0, 8.0, -1, 0.05),
+            GrB_INVALID_VALUE);
+  EXPECT_EQ(pgb_service_open_ex(8, 4, 0.0, 8.0, 0, 0.0), GrB_INVALID_VALUE);
+  EXPECT_EQ(pgb_service_open_ex(8, 4, 0.0, 8.0, 0, 0.05), GrB_SUCCESS);
+}
+
 }  // namespace

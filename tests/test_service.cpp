@@ -489,5 +489,414 @@ TEST(GraphServiceTest, PagerankSubgraphAndEgoNetServe) {
   EXPECT_NEAR(sum, 1.0, 1e-6);
 }
 
+// ---------------------------------------------------------------------
+// Resilience: deadlines, backpressure, quotas, breakers, compaction
+// ---------------------------------------------------------------------
+
+namespace {
+void advance_all(LocaleGrid& grid, double t) {
+  for (int l = 0; l < grid.num_locales(); ++l) grid.clock(l).advance_to(t);
+}
+}  // namespace
+
+TEST(ResilienceTest, DeadlineExpiresWhileQueuedNeverServes) {
+  auto grid = LocaleGrid::square(4, 2);
+  ServiceConfig cfg;
+  GraphService svc(grid, cfg);
+  const auto h = svc.store().load(make_graph(grid, 300, 4.0, 1));
+
+  QuerySpec spec;
+  spec.source = 2;
+  spec.tenant = 3;
+  spec.deadline_s = 0.01;
+  const auto s = svc.submit(h, spec, 0.0);
+  ASSERT_EQ(s.code, AdmitCode::kAdmitted);
+
+  // The deadline passes while the query sits queued: the next round
+  // evicts it (stage=queue) instead of serving late.
+  advance_all(grid, 0.02);
+  EXPECT_TRUE(svc.step());  // a round that only expires still returns true
+  const QueryRecord& rec = svc.record(s.id);
+  EXPECT_EQ(rec.state, QueryState::kDeadlineExpired);
+  EXPECT_FALSE(rec.done);
+  EXPECT_GE(rec.completion, 0.02);
+  EXPECT_EQ(grid.metrics()
+                .counter("service.expired",
+                         {{"tenant", "3"}, {"stage", "queue"}})
+                .value,
+            1);
+  EXPECT_FALSE(svc.step());  // queue drained, nothing left
+}
+
+TEST(ResilienceTest, AdmissionGateRefusesUnserviceableDeadline) {
+  auto grid = LocaleGrid::square(4, 2);
+  ServiceConfig cfg;
+  GraphService svc(grid, cfg);
+  const auto h = svc.store().load(make_graph(grid, 600, 6.0, 3));
+
+  // Calibrate the cost model with one real BFS batch.
+  QuerySpec warm;
+  warm.source = 0;
+  svc.submit(h, warm, 0.0);
+  svc.drain();
+  ASSERT_TRUE(svc.cost_model().calibrated(QueryKind::kBfs));
+  const double est = svc.cost_model().estimate(QueryKind::kBfs, 1);
+  ASSERT_GT(est, 0.0);
+
+  // A deadline at half the calibrated estimate cannot be met: the fuse
+  // gate refuses it at admission rather than serving it late. The
+  // deadline is still in the future, so queue eviction does NOT fire —
+  // this exercises the admission stage specifically.
+  const double now = grid.time();
+  QuerySpec tight;
+  tight.source = 5;
+  tight.tenant = 1;
+  tight.deadline_s = est * 0.5;
+  const auto s = svc.submit(h, tight, now);
+  ASSERT_EQ(s.code, AdmitCode::kAdmitted);
+  EXPECT_TRUE(svc.step());
+  const QueryRecord& rec = svc.record(s.id);
+  EXPECT_EQ(rec.state, QueryState::kDeadlineExpired);
+  EXPECT_EQ(grid.metrics()
+                .counter("service.expired",
+                         {{"tenant", "1"}, {"stage", "admission"}})
+                .value,
+            1);
+
+  // A generous deadline sails through the same gate.
+  QuerySpec loose;
+  loose.source = 5;
+  loose.tenant = 1;
+  loose.deadline_s = est * 100.0;
+  const auto ok = svc.submit(h, loose, grid.time());
+  svc.drain();
+  EXPECT_EQ(svc.record(ok.id).state, QueryState::kDone);
+}
+
+TEST(ResilienceTest, NoResultEverReturnedPastItsDeadline) {
+  auto grid = LocaleGrid::square(4, 2);
+  ServiceConfig cfg;
+  cfg.batch_max = 4;
+  GraphService svc(grid, cfg);
+  const auto h = svc.store().load(make_graph(grid, 500, 6.0, 7));
+
+  // A spread of deadlines from hopeless to generous, across tenants.
+  const double deadlines[] = {1e-9, 1e-6, 1e-4, 1e-2, 0.0, 1.0};
+  for (int i = 0; i < 30; ++i) {
+    QuerySpec spec;
+    spec.kind = i % 2 == 0 ? QueryKind::kBfs : QueryKind::kSssp;
+    spec.source = static_cast<Index>((i * 17) % 500);
+    spec.tenant = i % 3;
+    spec.deadline_s = deadlines[i % 6];
+    svc.submit(h, spec, grid.time());
+    if (i % 7 == 0) svc.step();
+  }
+  svc.drain();
+
+  // The contract: every record is terminal, and a kDone record finished
+  // inside its deadline. Late completions must read kDeadlineExpired.
+  for (const auto& rec : svc.records()) {
+    EXPECT_NE(rec.state, QueryState::kQueued) << "id " << rec.id;
+    if (rec.state == QueryState::kDone) {
+      EXPECT_LE(rec.completion, rec.deadline) << "id " << rec.id;
+    } else {
+      EXPECT_FALSE(rec.done) << "id " << rec.id;
+    }
+  }
+}
+
+TEST(ResilienceTest, QueueFullCarriesRetryAfterHint) {
+  auto grid = LocaleGrid::square(4, 2);
+  ServiceConfig cfg;
+  cfg.queue_depth = 2;
+  cfg.retry_floor_s = 2e-3;
+  GraphService svc(grid, cfg);
+  const auto h = svc.store().load(make_graph(grid, 300, 4.0, 1));
+
+  QuerySpec spec;
+  spec.tenant = 0;
+  ASSERT_EQ(svc.submit(h, spec, 0.0).code, AdmitCode::kAdmitted);
+  ASSERT_EQ(svc.submit(h, spec, 0.0).code, AdmitCode::kAdmitted);
+  // Uncalibrated service rate: the hint falls back to the floor.
+  const auto shed = svc.submit(h, spec, 0.0);
+  EXPECT_EQ(shed.code, AdmitCode::kQueueFull);
+  EXPECT_DOUBLE_EQ(shed.retry_after_s, 2e-3);
+  EXPECT_DOUBLE_EQ(grid.metrics().gauge("service.retry_after.s").value, 2e-3);
+
+  // Once calibrated, the hint prices draining the backlog at the
+  // observed rate: queued / rate, never below the floor.
+  svc.drain();
+  ASSERT_GT(svc.cost_model().service_rate(), 0.0);
+  const double now = grid.time();
+  ASSERT_EQ(svc.submit(h, spec, now).code, AdmitCode::kAdmitted);
+  ASSERT_EQ(svc.submit(h, spec, now).code, AdmitCode::kAdmitted);
+  const auto shed2 = svc.submit(h, spec, now);
+  EXPECT_EQ(shed2.code, AdmitCode::kQueueFull);
+  const double expect =
+      std::max(2e-3, 2.0 / svc.cost_model().service_rate());
+  EXPECT_DOUBLE_EQ(shed2.retry_after_s, expect);
+}
+
+TEST(ResilienceTest, TokenBucketQuotaThrottlesAndRefills) {
+  auto grid = LocaleGrid::square(4, 2);
+  ServiceConfig cfg;
+  cfg.tenant_quota_qps = 10.0;
+  cfg.tenant_quota_burst = 2.0;
+  GraphService svc(grid, cfg);
+  const auto h = svc.store().load(make_graph(grid, 300, 4.0, 1));
+
+  QuerySpec spec;
+  spec.tenant = 4;
+  // Burst of 2 admitted, the third is over quota.
+  EXPECT_EQ(svc.submit(h, spec, 0.0).code, AdmitCode::kAdmitted);
+  EXPECT_EQ(svc.submit(h, spec, 0.0).code, AdmitCode::kAdmitted);
+  EXPECT_EQ(svc.submit(h, spec, 0.0).code, AdmitCode::kTenantThrottled);
+  EXPECT_THROW(svc.submit_strict(h, spec, 0.0), TenantThrottled);
+  EXPECT_EQ(grid.metrics()
+                .counter("service.rejected",
+                         {{"tenant", "4"}, {"reason", "tenant_quota"}})
+                .value,
+            2);  // kTenantThrottled submit + the strict throw both count
+  // Another tenant is unaffected — quotas are per-lane.
+  QuerySpec other = spec;
+  other.tenant = 5;
+  EXPECT_EQ(svc.submit(h, other, 0.0).code, AdmitCode::kAdmitted);
+  // 0.1 simulated seconds refills one token at 10 qps.
+  EXPECT_EQ(svc.submit(h, spec, 0.1).code, AdmitCode::kAdmitted);
+  EXPECT_EQ(svc.submit(h, spec, 0.1).code, AdmitCode::kTenantThrottled);
+}
+
+TEST(ResilienceTest, BreakerTripsOpensThenHalfOpenProbeCloses) {
+  auto grid = LocaleGrid::square(4, 2);
+  ServiceConfig cfg;
+  cfg.queue_depth = 1;
+  cfg.breaker_k = 2;
+  cfg.breaker_cooldown_s = 0.05;
+  GraphService svc(grid, cfg);
+  const auto h = svc.store().load(make_graph(grid, 300, 4.0, 1));
+
+  // Park a tenant-0 query so the depth-1 queue stays full, then feed
+  // tenant 7 two consecutive queue-full failures: trip at K=2.
+  QuerySpec parked;
+  parked.tenant = 0;
+  ASSERT_EQ(svc.submit(h, parked, 0.0).code, AdmitCode::kAdmitted);
+  QuerySpec spec;
+  spec.tenant = 7;
+  EXPECT_EQ(svc.submit(h, spec, 0.0).code, AdmitCode::kQueueFull);
+  EXPECT_EQ(svc.governor().state(7, 0.0), BreakerState::kClosed);
+  EXPECT_EQ(svc.submit(h, spec, 0.0).code, AdmitCode::kQueueFull);
+  EXPECT_EQ(svc.governor().state(7, 0.0), BreakerState::kOpen);
+  EXPECT_EQ(svc.governor().trips(7), 1);
+  EXPECT_EQ(grid.metrics()
+                .counter("service.breaker.trips", {{"tenant", "7"}})
+                .value,
+            1);
+
+  // While open the tenant is shed cheaply — no queue interaction at all.
+  svc.drain();  // queue now has room; the breaker still answers first
+  EXPECT_EQ(svc.submit(h, spec, 0.01).code, AdmitCode::kTenantThrottled);
+  EXPECT_EQ(grid.metrics()
+                .counter("service.rejected",
+                         {{"tenant", "7"}, {"reason", "breaker_open"}})
+                .value,
+            1);
+
+  // After the cooldown the breaker half-opens; one successful probe
+  // closes it for good.
+  EXPECT_EQ(svc.governor().state(7, 0.06), BreakerState::kHalfOpen);
+  const auto probe = svc.submit(h, spec, 0.06);
+  ASSERT_EQ(probe.code, AdmitCode::kAdmitted);
+  svc.drain();
+  ASSERT_EQ(svc.record(probe.id).state, QueryState::kDone);
+  EXPECT_EQ(svc.governor().state(7, grid.time()), BreakerState::kClosed);
+  EXPECT_EQ(svc.submit(h, spec, grid.time()).code, AdmitCode::kAdmitted);
+}
+
+TEST(ResilienceTest, ExpiredOnlyLaneDoesNotStallFairDequeue) {
+  auto grid = LocaleGrid::square(4, 2);
+  AdmissionQueue q(8, &grid.metrics());
+
+  // Tenant 0's only query is already expired; tenants 1 and 2 are live.
+  PendingQuery dead = make_query(0);
+  dead.id = 10;
+  dead.deadline = 0.5;
+  ASSERT_EQ(q.offer(std::move(dead)), AdmitCode::kAdmitted);
+  PendingQuery live1 = make_query(1);
+  live1.id = 11;
+  ASSERT_EQ(q.offer(std::move(live1)), AdmitCode::kAdmitted);
+  PendingQuery live2 = make_query(2);
+  live2.id = 12;
+  ASSERT_EQ(q.offer(std::move(live2)), AdmitCode::kAdmitted);
+  EXPECT_DOUBLE_EQ(grid.metrics().gauge("service.queue.depth").value, 3.0);
+
+  // Eviction removes exactly the expired query, keeps FIFO order for
+  // the rest, and the depth gauge stays coherent through it.
+  std::vector<PendingQuery> evicted = q.take_expired(1.0);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].id, 10);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_DOUBLE_EQ(grid.metrics().gauge("service.queue.depth").value, 2.0);
+
+  // Round-robin must skip the emptied lane instead of stalling on it.
+  EXPECT_EQ(q.head(0), nullptr);
+  EXPECT_EQ(q.pop_fair().spec.tenant, 1);
+  EXPECT_EQ(q.pop_fair().spec.tenant, 2);
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(grid.metrics().gauge("service.queue.depth").value, 0.0);
+  EXPECT_TRUE(q.take_expired(2.0).empty());
+}
+
+TEST(ResilienceTest, RecordBookStaysMemorySteadyOver10kQueries) {
+  auto grid = LocaleGrid::square(4, 2);
+  ServiceConfig cfg;
+  cfg.queue_depth = 64;
+  cfg.compact_watermark = 128;
+  GraphService svc(grid, cfg);
+  const auto h = svc.store().load(make_graph(grid, 200, 3.0, 5));
+
+  // Sustained traffic: 10k queries across tenants, every terminal
+  // record released as its client would. A tight deadline expires most
+  // at the queue stage (cheap), a sprinkling runs for real — either way
+  // the released prefix compacts and the book never grows unbounded.
+  constexpr int kTotal = 10000;
+  constexpr int kRound = 50;
+  std::int64_t released = 0;
+  std::int64_t max_live = 0;
+  std::int64_t next = 0;
+  for (int round = 0; round < kTotal / kRound; ++round) {
+    const double now = grid.time();
+    for (int i = 0; i < kRound; ++i) {
+      QuerySpec spec;
+      spec.source = static_cast<Index>((round * kRound + i) % 200);
+      spec.tenant = i % 4;
+      spec.deadline_s = i == 0 ? 0.0 : 1e-7;  // lane 0 actually serves
+      const auto s = svc.submit(h, spec, now);
+      ASSERT_EQ(s.code, AdmitCode::kAdmitted);
+    }
+    advance_all(grid, now + 1e-6);
+    svc.drain();
+    // Release everything terminal that we have not released yet.
+    const std::int64_t upto = svc.records_retired() + svc.records_live();
+    for (; next < upto; ++next) {
+      svc.release(next);
+      ++released;
+    }
+    max_live = std::max(max_live, svc.records_live());
+  }
+  EXPECT_EQ(released, kTotal);
+  EXPECT_EQ(svc.records_retired() + svc.records_live(), kTotal);
+  // Memory-steady: the live window is bounded by watermark + one round,
+  // nowhere near the 10k offered.
+  EXPECT_LE(max_live, cfg.compact_watermark + kRound);
+  EXPECT_LE(svc.records_live(), cfg.compact_watermark);
+  EXPECT_GE(svc.records_retired(), kTotal - cfg.compact_watermark);
+  EXPECT_DOUBLE_EQ(grid.metrics().gauge("service.records.live").value,
+                   static_cast<double>(svc.records_live()));
+  EXPECT_EQ(grid.metrics().counter("service.records.retired").value,
+            svc.records_retired());
+  // Retired ids are gone for good; live ids still resolve.
+  EXPECT_THROW(svc.record(0), Error);
+}
+
+TEST(ResilienceTest, ReleaseOfQueuedQueryIsRejected) {
+  auto grid = LocaleGrid::square(4, 2);
+  GraphService svc(grid, ServiceConfig{});
+  const auto h = svc.store().load(make_graph(grid, 200, 3.0, 5));
+  QuerySpec spec;
+  const auto s = svc.submit(h, spec, 0.0);
+  EXPECT_THROW(svc.release(s.id), Error);
+  svc.drain();
+  svc.release(s.id);  // terminal now: fine
+}
+
+TEST(ResilienceTest, HealthReportsDegradedServingAfterMidTrafficKill) {
+  const std::vector<Index> sources = {0, 99, 500};
+  SpmspvOptions opt;
+  opt.comm = CommMode::kAggregated;
+
+  // Fault-free reference for the bit-identical check + kill timing.
+  auto refgrid = LocaleGrid::square(4, 2);
+  auto refg = erdos_renyi_dist<double>(refgrid, 800, 8.0, 11);
+  refgrid.reset();
+  const std::vector<BfsResult> base = bfs_batch(refg, sources, opt);
+  const double total = refgrid.time();
+
+  auto serve_once = [&](std::vector<double>* completions, double* tend,
+                        std::string* mode) {
+    auto grid = LocaleGrid::square(4, 2);
+    FaultPlan plan(
+        FaultSpec::parse("kill:locale=1,at=" + std::to_string(total * 0.4)),
+        21);
+    grid.set_fault_plan(&plan);
+    RecoveryReport report;
+    ServiceConfig cfg;
+    cfg.batch_max = 4;
+    cfg.spmspv = opt;
+    cfg.plan = &plan;
+    cfg.rebuild.keep_membership = true;
+    cfg.report = &report;
+    GraphService svc(grid, cfg);
+    const auto h = svc.store().load(make_graph(grid, 800, 8.0, 11));
+    std::vector<std::int64_t> ids;
+    for (const Index s : sources) {
+      QuerySpec spec;
+      spec.source = s;
+      ids.push_back(svc.submit(h, spec, 0.0).id);
+    }
+    svc.drain();
+    EXPECT_GE(report.rebuilds, 1);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const QueryRecord& rec = svc.record(ids[i]);
+      ASSERT_EQ(rec.state, QueryState::kDone);
+      EXPECT_EQ(rec.result.bfs.parent, base[i].parent) << "lane " << i;
+      completions->push_back(rec.completion);
+    }
+    // A follow-up query after the kill serves on the surviving hosts
+    // (keep_membership holds the remap between driver calls).
+    QuerySpec after;
+    after.source = 7;
+    const auto a = svc.submit(h, after, grid.time());
+    svc.drain();
+    EXPECT_EQ(svc.record(a.id).state, QueryState::kDone);
+    const ServiceHealth hh = svc.health();
+    *mode = hh.mode;
+    EXPECT_EQ(hh.degraded_locales, 1);
+    EXPECT_EQ(hh.active_hosts, grid.num_locales() - 1);
+    EXPECT_EQ(hh.open_breakers(), 0);
+    EXPECT_DOUBLE_EQ(
+        grid.metrics().gauge("service.health.mode_degraded").value, 1.0);
+    EXPECT_DOUBLE_EQ(
+        grid.metrics().gauge("service.health.degraded_locales").value, 1.0);
+    *tend = grid.time();
+  };
+
+  std::vector<double> c1, c2;
+  double t1 = 0.0, t2 = 0.0;
+  std::string m1, m2;
+  serve_once(&c1, &t1, &m1);
+  serve_once(&c2, &t2, &m2);
+  EXPECT_EQ(m1, "degraded");
+  // Chaos serving is bit-deterministic: same seed, same kill, same trace.
+  EXPECT_EQ(m1, m2);
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(t1, t2);
+}
+
+TEST(ResilienceTest, HealthSummaryFormatsBreakersAndMode) {
+  auto grid = LocaleGrid::square(4, 2);
+  ServiceConfig cfg;
+  GraphService svc(grid, cfg);
+  const auto h = svc.store().load(make_graph(grid, 200, 3.0, 5));
+  QuerySpec spec;
+  spec.tenant = 2;
+  svc.submit(h, spec, 0.0);
+  svc.drain();
+  const ServiceHealth hh = svc.health();
+  const std::string s = hh.summary();
+  EXPECT_NE(s.find("mode=normal"), std::string::npos) << s;
+  EXPECT_NE(s.find("breakers{2:closed}"), std::string::npos) << s;
+  EXPECT_NE(s.find("live_records="), std::string::npos) << s;
+}
+
 }  // namespace
 }  // namespace pgb

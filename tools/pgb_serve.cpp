@@ -5,24 +5,45 @@
 // handle, then replays a deterministic open-loop arrival process:
 // `--queries` queries drawn from `--mix` across `--tenants` tenants,
 // with exponential inter-arrivals of mean `--arrival-ms` simulated
-// milliseconds. Arrivals that find the bounded admission queue full are
-// shed with a typed rejection; admitted same-kind single-source queries
-// are coalesced into fused multi-source waves (up to `--batch-max`
-// wide) so one comm schedule is paid per level instead of one per user.
+// milliseconds. Admitted same-kind single-source queries are coalesced
+// into fused multi-source waves (up to `--batch-max` wide) so one comm
+// schedule is paid per level instead of one per user.
+//
+// Resilience surface (all simulated time):
+//   --deadline-ms        per-query latency budget; a query that cannot
+//                        meet it ends deadline_expired, never late
+//   queue-full           rejections carry a retry-after hint; the client
+//                        here honors it with seeded exponential backoff
+//                        + jitter (own RNG stream — the base arrival
+//                        trace is untouched), up to --retry-max times
+//   --quota/--breaker-k  per-tenant token-bucket quotas and circuit
+//                        breakers (kTenantThrottled rejections)
+//   --faults             chaos serving: the pgb fault grammar, including
+//                        kill:locale=L,at=T mid-traffic; BFS/SSSP
+//                        batches recover through the localized-rebuild
+//                        path and keep serving on the surviving hosts
+//                        (use a bfs/sssp-only --mix with kill faults)
+//   --watermark          record-book compaction: terminal records are
+//                        harvested and released as the run goes, so
+//                        memory stays steady under sustained traffic
 //
 // Everything is simulated time on the modeled machine, so two runs with
 // the same --seed print byte-identical summaries and metrics — the
-// service-smoke CI job diffs exactly that.
+// service-smoke and overload-smoke CI jobs diff exactly that.
 //
 // Examples:
 //   pgb_serve --nodes=64 --tenants=3 --queries=48 --batch-max=16
-//   pgb_serve --gen=rmat --rmat-scale=14 --mix=bfs:4,sssp:2,pr:1,ego:1
+//   pgb_serve --deadline-ms=5 --quota=200 --breaker-k=4 --retry-max=3
+//   pgb_serve --mix=bfs:4,sssp:2 --faults=kill:locale=3,at=0.002 \
+//             --recovery=degraded --replica=buddy
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <optional>
+#include <queue>
 #include <string>
 #include <vector>
 
@@ -106,9 +127,20 @@ QueryKind draw_kind(const MixWeights& w, Rng& rng) {
   return QueryKind::kEgoNet;
 }
 
-struct Arrival {
+/// One client-side submission event: the original arrival or a backoff
+/// resubmission after a queue-full rejection. The heap orders by
+/// (at, seq) — seq breaks simulated-time ties deterministically.
+struct Event {
   double at = 0.0;
+  std::uint64_t seq = 0;
+  int attempts = 0;  ///< queue-full retries already spent
   QuerySpec spec;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+  }
 };
 
 }  // namespace
@@ -143,6 +175,46 @@ int run(int argc, char** argv) {
   const std::string comm_flag =
       cli.get("comm", "auto", "communication schedule: fine | bulk | agg | "
                               "auto (inspector-chosen per site)");
+  const double deadline_ms = cli.get_double(
+      "deadline-ms", 0.0,
+      "per-query latency budget, simulated ms (0 = no deadline)");
+  const double quota = cli.get_double(
+      "quota", 0.0,
+      "per-tenant sustained admission rate, queries per simulated second "
+      "(0 = no quota)");
+  const double quota_burst = cli.get_double(
+      "quota-burst", 8.0, "per-tenant token-bucket burst capacity");
+  const int breaker_k = static_cast<int>(cli.get_int(
+      "breaker-k", 0,
+      "consecutive failures that trip a tenant's circuit breaker (0 = off)"));
+  const double breaker_cooldown_ms = cli.get_double(
+      "breaker-cooldown-ms", 50.0,
+      "open-breaker hold before a half-open probe, simulated ms");
+  const int retry_max = static_cast<int>(cli.get_int(
+      "retry-max", 3,
+      "client resubmits after a queue-full rejection (0 = shed at once)"));
+  const double retry_floor_ms = cli.get_double(
+      "retry-floor-ms", 1.0,
+      "floor of the server's suggested retry-after, simulated ms");
+  const int watermark = static_cast<int>(cli.get_int(
+      "watermark", 256,
+      "record-book compaction watermark (released records kept before the "
+      "prefix drops)"));
+  const std::string faults = cli.get(
+      "faults", "",
+      "fault spec (pgb grammar), e.g. drop:p=0.01;kill:locale=3,at=0.002 — "
+      "kill faults need a bfs/sssp-only --mix");
+  const std::uint64_t fault_seed = static_cast<std::uint64_t>(
+      cli.get_int("fault-seed", 42, "fault plan RNG seed"));
+  const std::string recovery_flag =
+      cli.get("recovery", "degraded",
+              "recovery driver under --faults: rebuild | degraded");
+  const std::string replica_flag = cli.get(
+      "replica", "buddy", "replication scheme under --faults: buddy | parity");
+  const int parity_group = static_cast<int>(cli.get_int(
+      "parity-group", 4, "locales per parity group (--replica=parity)"));
+  const std::int64_t replica_chunk = cli.get_int(
+      "replica-chunk", 4096, "replica dirty-diff chunk size in bytes");
   const std::uint64_t seed = static_cast<std::uint64_t>(
       cli.get_int("seed", 1, "graph + workload seed"));
   const std::string metrics_file =
@@ -166,7 +238,38 @@ int run(int argc, char** argv) {
   PGB_REQUIRE(queries >= 1, "--queries must be >= 1");
   PGB_REQUIRE(arrival_ms > 0.0, "--arrival-ms must be > 0");
   PGB_REQUIRE(depth >= 1, "--depth must be >= 1");
+  PGB_REQUIRE(deadline_ms >= 0.0, "--deadline-ms must be >= 0");
+  PGB_REQUIRE(quota >= 0.0, "--quota must be >= 0");
+  PGB_REQUIRE(quota_burst >= 1.0 && quota_burst <= 1e6,
+              "--quota-burst must be in [1, 1e6]");
+  PGB_REQUIRE(breaker_k >= 0 && breaker_k <= 1000,
+              "--breaker-k must be an integer in [0, 1000]");
+  PGB_REQUIRE(breaker_cooldown_ms > 0.0, "--breaker-cooldown-ms must be > 0");
+  PGB_REQUIRE(retry_max >= 0 && retry_max <= 16,
+              "--retry-max must be an integer in [0, 16]");
+  PGB_REQUIRE(retry_floor_ms > 0.0, "--retry-floor-ms must be > 0");
+  PGB_REQUIRE(watermark >= 1 && watermark <= 1048576,
+              "--watermark must be an integer in [1, 1048576]");
+  PGB_REQUIRE(recovery_flag == "rebuild" || recovery_flag == "degraded",
+              "--recovery must be rebuild or degraded");
+  PGB_REQUIRE(replica_flag == "buddy" || replica_flag == "parity",
+              "--replica must be buddy or parity");
+  PGB_REQUIRE(parity_group >= 2 && parity_group <= 64,
+              "--parity-group must be an integer in [2, 64]");
+  PGB_REQUIRE(replica_chunk >= 1, "--replica-chunk must be >= 1");
   const MixWeights mix = parse_mix(mix_flag);
+
+  std::optional<FaultPlan> plan;
+  if (!faults.empty()) {
+    FaultSpec spec = FaultSpec::parse(faults);
+    bool kills = false;
+    for (const auto& r : spec.rules) kills |= r.kind == FaultKind::kLocaleFail;
+    // Only the frontier kinds run under the rebuild driver; a kill would
+    // strand an in-flight subgraph query.
+    PGB_REQUIRE(!kills || (mix.pr == 0 && mix.ego == 0),
+                "--faults with kill needs a bfs/sssp-only --mix");
+    plan.emplace(std::move(spec), fault_seed);
+  }
 
   const MachineModel model =
       machine == "edison" ? MachineModel::edison() : MachineModel::modern();
@@ -194,76 +297,188 @@ int run(int argc, char** argv) {
   }
   std::printf("grid: %dx%d locales, %d threads, machine=%s\n", grid.rows(),
               grid.cols(), threads, machine.c_str());
-  std::printf("service: queue-depth=%d batch-max=%d tenants=%d comm=%s\n\n",
+  std::printf("service: queue-depth=%d batch-max=%d tenants=%d comm=%s\n",
               queue_depth, batch_max, tenants, comm_flag.c_str());
+  std::printf("resilience: deadline=%gms quota=%gq/s burst=%g breaker-k=%d "
+              "retry-max=%d watermark=%d\n",
+              deadline_ms, quota, quota_burst, breaker_k, retry_max, watermark);
+  if (plan.has_value()) {
+    std::printf("faults: %s (seed %llu, recovery=%s, replica=%s)\n",
+                plan->spec().to_string().c_str(),
+                static_cast<unsigned long long>(fault_seed),
+                recovery_flag.c_str(), replica_flag.c_str());
+  }
+  std::printf("\n");
 
-  // --- seeded workload: the arrival trace is a pure function of --seed ---
+  // --- seeded workload: the arrival trace is a pure function of --seed,
+  // and the retry stream is separate so backoff never perturbs it ---
   Rng rng{seed * 0x9e3779b97f4a7c15ull + 0x5851f42d4c957f2dull};
-  std::vector<Arrival> work;
-  work.reserve(static_cast<std::size_t>(queries));
+  Rng retry_rng{seed * 0xd1342543de82ef95ull + 0x2545f4914f6cdd1dull};
+  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+  std::uint64_t seq = 0;
   double t = 0.0;
   for (int i = 0; i < queries; ++i) {
     t += -(arrival_ms * 1e-3) * std::log(rng.unit());
-    Arrival w;
+    Event w;
     w.at = t;
+    w.seq = seq++;
     w.spec.kind = draw_kind(mix, rng);
     w.spec.source = static_cast<Index>(rng.next() %
                                        static_cast<std::uint64_t>(a.nrows()));
     w.spec.depth = depth;
     w.spec.tenant = static_cast<int>(rng.next() %
                                      static_cast<std::uint64_t>(tenants));
-    work.push_back(w);
+    w.spec.deadline_s = deadline_ms * 1e-3;
+    events.push(w);
   }
 
+  RecoveryReport report;
   ServiceConfig cfg;
   cfg.queue_depth = queue_depth;
   cfg.batch_max = batch_max;
   cfg.spmspv.comm = parse_comm_mode(comm_flag);
+  cfg.tenant_quota_qps = quota;
+  cfg.tenant_quota_burst = quota_burst;
+  cfg.breaker_k = breaker_k;
+  cfg.breaker_cooldown_s = breaker_cooldown_ms * 1e-3;
+  cfg.retry_floor_s = retry_floor_ms * 1e-3;
+  cfg.compact_watermark = watermark;
+  if (plan.has_value()) {
+    cfg.plan = &*plan;
+    cfg.rebuild.mode = recovery_flag == "rebuild" ? RebuildMode::kSpare
+                                                  : RebuildMode::kDegraded;
+    cfg.rebuild.replica.scheme = replica_flag == "parity"
+                                     ? ReplicaScheme::kParity
+                                     : ReplicaScheme::kBuddy;
+    cfg.rebuild.replica.parity_group = parity_group;
+    cfg.rebuild.replica.chunk_bytes = replica_chunk;
+    // Serving owns the grid for its whole lifetime: after a kill, keep
+    // the degraded remap installed between batches so every later batch
+    // starts on the surviving hosts instead of re-failing into a
+    // per-batch rebuild.
+    cfg.rebuild.keep_membership = true;
+    cfg.report = &report;
+  }
   grid.reset();
+  if (plan.has_value()) grid.set_fault_plan(&*plan);
   GraphService svc(grid, cfg);
   const GraphStore::HandleId h = svc.store().load(
       std::make_shared<DistCsr<double>>(a));
 
-  // --- serve: admit everything that has arrived, then run one batch;
-  // when idle, admit the next future arrival (step() fast-forwards the
-  // clocks to it). Arrivals that find the queue full are shed. ---
-  std::size_t next = 0;
-  while (next < work.size() || svc.queue_size() > 0) {
+  // --- serve loop: admit every due event, run one scheduling round,
+  // harvest + release finished records (memory-steady). A queue-full
+  // rejection is resubmitted at now + retry_after * 2^attempt * jitter;
+  // a throttled or out-of-retries query is shed. ---
+  std::int64_t served = 0, expired = 0, late = 0;
+  std::int64_t shed_full = 0, shed_throttled = 0, requeued = 0;
+  std::vector<std::int64_t> served_t(static_cast<std::size_t>(tenants), 0);
+  std::vector<std::int64_t> expired_t(static_cast<std::size_t>(tenants), 0);
+  std::int64_t next_harvest = 0;
+  const auto harvest = [&] {
+    while (next_harvest < svc.records_retired() + svc.records_live()) {
+      const QueryRecord& rec = svc.record(next_harvest);
+      if (rec.state == QueryState::kQueued) break;
+      if (rec.state == QueryState::kDone) {
+        ++served;
+        ++served_t[static_cast<std::size_t>(rec.tenant)];
+        late += rec.completion > rec.deadline ? 1 : 0;
+      } else {
+        ++expired;
+        ++expired_t[static_cast<std::size_t>(rec.tenant)];
+      }
+      svc.release(next_harvest);
+      ++next_harvest;
+    }
+  };
+  while (!events.empty() || svc.queue_size() > 0) {
     const double now = grid.time();
-    while (next < work.size() &&
-           (work[next].at <= now || svc.queue_size() == 0)) {
-      svc.submit(h, work[next].spec, work[next].at);
-      ++next;
+    while (!events.empty() &&
+           (events.top().at <= now || svc.queue_size() == 0)) {
+      Event ev = events.top();
+      events.pop();
+      const auto s = svc.submit(h, ev.spec, ev.at);
+      if (s.code == AdmitCode::kQueueFull) {
+        if (ev.attempts < retry_max) {
+          // Exponential backoff on the server's hint, jittered from the
+          // dedicated retry stream: factor in (0.75, 1.25].
+          const double backoff = s.retry_after_s *
+                                 std::pow(2.0, ev.attempts) *
+                                 (0.75 + 0.5 * retry_rng.unit());
+          ev.at = std::max(ev.at, now) + backoff;
+          ev.seq = seq++;
+          ++ev.attempts;
+          ++requeued;
+          events.push(ev);
+        } else {
+          ++shed_full;
+        }
+      } else if (s.code == AdmitCode::kTenantThrottled) {
+        ++shed_throttled;
+      }
     }
     svc.step();
+    harvest();
   }
+  harvest();
 
   // --- deterministic summary ---
   auto& mx = grid.metrics();
-  std::int64_t admitted = 0;
-  for (const auto& rec : svc.records()) admitted += rec.done ? 1 : 0;
   const std::int64_t batches = mx.counter("service.batches").value;
   const auto& width = mx.histogram("service.batch.width");
   std::printf("served %lld of %d queries in %lld batches (mean width %.2f, "
               "%lld shed)\n",
-              static_cast<long long>(admitted), queries,
+              static_cast<long long>(served), queries,
               static_cast<long long>(batches), width.mean(),
-              static_cast<long long>(queries - admitted));
+              static_cast<long long>(shed_full + shed_throttled));
+  std::int64_t exp_queue = 0, exp_admission = 0, exp_post = 0, trips = 0;
+  for (int tn = 0; tn < tenants; ++tn) {
+    const std::string ts = std::to_string(tn);
+    exp_queue +=
+        mx.counter("service.expired", {{"tenant", ts}, {"stage", "queue"}})
+            .value;
+    exp_admission +=
+        mx.counter("service.expired", {{"tenant", ts}, {"stage", "admission"}})
+            .value;
+    exp_post +=
+        mx.counter("service.expired", {{"tenant", ts}, {"stage", "post"}})
+            .value;
+    trips += mx.counter("service.breaker.trips", {{"tenant", ts}}).value;
+  }
+  std::printf("resilience: expired=%lld (queue=%lld admission=%lld "
+              "post=%lld) late=%lld retries=%lld shed_full=%lld "
+              "throttled=%lld breaker_trips=%lld\n",
+              static_cast<long long>(expired),
+              static_cast<long long>(exp_queue),
+              static_cast<long long>(exp_admission),
+              static_cast<long long>(exp_post), static_cast<long long>(late),
+              static_cast<long long>(requeued),
+              static_cast<long long>(shed_full),
+              static_cast<long long>(shed_throttled),
+              static_cast<long long>(trips));
+  std::printf("records: live=%lld retired=%lld (watermark %d)\n",
+              static_cast<long long>(svc.records_live()),
+              static_cast<long long>(svc.records_retired()), watermark);
   for (int tn = 0; tn < tenants; ++tn) {
     const obs::Labels labels = {{"tenant", std::to_string(tn)}};
     const std::int64_t offered = mx.counter("service.submitted", labels).value;
-    std::int64_t served = 0;
-    for (const auto& rec : svc.records()) {
-      served += (rec.tenant == tn && rec.done) ? 1 : 0;
-    }
     const auto& lat = mx.histogram("service.latency.us", labels);
-    std::printf("  tenant %d: offered=%lld served=%lld rejected=%lld "
+    std::printf("  tenant %d: offered=%lld served=%lld expired=%lld "
                 "latency p50<=%lldus p95<=%lldus\n",
                 tn, static_cast<long long>(offered),
-                static_cast<long long>(served),
-                static_cast<long long>(offered - served),
+                static_cast<long long>(
+                    served_t[static_cast<std::size_t>(tn)]),
+                static_cast<long long>(
+                    expired_t[static_cast<std::size_t>(tn)]),
                 static_cast<long long>(lat.quantile_bound(0.5)),
                 static_cast<long long>(lat.quantile_bound(0.95)));
+  }
+  const ServiceHealth health = svc.health();
+  std::printf("health: %s\n", health.summary().c_str());
+  if (plan.has_value()) {
+    const auto kills =
+        mx.counter("fault.injected", {{"kind", "kill"}}).value;
+    std::printf("faults: injected kill=%lld; recovery: %s\n",
+                static_cast<long long>(kills), report.summary().c_str());
   }
   std::printf("\nmodeled time: %s\n", Table::time(grid.time()).c_str());
   const auto& cs = grid.comm_stats();
@@ -282,12 +497,12 @@ int run(int argc, char** argv) {
   }
   if (!profile_file.empty()) {
     obs::Profile prof = obs::build_profile(session, mx.snapshot());
-    char wl[160];
+    char wl[200];
     std::snprintf(wl, sizeof wl,
                   "serve %s tenants=%d queries=%d batch-max=%d "
-                  "queue-depth=%d arrival-ms=%g mix=%s",
+                  "queue-depth=%d arrival-ms=%g mix=%s deadline-ms=%g",
                   gen == "er" ? "er" : "rmat", tenants, queries, batch_max,
-                  queue_depth, arrival_ms, mix_flag.c_str());
+                  queue_depth, arrival_ms, mix_flag.c_str(), deadline_ms);
     prof.workload = wl;
     prof.comm = comm_flag;
     prof.seed = seed;
