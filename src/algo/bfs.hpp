@@ -192,6 +192,25 @@ void bfs_batch_step(const DistCsr<T>& a, BfsBatchState<T>& st,
   PGB_TRACE_SPAN(grid, "bfs.batch.level",
                  {{"width", std::to_string(act.size())}});
   grid.metrics().counter("algo.iterations", {{"algo", "bfs.batch"}}).inc();
+  // Per-query level spans: when the service executor bound the batch
+  // lanes to query trace tracks, each active lane gets one "query.level"
+  // span covering this fused wave, tagged with the lane's own frontier
+  // and the wave's comm delta.
+  obs::TraceSession* qtrace = grid.trace_session();
+  const bool lane_trace = qtrace != nullptr && qtrace->has_lane_tracks();
+  double q_t0 = 0.0;
+  std::int64_t q_m0 = 0, q_b0 = 0;
+  std::vector<Index> q_frontier;
+  if (lane_trace) {
+    q_t0 = grid.time();
+    const CommStats cs = grid.comm_stats();
+    q_m0 = cs.messages;
+    q_b0 = cs.bytes;
+    for (int q : act) {
+      q_frontier.push_back(
+          st.lanes[static_cast<std::size_t>(q)].frontier.nnz());
+    }
+  }
   // Per lane: the solo value-write pass (frontier values carry the
   // discovering vertex), charged per lane inside one locale loop.
   grid.coforall_locales([&](LocaleCtx& ctx) {
@@ -232,29 +251,49 @@ void bfs_batch_step(const DistCsr<T>& a, BfsBatchState<T>& st,
       live.push_back(i);
     }
   }
-  if (live.empty()) return;
-  grid.coforall_locales([&](LocaleCtx& ctx) {
-    for (int i : live) {
-      auto& ln = st.lanes[static_cast<std::size_t>(
-          act[static_cast<std::size_t>(i)])];
-      const auto& lf = fresh[static_cast<std::size_t>(i)].local(ctx.locale());
-      for (Index p = 0; p < lf.nnz(); ++p) {
-        ln.res.parent[static_cast<std::size_t>(lf.index_at(p))] =
-            static_cast<Index>(lf.value_at(p));
+  if (!live.empty()) {
+    grid.coforall_locales([&](LocaleCtx& ctx) {
+      for (int i : live) {
+        auto& ln = st.lanes[static_cast<std::size_t>(
+            act[static_cast<std::size_t>(i)])];
+        const auto& lf =
+            fresh[static_cast<std::size_t>(i)].local(ctx.locale());
+        for (Index p = 0; p < lf.nnz(); ++p) {
+          ln.res.parent[static_cast<std::size_t>(lf.index_at(p))] =
+              static_cast<Index>(lf.value_at(p));
+        }
+        CostVector c;
+        c.add(CostKind::kRandAccess, static_cast<double>(lf.nnz()));
+        c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(lf.nnz()));
+        ctx.parallel_region(c);
       }
-      CostVector c;
-      c.add(CostKind::kRandAccess, static_cast<double>(lf.nnz()));
-      c.add(CostKind::kCpuOps, 20.0 * static_cast<double>(lf.nnz()));
-      ctx.parallel_region(c);
+    });
+    for (int i : live) {
+      auto& ln =
+          st.lanes[static_cast<std::size_t>(act[static_cast<std::size_t>(i)])];
+      auto& fr = fresh[static_cast<std::size_t>(i)];
+      mask_union(ln.visited, fr);
+      ln.res.level_sizes.push_back(fr.nnz());
+      ln.frontier = std::move(fr);
     }
-  });
-  for (int i : live) {
-    auto& ln =
-        st.lanes[static_cast<std::size_t>(act[static_cast<std::size_t>(i)])];
-    auto& fr = fresh[static_cast<std::size_t>(i)];
-    mask_union(ln.visited, fr);
-    ln.res.level_sizes.push_back(fr.nnz());
-    ln.frontier = std::move(fr);
+  }
+  if (lane_trace) {
+    const double q_t1 = grid.time();
+    const CommStats cs = grid.comm_stats();
+    const std::string d_msgs = std::to_string(cs.messages - q_m0);
+    const std::string d_bytes = std::to_string(cs.bytes - q_b0);
+    const std::string width = std::to_string(act.size());
+    for (std::size_t i = 0; i < act.size(); ++i) {
+      const int tr = qtrace->lane_track(act[i]);
+      if (tr < 0) continue;
+      const auto& ln = st.lanes[static_cast<std::size_t>(act[i])];
+      qtrace->begin_span(tr, "query.level", q_t0,
+                         {{"level", std::to_string(ln.level)},
+                          {"frontier", std::to_string(q_frontier[i])},
+                          {"width", width}});
+      qtrace->end_span(tr, q_t1,
+                       {{"d_messages", d_msgs}, {"d_bytes", d_bytes}});
+    }
   }
 }
 

@@ -188,6 +188,24 @@ void sssp_batch_step(const DistCsr<T>& a, SsspBatchState& st,
                  {{"width", std::to_string(act.size())}});
   grid.metrics().counter("algo.iterations", {{"algo", "sssp.batch"}}).inc();
 
+  // Per-query trace capture: when the executor bound lane tracks on the
+  // session, every active lane gets a query.level span for this round,
+  // tagged with the lane's own frontier size and the wave's comm delta.
+  obs::TraceSession* qtrace = grid.trace_session();
+  const bool lane_trace = qtrace != nullptr && qtrace->has_lane_tracks();
+  double q_t0 = 0.0;
+  std::int64_t q_m0 = 0, q_b0 = 0;
+  std::vector<Index> q_frontier;
+  if (lane_trace) {
+    q_t0 = grid.time();
+    const CommStats cs = grid.comm_stats();
+    q_m0 = cs.messages;
+    q_b0 = cs.bytes;
+    for (int q : act) {
+      q_frontier.push_back(st.lanes[static_cast<std::size_t>(q)].frontier.nnz());
+    }
+  }
+
   const auto sr = min_plus_semiring<double>();
   std::vector<const DistSparseVec<double>*> xs;
   xs.reserve(act.size());
@@ -236,6 +254,24 @@ void sssp_batch_step(const DistCsr<T>& a, SsspBatchState& st,
           std::move(imp_val[static_cast<std::size_t>(l)]));
     }
     ln.frontier = std::move(next);
+  }
+  if (lane_trace) {
+    const double q_t1 = grid.time();
+    const CommStats cs = grid.comm_stats();
+    const std::string d_msgs = std::to_string(cs.messages - q_m0);
+    const std::string d_bytes = std::to_string(cs.bytes - q_b0);
+    const std::string width = std::to_string(act.size());
+    for (std::size_t i = 0; i < act.size(); ++i) {
+      const int tr = qtrace->lane_track(act[i]);
+      if (tr < 0) continue;
+      const auto& ln = st.lanes[static_cast<std::size_t>(act[i])];
+      qtrace->begin_span(tr, "query.level", q_t0,
+                         {{"level", std::to_string(ln.res.rounds)},
+                          {"frontier", std::to_string(q_frontier[i])},
+                          {"width", width}});
+      qtrace->end_span(tr, q_t1,
+                       {{"d_messages", d_msgs}, {"d_bytes", d_bytes}});
+    }
   }
 }
 

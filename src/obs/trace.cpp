@@ -59,6 +59,27 @@ void TraceSession::clear() {
   spans_.clear();
   instants_.clear();
   counters_.clear();
+  track_names_.clear();
+  lane_tracks_.clear();
+  num_tracks_ = std::max(num_tracks_, reserved_tracks_);
+}
+
+void TraceSession::reserve_tracks(int n) {
+  PGB_REQUIRE(n >= 0, "trace: negative track reservation");
+  reserved_tracks_ = std::max(reserved_tracks_, n);
+  if (n > 0) ensure_track(n - 1);
+}
+
+int TraceSession::alloc_named_track(std::string name) {
+  const int track = std::max(num_tracks_, reserved_tracks_);
+  ensure_track(track);
+  track_names_[track] = std::move(name);
+  return track;
+}
+
+const std::string* TraceSession::track_name(int track) const {
+  auto it = track_names_.find(track);
+  return it == track_names_.end() ? nullptr : &it->second;
 }
 
 int TraceSession::open_depth(int track) const {
@@ -112,9 +133,12 @@ std::string TraceSession::chrome_trace_json() const {
       "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,\"tid\":0,"
       "\"args\":{\"name\":\"pgas-graphblas (simulated time)\"}}";
   for (int t = 0; t < num_tracks_; ++t) {
+    const std::string* named = track_name(t);
     out += ",\n{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":" +
-           std::to_string(t) + ",\"args\":{\"name\":\"locale " +
-           std::to_string(t) + "\"}}";
+           std::to_string(t) + ",\"args\":{\"name\":\"" +
+           (named != nullptr ? json_escape(*named)
+                             : "locale " + std::to_string(t)) +
+           "\"}}";
     out +=
         ",\n{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":0,\"tid\":" +
         std::to_string(t) + ",\"args\":{\"sort_index\":" + std::to_string(t) +

@@ -26,6 +26,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -98,8 +99,43 @@ class TraceSession {
   void counter(std::string name, double sim_now, double value);
 
   /// Drops every recorded event and every open span. Called by
-  /// LocaleGrid::reset() so a trace covers exactly one epoch.
+  /// LocaleGrid::reset() so a trace covers exactly one epoch. Custom
+  /// track names and lane bindings minted in the old epoch are dropped
+  /// too; the reserved locale-track floor (reserve_tracks) survives.
   void clear();
+
+  // -- named tracks (per-query tracks above the locale tracks) ----------
+
+  /// Guarantees the first `n` track ids stay reserved for the locale
+  /// tracks: alloc_named_track() hands out ids at or above `n`.
+  /// LocaleGrid::set_trace_session calls this with num_locales().
+  void reserve_tracks(int n);
+
+  /// Allocates a fresh track above every track seen so far and names it;
+  /// the exporter labels it `name` instead of "locale N".
+  int alloc_named_track(std::string name);
+
+  /// Custom name for `track` (nullptr when none was set).
+  const std::string* track_name(int track) const;
+
+  // -- lane bindings (batched state machines -> per-query tracks) -------
+  //
+  // The service executor binds each batch lane to its query's track
+  // before running a fused batch; the batched BFS/SSSP steps consult the
+  // binding to emit per-level "query.level" spans on the right track
+  // without the algo layer knowing about queries.
+
+  void set_lane_tracks(std::vector<int> tracks) {
+    lane_tracks_ = std::move(tracks);
+  }
+  void clear_lane_tracks() { lane_tracks_.clear(); }
+  bool has_lane_tracks() const { return !lane_tracks_.empty(); }
+
+  /// Track bound to batch lane `lane` (-1 when unbound).
+  int lane_track(int lane) const {
+    if (lane < 0 || lane >= static_cast<int>(lane_tracks_.size())) return -1;
+    return lane_tracks_[static_cast<std::size_t>(lane)];
+  }
 
   const std::vector<SpanEvent>& spans() const { return spans_; }
   const std::vector<InstantEvent>& instants() const { return instants_; }
@@ -141,10 +177,13 @@ class TraceSession {
   bool detail_;
   std::chrono::steady_clock::time_point t0_;
   int num_tracks_ = 0;
+  int reserved_tracks_ = 0;  ///< locale-track floor for alloc_named_track
   std::vector<std::vector<OpenSpan>> open_;  ///< per-track stacks
   std::vector<SpanEvent> spans_;
   std::vector<InstantEvent> instants_;
   std::vector<CounterSample> counters_;
+  std::map<int, std::string> track_names_;
+  std::vector<int> lane_tracks_;
 };
 
 }  // namespace pgb::obs

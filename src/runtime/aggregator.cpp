@@ -82,6 +82,11 @@ void AggChannel::issue(int peer, double cost, std::int64_t msgs,
   hot.agg_flushes->inc();
   hot.messages->inc(msgs * wire);
   hot.bytes->inc(bytes * wire);
+  // Comm-matrix attribution mirrors the two hot counters above exactly
+  // (wire multiplicity included) on physical hosts, preserving the
+  // matrix-totals == comm.messages/comm.bytes conservation invariant.
+  grid.comm_matrix_add("agg", ctx_.host(), grid.host_of(peer), msgs * wire,
+                       bytes * wire);
   m_messages_->inc(msgs * wire);
   m_bytes_->inc(bytes * wire);
   m_path_messages_->inc(msgs * wire);

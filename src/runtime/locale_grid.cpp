@@ -42,6 +42,10 @@ void LocaleCtx::comm_event(const char* path, int peer, std::int64_t msgs,
   hot.messages->inc(msgs);
   hot.bytes->inc(bytes);
   hot.bulks->inc(bulks);
+  // Matrix attribution mirrors the counters above exactly (same msgs and
+  // bytes, once per wire attempt) and keys on *physical* hosts, so the
+  // matrix totals stay conserved against comm.messages/comm.bytes.
+  grid_.comm_matrix_add(path, host(), grid_.host_of(peer), msgs, bytes);
   grid_.metrics().counter("comm.messages", {{"path", path}}).inc(msgs);
   auto* session = grid_.trace_session();
   if (session != nullptr && session->detail()) {
@@ -234,6 +238,207 @@ double LocaleGrid::time() const {
   double t = 0.0;
   for (const auto& c : clocks_) t = std::max(t, c.now());
   return t;
+}
+
+// -- comm matrix ----------------------------------------------------------
+
+namespace {
+
+/// Path name -> index in comm_path_name order. First characters are
+/// unique across the funnel's path literals, so the hot-path dispatch is
+/// one character compare.
+int comm_path_index(const char* path) {
+  switch (path[0]) {
+    case 'a':
+      return 0;  // agg
+    case 'b':
+      return 1;  // bulk
+    case 'c':
+      return 2;  // chain
+    case 'm':
+      return 3;  // msgs
+    case 'r':
+      return 4;  // rt
+    default:
+      return -1;
+  }
+}
+
+void append_matrix_rows(std::string& out, const std::vector<std::int64_t>& m,
+                        int n, int path, int npaths, bool sum_paths) {
+  out += "[";
+  for (int s = 0; s < n; ++s) {
+    out += s == 0 ? "[" : ",[";
+    for (int d = 0; d < n; ++d) {
+      std::int64_t v = 0;
+      const std::size_t cell =
+          static_cast<std::size_t>(s) * static_cast<std::size_t>(n) +
+          static_cast<std::size_t>(d);
+      if (sum_paths) {
+        for (int p = 0; p < npaths; ++p) {
+          v += m[static_cast<std::size_t>(p) * static_cast<std::size_t>(n) *
+                     static_cast<std::size_t>(n) +
+                 cell];
+        }
+      } else {
+        v = m[static_cast<std::size_t>(path) * static_cast<std::size_t>(n) *
+                  static_cast<std::size_t>(n) +
+              cell];
+      }
+      if (d > 0) out += ",";
+      out += std::to_string(v);
+    }
+    out += "]";
+  }
+  out += "]";
+}
+
+}  // namespace
+
+void LocaleGrid::enable_comm_matrix() {
+  if (comm_matrix_on_) return;
+  const std::size_t cells = static_cast<std::size_t>(kCommPaths) *
+                            static_cast<std::size_t>(num_locales()) *
+                            static_cast<std::size_t>(num_locales());
+  cm_msgs_.assign(cells, 0);
+  cm_bytes_.assign(cells, 0);
+  comm_matrix_on_ = true;
+}
+
+void LocaleGrid::comm_matrix_add_slow(const char* path, int src, int dst,
+                                      std::int64_t msgs, std::int64_t bytes) {
+  const int p = comm_path_index(path);
+  PGB_ASSERT(p >= 0, "comm matrix: unknown comm path");
+  PGB_ASSERT(src >= 0 && src < num_locales() && dst >= 0 &&
+                 dst < num_locales(),
+             "comm matrix: host out of range");
+  const std::size_t cell =
+      (static_cast<std::size_t>(p) * static_cast<std::size_t>(num_locales()) +
+       static_cast<std::size_t>(src)) *
+          static_cast<std::size_t>(num_locales()) +
+      static_cast<std::size_t>(dst);
+  cm_msgs_[cell] += msgs;
+  cm_bytes_[cell] += bytes;
+}
+
+std::int64_t LocaleGrid::comm_matrix_messages(int src, int dst) const {
+  if (!comm_matrix_on_) return 0;
+  const int n = num_locales();
+  std::int64_t v = 0;
+  for (int p = 0; p < kCommPaths; ++p) {
+    v += cm_msgs_[(static_cast<std::size_t>(p) * static_cast<std::size_t>(n) +
+                   static_cast<std::size_t>(src)) *
+                      static_cast<std::size_t>(n) +
+                  static_cast<std::size_t>(dst)];
+  }
+  return v;
+}
+
+std::int64_t LocaleGrid::comm_matrix_bytes(int src, int dst) const {
+  if (!comm_matrix_on_) return 0;
+  const int n = num_locales();
+  std::int64_t v = 0;
+  for (int p = 0; p < kCommPaths; ++p) {
+    v += cm_bytes_[(static_cast<std::size_t>(p) * static_cast<std::size_t>(n) +
+                    static_cast<std::size_t>(src)) *
+                       static_cast<std::size_t>(n) +
+                   static_cast<std::size_t>(dst)];
+  }
+  return v;
+}
+
+std::int64_t LocaleGrid::comm_matrix_total_messages() const {
+  std::int64_t v = 0;
+  for (std::int64_t c : cm_msgs_) v += c;
+  return v;
+}
+
+std::int64_t LocaleGrid::comm_matrix_total_bytes() const {
+  std::int64_t v = 0;
+  for (std::int64_t c : cm_bytes_) v += c;
+  return v;
+}
+
+std::string LocaleGrid::comm_matrix_json() const {
+  PGB_REQUIRE(comm_matrix_on_, "comm matrix: not enabled");
+  const int n = num_locales();
+  std::string out = "{\"schema\":\"pgb.comm_matrix.v1\",\"locales\":";
+  out += std::to_string(n);
+  out += ",\"total_messages\":" + std::to_string(comm_matrix_total_messages());
+  out += ",\"total_bytes\":" + std::to_string(comm_matrix_total_bytes());
+  out += ",\"messages\":";
+  append_matrix_rows(out, cm_msgs_, n, 0, kCommPaths, /*sum_paths=*/true);
+  out += ",\"bytes\":";
+  append_matrix_rows(out, cm_bytes_, n, 0, kCommPaths, /*sum_paths=*/true);
+  out += ",\"by_path\":{";
+  bool first = true;
+  for (int p = 0; p < kCommPaths; ++p) {
+    std::int64_t activity = 0;
+    const std::size_t base = static_cast<std::size_t>(p) *
+                             static_cast<std::size_t>(n) *
+                             static_cast<std::size_t>(n);
+    for (std::size_t c = 0; c < static_cast<std::size_t>(n) *
+                                    static_cast<std::size_t>(n);
+         ++c) {
+      activity += cm_msgs_[base + c] + cm_bytes_[base + c];
+    }
+    if (activity == 0) continue;  // quiet paths stay out of the export
+    if (!first) out += ",";
+    first = false;
+    out += std::string("\"") + comm_path_name(p) + "\":{\"messages\":";
+    append_matrix_rows(out, cm_msgs_, n, p, kCommPaths, /*sum_paths=*/false);
+    out += ",\"bytes\":";
+    append_matrix_rows(out, cm_bytes_, n, p, kCommPaths, /*sum_paths=*/false);
+    out += "}";
+  }
+  out += "}}\n";
+  return out;
+}
+
+std::string LocaleGrid::comm_matrix_csv() const {
+  PGB_REQUIRE(comm_matrix_on_, "comm matrix: not enabled");
+  const int n = num_locales();
+  std::string out = "src,dst,messages,bytes\n";
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      const std::int64_t m = comm_matrix_messages(s, d);
+      const std::int64_t b = comm_matrix_bytes(s, d);
+      if (m == 0 && b == 0) continue;
+      out += std::to_string(s) + "," + std::to_string(d) + "," +
+             std::to_string(m) + "," + std::to_string(b) + "\n";
+    }
+  }
+  return out;
+}
+
+void LocaleGrid::publish_comm_matrix() {
+  if (!comm_matrix_on_) return;
+  const int n = num_locales();
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      const std::int64_t m = comm_matrix_messages(s, d);
+      const std::int64_t b = comm_matrix_bytes(s, d);
+      if (m == 0 && b == 0) continue;
+      const obs::Labels labels = {{"dst", std::to_string(d)},
+                                  {"src", std::to_string(s)}};
+      auto& cm = metrics_.counter("comm.matrix.messages", labels);
+      cm.inc(m - cm.value);
+      auto& cb = metrics_.counter("comm.matrix.bytes", labels);
+      cb.inc(b - cb.value);
+    }
+  }
+}
+
+void LocaleGrid::write_comm_matrix(const std::string& path) {
+  PGB_REQUIRE(comm_matrix_on_, "comm matrix: not enabled");
+  publish_comm_matrix();
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  const std::string text = csv ? comm_matrix_csv() : comm_matrix_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PGB_REQUIRE(f != nullptr, "comm matrix: cannot open output file: " + path);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
 }
 
 void LocaleGrid::sample_counter_tracks() {

@@ -273,9 +273,12 @@ class LocaleGrid {
 
   /// Attach (or detach, with nullptr) a trace session; not owned. While
   /// attached, runtime constructs and instrumented kernels record spans
-  /// and instants stamped with the locale clocks.
+  /// and instants stamped with the locale clocks. The first
+  /// num_locales() track ids are reserved for the locale tracks;
+  /// named tracks (per-query tracks) allocate above them.
   void set_trace_session(obs::TraceSession* session) {
     trace_session_ = session;
+    if (session != nullptr) session->reserve_tracks(num_locales());
   }
   obs::TraceSession* trace_session() { return trace_session_; }
 
@@ -302,6 +305,67 @@ class LocaleGrid {
   }
   const RetryPolicy& retry_policy() const { return retry_; }
 
+  // -- comm matrix: per src->dst physical-host traffic -------------------
+  //
+  // When enabled, every wire message the comm funnel counts into
+  // `comm.messages`/`comm.bytes` (LocaleCtx::comm_event per attempt, and
+  // AggChannel::issue per wire copy) is also attributed to one
+  // (src, dst) cell, keyed by *physical* hosts: the sender charges
+  // through LocaleCtx::host() and the receiver through host_of(peer), so
+  // after a degraded-mode remap the adopted logical locale's traffic
+  // lands on its buddy host's row/column, never on the dead host's.
+  // Co-hosted transfers never reach the funnel (they are free), so the
+  // diagonal is structurally zero and the matrix totals equal the
+  // registry's comm.messages/comm.bytes counters exactly — the
+  // conservation invariant the tests and CI enforce. Attribution is also
+  // kept per comm path (chain/msgs/bulk/rt/agg), the per-site dimension
+  // the exporter emits under "by_path".
+
+  /// Comm paths the matrix attributes separately (index order is the
+  /// export order).
+  static constexpr int kCommPaths = 5;
+  static const char* comm_path_name(int p) {
+    static const char* kNames[kCommPaths] = {"agg", "bulk", "chain", "msgs",
+                                             "rt"};
+    return kNames[p];
+  }
+
+  /// Switches matrix accumulation on (lazily allocates the dense
+  /// per-path matrices). Off by default so fault-free runs pay nothing.
+  void enable_comm_matrix();
+  bool comm_matrix_enabled() const { return comm_matrix_on_; }
+
+  /// Adds one funnel event to cell (src, dst) of `path`'s matrix; no-op
+  /// while disabled. src/dst are physical hosts.
+  void comm_matrix_add(const char* path, int src, int dst, std::int64_t msgs,
+                       std::int64_t bytes) {
+    if (!comm_matrix_on_) return;
+    comm_matrix_add_slow(path, src, dst, msgs, bytes);
+  }
+
+  /// Cell accessors, summed over paths.
+  std::int64_t comm_matrix_messages(int src, int dst) const;
+  std::int64_t comm_matrix_bytes(int src, int dst) const;
+  std::int64_t comm_matrix_total_messages() const;
+  std::int64_t comm_matrix_total_bytes() const;
+
+  /// Stable-format exports (see docs/ARCHITECTURE.md for the schema).
+  std::string comm_matrix_json() const;
+  std::string comm_matrix_csv() const;
+
+  /// Writes the matrix to `path` (CSV when the name ends in ".csv", JSON
+  /// otherwise) and publishes the registry counter family
+  /// `comm.matrix.messages{dst=,src=}` / `comm.matrix.bytes{dst=,src=}`
+  /// for the nonzero cells. Throws (exit 2 in the tools) on an
+  /// unwritable path.
+  void write_comm_matrix(const std::string& path);
+
+  /// Publishes the nonzero cells into the metrics registry (idempotent:
+  /// counters are raised to the current cell values). Lazy — only runs
+  /// with the matrix enabled — so fault-free metric key sets and the
+  /// committed profile baselines are unchanged.
+  void publish_comm_matrix();
+
   /// Bumped by reset(). Charging objects that can outlive a reset (the
   /// aggregation channels) capture the epoch at construction and go
   /// quiet when it no longer matches, so late destructor flushes cannot
@@ -319,6 +383,8 @@ class LocaleGrid {
     membership_.reset();
     inspector_.reset();
     std::fill(straggler_hits_.begin(), straggler_hits_.end(), 0);
+    std::fill(cm_msgs_.begin(), cm_msgs_.end(), 0);
+    std::fill(cm_bytes_.begin(), cm_bytes_.end(), 0);
     ++epoch_;
   }
 
@@ -364,6 +430,9 @@ class LocaleGrid {
   LocaleGrid& operator=(LocaleGrid&&) = default;
 
  private:
+  void comm_matrix_add_slow(const char* path, int src, int dst,
+                            std::int64_t msgs, std::int64_t bytes);
+
   GridConfig cfg_;
   std::vector<Locale> locales_;
   std::vector<SimClock> clocks_;
@@ -377,6 +446,10 @@ class LocaleGrid {
   Membership membership_;
   Inspector inspector_;
   std::vector<std::int64_t> straggler_hits_;
+  /// Comm matrix storage: [path][src][dst] dense, allocated on enable.
+  bool comm_matrix_on_ = false;
+  std::vector<std::int64_t> cm_msgs_;
+  std::vector<std::int64_t> cm_bytes_;
   double straggler_threshold_ = 0.0;
   bool warned_thread_clamp_ = false;
   std::uint64_t epoch_ = 0;

@@ -104,6 +104,25 @@ inline std::vector<QueryResult> execute_batch(
   const DistCsr<double>& g = *batch.front().snap.graph;
   std::vector<QueryResult> out(batch.size());
   const QueryKind kind = batch.front().spec.kind;
+
+  // Bind each lane's per-query trace track on the session so the batched
+  // state machines (which know lanes, not queries) can stamp per-level
+  // spans on the right track. Contexts minted before a grid.reset() are
+  // left unbound — their tracks died with the cleared session.
+  obs::TraceSession* qtrace = g.grid().trace_session();
+  bool bound = false;
+  if (qtrace != nullptr) {
+    std::vector<int> tracks(batch.size(), -1);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const QueryTraceContext& tc = batch[i].trace;
+      if (tc.traced() && tc.grid_epoch == g.grid().epoch()) {
+        tracks[i] = tc.track;
+        bound = true;
+      }
+    }
+    if (bound) qtrace->set_lane_tracks(std::move(tracks));
+  }
+
   switch (kind) {
     case QueryKind::kBfs: {
       std::vector<Index> sources;
@@ -157,6 +176,7 @@ inline std::vector<QueryResult> execute_batch(
       break;
     }
   }
+  if (bound) qtrace->clear_lane_tracks();
   return out;
 }
 

@@ -17,8 +17,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "service/query.hpp"
@@ -36,12 +38,22 @@ class GraphStore {
  public:
   using HandleId = std::int64_t;
 
+  /// Resident-state change observer: called after every load / publish /
+  /// close with the handle and its (post-bump) epoch. GraphService
+  /// installs one that appends "publish"-family events to the service
+  /// event log, stamped in simulated time.
+  using ChangeHook = std::function<void(const char* op, HandleId h,
+                                        std::uint64_t epoch)>;
+  void set_change_hook(ChangeHook hook) { on_change_ = std::move(hook); }
+
   /// Registers a graph as resident state; the returned handle starts at
   /// epoch 1.
   HandleId load(std::shared_ptr<const DistCsr<double>> g) {
     PGB_REQUIRE(g != nullptr, "graph handle: load of null graph");
     entries_.push_back(Entry{std::move(g), 1, true});
-    return static_cast<HandleId>(entries_.size() - 1);
+    const HandleId h = static_cast<HandleId>(entries_.size() - 1);
+    if (on_change_) on_change_("load", h, 1);
+    return h;
   }
 
   /// Installs a new version under an open handle and returns the bumped
@@ -50,7 +62,9 @@ class GraphStore {
     Entry& e = open_entry(h, "publish");
     PGB_REQUIRE(g != nullptr, "graph handle: publish of null graph");
     e.graph = std::move(g);
-    return ++e.epoch;
+    const std::uint64_t epoch = ++e.epoch;
+    if (on_change_) on_change_("publish", h, epoch);
+    return epoch;
   }
 
   /// Retires the handle; the graph stays alive while snapshots hold it.
@@ -58,6 +72,7 @@ class GraphStore {
     Entry& e = open_entry(h, "close");
     e.open = false;
     e.graph.reset();
+    if (on_change_) on_change_("close", h, e.epoch);
   }
 
   /// Pins the handle's current version for one query.
@@ -103,6 +118,7 @@ class GraphStore {
   }
 
   std::vector<Entry> entries_;
+  ChangeHook on_change_;
 };
 
 }  // namespace pgb

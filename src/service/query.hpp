@@ -56,6 +56,26 @@ struct QuerySpec {
   double deadline_s = 0.0;
 };
 
+/// Per-query trace context, minted at submit when a trace session is
+/// attached to the grid and propagated with the query through the
+/// admission queue, the batcher, and the executor into the batched
+/// state machines. `track` is the query's dedicated trace track
+/// (allocated above the per-locale tracks); its lifecycle spans
+/// (query.queued / query.admitted / query.fused / per-level query.level
+/// / terminal instants) all land there, tagged with the query id,
+/// tenant, and pinned graph epoch. `grid_epoch` guards against a
+/// grid.reset() mid-flight: a context minted in an earlier epoch goes
+/// silent instead of writing into the cleared session.
+struct QueryTraceContext {
+  std::int64_t id = -1;
+  int tenant = 0;
+  std::uint64_t epoch = 0;       ///< graph epoch pinned at admission
+  int track = -1;                ///< per-query trace track (-1 = untraced)
+  std::uint64_t grid_epoch = 0;  ///< grid epoch at mint (reset guard)
+
+  bool traced() const { return track >= 0; }
+};
+
 /// Typed admission verdict.
 enum class AdmitCode {
   kAdmitted,

@@ -35,6 +35,9 @@ struct PendingQuery {
   GraphSnapshot snap;
   double arrival = 0.0;
   double deadline = std::numeric_limits<double>::infinity();
+  /// Rides with the query from submit through batching into execution,
+  /// so every layer stamps spans on the query's own trace track.
+  QueryTraceContext trace;
 };
 
 class AdmissionQueue {

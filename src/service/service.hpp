@@ -47,12 +47,14 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "runtime/locale_grid.hpp"
 #include "service/batcher.hpp"
+#include "service/event_log.hpp"
 #include "service/executor.hpp"
 #include "service/handle.hpp"
 #include "service/query.hpp"
@@ -86,6 +88,10 @@ struct ServiceConfig {
   /// prefix is dropped once it reaches this length, keeping the record
   /// book memory-steady under sustained traffic.
   int compact_watermark = 256;
+  /// Periodic health snapshots into the service event log: every N calls
+  /// to step() (0 = off). Only meaningful once set_event_log() attached
+  /// a sink.
+  int health_log_every = 0;
 };
 
 /// Lifecycle record of one submitted query.
@@ -125,9 +131,32 @@ class GraphService {
                 "service: retry_floor_s must be > 0");
     PGB_REQUIRE(cfg.compact_watermark >= 1,
                 "service: compact_watermark must be >= 1");
+    PGB_REQUIRE(cfg.health_log_every >= 0,
+                "service: health_log_every must be >= 0");
+    last_membership_epoch_ = grid.membership_epoch();
   }
 
   GraphStore& store() { return store_; }
+
+  /// Attaches the structured event-log sink. Every lifecycle decision
+  /// from here on — admits, typed rejections, expiries by stage, breaker
+  /// transitions, store publishes, degrade/rebuild, periodic health —
+  /// appends one simulated-time-stamped JSONL line (event_log.hpp).
+  void set_event_log(ServiceEventLog* log) {
+    elog_ = log;
+    if (log != nullptr) {
+      store_.set_change_hook([this](const char* op, GraphStore::HandleId h,
+                                    std::uint64_t epoch) {
+        if (elog_ == nullptr) return;
+        elog_->emit(grid_.time(), op,
+                    {{"handle", ev_int(h)},
+                     {"epoch", ev_int(static_cast<std::int64_t>(epoch))}});
+      });
+    } else {
+      store_.set_change_hook(nullptr);
+    }
+  }
+  ServiceEventLog* event_log() { return elog_; }
 
   struct Submitted {
     AdmitCode code = AdmitCode::kAdmitted;
@@ -148,15 +177,31 @@ class GraphService {
     mx.counter("service.submitted", tenant_labels(spec.tenant)).inc();
     GraphSnapshot snap = store_.snapshot(h);
     if (expected_epoch != 0 && expected_epoch != snap.epoch) {
-      return reject(spec, AdmitCode::kStaleHandle);
+      return reject(spec, AdmitCode::kStaleHandle, arrival);
     }
     if (spec.source < 0 || spec.source >= snap.graph->nrows() ||
         spec.depth < 0 || spec.deadline_s < 0.0) {
-      return reject(spec, AdmitCode::kBadQuery);
+      return reject(spec, AdmitCode::kBadQuery, arrival);
     }
     const TenantGovernor::Verdict v = governor_.admit(spec.tenant, arrival);
     if (v.code != AdmitCode::kAdmitted) {
-      return reject(spec, v.code, v.why);
+      Submitted s = reject(spec, v.code, arrival, v.why);
+      sync_breakers(arrival);
+      return s;
+    }
+    if (queue_.size() >= queue_.capacity()) {
+      // Queue full: the rejection carries a retry-after hint, and counts
+      // as a service failure toward the tenant's breaker (the service,
+      // not the tenant's request, was at fault — but K in a row means
+      // this tenant's traffic cannot be served and should back off hard).
+      // Checked *before* minting a trace context so rejected queries
+      // never allocate a per-query track (span count == admitted).
+      Submitted s = reject(spec, AdmitCode::kQueueFull, arrival);
+      s.retry_after_s = cost_.retry_after(queue_.size(), cfg_.retry_floor_s);
+      mx.gauge("service.retry_after.s").set(s.retry_after_s);
+      note_failure(spec.tenant, arrival);
+      sync_breakers(arrival);
+      return s;
     }
     PendingQuery q;
     q.id = base_ + static_cast<std::int64_t>(records_.size());
@@ -165,18 +210,36 @@ class GraphService {
     q.arrival = arrival;
     if (spec.deadline_s > 0.0) q.deadline = arrival + spec.deadline_s;
     const double deadline = q.deadline;
-    const AdmitCode code = queue_.offer(std::move(q));
-    if (code != AdmitCode::kAdmitted) {
-      // Queue full: the rejection carries a retry-after hint, and counts
-      // as a service failure toward the tenant's breaker (the service,
-      // not the tenant's request, was at fault — but K in a row means
-      // this tenant's traffic cannot be served and should back off hard).
-      Submitted s = reject(spec, code);
-      s.retry_after_s = cost_.retry_after(queue_.size(), cfg_.retry_floor_s);
-      mx.gauge("service.retry_after.s").set(s.retry_after_s);
-      note_failure(spec.tenant, arrival);
-      return s;
+    obs::TraceSession* ts = grid_.trace_session();
+    if (ts != nullptr) {
+      // Mint the query's trace context: a dedicated named track above the
+      // locale tracks, with the queued span opened at arrival. The span
+      // chain queued -> admitted -> fused shares boundary timestamps, so
+      // the track's depth-0 spans cover arrival -> terminal gaplessly.
+      q.trace.id = q.id;
+      q.trace.tenant = spec.tenant;
+      q.trace.epoch = q.snap.epoch;
+      q.trace.grid_epoch = grid_.epoch();
+      q.trace.track = ts->alloc_named_track(
+          "query " + std::to_string(q.id) + " (tenant " +
+          std::to_string(spec.tenant) + ")");
+      ts->begin_span(q.trace.track, "query.queued", arrival,
+                     {{"id", std::to_string(q.id)},
+                      {"tenant", std::to_string(spec.tenant)},
+                      {"kind", to_string(spec.kind)},
+                      {"epoch", std::to_string(q.trace.epoch)}});
     }
+    if (elog_ != nullptr) {
+      elog_->emit(arrival, "admit",
+                  {{"id", ev_int(q.id)},
+                   {"tenant", ev_int(spec.tenant)},
+                   {"kind", ev_str(to_string(spec.kind))},
+                   {"epoch", ev_int(static_cast<std::int64_t>(q.snap.epoch))},
+                   {"deadline_s", ev_num(spec.deadline_s)}});
+    }
+    const AdmitCode code = queue_.offer(std::move(q));
+    PGB_ASSERT(code == AdmitCode::kAdmitted,
+               "service: offer failed after capacity pre-check");
     QueryRecord rec;
     rec.id = base_ + static_cast<std::int64_t>(records_.size());
     rec.tenant = spec.tenant;
@@ -214,8 +277,13 @@ class GraphService {
   /// a round that only expired queries still returns true.
   bool step() {
     const double now = grid_.time();
+    ++steps_;
+    maybe_log_health(now);
     const bool evicted = finalize_expired(queue_.take_expired(now), "queue");
-    if (queue_.empty()) return evicted;
+    if (queue_.empty()) {
+      sync_breakers(now);
+      return evicted;
+    }
     // The fuse gate prices the candidate batch with the closed-loop cost
     // model: refuse to fuse a query whose deadline the estimate already
     // blows (waiting can only make it later). Uncalibrated kinds price
@@ -229,11 +297,33 @@ class GraphService {
     std::vector<PendingQuery> batch =
         form_batch(queue_, cfg_.batch_max, gate, &refused);
     finalize_expired(refused, "admission");
-    if (batch.empty()) return true;  // the gate refused every seed
+    if (batch.empty()) {
+      sync_breakers(now);
+      return true;  // the gate refused every seed
+    }
     double start = now;
     for (const auto& q : batch) start = std::max(start, q.arrival);
     for (int l = 0; l < grid_.num_locales(); ++l) {
       grid_.clock(l).advance_to(start);
+    }
+    // Per-query spans: close queued at max(now, arrival), bridge with an
+    // admitted span to the batch start, then open the fused span the
+    // execution's per-level spans nest inside. Shared boundary times keep
+    // each track's depth-0 coverage gapless from arrival to terminal.
+    ++batch_seq_;
+    {
+      obs::TraceSession* ts = grid_.trace_session();
+      const std::string b = std::to_string(batch_seq_);
+      const std::string w = std::to_string(batch.size());
+      for (const auto& q : batch) {
+        if (ts == nullptr || !trace_live(q.trace)) continue;
+        const double qend = std::max(now, q.arrival);
+        ts->end_span(q.trace.track, qend);
+        ts->begin_span(q.trace.track, "query.admitted", qend);
+        ts->end_span(q.trace.track, start);
+        ts->begin_span(q.trace.track, "query.fused", start,
+                       {{"batch", b}, {"width", w}});
+      }
     }
     ExecOptions eopt;
     eopt.spmspv = cfg_.spmspv;
@@ -242,6 +332,12 @@ class GraphService {
     eopt.report = cfg_.report;
     std::vector<QueryResult> results = execute_batch(batch, eopt);
     const double end = grid_.time();
+    for (const auto& q : batch) {
+      obs::TraceSession* ts = grid_.trace_session();
+      if (ts != nullptr && trace_live(q.trace)) {
+        ts->end_span(q.trace.track, end);  // close query.fused
+      }
+    }
     cost_.observe_batch(batch.front().spec.kind,
                         static_cast<int>(batch.size()), end - start);
     auto& mx = grid_.metrics();
@@ -252,10 +348,12 @@ class GraphService {
     }
     mx.histogram("service.batch.width")
         .observe(static_cast<std::int64_t>(batch.size()));
+    obs::TraceSession* ts = grid_.trace_session();
     for (std::size_t i = 0; i < batch.size(); ++i) {
       QueryRecord& rec = record_mut(batch[i].id);
       rec.completion = end;
       rec.batch_width = static_cast<int>(batch.size());
+      const bool traced = ts != nullptr && trace_live(batch[i].trace);
       if (end > batch[i].deadline) {
         // Late result: the estimate undershot. Discard — the deadline
         // contract ("never a silent late result") outranks the work done.
@@ -263,6 +361,16 @@ class GraphService {
         mx.counter("service.expired", expired_labels(rec.tenant, "post"))
             .inc();
         note_failure(rec.tenant, end);
+        if (traced) {
+          ts->instant(batch[i].trace.track, "query.expired", end,
+                      {{"stage", "post"}});
+        }
+        if (elog_ != nullptr) {
+          elog_->emit(end, "expire",
+                      {{"id", ev_int(rec.id)},
+                       {"tenant", ev_int(rec.tenant)},
+                       {"stage", ev_str("post")}});
+        }
         continue;
       }
       rec.state = QueryState::kDone;
@@ -272,7 +380,20 @@ class GraphService {
       const double lat_us = (end - rec.arrival) * 1e6;
       mx.histogram("service.latency.us", tenant_labels(rec.tenant))
           .observe(static_cast<std::int64_t>(std::llround(lat_us)));
+      if (traced) {
+        ts->instant(batch[i].trace.track, "query.done", end,
+                    {{"latency_us", ev_num(lat_us)}});
+      }
+      if (elog_ != nullptr) {
+        elog_->emit(end, "done",
+                    {{"id", ev_int(rec.id)},
+                     {"tenant", ev_int(rec.tenant)},
+                     {"width", ev_int(rec.batch_width)},
+                     {"latency_us", ev_num(lat_us)}});
+      }
     }
+    note_grid_events(end);
+    sync_breakers(end);
     return true;
   }
 
@@ -363,14 +484,102 @@ class GraphService {
     return records_[static_cast<std::size_t>(id - base_)];
   }
 
-  Submitted reject(const QuerySpec& spec, AdmitCode code,
+  Submitted reject(const QuerySpec& spec, AdmitCode code, double t,
                    const char* why = nullptr) {
+    const char* reason = why != nullptr ? why : to_string(code);
     grid_.metrics()
-        .counter("service.rejected",
-                 {{"tenant", std::to_string(spec.tenant)},
-                  {"reason", why != nullptr ? why : to_string(code)}})
+        .counter("service.rejected", {{"tenant", std::to_string(spec.tenant)},
+                                      {"reason", reason}})
         .inc();
+    // Rejected queries never mint a per-query track: the rejection is an
+    // instant on locale track 0, so per-query track count == admitted.
+    obs::TraceSession* ts = grid_.trace_session();
+    if (ts != nullptr) {
+      ts->instant(0, "query.rejected", t,
+                  {{"tenant", std::to_string(spec.tenant)},
+                   {"kind", to_string(spec.kind)},
+                   {"reason", reason}});
+    }
+    if (elog_ != nullptr) {
+      elog_->emit(t, "reject",
+                  {{"tenant", ev_int(spec.tenant)},
+                   {"kind", ev_str(to_string(spec.kind))},
+                   {"reason", ev_str(reason)}});
+    }
     return Submitted{code, -1, 0.0};
+  }
+
+  /// True when this query's spans may be stamped: a context was minted
+  /// and the grid has not been reset since (a reset clears the session,
+  /// so an old context's track id points into a dead trace).
+  bool trace_live(const QueryTraceContext& tc) const {
+    return tc.traced() && tc.grid_epoch == grid_.epoch();
+  }
+
+  /// Diffs every tenant's breaker state against the last observation and
+  /// logs one "breaker" event per transition (including the time-driven
+  /// open -> half_open cooldown edge, stamped when the service sees it).
+  void sync_breakers(double now) {
+    for (int t : governor_.tenants()) {
+      const BreakerState s = governor_.state(t, now);
+      auto it = breaker_seen_.find(t);
+      const BreakerState prev =
+          it == breaker_seen_.end() ? BreakerState::kClosed : it->second;
+      if (s != prev && elog_ != nullptr) {
+        elog_->emit(now, "breaker",
+                    {{"tenant", ev_int(t)},
+                     {"from", ev_str(to_string(prev))},
+                     {"to", ev_str(to_string(s))}});
+      }
+      breaker_seen_[t] = s;
+    }
+  }
+
+  /// Logs membership remaps (degrade/recover) and localized rebuilds by
+  /// diffing the grid's membership epoch and the recovery report against
+  /// the last step's view.
+  void note_grid_events(double t) {
+    const std::uint64_t me = grid_.membership_epoch();
+    if (me != last_membership_epoch_) {
+      last_membership_epoch_ = me;
+      if (elog_ != nullptr) {
+        const Membership& m = grid_.membership();
+        int degraded = 0;
+        for (int l = 0; l < m.size(); ++l) degraded += m.host(l) != l ? 1 : 0;
+        elog_->emit(t, "degrade",
+                    {{"mode", ev_str(m.remapped() ? "degraded" : "normal")},
+                     {"membership_epoch",
+                      ev_int(static_cast<std::int64_t>(me))},
+                     {"degraded_locales", ev_int(degraded)},
+                     {"active_hosts", ev_int(m.active())}});
+      }
+    }
+    if (cfg_.report != nullptr) {
+      if (cfg_.report->rebuilds > last_rebuilds_ && elog_ != nullptr) {
+        elog_->emit(t, "rebuild",
+                    {{"rebuilds", ev_int(cfg_.report->rebuilds)},
+                     {"rounds_replayed", ev_int(cfg_.report->rounds_replayed)},
+                     {"bytes_restored", ev_int(cfg_.report->bytes_restored)}});
+      }
+      last_rebuilds_ = cfg_.report->rebuilds;
+    }
+  }
+
+  /// Periodic health snapshot into the event log (cfg.health_log_every
+  /// steps; also publishes the health gauges as a side effect).
+  void maybe_log_health(double t) {
+    if (elog_ == nullptr || cfg_.health_log_every <= 0) return;
+    if (steps_ % cfg_.health_log_every != 0) return;
+    const ServiceHealth hh = health();
+    elog_->emit(t, "health",
+                {{"mode", ev_str(hh.mode)},
+                 {"degraded_locales", ev_int(hh.degraded_locales)},
+                 {"active_hosts", ev_int(hh.active_hosts)},
+                 {"queue_depth",
+                  ev_int(static_cast<std::int64_t>(hh.queue_depth))},
+                 {"records_live", ev_int(hh.records_live)},
+                 {"service_rate", ev_num(hh.service_rate)},
+                 {"open_breakers", ev_int(hh.open_breakers())}});
   }
 
   /// Feeds one failure into the tenant's breaker; counts a trip.
@@ -388,12 +597,24 @@ class GraphService {
     if (expired.empty()) return false;
     const double now = grid_.time();
     auto& mx = grid_.metrics();
+    obs::TraceSession* ts = grid_.trace_session();
     for (auto& q : expired) {
       QueryRecord& rec = record_mut(q.id);
       rec.state = QueryState::kDeadlineExpired;
       rec.completion = std::max(now, q.arrival);
       mx.counter("service.expired", expired_labels(rec.tenant, stage)).inc();
       note_failure(rec.tenant, rec.completion);
+      if (ts != nullptr && trace_live(q.trace)) {
+        ts->end_span(q.trace.track, rec.completion);  // close query.queued
+        ts->instant(q.trace.track, "query.expired", rec.completion,
+                    {{"stage", stage}});
+      }
+      if (elog_ != nullptr) {
+        elog_->emit(rec.completion, "expire",
+                    {{"id", ev_int(q.id)},
+                     {"tenant", ev_int(rec.tenant)},
+                     {"stage", ev_str(stage)}});
+      }
     }
     return true;
   }
@@ -421,6 +642,12 @@ class GraphService {
   ServiceCostModel cost_;
   std::deque<QueryRecord> records_;
   std::int64_t base_ = 0;  ///< id of records_.front(); retired count
+  ServiceEventLog* elog_ = nullptr;
+  std::int64_t steps_ = 0;      ///< step() calls (health-log cadence)
+  std::int64_t batch_seq_ = 0;  ///< executed batches (query.fused arg)
+  std::map<int, BreakerState> breaker_seen_;  ///< last logged state
+  std::uint64_t last_membership_epoch_ = 0;
+  std::int64_t last_rebuilds_ = 0;
 };
 
 }  // namespace pgb

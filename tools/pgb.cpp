@@ -138,6 +138,10 @@ int run(int argc, char** argv) {
       "trace-detail", false, "also record per-call comm instants");
   const std::string metrics_file =
       cli.get("metrics", "", "write the metrics registry as JSON");
+  const std::string comm_matrix_file = cli.get(
+      "comm-matrix", "",
+      "write the per src->dst locale comm matrix (messages + bytes) as "
+      "JSON, or CSV when the path ends in .csv");
   const std::string profile_file = cli.get(
       "profile", "",
       "write a profile report (span tree + counters) for pgb_diff");
@@ -196,6 +200,7 @@ int run(int argc, char** argv) {
   if (!trace_file.empty() || !profile_file.empty()) {
     grid.set_trace_session(&session);
   }
+  if (!comm_matrix_file.empty()) grid.enable_comm_matrix();
 
   // --- load or generate the matrix (double values throughout) ---
   DistCsr<double> a(grid, 0, 0);
@@ -398,6 +403,14 @@ int run(int argc, char** argv) {
   if (!metrics_file.empty()) {
     write_metrics(grid, metrics_file);
     std::printf("metrics -> %s\n", metrics_file.c_str());
+  }
+  if (!comm_matrix_file.empty()) {
+    grid.write_comm_matrix(comm_matrix_file);
+    std::printf("comm matrix: %d locales, %lld msgs, %lld B -> %s\n",
+                grid.num_locales(),
+                static_cast<long long>(grid.comm_matrix_total_messages()),
+                static_cast<long long>(grid.comm_matrix_total_bytes()),
+                comm_matrix_file.c_str());
   }
   if (!profile_file.empty()) {
     obs::Profile prof =

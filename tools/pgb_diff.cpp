@@ -27,15 +27,18 @@
 //
 // Exit codes: 0 clean (improvements allowed), 1 regression, structural
 // change, or SLO violation, 2 usage/load error.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "obs/profile.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 
 using namespace pgb;
 
@@ -54,7 +57,13 @@ namespace {
       "                         scale candidate times of spans named NAME "
       "(gate self-test)\n"
       "  --slo=HIST:BOUND       fail when the candidate histogram's p95 "
-      "exceeds BOUND (repeatable)\n",
+      "exceeds BOUND (repeatable)\n"
+      "  --matrix=BASE:CAND     also diff two comm-matrix JSON exports "
+      "(exact message counts,\n"
+      "                         --matrix-byte-tol relative byte band); "
+      "usable without profiles\n"
+      "  --matrix-byte-tol=F    relative band for matrix byte cells "
+      "(default 0.05)\n",
       argv0);
   std::exit(2);
 }
@@ -70,6 +79,75 @@ double parse_double(const std::string& s, const char* what) {
   }
 }
 
+JsonValue load_json(const std::string& path) {
+  std::ifstream in(path);
+  PGB_REQUIRE(in.good(), "cannot open comm matrix file: " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return json_parse(ss.str());
+}
+
+/// Diffs two `pgb --comm-matrix` / `pgb_serve --comm-matrix` JSON
+/// exports. Message counts are modeled-deterministic facts: any cell
+/// drift is a behavioral change and fails. Byte cells get a relative
+/// band (`byte_tol`) — payload packing may legitimately shift a few
+/// percent under schedule tweaks without the traffic shape changing.
+bool diff_matrices(const std::string& base_path, const std::string& cand_path,
+                   double byte_tol) {
+  const JsonValue base = load_json(base_path);
+  const JsonValue cand = load_json(cand_path);
+  for (const auto* p : {&base, &cand}) {
+    PGB_REQUIRE(p->at("schema").as_string() == "pgb.comm_matrix.v1",
+                "comm matrix diff: unknown schema (want pgb.comm_matrix.v1)");
+  }
+  const std::int64_t n = base.at("locales").as_int();
+  if (n != cand.at("locales").as_int()) {
+    std::printf("matrix: FAIL — locale count %lld vs %lld\n",
+                static_cast<long long>(n),
+                static_cast<long long>(cand.at("locales").as_int()));
+    return false;
+  }
+  const JsonValue& bm = base.at("messages");
+  const JsonValue& cm = cand.at("messages");
+  const JsonValue& bb = base.at("bytes");
+  const JsonValue& cb = cand.at("bytes");
+  std::int64_t bad_msgs = 0, bad_bytes = 0, shown = 0;
+  for (std::size_t r = 0; r < static_cast<std::size_t>(n); ++r) {
+    for (std::size_t d = 0; d < static_cast<std::size_t>(n); ++d) {
+      const std::int64_t m0 = bm.at(r).at(d).as_int();
+      const std::int64_t m1 = cm.at(r).at(d).as_int();
+      if (m0 != m1) {
+        ++bad_msgs;
+        if (shown++ < 8) {
+          std::printf("matrix: messages[%zu][%zu] %lld -> %lld\n", r, d,
+                      static_cast<long long>(m0), static_cast<long long>(m1));
+        }
+      }
+      const double y0 = bb.at(r).at(d).as_double();
+      const double y1 = cb.at(r).at(d).as_double();
+      if (std::abs(y1 - y0) > byte_tol * std::max(std::abs(y0), std::abs(y1))) {
+        ++bad_bytes;
+        if (shown++ < 8) {
+          std::printf("matrix: bytes[%zu][%zu] %g -> %g (tol %g)\n", r, d, y0,
+                      y1, byte_tol);
+        }
+      }
+    }
+  }
+  if (bad_msgs == 0 && bad_bytes == 0) {
+    std::printf("matrix: ok — %lld locales, totals %lld msgs / %lld B\n",
+                static_cast<long long>(n),
+                static_cast<long long>(cand.at("total_messages").as_int()),
+                static_cast<long long>(cand.at("total_bytes").as_int()));
+    return true;
+  }
+  std::printf("matrix: FAIL — %lld message cells drifted, %lld byte cells "
+              "out of band\n",
+              static_cast<long long>(bad_msgs),
+              static_cast<long long>(bad_bytes));
+  return false;
+}
+
 }  // namespace
 
 int run(int argc, char** argv) {
@@ -79,6 +157,8 @@ int run(int argc, char** argv) {
   std::string report_file;
   std::string inject;
   std::vector<std::string> slos;
+  std::string matrix_spec;
+  double matrix_byte_tol = 0.05;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -99,6 +179,10 @@ int run(int argc, char** argv) {
       inject = val;
     } else if (key == "--slo") {
       slos.push_back(val);
+    } else if (key == "--matrix") {
+      matrix_spec = val;
+    } else if (key == "--matrix-byte-tol") {
+      matrix_byte_tol = parse_double(val, "--matrix-byte-tol");
     } else if (key == "--help") {
       usage(argv[0]);
     } else {
@@ -106,9 +190,22 @@ int run(int argc, char** argv) {
       usage(argv[0]);
     }
   }
-  if (files.size() != 2) usage(argv[0]);
+  const bool matrix_only = files.empty() && !matrix_spec.empty();
+  if (files.size() != 2 && !matrix_only) usage(argv[0]);
   PGB_REQUIRE(time_tol >= 0.0, "--time-tol must be >= 0");
   PGB_REQUIRE(time_floor >= 0.0, "--time-floor must be >= 0");
+  PGB_REQUIRE(matrix_byte_tol >= 0.0, "--matrix-byte-tol must be >= 0");
+
+  bool matrix_ok = true;
+  if (!matrix_spec.empty()) {
+    const auto colon = matrix_spec.find(':');
+    PGB_REQUIRE(colon != std::string::npos && colon > 0 &&
+                    colon + 1 < matrix_spec.size(),
+                "--matrix wants BASE.json:CAND.json");
+    matrix_ok = diff_matrices(matrix_spec.substr(0, colon),
+                              matrix_spec.substr(colon + 1), matrix_byte_tol);
+  }
+  if (matrix_only) return matrix_ok ? 0 : 1;
 
   const obs::Profile base = obs::Profile::load(files[0]);
   obs::Profile cand = obs::Profile::load(files[1]);
@@ -162,7 +259,7 @@ int run(int argc, char** argv) {
     slo_ok = slo_ok && ok;
   }
 
-  return diff.clean() && slo_ok ? 0 : 1;
+  return diff.clean() && slo_ok && matrix_ok ? 0 : 1;
 }
 
 int main(int argc, char** argv) {

@@ -1,0 +1,168 @@
+// pgb_matrix — terminal renderer for comm-matrix exports.
+//
+// Reads the JSON written by `pgb --comm-matrix=FILE` / `pgb_serve
+// --comm-matrix=FILE` (schema pgb.comm_matrix.v1) and renders an ASCII
+// heatmap of the src -> dst locale traffic, with row/column marginals
+// and the row imbalance ratio (max row total / mean row total) — the
+// quick "is one locale a hotspot" read without leaving the terminal.
+//
+//   pgb_matrix comm.json             # message counts (default)
+//   pgb_matrix comm.json --bytes     # byte volumes
+//   pgb_matrix comm.json --path=agg  # one comm path's submatrix
+//
+// Cells are log-scaled into " .:-=+*#%@" relative to the largest cell,
+// so a 64x64 grid reads at a glance. Exit codes: 0 ok, 2 usage/load
+// error (pgb convention).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+using namespace pgb;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s MATRIX.json [options]\n"
+               "  --bytes       render byte volumes instead of messages\n"
+               "  --path=NAME   render one comm path's submatrix "
+               "(agg | bulk | chain | msgs | rt)\n",
+               argv0);
+  std::exit(2);
+}
+
+/// Log-scaled heatmap glyph for `v` relative to the max cell.
+char shade(std::int64_t v, std::int64_t max) {
+  static const char kRamp[] = " .:-=+*#%@";
+  if (v <= 0 || max <= 0) return kRamp[0];
+  const double frac = std::log1p(static_cast<double>(v)) /
+                      std::log1p(static_cast<double>(max));
+  const int levels = static_cast<int>(sizeof kRamp) - 2;  // skip the blank
+  const int idx =
+      1 + std::min(levels - 1, static_cast<int>(frac * levels));
+  return kRamp[idx];
+}
+
+}  // namespace
+
+int run(int argc, char** argv) {
+  std::string file;
+  bool bytes = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--bytes") {
+      bytes = true;
+    } else if (arg.rfind("--path=", 0) == 0) {
+      path = arg.substr(7);
+    } else if (arg == "--help") {
+      usage(argv[0]);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "pgb_matrix: unknown flag %s\n", arg.c_str());
+      usage(argv[0]);
+    } else if (file.empty()) {
+      file = arg;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (file.empty()) usage(argv[0]);
+
+  std::ifstream in(file);
+  PGB_REQUIRE(in.good(), "cannot open comm matrix file: " + file);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const JsonValue doc = json_parse(ss.str());
+  PGB_REQUIRE(doc.at("schema").as_string() == "pgb.comm_matrix.v1",
+              file + ": unknown schema (want pgb.comm_matrix.v1)");
+  const int n = static_cast<int>(doc.at("locales").as_int());
+  PGB_REQUIRE(n >= 1, file + ": bad locale count");
+
+  const char* field = bytes ? "bytes" : "messages";
+  const JsonValue* m = nullptr;
+  if (path.empty()) {
+    m = &doc.at(field);
+  } else {
+    const JsonValue* by_path = doc.find("by_path");
+    PGB_REQUIRE(by_path != nullptr, file + ": no by_path section");
+    const JsonValue* p = by_path->find(path);
+    PGB_REQUIRE(p != nullptr,
+                "path '" + path + "' absent (quiet paths are omitted); "
+                "present paths are listed in by_path");
+    m = &p->at(field);
+  }
+
+  std::vector<std::int64_t> cells(static_cast<std::size_t>(n) *
+                                  static_cast<std::size_t>(n));
+  std::vector<std::int64_t> row(static_cast<std::size_t>(n), 0);
+  std::vector<std::int64_t> col(static_cast<std::size_t>(n), 0);
+  std::int64_t max_cell = 0, total = 0;
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      const std::int64_t v = m->at(static_cast<std::size_t>(r))
+                                 .at(static_cast<std::size_t>(c))
+                                 .as_int();
+      cells[static_cast<std::size_t>(r * n + c)] = v;
+      row[static_cast<std::size_t>(r)] += v;
+      col[static_cast<std::size_t>(c)] += v;
+      max_cell = std::max(max_cell, v);
+      total += v;
+    }
+  }
+
+  std::printf("%s: %d locales, %s%s, total %lld, max cell %lld\n",
+              file.c_str(), n, field,
+              path.empty() ? "" : (" path=" + path).c_str(),
+              static_cast<long long>(total),
+              static_cast<long long>(max_cell));
+  std::printf("scale: ' .:-=+*#%%@' log-scaled to the max cell; "
+              "rows = src locale, cols = dst\n\n");
+  for (int r = 0; r < n; ++r) {
+    std::printf("%4d |", r);
+    for (int c = 0; c < n; ++c) {
+      std::putchar(shade(cells[static_cast<std::size_t>(r * n + c)],
+                         max_cell));
+    }
+    std::printf("| %lld\n", static_cast<long long>(
+                                row[static_cast<std::size_t>(r)]));
+  }
+  std::printf("      ");
+  std::int64_t max_col = 0;
+  for (int c = 0; c < n; ++c) {
+    max_col = std::max(max_col, col[static_cast<std::size_t>(c)]);
+  }
+  for (int c = 0; c < n; ++c) {
+    std::putchar(shade(col[static_cast<std::size_t>(c)], max_col));
+  }
+  std::printf("  (col marginals, rescaled)\n");
+
+  const double mean_row = static_cast<double>(total) / n;
+  const std::int64_t max_row =
+      *std::max_element(row.begin(), row.end());
+  std::printf("\nrow marginals: max %lld, mean %.1f",
+              static_cast<long long>(max_row), mean_row);
+  if (mean_row > 0.0) {
+    std::printf(", imbalance ratio %.2f",
+                static_cast<double>(max_row) / mean_row);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pgb_matrix: error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -222,6 +222,25 @@ int run(int argc, char** argv) {
   const std::string profile_file = cli.get(
       "profile", "",
       "write a profile report (span tree + counters) for pgb_diff");
+  const std::string trace_file = cli.get(
+      "trace", "",
+      "write a Chrome trace (Perfetto-loadable) of the serve run: one "
+      "track per locale plus one dedicated track per admitted query");
+  const bool trace_detail = cli.get_bool(
+      "trace-detail", false, "also record per-call comm instants");
+  const std::string comm_matrix_file = cli.get(
+      "comm-matrix", "",
+      "write the per src->dst locale comm matrix (messages + bytes) as "
+      "JSON, or CSV when the path ends in .csv");
+  const std::string event_log_file = cli.get(
+      "event-log", "",
+      "write the structured service event log (JSONL, simulated-time "
+      "stamped: admits, rejections, expiries, breaker transitions, "
+      "publishes, degrade/rebuild, periodic health)");
+  const int health_every = static_cast<int>(cli.get_int(
+      "health-log-every", 8,
+      "health snapshot cadence in scheduling rounds for --event-log "
+      "(0 = off)"));
   cli.finish();
 
   // Flag validation per pgb convention: a bad value names the accepted
@@ -257,6 +276,7 @@ int run(int argc, char** argv) {
   PGB_REQUIRE(parity_group >= 2 && parity_group <= 64,
               "--parity-group must be an integer in [2, 64]");
   PGB_REQUIRE(replica_chunk >= 1, "--replica-chunk must be >= 1");
+  PGB_REQUIRE(health_every >= 0, "--health-log-every must be >= 0");
   const MixWeights mix = parse_mix(mix_flag);
 
   std::optional<FaultPlan> plan;
@@ -274,8 +294,11 @@ int run(int argc, char** argv) {
   const MachineModel model =
       machine == "edison" ? MachineModel::edison() : MachineModel::modern();
   auto grid = LocaleGrid::square(nodes, threads, 1, model);
-  obs::TraceSession session(false);
-  if (!profile_file.empty()) grid.set_trace_session(&session);
+  obs::TraceSession session(trace_detail);
+  if (!profile_file.empty() || !trace_file.empty()) {
+    grid.set_trace_session(&session);
+  }
+  if (!comm_matrix_file.empty()) grid.enable_comm_matrix();
 
   DistCsr<double> a(grid, 0, 0);
   if (gen == "er") {
@@ -359,9 +382,12 @@ int run(int argc, char** argv) {
     cfg.rebuild.keep_membership = true;
     cfg.report = &report;
   }
+  if (!event_log_file.empty()) cfg.health_log_every = health_every;
   grid.reset();
   if (plan.has_value()) grid.set_fault_plan(&*plan);
   GraphService svc(grid, cfg);
+  ServiceEventLog elog;
+  if (!event_log_file.empty()) svc.set_event_log(&elog);
   const GraphStore::HandleId h = svc.store().load(
       std::make_shared<DistCsr<double>>(a));
 
@@ -489,6 +515,32 @@ int run(int argc, char** argv) {
               static_cast<long long>(cs.agg_flushes),
               static_cast<double>(cs.bytes) / 1e6);
 
+  if (!trace_file.empty()) {
+    session.write_chrome_trace(trace_file);
+    std::printf("trace: %d tracks, %zu spans, %zu counter samples -> %s\n",
+                session.num_tracks(), session.spans().size(),
+                session.counter_samples().size(), trace_file.c_str());
+  }
+  if (!comm_matrix_file.empty()) {
+    // Conservation invariant, also checked degraded (post-kill remap):
+    // the matrix is accumulated at exactly the two sites that bump the
+    // comm.messages/comm.bytes counters, so the totals must match.
+    PGB_REQUIRE(grid.comm_matrix_total_messages() == cs.messages,
+                "comm matrix: message total diverged from comm.messages");
+    PGB_REQUIRE(grid.comm_matrix_total_bytes() == cs.bytes,
+                "comm matrix: byte total diverged from comm.bytes");
+    grid.write_comm_matrix(comm_matrix_file);
+    std::printf("comm matrix: %d locales, %lld msgs, %lld B -> %s\n",
+                grid.num_locales(),
+                static_cast<long long>(grid.comm_matrix_total_messages()),
+                static_cast<long long>(grid.comm_matrix_total_bytes()),
+                comm_matrix_file.c_str());
+  }
+  if (!event_log_file.empty()) {
+    elog.write(event_log_file);
+    std::printf("event log: %zu events -> %s\n", elog.size(),
+                event_log_file.c_str());
+  }
   if (!metrics_file.empty()) {
     std::ofstream out(metrics_file);
     PGB_REQUIRE(out.good(), "cannot open metrics file: " + metrics_file);
