@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/graphblas.hpp"
+#include "ingest/ingest.hpp"
 #include "runtime/locale_grid.hpp"
 #include "service/service.hpp"
 #include "util/error.hpp"
@@ -23,6 +24,8 @@ namespace {
 
 std::unique_ptr<pgb::LocaleGrid> g_grid;
 std::unique_ptr<pgb::GraphService> g_service;
+std::unique_ptr<pgb::IngestStream> g_ingest;
+pgb::GraphStore::HandleId g_ingest_handle = -1;
 
 GrB_Info map_exception() {
   try {
@@ -120,6 +123,8 @@ GrB_Info pgb_init(int nlocales, int threads_per_locale) {
 }
 
 GrB_Info pgb_finalize(void) {
+  g_ingest.reset();  // the stream borrows the service's store: first out
+  g_ingest_handle = -1;
   g_service.reset();  // the service borrows the grid: tear it down first
   g_grid.reset();
   return GrB_SUCCESS;
@@ -415,6 +420,8 @@ GrB_Info pgb_service_open_ex(int queue_depth, int batch_max,
 }
 
 GrB_Info pgb_service_close(void) {
+  g_ingest.reset();
+  g_ingest_handle = -1;
   g_service.reset();
   return GrB_SUCCESS;
 }
@@ -565,6 +572,73 @@ GrB_Info pgb_query_sssp_dist(double* out, pgb_query_id_t id, GrB_Index v) {
     if (v >= rec.result.sssp.dist.size()) return GrB_INDEX_OUT_OF_BOUNDS;
     *out = rec.result.sssp.dist[v];
   });
+}
+
+GrB_Info pgb_ingest_open(pgb_graph_handle_t h, int64_t compact_every) {
+  if (g_service == nullptr) return GrB_UNINITIALIZED_OBJECT;
+  if (compact_every < 1) return GrB_INVALID_VALUE;
+  PGB_C_GUARD({
+    const auto snap = g_service->store().snapshot(h);
+    pgb::IngestOptions opt;
+    opt.compact_every = compact_every;
+    g_ingest = std::make_unique<pgb::IngestStream>(
+        *g_grid, g_service->store(), h, *snap.graph, opt,
+        g_service->event_log());
+    g_ingest_handle = h;
+  });
+}
+
+GrB_Info pgb_ingest_apply(int64_t n, const GrB_Index* rows,
+                          const GrB_Index* cols, const double* vals,
+                          const int* ops) {
+  if (g_ingest == nullptr) return GrB_UNINITIALIZED_OBJECT;
+  if (n < 0) return GrB_INVALID_VALUE;
+  if (n > 0 && (rows == nullptr || cols == nullptr)) return GrB_NULL_POINTER;
+  PGB_C_GUARD({
+    pgb::MutationBatch batch;
+    batch.seq = g_ingest->acked_seq() + 1;
+    batch.deltas.reserve(static_cast<std::size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      pgb::EdgeDelta d;
+      d.row = static_cast<pgb::Index>(rows[i]);
+      d.col = static_cast<pgb::Index>(cols[i]);
+      d.val = vals != nullptr ? vals[i] : 1.0;
+      d.op = (ops != nullptr && ops[i] != 0) ? pgb::DeltaOp::kDelete
+                                             : pgb::DeltaOp::kInsert;
+      batch.deltas.push_back(d);
+    }
+    batch.stamp();
+    g_ingest->apply(batch);
+  });
+}
+
+GrB_Info pgb_ingest_publish(uint64_t* epoch_out) {
+  if (g_ingest == nullptr) return GrB_UNINITIALIZED_OBJECT;
+  PGB_C_GUARD({
+    const std::uint64_t e = g_ingest->publish();
+    if (epoch_out != nullptr) *epoch_out = e;
+  });
+}
+
+GrB_Info pgb_ingest_stats(int64_t* batches, int64_t* deltas,
+                          int64_t* replays, uint64_t* graph_hash) {
+  if (g_ingest == nullptr) return GrB_UNINITIALIZED_OBJECT;
+  PGB_C_GUARD({
+    const pgb::IngestStats& s = g_ingest->stats();
+    if (batches != nullptr) *batches = s.batches;
+    if (deltas != nullptr) *deltas = s.deltas;
+    if (replays != nullptr) *replays = s.replays;
+    if (graph_hash != nullptr) {
+      const auto snap = g_service->store().snapshot(g_ingest_handle);
+      *graph_hash = pgb::ingest_graph_hash(*snap.graph);
+    }
+  });
+}
+
+GrB_Info pgb_ingest_close(void) {
+  g_ingest.reset();
+  g_ingest_handle = -1;
+  return GrB_SUCCESS;
 }
 
 GrB_Info GrB_reduce(double* out, pgb_binary_op_t op, GrB_Vector u) {

@@ -217,6 +217,39 @@ GrB_Info pgb_query_bfs_parent(int64_t* out, pgb_query_id_t id, GrB_Index v);
  * polling an expired query returns GrB_DEADLINE_EXPIRED. */
 GrB_Info pgb_query_sssp_dist(double* out, pgb_query_id_t id, GrB_Index v);
 
+/* ---- Streaming ingestion (src/ingest/): crash-consistent batched
+ * mutation of an open graph handle through the replicated delta log.
+ * One stream per service; mutations are durable (buddy-mirrored) once
+ * pgb_ingest_apply returns, visible to queries once pgb_ingest_publish
+ * installs the next epoch. ---- */
+
+/* Opens the ingest stream over handle h. `compact_every` is the pending
+ * delta threshold (>= 1) that triggers compaction into a fresh base at
+ * the next publish. Requires an open service and >= 2 locales. */
+GrB_Info pgb_ingest_open(pgb_graph_handle_t h, int64_t compact_every);
+
+/* Applies one mutation batch of n edges. ops[i] is 0 = insert/overwrite,
+ * 1 = delete (NULL = all inserts); vals may be NULL (1.0). The batch is
+ * sequence-numbered, checksummed, routed to owner locales, logged, and
+ * mirrored before the call returns. */
+GrB_Info pgb_ingest_apply(int64_t n, const GrB_Index* rows,
+                          const GrB_Index* cols, const double* vals,
+                          const int* ops);
+
+/* Folds every acknowledged batch into the next epoch and publishes it
+ * under the stream's handle. Queries pinned to prior epochs are
+ * unaffected. `epoch_out` (nullable) receives the new epoch. */
+GrB_Info pgb_ingest_publish(uint64_t* epoch_out);
+
+/* Stream observability. Any out pointer may be NULL. `graph_hash`
+ * receives the deterministic content hash of the handle's current
+ * version (the kill-vs-fault-free equality witness). */
+GrB_Info pgb_ingest_stats(int64_t* batches, int64_t* deltas,
+                          int64_t* replays, uint64_t* graph_hash);
+
+/* Tears the stream down (the handle stays open). */
+GrB_Info pgb_ingest_close(void);
+
 #ifdef __cplusplus
 } /* extern "C" */
 #endif

@@ -21,6 +21,7 @@
 // bit equal to the fault-free run; only modeled time and traffic differ.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -55,6 +56,11 @@ struct RebuildOptions {
   /// no logical locale maps to the dead host anymore, so no re-failure
   /// and no per-loop re-rebuild.
   bool keep_membership = false;
+  /// Called after a successful remap/adopt, before the loop resumes,
+  /// with the dead logical locale. Lets state that lives *outside* the
+  /// driver's ReplicaStore — the ingest delta log and its base mirror —
+  /// restore itself from its own replicas as part of the same rebuild.
+  std::function<void(int logical)> on_rebuild;
 };
 
 /// Runs `loop` to completion under `plan`, surviving locale kills by
@@ -161,6 +167,7 @@ State run_with_rebuild(LocaleGrid& grid, FaultPlan* plan,
         plan->mark_recovered(dead_host);
       }
       last_failed = logical;
+      if (opt.on_rebuild) opt.on_rebuild(logical);
       // A kill during the store's own static replication leaves no
       // replicas to restore: drop the partial store and rebuild it from
       // scratch on the surviving mapping.

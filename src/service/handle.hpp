@@ -16,6 +16,7 @@
 // the C API maps it to GrB_INVALID_OBJECT.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -57,20 +58,26 @@ class GraphStore {
   }
 
   /// Installs a new version under an open handle and returns the bumped
-  /// epoch. Snapshots taken before the publish keep the old version.
+  /// epoch. Snapshots taken before the publish keep the old version: the
+  /// displaced version moves to the retired registry, where it stays
+  /// observable (retired_live) until the last pinning snapshot drops it.
   std::uint64_t publish(HandleId h, std::shared_ptr<const DistCsr<double>> g) {
     Entry& e = open_entry(h, "publish");
     PGB_REQUIRE(g != nullptr, "graph handle: publish of null graph");
+    retire(e.graph);
     e.graph = std::move(g);
     const std::uint64_t epoch = ++e.epoch;
     if (on_change_) on_change_("publish", h, epoch);
     return epoch;
   }
 
-  /// Retires the handle; the graph stays alive while snapshots hold it.
+  /// Retires the handle. Teardown of the final version is deferred while
+  /// snapshots hold it — the store only drops its own reference; the
+  /// version lands in the retired registry like any displaced epoch.
   void close(HandleId h) {
     Entry& e = open_entry(h, "close");
     e.open = false;
+    retire(e.graph);
     e.graph.reset();
     if (on_change_) on_change_("close", h, e.epoch);
   }
@@ -93,12 +100,48 @@ class GraphStore {
     return static_cast<std::int64_t>(entries_.size());
   }
 
+  /// Retired versions still pinned by at least one live snapshot —
+  /// epochs that were published (or closed) over but whose teardown is
+  /// deferred until the last in-flight query releases them. Rapid
+  /// successive publishes under live traffic keep every pinned
+  /// predecessor alive; this is the observable for asserting it.
+  std::int64_t retired_live() const {
+    std::int64_t live = 0;
+    for (const auto& w : retired_) {
+      if (!w.expired()) ++live;
+    }
+    return live;
+  }
+
+  /// Drops registry entries whose versions have fully torn down (no
+  /// snapshot holds them anymore). Returns how many were reclaimed.
+  std::int64_t prune_retired() {
+    const std::size_t before = retired_.size();
+    retired_.erase(std::remove_if(retired_.begin(), retired_.end(),
+                                  [](const VersionRef& w) {
+                                    return w.expired();
+                                  }),
+                   retired_.end());
+    return static_cast<std::int64_t>(before - retired_.size());
+  }
+
  private:
+  using VersionRef = std::weak_ptr<const DistCsr<double>>;
+
   struct Entry {
     std::shared_ptr<const DistCsr<double>> graph;
     std::uint64_t epoch = 0;
     bool open = false;
   };
+
+  /// Moves a displaced version into the retired registry (weakly — the
+  /// registry observes teardown, it must not delay it) and opportunistically
+  /// reclaims entries that already tore down, so the registry stays bounded
+  /// by the number of *pinned* versions, not the number of publishes.
+  void retire(const std::shared_ptr<const DistCsr<double>>& g) {
+    prune_retired();
+    if (g != nullptr) retired_.push_back(g);
+  }
 
   const Entry& open_entry(HandleId h, const char* op) const {
     if (h < 0 || h >= static_cast<HandleId>(entries_.size())) {
@@ -118,6 +161,7 @@ class GraphStore {
   }
 
   std::vector<Entry> entries_;
+  std::vector<VersionRef> retired_;
   ChangeHook on_change_;
 };
 

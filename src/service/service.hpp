@@ -158,6 +158,16 @@ class GraphService {
   }
   ServiceEventLog* event_log() { return elog_; }
 
+  /// Installs a recovery callback on the rebuild driver: called with the
+  /// dead logical locale after a degraded remap, before the interrupted
+  /// query batch resumes. The ingest stream registers its replay here so
+  /// a kill landing inside a *query* batch still restores the delta log
+  /// and base mirror it carried (a kill inside an ingest apply is handled
+  /// by the stream's own retry loop).
+  void set_rebuild_hook(std::function<void(int logical)> hook) {
+    cfg_.rebuild.on_rebuild = std::move(hook);
+  }
+
   struct Submitted {
     AdmitCode code = AdmitCode::kAdmitted;
     std::int64_t id = -1;  ///< valid only when admitted

@@ -1,0 +1,134 @@
+// Read-through overlay of one CSR block: the base CSR stays immutable
+// (it is the published, replicated epoch state) while pending edge
+// mutations accumulate in a per-row delta map. Reads merge the two —
+// a delta entry wins over the base, a tombstone hides it — and
+// materialize() folds everything into a fresh CSR for the next epoch
+// publish. This is the streaming-ingest counterpart of the paper's
+// static DistCsr: queries keep the pinned base, the overlay carries the
+// not-yet-compacted epoch deltas.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace pgb {
+
+template <typename T>
+class CsrOverlay {
+ public:
+  /// An overlay over `base` (kept by reference: the caller owns the base
+  /// block and must outlive the overlay). Rows are the block's local
+  /// rows; columns stay global, like the block itself.
+  explicit CsrOverlay(const Csr<T>* base)
+      : base_(base),
+        rows_(static_cast<std::size_t>(base->nrows())) {}
+
+  /// Points the overlay at a new base block (after compaction swapped
+  /// the base) and drops every pending delta.
+  void rebase(const Csr<T>* base) {
+    base_ = base;
+    rows_.assign(static_cast<std::size_t>(base->nrows()), {});
+    pending_ = 0;
+  }
+
+  /// Applies one mutation: insert/overwrite when `insert`, tombstone
+  /// otherwise. Last write wins within the overlay.
+  void apply(Index local_row, Index col, const T& val, bool insert) {
+    PGB_ASSERT(local_row >= 0 && local_row < base_->nrows(),
+               "overlay: local row out of range");
+    auto& row = rows_[static_cast<std::size_t>(local_row)];
+    auto [it, fresh] = row.emplace(col, std::make_pair(val, insert));
+    if (!fresh) it->second = std::make_pair(val, insert);
+    if (fresh) ++pending_;
+  }
+
+  /// Pending delta entries (distinct overlaid coordinates).
+  std::int64_t pending() const { return pending_; }
+
+  const Csr<T>& base() const { return *base_; }
+
+  /// Read-through of one row: the base row merged with the row's deltas,
+  /// columns ascending; tombstoned entries dropped.
+  void row(Index local_row, std::vector<Index>* cols,
+           std::vector<T>* vals) const {
+    cols->clear();
+    vals->clear();
+    const auto bc = base_->row_colids(local_row);
+    const auto bv = base_->row_values(local_row);
+    const auto& dm = rows_[static_cast<std::size_t>(local_row)];
+    std::size_t i = 0;
+    auto it = dm.begin();
+    while (i < bc.size() || it != dm.end()) {
+      if (it == dm.end() || (i < bc.size() && bc[i] < it->first)) {
+        cols->push_back(bc[i]);
+        vals->push_back(bv[i]);
+        ++i;
+      } else {
+        const bool shadows = i < bc.size() && bc[i] == it->first;
+        if (it->second.second) {  // live insert/overwrite
+          cols->push_back(it->first);
+          vals->push_back(it->second.first);
+        }
+        if (shadows) ++i;  // tombstone or overwrite hides the base entry
+        ++it;
+      }
+    }
+  }
+
+  /// Read-through point lookup: nullptr when absent (or tombstoned).
+  const T* find(Index local_row, Index col) const {
+    const auto& dm = rows_[static_cast<std::size_t>(local_row)];
+    const auto it = dm.find(col);
+    if (it != dm.end()) {
+      return it->second.second ? &it->second.first : nullptr;
+    }
+    return base_->find(local_row, col);
+  }
+
+  /// Folds base + deltas into a fresh CSR (the next epoch's block).
+  /// Also returns via `touched` (nullable) how many base entries were
+  /// re-read — the modeled read-through cost of the merge.
+  Csr<T> materialize(std::int64_t* touched = nullptr) const {
+    const Index nr = base_->nrows();
+    std::vector<Index> rowptr(static_cast<std::size_t>(nr) + 1, 0);
+    std::vector<Index> colids;
+    std::vector<T> vals;
+    colids.reserve(static_cast<std::size_t>(base_->nnz()));
+    vals.reserve(static_cast<std::size_t>(base_->nnz()));
+    std::vector<Index> rc;
+    std::vector<T> rv;
+    std::int64_t scanned = 0;
+    for (Index r = 0; r < nr; ++r) {
+      if (rows_[static_cast<std::size_t>(r)].empty()) {
+        // Clean row: copied straight through, no merge.
+        const auto bc = base_->row_colids(r);
+        const auto bv = base_->row_values(r);
+        colids.insert(colids.end(), bc.begin(), bc.end());
+        vals.insert(vals.end(), bv.begin(), bv.end());
+      } else {
+        row(r, &rc, &rv);
+        scanned += base_->row_nnz(r) +
+                   static_cast<std::int64_t>(
+                       rows_[static_cast<std::size_t>(r)].size());
+        colids.insert(colids.end(), rc.begin(), rc.end());
+        vals.insert(vals.end(), rv.begin(), rv.end());
+      }
+      rowptr[static_cast<std::size_t>(r) + 1] =
+          static_cast<Index>(colids.size());
+    }
+    if (touched != nullptr) *touched = scanned;
+    return Csr<T>::from_parts(nr, base_->ncols(), std::move(rowptr),
+                              std::move(colids), std::move(vals));
+  }
+
+ private:
+  const Csr<T>* base_;
+  /// Per local row: column -> (value, alive). alive=false is a tombstone.
+  std::vector<std::map<Index, std::pair<T, bool>>> rows_;
+  std::int64_t pending_ = 0;
+};
+
+}  // namespace pgb

@@ -2,6 +2,7 @@
 // codes at the boundary, and operation semantics against the C++ core.
 #include <gtest/gtest.h>
 
+#include <cfloat>
 #include <vector>
 
 #include "capi/pgb_graphblas.h"
@@ -440,6 +441,63 @@ TEST_F(CapiTest, ServiceReleaseRetiresRecords) {
   EXPECT_EQ(pgb_query_release(id), GrB_SUCCESS);
   // Unknown ids refuse cleanly.
   EXPECT_EQ(pgb_query_release(id + 100), GrB_INVALID_VALUE);
+  GrB_Matrix_free(&m);
+}
+
+TEST_F(CapiTest, IngestStreamMutatesServedGraph) {
+  ASSERT_EQ(pgb_service_open(4, 4), GrB_SUCCESS);
+  GrB_Matrix m = ring_matrix(32);
+  pgb_graph_handle_t h = -1;
+  ASSERT_EQ(pgb_graph_load(&h, m), GrB_SUCCESS);
+
+  // Ingest requires an open stream.
+  uint64_t epoch = 0;
+  EXPECT_EQ(pgb_ingest_publish(&epoch), GrB_UNINITIALIZED_OBJECT);
+  EXPECT_EQ(pgb_ingest_open(h, 0), GrB_INVALID_VALUE);  // threshold >= 1
+  ASSERT_EQ(pgb_ingest_open(h, 4096), GrB_SUCCESS);
+
+  uint64_t hash_before = 0;
+  ASSERT_EQ(pgb_ingest_stats(nullptr, nullptr, nullptr, &hash_before),
+            GrB_SUCCESS);
+
+  // Insert a chord and delete one ring edge, then publish.
+  const GrB_Index rows[] = {0, 4};
+  const GrB_Index cols[] = {16, 5};
+  const double vals[] = {2.5, 0.0};
+  const int ops[] = {0, 1};
+  ASSERT_EQ(pgb_ingest_apply(2, rows, cols, vals, ops), GrB_SUCCESS);
+  ASSERT_EQ(pgb_ingest_publish(&epoch), GrB_SUCCESS);
+  EXPECT_EQ(epoch, 2u);
+
+  int64_t batches = 0, deltas = 0, replays = 0;
+  uint64_t hash_after = 0;
+  ASSERT_EQ(pgb_ingest_stats(&batches, &deltas, &replays, &hash_after),
+            GrB_SUCCESS);
+  EXPECT_EQ(batches, 1);
+  EXPECT_EQ(deltas, 2);
+  EXPECT_EQ(replays, 0);
+  EXPECT_NE(hash_after, hash_before);
+
+  // The served graph reflects the mutation: SSSP from 0 now reaches 16
+  // through the 2.5-weight chord, and vertex 5 lost its ring edge.
+  pgb_query_id_t id = -1;
+  ASSERT_EQ(pgb_query_submit(&id, h, PGB_QUERY_SSSP, 0, 0, 1, 0),
+            GrB_SUCCESS);
+  ASSERT_EQ(pgb_service_drain(), GrB_SUCCESS);
+  double dist = 0;
+  ASSERT_EQ(pgb_query_sssp_dist(&dist, id, 16), GrB_SUCCESS);
+  EXPECT_DOUBLE_EQ(dist, 2.5);
+  ASSERT_EQ(pgb_query_sssp_dist(&dist, id, 5), GrB_SUCCESS);
+  EXPECT_DOUBLE_EQ(dist, DBL_MAX);  // the 4->5 edge was deleted
+
+  // Bad batches refuse without touching the stream.
+  EXPECT_EQ(pgb_ingest_apply(1, nullptr, cols, nullptr, nullptr),
+            GrB_NULL_POINTER);
+  EXPECT_EQ(pgb_ingest_apply(-1, rows, cols, nullptr, nullptr),
+            GrB_INVALID_VALUE);
+
+  EXPECT_EQ(pgb_ingest_close(), GrB_SUCCESS);
+  EXPECT_EQ(pgb_ingest_publish(&epoch), GrB_UNINITIALIZED_OBJECT);
   GrB_Matrix_free(&m);
 }
 

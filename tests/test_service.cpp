@@ -73,6 +73,52 @@ TEST(GraphStoreTest, SnapshotPinsVersionAcrossPublishAndClose) {
   EXPECT_THROW(store.epoch(h), InvalidHandleError);
 }
 
+TEST(GraphStoreTest, RapidPublishesRetireVersionsSafely) {
+  auto grid = LocaleGrid::square(4, 2);
+  GraphStore store;
+  const auto h = store.load(make_graph(grid, 200, 4.0, 1));
+
+  // In-flight readers pin a snapshot at each epoch while publishes race
+  // ahead: three bumps with every prior version still held live.
+  std::vector<GraphSnapshot> inflight;
+  inflight.push_back(store.snapshot(h));
+  for (std::uint64_t s = 2; s <= 4; ++s) {
+    store.publish(h, make_graph(grid, 200, 4.0, s));
+    inflight.push_back(store.snapshot(h));
+  }
+  EXPECT_EQ(store.retired_live(), 3);
+  for (std::size_t i = 0; i < inflight.size(); ++i) {
+    // Each pinned version is intact and distinct — no use-after-free of
+    // a retired epoch, no aliasing between epochs.
+    EXPECT_EQ(inflight[i].epoch, i + 1);
+    EXPECT_EQ(inflight[i].graph->nrows(), 200);
+    for (std::size_t j = i + 1; j < inflight.size(); ++j) {
+      EXPECT_NE(inflight[i].graph.get(), inflight[j].graph.get());
+    }
+  }
+  // Releasing the readers lets the retired registry drain.
+  inflight.clear();
+  EXPECT_EQ(store.prune_retired(), 3);
+  EXPECT_EQ(store.retired_live(), 0);
+}
+
+TEST(GraphStoreTest, CloseWithLiveSnapshotsDefersTeardown) {
+  auto grid = LocaleGrid::square(4, 2);
+  GraphStore store;
+  const auto h = store.load(make_graph(grid, 200, 4.0, 1));
+  store.publish(h, make_graph(grid, 200, 4.0, 2));
+  GraphSnapshot held = store.snapshot(h);
+  store.close(h);
+  // The final version is retired, not destroyed: the live snapshot
+  // keeps it readable after close.
+  EXPECT_GE(store.retired_live(), 1);
+  EXPECT_EQ(held.graph->nrows(), 200);
+  EXPECT_EQ(held.epoch, 2u);
+  held.graph.reset();
+  store.prune_retired();
+  EXPECT_EQ(store.retired_live(), 0);
+}
+
 TEST(GraphStoreTest, UnknownHandleThrows) {
   GraphStore store;
   EXPECT_THROW(store.snapshot(0), InvalidHandleError);

@@ -49,6 +49,7 @@
 
 #include "gen/erdos_renyi.hpp"
 #include "gen/rmat.hpp"
+#include "ingest/ingest.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "service/service.hpp"
@@ -125,6 +126,42 @@ QueryKind draw_kind(const MixWeights& w, Rng& rng) {
   if ((r -= w.sssp) < 0) return QueryKind::kSssp;
   if ((r -= w.pr) < 0) return QueryKind::kPagerankSubgraph;
   return QueryKind::kEgoNet;
+}
+
+/// Parses "insert:9,delete:1" (any subset; weights >= 0, total > 0).
+IngestMix parse_ingest_mix(const std::string& spec) {
+  IngestMix w;
+  w.insert = 0;
+  w.erase = 0;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string part = spec.substr(pos, comma - pos);
+    const std::size_t colon = part.find(':');
+    PGB_REQUIRE(colon != std::string::npos,
+                "--ingest-mix entries are KIND:WEIGHT, got '" + part + "'");
+    const std::string kind = part.substr(0, colon);
+    std::int64_t weight = 0;
+    try {
+      weight = std::stoll(part.substr(colon + 1));
+    } catch (const std::exception&) {
+      throw InvalidArgument("--ingest-mix weight must be an integer: '" +
+                            part + "'");
+    }
+    PGB_REQUIRE(weight >= 0, "--ingest-mix weights must be >= 0");
+    if (kind == "insert") {
+      w.insert = weight;
+    } else if (kind == "delete") {
+      w.erase = weight;
+    } else {
+      throw InvalidArgument("--ingest-mix kind must be insert or delete; "
+                            "got '" + kind + "'");
+    }
+    pos = comma + 1;
+  }
+  PGB_REQUIRE(w.total() > 0, "--ingest-mix must give positive total weight");
+  return w;
 }
 
 /// One client-side submission event: the original arrival or a backoff
@@ -241,6 +278,20 @@ int run(int argc, char** argv) {
       "health-log-every", 8,
       "health snapshot cadence in scheduling rounds for --event-log "
       "(0 = off)"));
+  const int ingest = static_cast<int>(cli.get_int(
+      "ingest", 0,
+      "mutation batches streamed during the run through the replicated "
+      "delta log (0 = static graph)"));
+  const double ingest_rate = cli.get_double(
+      "ingest-rate", 100.0, "ingest batches per simulated second");
+  const int ingest_batch = static_cast<int>(cli.get_int(
+      "ingest-batch", 64, "edge mutations per ingest batch"));
+  const std::string ingest_mix_flag =
+      cli.get("ingest-mix", "insert:9,delete:1",
+              "mutation mix weights: insert:W,delete:W");
+  const std::int64_t compact_every = cli.get_int(
+      "compact-every", 8192,
+      "pending overlay deltas that trigger compaction into a fresh base");
   cli.finish();
 
   // Flag validation per pgb convention: a bad value names the accepted
@@ -277,7 +328,18 @@ int run(int argc, char** argv) {
               "--parity-group must be an integer in [2, 64]");
   PGB_REQUIRE(replica_chunk >= 1, "--replica-chunk must be >= 1");
   PGB_REQUIRE(health_every >= 0, "--health-log-every must be >= 0");
+  PGB_REQUIRE(ingest >= 0 && ingest <= 100000,
+              "--ingest must be an integer in [0, 100000]");
+  PGB_REQUIRE(ingest_rate > 0.0 && ingest_rate <= 1e9,
+              "--ingest-rate must be in (0, 1e9]");
+  PGB_REQUIRE(ingest_batch >= 1 && ingest_batch <= 65536,
+              "--ingest-batch must be an integer in [1, 65536]");
+  PGB_REQUIRE(compact_every >= 1 && compact_every <= 1073741824,
+              "--compact-every must be an integer in [1, 1073741824]");
+  PGB_REQUIRE(ingest == 0 || nodes >= 2,
+              "--ingest needs at least 2 locales for buddy mirroring");
   const MixWeights mix = parse_mix(mix_flag);
+  const IngestMix imix = parse_ingest_mix(ingest_mix_flag);
 
   std::optional<FaultPlan> plan;
   if (!faults.empty()) {
@@ -325,6 +387,12 @@ int run(int argc, char** argv) {
   std::printf("resilience: deadline=%gms quota=%gq/s burst=%g breaker-k=%d "
               "retry-max=%d watermark=%d\n",
               deadline_ms, quota, quota_burst, breaker_k, retry_max, watermark);
+  if (ingest > 0) {
+    std::printf("ingest: batches=%d rate=%g/s batch=%d mix=%s "
+                "compact-every=%lld\n",
+                ingest, ingest_rate, ingest_batch, ingest_mix_flag.c_str(),
+                static_cast<long long>(compact_every));
+  }
   if (plan.has_value()) {
     std::printf("faults: %s (seed %llu, recovery=%s, replica=%s)\n",
                 plan->spec().to_string().c_str(),
@@ -391,6 +459,35 @@ int run(int argc, char** argv) {
   const GraphStore::HandleId h = svc.store().load(
       std::make_shared<DistCsr<double>>(a));
 
+  // --- ingest stream: seeded mutation batches interleaved with the
+  // query traffic. Content and cadence come from their own RNG stream,
+  // so --ingest=0 runs are byte-identical to pre-ingest builds. ---
+  std::optional<IngestStream> stream;
+  MutationRng ingest_rng{seed * 0xa0761d6478bd642full + 0xe7037ed1a0b428dbull};
+  std::vector<double> ingest_at(static_cast<std::size_t>(ingest), 0.0);
+  for (int k = 0; k < ingest; ++k) {
+    ingest_at[static_cast<std::size_t>(k)] =
+        static_cast<double>(k + 1) / ingest_rate;
+  }
+  if (ingest > 0) {
+    IngestOptions iopt;
+    iopt.compact_every = compact_every;
+    stream.emplace(grid, svc.store(), h, a, iopt,
+                   event_log_file.empty() ? nullptr : &elog);
+    // A kill landing inside a *query* batch restores the delta log and
+    // base mirror as part of the same localized rebuild.
+    svc.set_rebuild_hook(
+        [&](int logical) { stream->recover_after_rebuild(logical); });
+  }
+  std::int64_t next_ingest = 0;
+  const auto ingest_one = [&] {
+    const MutationBatch b = make_mutation_batch(
+        ingest_rng, a.nrows(), ingest_batch, imix, next_ingest + 1);
+    stream->apply(b);
+    stream->publish();
+    ++next_ingest;
+  };
+
   // --- serve loop: admit every due event, run one scheduling round,
   // harvest + release finished records (memory-steady). A queue-full
   // rejection is resubmitted at now + retry_after * 2^attempt * jitter;
@@ -416,8 +513,21 @@ int run(int argc, char** argv) {
       ++next_harvest;
     }
   };
-  while (!events.empty() || svc.queue_size() > 0) {
+  while (!events.empty() || svc.queue_size() > 0 || next_ingest < ingest) {
     const double now = grid.time();
+    // Due ingest batches run between scheduling rounds; with the service
+    // idle, whichever of (next arrival, next batch) is earlier goes
+    // first, so the interleave is a pure function of simulated time.
+    if (next_ingest < ingest) {
+      const double at = ingest_at[static_cast<std::size_t>(next_ingest)];
+      const double next_event_at = events.empty() ? -1.0 : events.top().at;
+      if (at <= now ||
+          (svc.queue_size() == 0 &&
+           (events.empty() || at <= next_event_at))) {
+        ingest_one();
+        continue;  // recompute `now` — apply/publish advanced the clock
+      }
+    }
     while (!events.empty() &&
            (events.top().at <= now || svc.queue_size() == 0)) {
       Event ev = events.top();
@@ -505,6 +615,28 @@ int run(int argc, char** argv) {
         mx.counter("fault.injected", {{"kind", "kill"}}).value;
     std::printf("faults: injected kill=%lld; recovery: %s\n",
                 static_cast<long long>(kills), report.summary().c_str());
+  }
+  if (ingest > 0) {
+    const IngestStats& is = stream->stats();
+    std::printf("ingest: batches=%lld deltas=%lld (insert=%lld delete=%lld) "
+                "publishes=%lld compactions=%lld\n",
+                static_cast<long long>(is.batches),
+                static_cast<long long>(is.deltas),
+                static_cast<long long>(is.inserts),
+                static_cast<long long>(is.deletes),
+                static_cast<long long>(is.publishes),
+                static_cast<long long>(is.compactions));
+    std::printf("ingest: replays=%lld pages_replayed=%lld "
+                "pages_discarded=%lld log_bytes=%lld pinned_versions=%lld\n",
+                static_cast<long long>(is.replays),
+                static_cast<long long>(is.pages_replayed),
+                static_cast<long long>(is.pages_discarded),
+                static_cast<long long>(is.log_bytes),
+                static_cast<long long>(svc.store().retired_live()));
+    const GraphSnapshot snap = svc.store().snapshot(h);
+    std::printf("ingest: final epoch=%llu graph hash=%016llx\n",
+                static_cast<unsigned long long>(snap.epoch),
+                static_cast<unsigned long long>(ingest_graph_hash(*snap.graph)));
   }
   std::printf("\nmodeled time: %s\n", Table::time(grid.time()).c_str());
   const auto& cs = grid.comm_stats();
